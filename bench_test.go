@@ -1,0 +1,355 @@
+// Benchmarks regenerating every table and figure of the paper's evaluation
+// (one benchmark per artifact), plus ablation benches for the design
+// choices DESIGN.md calls out. Each iteration performs the complete
+// experiment; reported custom metrics carry the headline quantities so a
+// -bench run doubles as a results dump:
+//
+//	go test -bench . -benchmem
+//
+// The RV sweeps compile the full SPECfp+CNN suites at every (bank, method)
+// combination, so single iterations take seconds to tens of seconds.
+package prescount_test
+
+import (
+	"testing"
+
+	"prescount"
+
+	"prescount/internal/assign"
+	"prescount/internal/bankfile"
+	"prescount/internal/cfg"
+	"prescount/internal/core"
+	"prescount/internal/experiments"
+	"prescount/internal/liveness"
+	"prescount/internal/rcg"
+	"prescount/internal/workload"
+)
+
+// BenchmarkFig1Classification regenerates Figure 1a/1c: the share of
+// conflict-relevant units in SPECfp and CNN-KERNEL.
+func BenchmarkFig1Classification(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		spec, err := experiments.Fig1(workload.SPECfp(), true)
+		if err != nil {
+			b.Fatal(err)
+		}
+		cnn, err := experiments.Fig1(workload.CNN(), false)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(float64(spec.Relevant)/float64(spec.Units)*100, "spec-relevant-%")
+		b.ReportMetric(float64(cnn.Relevant)/float64(cnn.Units)*100, "cnn-relevant-%")
+	}
+}
+
+// BenchmarkFig1Interleaving regenerates Figure 1b/1d: conflicting units
+// under 2/4/8/16-way interleaved files.
+func BenchmarkFig1Interleaving(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		cnn, err := experiments.Fig1(workload.CNN(), false)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(float64(cnn.PerBanks[2]), "cnn-conflict@2way")
+		b.ReportMetric(float64(cnn.PerBanks[16]), "cnn-conflict@16way")
+	}
+}
+
+// BenchmarkTable1Characteristics regenerates Table I.
+func BenchmarkTable1Characteristics(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rows, err := experiments.Table1()
+		if err != nil {
+			b.Fatal(err)
+		}
+		var reles float64
+		for _, r := range rows {
+			reles += r.Reles
+		}
+		b.ReportMetric(reles, "total-reles")
+	}
+}
+
+// BenchmarkFig10StaticConflictsRV1 regenerates Figure 10 (and feeds Tables
+// II/III): the RV#1 static sweep.
+func BenchmarkFig10StaticConflictsRV1(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		sw, err := experiments.RV1()
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(float64(sw.Total(2, core.MethodNon, experiments.StaticMetric)), "confs@2-non")
+		b.ReportMetric(float64(sw.Total(2, core.MethodBPC, experiments.StaticMetric)), "confs@2-bpc")
+	}
+}
+
+// BenchmarkTable2ReductionsRV1 regenerates Table II.
+func BenchmarkTable2ReductionsRV1(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		sw, err := experiments.RV1()
+		if err != nil {
+			b.Fatal(err)
+		}
+		rows := experiments.Table2(sw, experiments.StaticMetric, "")
+		b.ReportMetric(float64(rows[0].Impv), "impv@2banks")
+		b.ReportMetric(rows[0].GeoImpv*100, "geo-impv-%@2banks")
+	}
+}
+
+// BenchmarkTable3SpillTradeoffRV1 regenerates Table III.
+func BenchmarkTable3SpillTradeoffRV1(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		sw, err := experiments.RV1()
+		if err != nil {
+			b.Fatal(err)
+		}
+		rows := experiments.Table3(sw, experiments.StaticMetric)
+		b.ReportMetric(float64(rows[0].CR["2-bpc"]), "spec-cr@2-bpc")
+		b.ReportMetric(float64(rows[0].SI["2-bpc"]), "spec-si@2-bpc")
+	}
+}
+
+// BenchmarkFig11DynamicConflictsRV2 regenerates Figure 11 (and feeds Tables
+// IV/V): the RV#2 sweep with simulation.
+func BenchmarkFig11DynamicConflictsRV2(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		sw, err := experiments.RV2()
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(float64(sw.Total(2, core.MethodNon, experiments.DynamicMetric)), "dyn@2-non")
+		b.ReportMetric(float64(sw.Total(2, core.MethodBPC, experiments.DynamicMetric)), "dyn@2-bpc")
+	}
+}
+
+// BenchmarkTable4ReductionsRV2 regenerates Table IV (static and dynamic
+// rows).
+func BenchmarkTable4ReductionsRV2(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		sw, err := experiments.RV2()
+		if err != nil {
+			b.Fatal(err)
+		}
+		st := experiments.Table2(sw, experiments.StaticMetric, "STATIC")
+		dy := experiments.Table2(sw, experiments.DynamicMetric, "DYNAMIC")
+		b.ReportMetric(float64(st[0].Impv), "static-impv@2")
+		b.ReportMetric(float64(dy[0].Impv), "dynamic-impv@2")
+	}
+}
+
+// BenchmarkTable5SpillTradeoffRV2 regenerates Table V.
+func BenchmarkTable5SpillTradeoffRV2(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		sw, err := experiments.RV2()
+		if err != nil {
+			b.Fatal(err)
+		}
+		rows := experiments.Table3(sw, experiments.StaticMetric)
+		b.ReportMetric(float64(rows[0].SI["2-bpc"]), "spec-si@2-bpc")
+	}
+}
+
+// BenchmarkTable6DSAConflicts regenerates Table VI.
+func BenchmarkTable6DSAConflicts(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rows, err := experiments.Table6()
+		if err != nil {
+			b.Fatal(err)
+		}
+		var ratioSum float64
+		n := 0
+		for _, r := range rows {
+			if r.Base > 0 {
+				ratioSum += r.RatioBPC
+				n++
+			}
+		}
+		b.ReportMetric(ratioSum/float64(n)*100, "avg-bpc-ratio-%")
+	}
+}
+
+// BenchmarkTable7DSACost regenerates Table VII.
+func BenchmarkTable7DSACost(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rows, err := experiments.Table7()
+		if err != nil {
+			b.Fatal(err)
+		}
+		var copies, cycles int64
+		for _, r := range rows {
+			copies += r.CopiesBPC
+			cycles += r.CyclesBPC
+		}
+		b.ReportMetric(float64(copies), "bpc-copies")
+		b.ReportMetric(float64(cycles), "bpc-cycles")
+	}
+}
+
+// --- Ablations (DESIGN.md) ---
+
+// ablationSweep compiles the SPECfp suite (where register pressure is
+// real on the 32-register RV#2 file) with custom pipeline options and
+// returns total static conflicts and spill instructions.
+func ablationSweep(b *testing.B, opts core.Options) (conflicts, spills int64) {
+	b.Helper()
+	for _, p := range workload.SPECfp().Programs {
+		c, err := experiments.CompileProgram(p, opts, false, false)
+		if err != nil {
+			b.Fatal(err)
+		}
+		conflicts += int64(c.Static)
+		spills += int64(c.SpillInstrs)
+	}
+	return
+}
+
+// BenchmarkAblationNoPressure isolates the bank-pressure prioritization:
+// bpc with pressure tracking disabled (cost-order coloring only) on the
+// tight RV#2 file, where unbalanced assignments bite.
+func BenchmarkAblationNoPressure(b *testing.B) {
+	file := bankfile.RV2(2)
+	for i := 0; i < b.N; i++ {
+		full, _ := ablationSweep(b, core.Options{File: file, Method: core.MethodBPC})
+		ablated, _ := ablationSweep(b, core.Options{File: file, Method: core.MethodBPC, DisablePressure: true})
+		b.ReportMetric(float64(full), "conflicts-full")
+		b.ReportMetric(float64(ablated), "conflicts-no-pressure")
+	}
+}
+
+// BenchmarkAblationNoFreeHints isolates free-register balancing on RV#2.
+func BenchmarkAblationNoFreeHints(b *testing.B) {
+	file := bankfile.RV2(2)
+	for i := 0; i < b.N; i++ {
+		full, _ := ablationSweep(b, core.Options{File: file, Method: core.MethodBPC})
+		ablated, _ := ablationSweep(b, core.Options{File: file, Method: core.MethodBPC, DisableFreeHints: true})
+		b.ReportMetric(float64(full), "conflicts-full")
+		b.ReportMetric(float64(ablated), "conflicts-no-freehints")
+	}
+}
+
+// BenchmarkAblationTHRES sweeps Algorithm 1's register-pressure threshold
+// on the tight RV#2 file, where it trades conflicts against spills.
+func BenchmarkAblationTHRES(b *testing.B) {
+	file := bankfile.RV2(2)
+	for i := 0; i < b.N; i++ {
+		for _, tc := range []struct {
+			label string
+			thres float64
+		}{{"low", 0.25}, {"mid", 0.9}, {"high", 100}} {
+			conf, spills := ablationSweep(b, core.Options{File: file, Method: core.MethodBPC, THRES: tc.thres})
+			b.ReportMetric(float64(conf), "conflicts@"+tc.label)
+			b.ReportMetric(float64(spills), "spills@"+tc.label)
+		}
+	}
+}
+
+// BenchmarkAblationNoSDGSplit isolates SDG-based subgroup splitting on the
+// DSA. At the paper's file size the mechanism's effect is subgroup usage
+// *balance* (its stated goal): without splitting, a kernel like idft piles
+// every register into one subgroup. The metric is the summed per-kernel
+// imbalance (max minus min distinct physical registers used per subgroup).
+func BenchmarkAblationNoSDGSplit(b *testing.B) {
+	file := bankfile.DSA(1024)
+	for i := 0; i < b.N; i++ {
+		var withSplit, withoutSplit int64
+		for _, p := range workload.DSAOP().Programs {
+			for _, f := range p.Funcs() {
+				full, err := core.Compile(f, core.Options{File: file, Method: core.MethodBPC, Subgroups: true})
+				if err != nil {
+					b.Fatal(err)
+				}
+				ablated, err := core.Compile(f, core.Options{
+					File: file, Method: core.MethodBPC, Subgroups: true,
+					SDGMaxGroup: 1 << 20, // splitting never fires
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+				withSplit += subgroupImbalance(full.Func, file)
+				withoutSplit += subgroupImbalance(ablated.Func, file)
+			}
+		}
+		b.ReportMetric(float64(withSplit), "imbalance-with-split")
+		b.ReportMetric(float64(withoutSplit), "imbalance-no-split")
+	}
+}
+
+// BenchmarkAblationOptimalGap measures how close Algorithm 1's heuristic
+// coloring comes to the exact minimum weighted residual conflict cost
+// (branch-and-bound per RCG component) over the CNN suite at 2 banks.
+func BenchmarkAblationOptimalGap(b *testing.B) {
+	file := bankfile.RV1(2)
+	for i := 0; i < b.N; i++ {
+		var heurCost, optCost float64
+		exactComponents := 0
+		for _, p := range workload.CNN().Programs {
+			for _, f := range p.Funcs() {
+				work := f.Clone()
+				cf := cfg.Compute(work)
+				g := rcg.Build(work, cf)
+				lv := liveness.Compute(work, cf)
+				heur := assign.PresCount(work, g, lv, file, assign.Options{})
+				heurCost += assign.ResidualCost(g, heur.BankOf)
+				opt := assign.Optimal(g, file.NumBanks, 0)
+				optCost += opt.Cost
+				if opt.Exact {
+					exactComponents++
+				}
+			}
+		}
+		b.ReportMetric(heurCost, "heuristic-cost")
+		b.ReportMetric(optCost, "optimal-cost")
+		if optCost > 0 {
+			b.ReportMetric(heurCost/optCost, "cost-ratio")
+		}
+	}
+}
+
+// BenchmarkAblationLinearScan compares the greedy and linear-scan
+// allocators under PresCount hints on the tight RV#2 file — the paper's
+// future-work question of combining the bank assigner with other RA
+// methods.
+func BenchmarkAblationLinearScan(b *testing.B) {
+	file := bankfile.RV2(2)
+	for i := 0; i < b.N; i++ {
+		greedyConf, greedySpill := ablationSweep(b, core.Options{File: file, Method: core.MethodBPC})
+		lsConf, lsSpill := ablationSweep(b, core.Options{File: file, Method: core.MethodBPC, LinearScan: true})
+		b.ReportMetric(float64(greedyConf), "conflicts-greedy")
+		b.ReportMetric(float64(lsConf), "conflicts-linearscan")
+		b.ReportMetric(float64(greedySpill), "spills-greedy")
+		b.ReportMetric(float64(lsSpill), "spills-linearscan")
+	}
+}
+
+// subgroupImbalance returns max-min of the number of distinct physical FP
+// registers used per subgroup.
+func subgroupImbalance(f *prescount.Func, file bankfile.Config) int64 {
+	used := make([]map[int]bool, file.NumSubgroups)
+	for i := range used {
+		used[i] = map[int]bool{}
+	}
+	for _, blk := range f.Blocks {
+		for _, in := range blk.Instrs {
+			for _, r := range in.Defs {
+				if r.IsFPR() {
+					used[file.Subgroup(r.FPRIndex())][r.FPRIndex()] = true
+				}
+			}
+			for _, r := range in.Uses {
+				if r.IsFPR() {
+					used[file.Subgroup(r.FPRIndex())][r.FPRIndex()] = true
+				}
+			}
+		}
+	}
+	min, max := 1<<30, 0
+	for _, m := range used {
+		if len(m) < min {
+			min = len(m)
+		}
+		if len(m) > max {
+			max = len(m)
+		}
+	}
+	return int64(max - min)
+}

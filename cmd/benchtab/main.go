@@ -1,0 +1,169 @@
+// Command benchtab regenerates the paper's evaluation tables and figures
+// over the synthetic workload suites.
+//
+// Usage:
+//
+//	benchtab -exp all
+//	benchtab -exp fig1,table2,table6
+//
+// Experiments: fig1, table1, fig10, table2, table3, fig11, table4, table5,
+// table6, table7, all. Output is plain text, one section per experiment,
+// in the paper's layout so measured numbers can sit next to published ones
+// (see EXPERIMENTS.md).
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"prescount/internal/core"
+	"prescount/internal/experiments"
+	"prescount/internal/workload"
+)
+
+func main() {
+	exp := flag.String("exp", "all", "comma-separated experiments: fig1,table1,fig10,table2,table3,fig11,table4,table5,table6,table7,all")
+	jsonOut := flag.String("json", "", "also write raw sweep data as JSON to this file")
+	flag.Parse()
+	want := map[string]bool{}
+	for _, e := range strings.Split(*exp, ",") {
+		want[strings.TrimSpace(e)] = true
+	}
+	all := want["all"]
+	run := func(name string) bool { return all || want[name] }
+
+	start := time.Now()
+	if run("fig1") {
+		section("Figure 1 — prevalence of bank conflicts (non, interleaved files)")
+		r, err := experiments.Fig1(workload.SPECfp(), true)
+		check(err)
+		fmt.Println("SPECfp (function-level units):")
+		fmt.Println(r)
+		r, err = experiments.Fig1(workload.CNN(), false)
+		check(err)
+		fmt.Println("CNN-KERNEL (kernel-level units):")
+		fmt.Println(r)
+	}
+	if run("table1") {
+		section("Table I — suite characteristics")
+		rows, err := experiments.Table1()
+		check(err)
+		fmt.Println(experiments.Table1String(rows))
+	}
+
+	var rv1 *experiments.Sweep
+	needRV1 := run("fig10") || run("table2") || run("table3")
+	if needRV1 {
+		var err error
+		rv1, err = experiments.RV1()
+		check(err)
+	}
+	if run("fig10") {
+		section("Figure 10 — Platform-RV#1 static conflicts (1024 regs)")
+		fmt.Println(experiments.Fig10String(rv1))
+	}
+	if run("table2") {
+		section("Table II — RV#1 combined conflicts and reductions (static)")
+		fmt.Println(experiments.Table2String(experiments.Table2(rv1, experiments.StaticMetric, "")))
+	}
+	if run("table3") {
+		section("Table III — RV#1 conflict reduction vs spill increment")
+		fmt.Println(experiments.Table3String(rv1, experiments.Table3(rv1, experiments.StaticMetric)))
+	}
+
+	var rv2 *experiments.Sweep
+	needRV2 := run("fig11") || run("table4") || run("table5")
+	if needRV2 {
+		var err error
+		rv2, err = experiments.RV2()
+		check(err)
+	}
+	if run("fig11") {
+		section("Figure 11 — Platform-RV#2 dynamic conflicts (32 regs)")
+		fmt.Println(experiments.Fig11String(rv2))
+	}
+	if run("table4") {
+		section("Table IV — RV#2 conflicts and reductions (static and dynamic)")
+		rows := experiments.Table2(rv2, experiments.StaticMetric, "STATIC")
+		rows = append(rows, experiments.Table2(rv2, experiments.DynamicMetric, "DYNAMIC")...)
+		fmt.Println(experiments.Table2String(rows))
+	}
+	if run("table5") {
+		section("Table V — RV#2 conflict reduction vs spill increment (static)")
+		fmt.Println(experiments.Table3String(rv2, experiments.Table3(rv2, experiments.StaticMetric)))
+	}
+
+	if run("table6") {
+		section("Table VI — Platform-DSA conflict ratios (dynamic)")
+		rows, err := experiments.Table6()
+		check(err)
+		fmt.Println(experiments.Table6String(rows))
+	}
+	if run("table7") {
+		section("Table VII — Platform-DSA spills, copies and cycles (VLIW model)")
+		rows, err := experiments.Table7()
+		check(err)
+		fmt.Println(experiments.Table7String(rows))
+	}
+
+	if *jsonOut != "" {
+		dump := map[string]interface{}{}
+		if rv1 != nil {
+			dump["rv1"] = sweepJSON(rv1)
+		}
+		if rv2 != nil {
+			dump["rv2"] = sweepJSON(rv2)
+		}
+		data, err := json.MarshalIndent(dump, "", "  ")
+		check(err)
+		check(os.WriteFile(*jsonOut, data, 0o644))
+		fmt.Fprintf(os.Stderr, "benchtab: wrote %s\n", *jsonOut)
+	}
+
+	// Headline numbers (abstract): geomean conflict reduction of bpc over
+	// bcr per suite on the rich-bank platform.
+	if run("headline") || all {
+		section("Headline — bpc vs bcr geomean reduction (RV#1, per suite)")
+		if rv1 == nil {
+			var err error
+			rv1, err = experiments.RV1()
+			check(err)
+		}
+		for _, bank := range rv1.Banks {
+			g := rv1.GeomeanReduction(bank, core.MethodBPC, core.MethodBCR, experiments.StaticMetric)
+			fmt.Printf("%d banks: bpc reduces remaining conflicts vs bcr by %.2f%% (geomean)\n", bank, 100*g)
+		}
+		fmt.Println()
+	}
+	fmt.Fprintf(os.Stderr, "benchtab: done in %v\n", time.Since(start))
+}
+
+// sweepJSON converts a sweep into a JSON-friendly structure keyed
+// "bank-method" -> program -> counts.
+func sweepJSON(sw *experiments.Sweep) map[string]map[string]experiments.Counts {
+	out := map[string]map[string]experiments.Counts{}
+	for _, bank := range sw.Banks {
+		for _, m := range experiments.Methods {
+			key := fmt.Sprintf("%d-%s", bank, m)
+			out[key] = sw.Get(bank, m)
+		}
+	}
+	return out
+}
+
+func section(title string) {
+	fmt.Println("=" + strings.Repeat("=", len(title)+1))
+	fmt.Println("= " + title)
+	fmt.Println("=" + strings.Repeat("=", len(title)+1))
+}
+
+func check(err error) {
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchtab:", err)
+		os.Exit(1)
+	}
+}

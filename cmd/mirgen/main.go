@@ -1,0 +1,77 @@
+// Command mirgen emits the generated workload suites as textual MIR files,
+// one file per program module, so they can be inspected, versioned or fed
+// back through prescountc.
+//
+// Usage:
+//
+//	mirgen -suite specfp -out dir
+//	mirgen -suite cnn -out dir
+//	mirgen -suite dsaop -out dir
+//	mirgen -suite all -out dir
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"prescount"
+)
+
+func main() {
+	suite := flag.String("suite", "all", "suite to emit: specfp | cnn | dsaop | all")
+	out := flag.String("out", "mir", "output directory")
+	flag.Parse()
+
+	var suites []*prescount.Suite
+	switch *suite {
+	case "specfp":
+		suites = append(suites, prescount.SuiteSPECfp())
+	case "cnn":
+		suites = append(suites, prescount.SuiteCNN())
+	case "dsaop":
+		suites = append(suites, prescount.SuiteDSAOP())
+	case "all":
+		suites = append(suites, prescount.SuiteSPECfp(), prescount.SuiteCNN(), prescount.SuiteDSAOP())
+	default:
+		fail(fmt.Errorf("unknown suite %q", *suite))
+	}
+
+	files := 0
+	for _, s := range suites {
+		dir := filepath.Join(*out, sanitize(s.Name))
+		fail(os.MkdirAll(dir, 0o755))
+		for _, p := range s.Programs {
+			for i, m := range p.Modules {
+				name := sanitize(p.Name)
+				if len(p.Modules) > 1 {
+					name = fmt.Sprintf("%s_%03d", name, i)
+				}
+				path := filepath.Join(dir, name+".mir")
+				fail(os.WriteFile(path, []byte(prescount.PrintModule(m)), 0o644))
+				files++
+			}
+		}
+	}
+	fmt.Printf("mirgen: wrote %d files under %s\n", files, *out)
+}
+
+func sanitize(s string) string {
+	return strings.Map(func(r rune) rune {
+		switch {
+		case r >= 'a' && r <= 'z', r >= 'A' && r <= 'Z', r >= '0' && r <= '9', r == '-', r == '_', r == '.':
+			return r
+		default:
+			return '_'
+		}
+	}, s)
+}
+
+func fail(err error) {
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "mirgen:", err)
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,131 @@
+// Command prescountc compiles textual MIR through the PresCount register
+// allocation pipeline and reports bank-conflict statistics.
+//
+// Usage:
+//
+//	prescountc [flags] file.mir...
+//
+//	-regs N        FP register file size (default 32)
+//	-banks N       bank count (default 2)
+//	-subgroups N   subgroups per bank (default 1; >1 enables the DSA path)
+//	-method M      non | bcr | bpc (default bpc)
+//	-dump          print the allocated MIR
+//	-run           simulate the allocated code and report dynamic metrics
+//	-vliw          use the dual-issue VLIW cycle model when simulating
+//
+// With no file arguments, prescountc reads one function from stdin.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"prescount"
+)
+
+func main() {
+	regs := flag.Int("regs", 32, "FP register file size")
+	banks := flag.Int("banks", 2, "number of register banks")
+	subgroups := flag.Int("subgroups", 1, "subgroups per bank (>1 enables the DSA pipeline)")
+	method := flag.String("method", "bpc", "allocation method: non | bcr | brc | bpc")
+	dump := flag.Bool("dump", false, "print the allocated MIR")
+	dot := flag.String("dot", "", "emit a Graphviz document of the pre-allocation analyses: rig | rcg | sdg")
+	run := flag.Bool("run", false, "simulate the allocated code")
+	vliw := flag.Bool("vliw", false, "VLIW dual-issue cycle model")
+	outPath := flag.String("o", "", "write the allocated MIR of all inputs to this file")
+	flag.Parse()
+
+	var m prescount.Method
+	switch *method {
+	case "non":
+		m = prescount.MethodNon
+	case "bcr":
+		m = prescount.MethodBCR
+	case "bpc":
+		m = prescount.MethodBPC
+	case "brc":
+		m = prescount.MethodBRC
+	default:
+		fail(fmt.Errorf("unknown method %q", *method))
+	}
+	file := prescount.RegisterFile{
+		NumRegs:      *regs,
+		NumBanks:     *banks,
+		NumSubgroups: *subgroups,
+		ReadPorts:    1,
+	}
+	opts := prescount.Options{File: file, Method: m, Subgroups: *subgroups > 1}
+
+	sources := map[string]string{}
+	if flag.NArg() == 0 {
+		data, err := io.ReadAll(os.Stdin)
+		fail(err)
+		sources["<stdin>"] = string(data)
+	}
+	for _, path := range flag.Args() {
+		data, err := os.ReadFile(path)
+		fail(err)
+		sources[path] = string(data)
+	}
+
+	outMod := prescount.NewModule("allocated")
+	for name, src := range sources {
+		mod, err := prescount.ParseModule(src)
+		fail(err)
+		if len(mod.Funcs) == 0 {
+			// Try a bare function.
+			f, ferr := prescount.Parse(src)
+			fail(ferr)
+			mod.Add(f)
+		}
+		for _, f := range mod.SortedFuncs() {
+			if *dot != "" {
+				doc, err := prescount.GraphDOT(f, *dot)
+				fail(err)
+				fmt.Print(doc)
+				continue
+			}
+			res, err := prescount.Compile(f, opts)
+			fail(err)
+			r := res.Report
+			fmt.Printf("%s/%s: file=%v method=%v\n", name, f.Name, file, m)
+			fmt.Printf("  instrs=%d conflict-relevant=%d static-conflicts=%d weighted=%.0f\n",
+				r.Instrs, r.ConflictRelevant, r.StaticConflicts, r.WeightedConflicts)
+			fmt.Printf("  spills=%d+%d copies=%d subgroup-violations=%d\n",
+				r.SpillStores, r.SpillReloads, r.Copies, r.SubgroupViolations)
+			if *dump {
+				fmt.Print(prescount.Print(res.Func))
+			}
+			if *outPath != "" {
+				outMod.Add(res.Func)
+			}
+			if *run {
+				sr, err := prescount.Simulate(res.Func, prescount.SimOptions{
+					File: file,
+					VLIW: *vliw,
+				})
+				fail(err)
+				fmt.Printf("  executed=%d cycles=%d dynamic-conflicts=%d\n",
+					sr.Steps, sr.Cycles, sr.DynamicConflicts)
+			}
+		}
+	}
+	writeOut(*outPath, outMod)
+}
+
+func writeOut(path string, mod *prescount.Module) {
+	if path == "" || len(mod.Funcs) == 0 {
+		return
+	}
+	fail(os.WriteFile(path, []byte(prescount.PrintModule(mod)), 0o644))
+	fmt.Fprintf(os.Stderr, "prescountc: wrote %s\n", path)
+}
+
+func fail(err error) {
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "prescountc:", err)
+		os.Exit(1)
+	}
+}

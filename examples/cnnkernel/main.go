@@ -1,0 +1,58 @@
+// CNN kernel walkthrough: reproduces in miniature the paper's motivation
+// experiment — convolution kernels at increasing unroll factors create
+// increasing bank pressure, and the PresCount method (bpc) holds conflicts
+// near zero where the bank-oblivious baseline degrades linearly.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"prescount"
+)
+
+func main() {
+	suite := prescount.SuiteCNN()
+	file := prescount.RV1(2) // 1024 registers, 2 banks
+
+	fmt.Println("CNN-KERNEL conv2d.relu kernels on", file)
+	fmt.Printf("%-24s  %-7s  %-9s  %-9s  %-9s\n",
+		"kernel", "reles", "non", "bcr", "bpc")
+
+	shown := map[string]bool{}
+	// A spread of small (k=1) and large (3x3, many channels) kernels: the
+	// pixel-reuse in the large ones is where RCG coloring beats
+	// single-instruction hinting.
+	for _, n := range []string{"00", "01", "02", "03", "24", "25", "26", "27", "38", "39"} {
+		shown["CNN.conv2d.relu."+n] = true
+	}
+	for _, p := range suite.Programs {
+		if !shown[p.Name] {
+			continue
+		}
+		row := map[prescount.Method]int{}
+		reles := 0
+		for _, m := range []prescount.Method{
+			prescount.MethodNon, prescount.MethodBCR, prescount.MethodBPC,
+		} {
+			total := 0
+			for _, f := range p.Funcs() {
+				res, err := prescount.Compile(f, prescount.Options{File: file, Method: m})
+				if err != nil {
+					log.Fatal(err)
+				}
+				total += res.Report.StaticConflicts
+				if m == prescount.MethodNon {
+					reles += res.Report.ConflictRelevant
+				}
+			}
+			row[m] = total
+		}
+		fmt.Printf("%-24s  %-7d  %-9d  %-9d  %-9d\n",
+			p.Name, reles, row[prescount.MethodNon], row[prescount.MethodBCR], row[prescount.MethodBPC])
+	}
+
+	fmt.Println("\nHigher unroll factors mean more conflict-relevant instructions;")
+	fmt.Println("bpc removes the removable conflicts (the residue is fused 3-read")
+	fmt.Println("FMAs, which no 2-bank assignment can serve in one cycle).")
+}

@@ -1,0 +1,3 @@
+module prescount
+
+go 1.22

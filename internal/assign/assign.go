@@ -1,0 +1,297 @@
+// Package assign implements the register bank assigners compared in the
+// paper:
+//
+//   - the PresCount assigner (Algorithm 1): RCG coloring in decreasing
+//     conflict-cost order, bank-pressure-prioritized color choice, an
+//     overall-register-pressure (THRES) trade-off for uncolorable nodes,
+//     and balancing hints for free registers that are absent from the RCG;
+//   - helpers consumed by the bcr baseline, which performs its greedy
+//     per-instruction hinting inside the allocator itself (see
+//     internal/regalloc).
+//
+// The assigner runs between pre-allocation scheduling and register
+// allocation (Figure 4); it never modifies the IR, only produces a
+// bank-per-vreg map consumed as allocation constraints/hints.
+package assign
+
+import (
+	"sort"
+
+	"prescount/internal/bankfile"
+	"prescount/internal/ir"
+	"prescount/internal/liveness"
+	"prescount/internal/pressure"
+	"prescount/internal/rcg"
+)
+
+// DefaultTHRES is the default overall-register-pressure threshold of
+// Algorithm 1: above it, uncolorable nodes pick banks by pressure (spill
+// avoidance); below it, by accumulated neighbour conflict cost.
+const DefaultTHRES = 0.9
+
+// Result is the outcome of bank assignment.
+type Result struct {
+	// BankOf maps each processed virtual register to its bank.
+	BankOf map[ir.Reg]int
+	// Forced lists registers that received a conflicting color (uncolorable
+	// nodes of Algorithm 1); their conflicts remain in the code.
+	Forced []ir.Reg
+	// FreeHints maps RCG-absent FP vregs to a balancing bank hint.
+	FreeHints map[ir.Reg]int
+}
+
+// Options configures the PresCount assigner.
+type Options struct {
+	// THRES is the overall register pressure threshold; zero means
+	// DefaultTHRES.
+	THRES float64
+	// DisablePressure turns off bank-pressure prioritization (ablation:
+	// colors are then chosen by index among available ones).
+	DisablePressure bool
+	// DisableFreeHints turns off free-register balancing (ablation).
+	DisableFreeHints bool
+}
+
+// PresCount runs Algorithm 1 over the RCG g and returns the bank
+// assignment. lv supplies live intervals for pressure tracking; cfg the
+// register file shape.
+func PresCount(f *ir.Func, g *rcg.Graph, lv *liveness.Info, cfg bankfile.Config, opts Options) *Result {
+	thres := opts.THRES
+	if thres == 0 {
+		thres = DefaultTHRES
+	}
+	res := &Result{
+		BankOf:    make(map[ir.Reg]int),
+		FreeHints: make(map[ir.Reg]int),
+	}
+	tracker := pressure.NewTracker(cfg)
+	// A second tracker follows only intervals that live across a call:
+	// those can only realize their bank in the (small) callee-saved subset,
+	// so their pressure must be balanced separately or the allocator will
+	// be forced to break the assignment (CSR-aware bank pressure).
+	crossTracker := pressure.NewTracker(cfg)
+	callSlots := callSites(f, lv)
+	crosses := func(iv *liveness.Interval) bool {
+		if iv == nil {
+			return false
+		}
+		for _, s := range callSlots {
+			if iv.Covers(s) {
+				return true
+			}
+		}
+		return false
+	}
+	regPressure := pressure.OverallRegPressure(lv.MaxPressure(ir.ClassFP), cfg)
+	allBanks := make([]int, cfg.NumBanks)
+	for i := range allBanks {
+		allBanks[i] = i
+	}
+	commit := func(bank int, iv *liveness.Interval) {
+		if iv == nil {
+			return
+		}
+		tracker.Add(bank, iv)
+		if crosses(iv) {
+			crossTracker.Add(bank, iv)
+		}
+	}
+	// calleeCap[b] is how many callee-saved registers bank b offers: the
+	// capacity available to call-crossing intervals.
+	calleeCap := make([]int, cfg.NumBanks)
+	for p := 0; p < cfg.NumRegs; p++ {
+		if !ir.CallerSavedFPR(p, cfg.NumRegs) {
+			calleeCap[cfg.Bank(p)]++
+		}
+	}
+	rank := func(candidates []int, iv *liveness.Interval) []int {
+		if opts.DisablePressure || iv == nil {
+			out := append([]int(nil), candidates...)
+			sort.Ints(out)
+			return out
+		}
+		if crosses(iv) {
+			// Rank by remaining callee-saved slack (capacity minus
+			// crossing pressure), most slack first; ties fall back to
+			// overall pressure, then bank index.
+			out := append([]int(nil), candidates...)
+			sort.SliceStable(out, func(i, j int) bool {
+				si := calleeCap[out[i]] - crossTracker.PressureIfAdded(out[i], iv)
+				sj := calleeCap[out[j]] - crossTracker.PressureIfAdded(out[j], iv)
+				if si != sj {
+					return si > sj
+				}
+				pi := tracker.PressureIfAdded(out[i], iv)
+				pj := tracker.PressureIfAdded(out[j], iv)
+				if pi != pj {
+					return pi < pj
+				}
+				return out[i] < out[j]
+			})
+			return out
+		}
+		return tracker.RankBanks(candidates, iv)
+	}
+
+	// Process disjoint subgraphs in descending max-cost order.
+	for _, comp := range g.Components() {
+		unprocessed := make(map[ir.Reg]bool, len(comp))
+		for _, r := range comp {
+			unprocessed[r] = true
+		}
+		for len(unprocessed) > 0 {
+			seed := maxConflictCost(g, unprocessed)
+			worklist := map[ir.Reg]bool{seed: true}
+			for len(worklist) > 0 {
+				v := maxCostDegree(g, worklist)
+				delete(worklist, v)
+				delete(unprocessed, v)
+
+				avail := availableBanks(g, res.BankOf, v, cfg.NumBanks)
+				var ordered []int
+				switch {
+				case len(avail) > 0:
+					ordered = rank(avail, lv.IntervalOf(v))
+				case regPressure > thres:
+					ordered = rank(allBanks, lv.IntervalOf(v))
+					res.Forced = append(res.Forced, v)
+				default:
+					ordered = neighbourCostPrioritize(g, res.BankOf, v, allBanks)
+					res.Forced = append(res.Forced, v)
+				}
+				bank := ordered[0]
+				res.BankOf[v] = bank
+				commit(bank, lv.IntervalOf(v))
+				for _, n := range g.Neighbors(v) {
+					if _, colored := res.BankOf[n]; !colored && unprocessed[n] {
+						worklist[n] = true
+					}
+				}
+			}
+		}
+	}
+
+	// Free registers: FP vregs not in the RCG get balancing hints so the
+	// allocator does not pile them into one bank (paper §III-B, last
+	// paragraph).
+	if !opts.DisableFreeHints {
+		for idx, info := range f.VRegs {
+			if info.Class != ir.ClassFP {
+				continue
+			}
+			r := ir.VReg(idx)
+			if _, inRCG := res.BankOf[r]; inRCG {
+				continue
+			}
+			iv := lv.IntervalOf(r)
+			if iv == nil || iv.Empty() {
+				continue
+			}
+			b := rank(allBanks, iv)[0]
+			res.FreeHints[r] = b
+			commit(b, iv)
+		}
+	}
+	return res
+}
+
+// callSites returns the read slots of every call instruction; intervals
+// covering one of them live across a call.
+func callSites(f *ir.Func, lv *liveness.Info) []int {
+	var out []int
+	for _, b := range f.Blocks {
+		for i, in := range b.Instrs {
+			if in.Op == ir.OpCall {
+				out = append(out, lv.ReadSlot(b, i))
+			}
+		}
+	}
+	return out
+}
+
+// maxConflictCost returns the register with the largest Cost_R among the
+// set, breaking ties by smaller register for determinism.
+func maxConflictCost(g *rcg.Graph, set map[ir.Reg]bool) ir.Reg {
+	var best ir.Reg
+	bestCost := -1.0
+	first := true
+	for r := range set {
+		c := g.Cost[r]
+		if first || c > bestCost || (c == bestCost && r < best) {
+			best, bestCost, first = r, c, false
+		}
+	}
+	return best
+}
+
+// maxCostDegree returns the worklist entry with the highest conflict cost,
+// then highest degree, then smallest register (Algorithm 1's
+// MaxCostDegree).
+func maxCostDegree(g *rcg.Graph, set map[ir.Reg]bool) ir.Reg {
+	var best ir.Reg
+	bestCost := -1.0
+	bestDeg := -1
+	first := true
+	for r := range set {
+		c, d := g.Cost[r], g.Degree(r)
+		better := first || c > bestCost ||
+			(c == bestCost && d > bestDeg) ||
+			(c == bestCost && d == bestDeg && r < best)
+		if better {
+			best, bestCost, bestDeg, first = r, c, d, false
+		}
+	}
+	return best
+}
+
+// availableBanks returns ALLCOLORS minus the banks of v's colored
+// neighbours.
+func availableBanks(g *rcg.Graph, bankOf map[ir.Reg]int, v ir.Reg, numBanks int) []int {
+	used := make([]bool, numBanks)
+	for _, n := range g.Neighbors(v) {
+		if b, ok := bankOf[n]; ok {
+			used[b] = true
+		}
+	}
+	var avail []int
+	for b := 0; b < numBanks; b++ {
+		if !used[b] {
+			avail = append(avail, b)
+		}
+	}
+	return avail
+}
+
+// neighbourCostPrioritize orders banks by ascending accumulated Cost_R of
+// v's same-colored neighbours: the low-register-pressure branch of
+// Algorithm 1, which minimizes the conflict penalty kept in the code.
+func neighbourCostPrioritize(g *rcg.Graph, bankOf map[ir.Reg]int, v ir.Reg, banks []int) []int {
+	cost := make(map[int]float64, len(banks))
+	for _, n := range g.Neighbors(v) {
+		if b, ok := bankOf[n]; ok {
+			cost[b] += g.Cost[n]
+		}
+	}
+	out := append([]int(nil), banks...)
+	sort.SliceStable(out, func(i, j int) bool {
+		if cost[out[i]] != cost[out[j]] {
+			return cost[out[i]] < cost[out[j]]
+		}
+		return out[i] < out[j]
+	})
+	return out
+}
+
+// Validate checks an assignment against the RCG: it returns the edges whose
+// endpoints share a bank (the conflicts Algorithm 1 could not remove).
+func Validate(g *rcg.Graph, bankOf map[ir.Reg]int) [][2]ir.Reg {
+	var bad [][2]ir.Reg
+	for _, a := range g.Nodes {
+		for _, b := range g.Neighbors(a) {
+			if a < b && bankOf[a] == bankOf[b] {
+				bad = append(bad, [2]ir.Reg{a, b})
+			}
+		}
+	}
+	return bad
+}

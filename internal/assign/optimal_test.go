@@ -1,0 +1,154 @@
+package assign
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"prescount/internal/bankfile"
+	"prescount/internal/cfg"
+	"prescount/internal/ir"
+	"prescount/internal/liveness"
+	"prescount/internal/rcg"
+)
+
+func TestOptimalColorsChain(t *testing.T) {
+	f, _ := chainFunc(t)
+	g := rcg.Build(f, cfg.Compute(f))
+	res := Optimal(g, 2, 0)
+	if !res.Exact {
+		t.Fatal("small chain must be solved exactly")
+	}
+	if res.Cost != 0 {
+		t.Errorf("2-colorable chain has optimal cost %g, want 0", res.Cost)
+	}
+	if got := ResidualCost(g, res.BankOf); got != res.Cost {
+		t.Errorf("ResidualCost = %g, reported %g", got, res.Cost)
+	}
+}
+
+func TestOptimalTriangleKeepsCheapestEdge(t *testing.T) {
+	// Triangle with one hot edge: the optimum leaves the cheapest edge in
+	// conflict.
+	bd := ir.NewBuilder("tri")
+	base := bd.IConst(0)
+	x := bd.FLoad(base, 0)
+	y := bd.FLoad(base, 1)
+	z := bd.FLoad(base, 2)
+	bd.Loop(100, 1, func(ir.Reg) {
+		h := bd.FAdd(x, y) // hot edge x-y
+		bd.FStore(h, base, 5)
+	})
+	s2 := bd.FAdd(y, z) // cold edges
+	s3 := bd.FAdd(x, z)
+	s4 := bd.FAdd(s2, s3)
+	bd.FStore(s4, base, 6)
+	bd.Ret()
+	f := bd.Func()
+	g := rcg.Build(f, cfg.Compute(f))
+	res := Optimal(g, 2, 0)
+	if !res.Exact {
+		t.Fatal("triangle must solve exactly")
+	}
+	// x and y must be separated (hot edge removed); the residual must be
+	// one cold edge's weight.
+	if res.BankOf[x] == res.BankOf[y] {
+		t.Error("optimal assignment kept the hot edge in one bank")
+	}
+	cold := g.EdgeWeight(y, z)
+	if res.Cost != cold {
+		t.Errorf("optimal cost = %g, want one cold edge %g", res.Cost, cold)
+	}
+}
+
+func TestOptimalFallbackOnHugeComponent(t *testing.T) {
+	bd := ir.NewBuilder("huge")
+	base := bd.IConst(0)
+	shared := bd.FLoad(base, 0)
+	acc := bd.FConst(0)
+	for i := 0; i < 40; i++ {
+		x := bd.FLoad(base, int64(i%8))
+		p := bd.FMul(shared, x)
+		acc = bd.FAdd(acc, p)
+	}
+	bd.FStore(acc, base, 9)
+	bd.Ret()
+	f := bd.Func()
+	g := rcg.Build(f, cfg.Compute(f))
+	res := Optimal(g, 2, 8)
+	if res.Exact {
+		t.Error("oversized component reported exact")
+	}
+	for _, n := range g.Nodes {
+		if _, ok := res.BankOf[n]; !ok {
+			t.Errorf("fallback left %v unassigned", n)
+		}
+	}
+}
+
+// quick-check: on random small graphs, the PresCount heuristic never beats
+// the exact optimum, and the optimum never exceeds the heuristic.
+func TestPresCountNeverBeatsOptimalQuick(t *testing.T) {
+	check := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		bd := ir.NewBuilder("rand")
+		base := bd.IConst(0)
+		var vals []ir.Reg
+		for i := 0; i < 7; i++ {
+			vals = append(vals, bd.FLoad(base, int64(i)))
+		}
+		acc := bd.FAdd(vals[0], vals[1])
+		for k := 0; k < 9; k++ {
+			i, j := rng.Intn(len(vals)), rng.Intn(len(vals))
+			if i == j {
+				continue
+			}
+			s := bd.FAdd(vals[i], vals[j])
+			acc = bd.FAdd(acc, s)
+		}
+		bd.FStore(acc, base, 20)
+		bd.Ret()
+		f := bd.Func()
+		cf := cfg.Compute(f)
+		g := rcg.Build(f, cf)
+		lv := liveness.Compute(f, cf)
+		banks := []int{2, 3, 4}[rng.Intn(3)]
+		file := bankfile.Config{NumRegs: 96, NumBanks: banks, NumSubgroups: 1, ReadPorts: 1}
+
+		opt := Optimal(g, banks, 0)
+		if !opt.Exact {
+			return true // nothing to compare
+		}
+		heur := PresCount(f, g, lv, file, Options{})
+		heurCost := ResidualCost(g, heur.BankOf)
+		// Optimality: heuristic >= optimal, and optimal is genuinely an
+		// assignment over all nodes.
+		if heurCost < opt.Cost-1e-9 {
+			return false
+		}
+		for _, n := range g.Nodes {
+			if _, ok := opt.BankOf[n]; !ok {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestOptimalDeterministic(t *testing.T) {
+	f, _ := triangleFunc(t)
+	g := rcg.Build(f, cfg.Compute(f))
+	r1 := Optimal(g, 2, 0)
+	r2 := Optimal(g, 2, 0)
+	if r1.Cost != r2.Cost {
+		t.Fatal("nondeterministic optimal cost")
+	}
+	for r, b := range r1.BankOf {
+		if r2.BankOf[r] != b {
+			t.Fatalf("nondeterministic assignment for %v", r)
+		}
+	}
+}

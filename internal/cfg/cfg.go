@@ -1,0 +1,287 @@
+// Package cfg provides control-flow analyses over the MIR: reverse
+// postorder, dominator trees, natural-loop detection with a nesting forest,
+// and the loop-based block frequency / instruction cost model of the paper's
+// Equation 1 (Cost_I = product of the trip counts of the enclosing loops).
+package cfg
+
+import (
+	"math"
+
+	"prescount/internal/ir"
+)
+
+// DefaultTripCount is substituted for loops without trip-count metadata.
+// LLVM's block frequency machinery similarly assumes a small constant for
+// unknown loop weights.
+const DefaultTripCount = 10
+
+// maxCost caps accumulated instruction costs so deep nests cannot overflow.
+const maxCost = 1e18
+
+// Info holds the control-flow analyses for one function.
+type Info struct {
+	f *ir.Func
+	// RPO is the blocks in reverse postorder from the entry.
+	RPO []*ir.Block
+	// rpoIndex maps block ID to its reverse-postorder position.
+	rpoIndex []int
+	// idom maps block ID to immediate dominator block (nil for entry and
+	// unreachable blocks).
+	idom []*ir.Block
+	// Loops is the loop forest, outermost loops first.
+	Loops []*Loop
+	// loopOf maps block ID to its innermost enclosing loop (nil if none).
+	loopOf []*Loop
+	// freq maps block ID to estimated execution frequency (entry = 1).
+	freq []float64
+}
+
+// Loop is a natural loop discovered from a back edge.
+type Loop struct {
+	// Header is the loop header block.
+	Header *ir.Block
+	// Blocks is the set of member block IDs.
+	Blocks map[int]bool
+	// Parent is the innermost enclosing loop, nil for top level.
+	Parent *Loop
+	// Children are the directly nested loops.
+	Children []*Loop
+	// Depth is the nesting depth (outermost = 1).
+	Depth int
+	// TripCount is the per-entry iteration count used by the cost model.
+	TripCount int64
+}
+
+// Compute runs all analyses over f. The function must verify.
+func Compute(f *ir.Func) *Info {
+	info := &Info{f: f}
+	info.computeRPO()
+	info.computeDominators()
+	info.findLoops()
+	info.computeFreq()
+	return info
+}
+
+func (in *Info) computeRPO() {
+	n := len(in.f.Blocks)
+	seen := make([]bool, n)
+	var post []*ir.Block
+	var dfs func(b *ir.Block)
+	dfs = func(b *ir.Block) {
+		seen[b.ID] = true
+		for _, s := range b.Succs {
+			if !seen[s.ID] {
+				dfs(s)
+			}
+		}
+		post = append(post, b)
+	}
+	dfs(in.f.Entry())
+	in.RPO = make([]*ir.Block, 0, len(post))
+	for i := len(post) - 1; i >= 0; i-- {
+		in.RPO = append(in.RPO, post[i])
+	}
+	in.rpoIndex = make([]int, n)
+	for i := range in.rpoIndex {
+		in.rpoIndex[i] = -1
+	}
+	for i, b := range in.RPO {
+		in.rpoIndex[b.ID] = i
+	}
+}
+
+// Reachable reports whether b is reachable from the entry.
+func (in *Info) Reachable(b *ir.Block) bool { return in.rpoIndex[b.ID] >= 0 }
+
+// computeDominators uses the Cooper-Harvey-Kennedy iterative algorithm.
+func (in *Info) computeDominators() {
+	n := len(in.f.Blocks)
+	in.idom = make([]*ir.Block, n)
+	entry := in.f.Entry()
+	// idom in terms of RPO indices; entry's idom is itself during iteration.
+	idom := make([]int, len(in.RPO))
+	for i := range idom {
+		idom[i] = -1
+	}
+	idom[0] = 0
+	changed := true
+	for changed {
+		changed = false
+		for i := 1; i < len(in.RPO); i++ {
+			b := in.RPO[i]
+			newIdom := -1
+			for _, p := range b.Preds {
+				pi := in.rpoIndex[p.ID]
+				if pi < 0 || idom[pi] < 0 {
+					continue
+				}
+				if newIdom < 0 {
+					newIdom = pi
+				} else {
+					newIdom = intersect(idom, pi, newIdom)
+				}
+			}
+			if newIdom >= 0 && idom[i] != newIdom {
+				idom[i] = newIdom
+				changed = true
+			}
+		}
+	}
+	for i := 1; i < len(in.RPO); i++ {
+		if idom[i] >= 0 {
+			in.idom[in.RPO[i].ID] = in.RPO[idom[i]]
+		}
+	}
+	in.idom[entry.ID] = nil
+}
+
+func intersect(idom []int, a, b int) int {
+	for a != b {
+		for a > b {
+			a = idom[a]
+		}
+		for b > a {
+			b = idom[b]
+		}
+	}
+	return a
+}
+
+// Idom returns the immediate dominator of b (nil for the entry).
+func (in *Info) Idom(b *ir.Block) *ir.Block { return in.idom[b.ID] }
+
+// Dominates reports whether a dominates b (reflexive).
+func (in *Info) Dominates(a, b *ir.Block) bool {
+	for cur := b; cur != nil; cur = in.idom[cur.ID] {
+		if cur == a {
+			return true
+		}
+	}
+	return false
+}
+
+// findLoops identifies natural loops from back edges (edge t->h where h
+// dominates t), merges loops sharing a header, and builds the nesting
+// forest.
+func (in *Info) findLoops() {
+	n := len(in.f.Blocks)
+	in.loopOf = make([]*Loop, n)
+	byHeader := make(map[int]*Loop)
+	var headers []*ir.Block
+
+	for _, b := range in.RPO {
+		for _, s := range b.Succs {
+			if !in.Reachable(s) || !in.Dominates(s, b) {
+				continue
+			}
+			l, ok := byHeader[s.ID]
+			if !ok {
+				l = &Loop{Header: s, Blocks: map[int]bool{s.ID: true}}
+				byHeader[s.ID] = l
+				headers = append(headers, s)
+			}
+			// Collect the natural loop body: all blocks that reach the back
+			// edge source without passing through the header.
+			var stack []*ir.Block
+			if !l.Blocks[b.ID] {
+				l.Blocks[b.ID] = true
+				stack = append(stack, b)
+			}
+			for len(stack) > 0 {
+				x := stack[len(stack)-1]
+				stack = stack[:len(stack)-1]
+				for _, p := range x.Preds {
+					if in.Reachable(p) && !l.Blocks[p.ID] {
+						l.Blocks[p.ID] = true
+						stack = append(stack, p)
+					}
+				}
+			}
+		}
+	}
+
+	// Nest loops: loop A is a child of the smallest loop B (by block count)
+	// that strictly contains A's header and is not A itself.
+	loops := make([]*Loop, 0, len(headers))
+	for _, h := range headers {
+		loops = append(loops, byHeader[h.ID])
+	}
+	for _, a := range loops {
+		var best *Loop
+		for _, b := range loops {
+			if a == b || !b.Blocks[a.Header.ID] {
+				continue
+			}
+			if best == nil || len(b.Blocks) < len(best.Blocks) {
+				best = b
+			}
+		}
+		a.Parent = best
+		if best != nil {
+			best.Children = append(best.Children, a)
+		}
+	}
+	for _, l := range loops {
+		if l.Parent == nil {
+			in.Loops = append(in.Loops, l)
+		}
+		d := 1
+		for p := l.Parent; p != nil; p = p.Parent {
+			d++
+		}
+		l.Depth = d
+		l.TripCount = l.Header.TripCount
+		if l.TripCount <= 0 {
+			l.TripCount = DefaultTripCount
+		}
+	}
+	// Innermost loop per block: the enclosing loop with the greatest depth.
+	for _, l := range loops {
+		for id := range l.Blocks {
+			if in.loopOf[id] == nil || l.Depth > in.loopOf[id].Depth {
+				in.loopOf[id] = l
+			}
+		}
+	}
+}
+
+// LoopOf returns the innermost loop containing b, or nil.
+func (in *Info) LoopOf(b *ir.Block) *Loop { return in.loopOf[b.ID] }
+
+// LoopDepth returns the nesting depth of b (0 outside any loop).
+func (in *Info) LoopDepth(b *ir.Block) int {
+	if l := in.loopOf[b.ID]; l != nil {
+		return l.Depth
+	}
+	return 0
+}
+
+// computeFreq assigns each block the product of the trip counts of its
+// enclosing loops (Equation 1 of the paper, with entry frequency 1).
+func (in *Info) computeFreq() {
+	in.freq = make([]float64, len(in.f.Blocks))
+	for _, b := range in.f.Blocks {
+		f := 1.0
+		for l := in.loopOf[b.ID]; l != nil; l = l.Parent {
+			f *= float64(l.TripCount)
+			if f > maxCost {
+				f = maxCost
+				break
+			}
+		}
+		if !in.Reachable(b) {
+			f = 0
+		}
+		in.freq[b.ID] = f
+	}
+}
+
+// Freq returns the estimated execution frequency of b: the Cost_I of
+// Equation 1 for the instructions in b.
+func (in *Info) Freq(b *ir.Block) float64 { return in.freq[b.ID] }
+
+// InstrCost returns Cost_I for an instruction located in block b; it equals
+// Freq(b) and saturates at a large bound rather than overflowing.
+func (in *Info) InstrCost(b *ir.Block) float64 {
+	return math.Min(in.freq[b.ID], maxCost)
+}

@@ -1,0 +1,254 @@
+package cfg
+
+import (
+	"testing"
+
+	"prescount/internal/ir"
+)
+
+// buildNest constructs a triple-nested loop function with trip counts
+// 4, 5, 6 from outer to inner.
+func buildNest(t *testing.T) *ir.Func {
+	t.Helper()
+	b := ir.NewBuilder("nest")
+	acc := b.FConst(0)
+	b.Loop(4, 1, func(i ir.Reg) {
+		b.Loop(5, 1, func(j ir.Reg) {
+			b.Loop(6, 1, func(k ir.Reg) {
+				one := b.FConst(1)
+				sum := b.FAdd(acc, one)
+				b.Assign(acc, sum)
+			})
+		})
+	})
+	b.Ret()
+	return b.Func()
+}
+
+func TestRPOStartsAtEntry(t *testing.T) {
+	f := buildNest(t)
+	info := Compute(f)
+	if info.RPO[0] != f.Entry() {
+		t.Fatal("RPO must start with the entry block")
+	}
+	if len(info.RPO) != len(f.Blocks) {
+		t.Fatalf("RPO covers %d blocks, function has %d", len(info.RPO), len(f.Blocks))
+	}
+	// Each block must appear before its dominated successors in RPO for
+	// reducible graphs (headers before bodies).
+	seen := map[int]bool{}
+	for _, b := range info.RPO {
+		for _, p := range b.Preds {
+			if info.Dominates(p, b) && p != b && !seen[p.ID] {
+				t.Errorf("block %s appears in RPO before dominating pred %s", b.Name, p.Name)
+			}
+		}
+		seen[b.ID] = true
+	}
+}
+
+func TestDominators(t *testing.T) {
+	f := buildNest(t)
+	info := Compute(f)
+	entry := f.Entry()
+	if info.Idom(entry) != nil {
+		t.Error("entry has an idom")
+	}
+	for _, blk := range f.Blocks {
+		if !info.Dominates(entry, blk) {
+			t.Errorf("entry must dominate %s", blk.Name)
+		}
+		if !info.Dominates(blk, blk) {
+			t.Errorf("dominance must be reflexive for %s", blk.Name)
+		}
+	}
+}
+
+func TestDominatorsDiamond(t *testing.T) {
+	// entry -> a, b; a -> join; b -> join: join's idom is entry.
+	b := ir.NewBuilder("diamond")
+	cond := b.IConst(1)
+	ba := b.Block("a")
+	bb := b.Block("b")
+	join := b.Block("join")
+	b.CondBr(cond, ba, bb)
+	b.SetBlock(ba)
+	b.Br(join)
+	b.SetBlock(bb)
+	b.Br(join)
+	b.SetBlock(join)
+	b.Ret()
+	f := b.Func()
+	info := Compute(f)
+	if got := info.Idom(join); got != f.Entry() {
+		t.Errorf("idom(join) = %v, want entry", got)
+	}
+	if info.Dominates(ba, join) || info.Dominates(bb, join) {
+		t.Error("neither diamond arm may dominate the join")
+	}
+}
+
+func TestLoopForest(t *testing.T) {
+	f := buildNest(t)
+	info := Compute(f)
+	if len(info.Loops) != 1 {
+		t.Fatalf("top-level loops = %d, want 1", len(info.Loops))
+	}
+	outer := info.Loops[0]
+	if outer.Depth != 1 || outer.TripCount != 4 {
+		t.Errorf("outer loop depth=%d trip=%d, want 1/4", outer.Depth, outer.TripCount)
+	}
+	if len(outer.Children) != 1 {
+		t.Fatalf("outer children = %d, want 1", len(outer.Children))
+	}
+	mid := outer.Children[0]
+	if mid.Depth != 2 || mid.TripCount != 5 {
+		t.Errorf("mid loop depth=%d trip=%d, want 2/5", mid.Depth, mid.TripCount)
+	}
+	if len(mid.Children) != 1 {
+		t.Fatalf("mid children = %d, want 1", len(mid.Children))
+	}
+	inner := mid.Children[0]
+	if inner.Depth != 3 || inner.TripCount != 6 {
+		t.Errorf("inner loop depth=%d trip=%d, want 3/6", inner.Depth, inner.TripCount)
+	}
+	if !outer.Blocks[inner.Header.ID] {
+		t.Error("outer loop must contain inner header")
+	}
+}
+
+func TestFreqIsTripProduct(t *testing.T) {
+	f := buildNest(t)
+	info := Compute(f)
+	// Find the innermost block (depth 3): freq = 4*5*6 = 120.
+	var found bool
+	for _, blk := range f.Blocks {
+		if info.LoopDepth(blk) == 3 {
+			found = true
+			if got := info.Freq(blk); got != 120 {
+				t.Errorf("inner block freq = %g, want 120", got)
+			}
+			if got := info.InstrCost(blk); got != 120 {
+				t.Errorf("InstrCost = %g, want 120", got)
+			}
+		}
+	}
+	if !found {
+		t.Fatal("no depth-3 block found")
+	}
+	if got := info.Freq(f.Entry()); got != 1 {
+		t.Errorf("entry freq = %g, want 1", got)
+	}
+}
+
+func TestDefaultTripCount(t *testing.T) {
+	b := ir.NewBuilder("unknowntrip")
+	header := b.Block("header")
+	exit := b.Block("exit")
+	cond := b.IConst(1)
+	b.Br(header)
+	b.SetBlock(header)
+	b.CondBr(cond, header, exit) // no !trip metadata
+	b.SetBlock(exit)
+	b.Ret()
+	f := b.Func()
+	info := Compute(f)
+	if len(info.Loops) != 1 {
+		t.Fatalf("loops = %d, want 1", len(info.Loops))
+	}
+	if got := info.Loops[0].TripCount; got != DefaultTripCount {
+		t.Errorf("unknown trip = %d, want default %d", got, DefaultTripCount)
+	}
+	if got := info.Freq(header); got != DefaultTripCount {
+		t.Errorf("header freq = %g, want %d", got, DefaultTripCount)
+	}
+}
+
+func TestUnreachableBlock(t *testing.T) {
+	b := ir.NewBuilder("unreach")
+	dead := b.Block("dead")
+	b.Ret()
+	b.SetBlock(dead)
+	b.Ret()
+	f := b.Func()
+	info := Compute(f)
+	if info.Reachable(dead) {
+		t.Error("dead block reported reachable")
+	}
+	if got := info.Freq(dead); got != 0 {
+		t.Errorf("dead block freq = %g, want 0", got)
+	}
+}
+
+func TestLoopDepthOutsideLoop(t *testing.T) {
+	f := buildNest(t)
+	info := Compute(f)
+	if d := info.LoopDepth(f.Entry()); d != 0 {
+		t.Errorf("entry loop depth = %d, want 0", d)
+	}
+	if l := info.LoopOf(f.Entry()); l != nil {
+		t.Errorf("entry LoopOf = %v, want nil", l)
+	}
+}
+
+func TestSharedHeaderLoops(t *testing.T) {
+	// Two back edges to the same header merge into one loop.
+	b := ir.NewBuilder("sharedheader")
+	header := b.Block("header")
+	arm1 := b.Block("arm1")
+	arm2 := b.Block("arm2")
+	exit := b.Block("exit")
+	cond := b.IConst(1)
+	b.Br(header)
+	b.SetBlock(header)
+	header.TripCount = 7
+	b.CondBr(cond, arm1, arm2)
+	b.SetBlock(arm1)
+	b.Br(header)
+	b.SetBlock(arm2)
+	b.CondBr(cond, header, exit)
+	b.SetBlock(exit)
+	b.Ret()
+	f := b.Func()
+	info := Compute(f)
+	if len(info.Loops) != 1 {
+		t.Fatalf("loops = %d, want 1 merged loop", len(info.Loops))
+	}
+	l := info.Loops[0]
+	for _, blk := range []*ir.Block{header, arm1, arm2} {
+		if !l.Blocks[blk.ID] {
+			t.Errorf("block %s missing from merged loop", blk.Name)
+		}
+	}
+	if l.Blocks[exit.ID] {
+		t.Error("exit wrongly included in loop")
+	}
+	if l.TripCount != 7 {
+		t.Errorf("trip = %d, want 7", l.TripCount)
+	}
+}
+
+func TestFreqSaturation(t *testing.T) {
+	// 8 nested loops of a huge trip count must saturate, not overflow.
+	b := ir.NewBuilder("sat")
+	var rec func(depth int)
+	rec = func(depth int) {
+		if depth == 0 {
+			v := b.FConst(1)
+			w := b.FAdd(v, v)
+			_ = w
+			return
+		}
+		b.Loop(1_000_000_000, 1, func(ir.Reg) { rec(depth - 1) })
+	}
+	rec(8)
+	b.Ret()
+	f := b.Func()
+	info := Compute(f)
+	for _, blk := range f.Blocks {
+		fr := info.Freq(blk)
+		if fr < 0 || fr != fr { // negative or NaN
+			t.Fatalf("block %s freq overflowed: %g", blk.Name, fr)
+		}
+	}
+}

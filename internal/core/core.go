@@ -1,0 +1,236 @@
+// Package core implements the paper's Figure 4 register-allocation
+// pipeline:
+//
+//	Register Coalescing → [SDG-based Subgroup Splitting] →
+//	Pre-allocation Scheduling → [RCG-based Bank Assignment] →
+//	Enhanced Register Allocation
+//
+// and the per-function / per-module statistics the evaluation section
+// reports. The bracketed phases are the paper's contribution: subgroup
+// splitting runs only for DSA (bank-subgroup) register files, and RCG bank
+// assignment runs only for the bpc (PresCount) method.
+package core
+
+import (
+	"fmt"
+
+	"prescount/internal/assign"
+	"prescount/internal/bankfile"
+	"prescount/internal/cfg"
+	"prescount/internal/coalesce"
+	"prescount/internal/conflict"
+	"prescount/internal/ir"
+	"prescount/internal/liveness"
+	"prescount/internal/rcg"
+	"prescount/internal/regalloc"
+	"prescount/internal/renumber"
+	"prescount/internal/sched"
+	"prescount/internal/sdg"
+	"prescount/internal/sim"
+)
+
+// Method aliases the allocator's method selector (non / bcr / bpc).
+type Method = regalloc.Method
+
+// Re-exported method constants.
+const (
+	MethodNon = regalloc.MethodNon
+	MethodBCR = regalloc.MethodBCR
+	MethodBPC = regalloc.MethodBPC
+	MethodBRC = regalloc.MethodBRC
+)
+
+// Options configures a pipeline run.
+type Options struct {
+	// File is the FP register file configuration.
+	File bankfile.Config
+	// Method selects non / bcr / bpc.
+	Method Method
+	// Subgroups enables the DSA path: SDG-based subgroup splitting plus
+	// subgroup displacement hints in the allocator. Requires
+	// File.HasSubgroups().
+	Subgroups bool
+	// THRES overrides Algorithm 1's register-pressure threshold
+	// (assign.DefaultTHRES if zero).
+	THRES float64
+	// SDGMaxGroup overrides the subgroup-splitting group size bound.
+	SDGMaxGroup int
+	// DisablePressure ablates the bank-pressure prioritization.
+	DisablePressure bool
+	// DisableFreeHints ablates free-register balancing.
+	DisableFreeHints bool
+	// DisableSched skips pre-allocation scheduling.
+	DisableSched bool
+	// DisableCoalesce skips register coalescing.
+	DisableCoalesce bool
+	// LinearScan swaps the greedy allocator for the linear-scan allocator
+	// (the paper's future-work integration of PresCount with other RA
+	// methods). Incompatible with Subgroups and MethodBCR.
+	LinearScan bool
+	// VerifySemantics simulates the function before and after compilation
+	// and fails on divergent memory images (slow; meant for tests).
+	VerifySemantics bool
+	// VerifyMemSize is the memory size for semantic verification.
+	VerifyMemSize int
+}
+
+// Result is the outcome of compiling one function.
+type Result struct {
+	// Func is the allocated function (a transformed clone of the input).
+	Func *ir.Func
+	// Report is the static conflict analysis of the allocated code.
+	Report *conflict.Report
+	// Alloc is the register allocator's statistics.
+	Alloc *regalloc.Result
+	// Coalesce, SDG and Sched report the pre-passes.
+	Coalesce coalesce.Stats
+	// SDG reports subgroup splitting (zero value when not run).
+	SDG sdg.Stats
+	// Sched reports pre-allocation scheduling.
+	Sched sched.Stats
+	// BankAssignForced counts RCG nodes that Algorithm 1 had to force into
+	// a conflicting bank.
+	BankAssignForced int
+	// Renumber reports the post-allocation renumbering pass (brc only).
+	Renumber renumber.Stats
+}
+
+// Compile runs the full pipeline over a copy of f and returns the allocated
+// function plus statistics. The input function is not modified.
+func Compile(f *ir.Func, opts Options) (*Result, error) {
+	if err := f.Verify(); err != nil {
+		return nil, fmt.Errorf("core: input: %w", err)
+	}
+	if opts.Subgroups && !opts.File.Normalize().HasSubgroups() {
+		return nil, fmt.Errorf("core: subgroup mode requires a subgrouped register file, got %v", opts.File)
+	}
+	if opts.LinearScan && opts.Subgroups {
+		return nil, fmt.Errorf("core: linear scan does not implement subgroup displacement hints")
+	}
+	work := f.Clone()
+	res := &Result{}
+
+	// Phase 1: register coalescing.
+	if !opts.DisableCoalesce {
+		res.Coalesce = coalesce.Run(work)
+	}
+
+	// Phase 2 (DSA only): SDG-based subgroup splitting. Positioned after
+	// coalescing so splitting copies are not re-coalesced (Figure 4).
+	if opts.Subgroups {
+		res.SDG = sdg.Split(work, sdg.Options{MaxGroup: opts.SDGMaxGroup})
+	}
+
+	// Phase 3: pre-allocation scheduling.
+	if !opts.DisableSched {
+		res.Sched = sched.Run(work)
+	}
+
+	// Phase 4 (bpc only): RCG-based bank assignment. It reuses the live
+	// range information and does not modify the IR.
+	raOpts := regalloc.Options{Cfg: opts.File, Method: opts.Method}
+	if opts.Method == MethodBPC {
+		cf := cfg.Compute(work)
+		lv := liveness.Compute(work, cf)
+		g := rcg.Build(work, cf)
+		ares := assign.PresCount(work, g, lv, opts.File.Normalize(), assign.Options{
+			THRES:            opts.THRES,
+			DisablePressure:  opts.DisablePressure,
+			DisableFreeHints: opts.DisableFreeHints,
+		})
+		raOpts.BankOf = ares.BankOf
+		raOpts.FreeHints = ares.FreeHints
+		res.BankAssignForced = len(ares.Forced)
+	}
+	if opts.Subgroups {
+		raOpts.SubgroupGroups = sdg.Build(work).GroupOf()
+	}
+
+	// Phase 5: enhanced register allocation. The brc baseline allocates
+	// bank-obliviously and fixes conflicts afterwards by renumbering.
+	if raOpts.Method == MethodBRC {
+		raOpts.Method = MethodNon
+	}
+	run := regalloc.Run
+	if opts.LinearScan {
+		run = regalloc.RunLinearScan
+	}
+	alloc, err := run(work, raOpts)
+	if err != nil {
+		return nil, fmt.Errorf("core: %s: %w", f.Name, err)
+	}
+	res.Alloc = alloc
+
+	// Post-allocation phase (brc only): global register renumbering over
+	// the physical-register conflict graph.
+	if opts.Method == MethodBRC {
+		res.Renumber = renumber.Run(work, opts.File, cfg.Compute(work))
+	}
+	res.Func = work
+	res.Report = conflict.Analyze(work, opts.File)
+
+	if opts.VerifySemantics {
+		if err := verifySemantics(f, work, opts); err != nil {
+			return nil, err
+		}
+	}
+	return res, nil
+}
+
+func verifySemantics(orig, allocated *ir.Func, opts Options) error {
+	memSize := opts.VerifyMemSize
+	if memSize == 0 {
+		memSize = 1 << 16
+	}
+	before, err := sim.Run(orig, sim.Options{MemSize: memSize})
+	if err != nil {
+		return fmt.Errorf("core: %s: simulating original: %w", orig.Name, err)
+	}
+	after, err := sim.Run(allocated, sim.Options{MemSize: memSize, File: opts.File})
+	if err != nil {
+		return fmt.Errorf("core: %s: simulating allocated: %w", orig.Name, err)
+	}
+	if before.MemChecksum != after.MemChecksum {
+		return fmt.Errorf("core: %s: allocation changed semantics (checksum %x -> %x)",
+			orig.Name, before.MemChecksum, after.MemChecksum)
+	}
+	return nil
+}
+
+// ModuleResult aggregates per-function results of one module.
+type ModuleResult struct {
+	// PerFunc maps function name to its result.
+	PerFunc map[string]*Result
+	// Totals sums the conflict reports.
+	Totals conflict.Report
+}
+
+// CompileModule compiles every function of m.
+func CompileModule(m *ir.Module, opts Options) (*ModuleResult, error) {
+	out := &ModuleResult{PerFunc: map[string]*Result{}}
+	for _, f := range m.SortedFuncs() {
+		r, err := Compile(f, opts)
+		if err != nil {
+			return nil, err
+		}
+		out.PerFunc[f.Name] = r
+		addReport(&out.Totals, r.Report)
+	}
+	return out, nil
+}
+
+func addReport(dst *conflict.Report, src *conflict.Report) {
+	dst.ConflictRelevant += src.ConflictRelevant
+	dst.StaticConflicts += src.StaticConflicts
+	dst.ConflictInstrs += src.ConflictInstrs
+	dst.WeightedConflicts += src.WeightedConflicts
+	dst.SubgroupViolations += src.SubgroupViolations
+	dst.Copies += src.Copies
+	dst.SpillStores += src.SpillStores
+	dst.SpillReloads += src.SpillReloads
+	dst.Instrs += src.Instrs
+}
+
+// Spills returns the spill instruction count of a report (stores plus
+// reloads), the quantity the paper tables call "register spilling".
+func Spills(r *conflict.Report) int { return r.SpillStores + r.SpillReloads }

@@ -1,0 +1,168 @@
+package experiments
+
+import (
+	"fmt"
+	"math"
+
+	"prescount/internal/bankfile"
+	"prescount/internal/core"
+	"prescount/internal/workload"
+)
+
+// DSARegs is the DSA register file size (1024 vector registers per PE).
+const DSARegs = 1024
+
+// Table6Row is one DSA-OP row of Table VI: the baseline conflict count and
+// the conflict ratio of 2x4-bpc and plain N-banked default allocation.
+type Table6Row struct {
+	// Name is the kernel name.
+	Name string
+	// Base is the dynamic bank-conflict count of 2-banked non.
+	Base int64
+	// RatioBPC is the 2x4-bpc conflict count as a fraction of Base.
+	RatioBPC float64
+	// RatioNon maps bank count (2/4/8/16) to the fraction of Base.
+	RatioNon map[int]float64
+}
+
+// Table6 runs the Platform-DSA conflict-ratio experiment: the 2-bank x
+// 4-subgroup file with the full PresCount pipeline (subgroup splitting +
+// bpc), against plain 2/4/8/16-banked files with default allocation — the
+// software-vs-hardware comparison of the paper's §IV-B3.
+func Table6() ([]Table6Row, error) {
+	suite := workload.DSAOP()
+	banks := []int{2, 4, 8, 16}
+	var rows []Table6Row
+	for _, p := range suite.Programs {
+		row := Table6Row{Name: p.Name, RatioNon: map[int]float64{}}
+		// Baseline and hardware points: N-banked, no subgroups, non.
+		counts := map[int]int64{}
+		for _, bank := range banks {
+			file := bankfile.Config{NumRegs: DSARegs, NumBanks: bank, NumSubgroups: 1, ReadPorts: 1}
+			c, err := CompileProgram(p, core.Options{File: file, Method: core.MethodNon}, true, false)
+			if err != nil {
+				return nil, err
+			}
+			counts[bank] = c.Dynamic
+		}
+		row.Base = counts[2]
+		// Software point: the 2x4 bank-subgroup file with bpc.
+		cbpc, err := CompileProgram(p, core.Options{
+			File:      bankfile.DSA(DSARegs),
+			Method:    core.MethodBPC,
+			Subgroups: true,
+		}, true, false)
+		if err != nil {
+			return nil, err
+		}
+		if row.Base > 0 {
+			row.RatioBPC = float64(cbpc.Dynamic) / float64(row.Base)
+			for _, bank := range banks {
+				row.RatioNon[bank] = float64(counts[bank]) / float64(row.Base)
+			}
+		}
+		rows = append(rows, row)
+	}
+	return rows, nil
+}
+
+// Table6String renders Table VI, appending the arithmetic average row the
+// paper reports plus the geometric-mean reduction of 2x4-bpc.
+func Table6String(rows []Table6Row) string {
+	t := &table{header: []string{"DSA-OP", "BASE", "2x4-bpc", "2-non", "4-non", "8-non", "16-non"}}
+	var avgBase float64
+	avg := map[string]float64{}
+	geoRed := 0.0
+	n := 0
+	for _, r := range rows {
+		t.addRow(r.Name, itoa(r.Base), pct(r.RatioBPC),
+			pct(r.RatioNon[2]), pct(r.RatioNon[4]), pct(r.RatioNon[8]), pct(r.RatioNon[16]))
+		if r.Base == 0 {
+			continue
+		}
+		n++
+		avgBase += float64(r.Base)
+		avg["bpc"] += r.RatioBPC
+		for _, b := range []int{2, 4, 8, 16} {
+			avg[fmt.Sprint(b)] += r.RatioNon[b]
+		}
+		red := 1 - r.RatioBPC
+		if red < 0 {
+			red = 0
+		}
+		geoRed += math.Log1p(red)
+	}
+	if n > 0 {
+		t.addRow("average", ftoa(avgBase/float64(n)), pct(avg["bpc"]/float64(n)),
+			pct(avg["2"]/float64(n)), pct(avg["4"]/float64(n)),
+			pct(avg["8"]/float64(n)), pct(avg["16"]/float64(n)))
+	}
+	out := t.String()
+	if n > 0 {
+		out += fmt.Sprintf("\ngeomean conflict reduction of 2x4-bpc: %s\n",
+			pct(math.Expm1(geoRed/float64(n))))
+	}
+	return out
+}
+
+// Table7Row is one DSA-OP row of Table VII: spills, copies and cycles of
+// the 2x4-bpc pipeline against 2- and 4-banked default allocation.
+type Table7Row struct {
+	// Name is the kernel name.
+	Name string
+	// SpillsBPC / SpillsNon count spill instructions.
+	SpillsBPC, SpillsNon int64
+	// CopiesBPC / CopiesNon count register copies.
+	CopiesBPC, CopiesNon int64
+	// CyclesBPC, Cycles2Non, Cycles4Non are VLIW-simulated cycle counts.
+	CyclesBPC, Cycles2Non, Cycles4Non int64
+}
+
+// Table7 runs the Platform-DSA cost experiment with the VLIW cycle model.
+func Table7() ([]Table7Row, error) {
+	suite := workload.DSAOP()
+	var rows []Table7Row
+	for _, p := range suite.Programs {
+		row := Table7Row{Name: p.Name}
+		cbpc, err := CompileProgram(p, core.Options{
+			File:      bankfile.DSA(DSARegs),
+			Method:    core.MethodBPC,
+			Subgroups: true,
+		}, true, true)
+		if err != nil {
+			return nil, err
+		}
+		row.SpillsBPC = int64(cbpc.SpillInstrs)
+		row.CopiesBPC = int64(cbpc.Copies)
+		row.CyclesBPC = cbpc.Cycles
+		for _, bank := range []int{2, 4} {
+			file := bankfile.Config{NumRegs: DSARegs, NumBanks: bank, NumSubgroups: 1, ReadPorts: 1}
+			c, err := CompileProgram(p, core.Options{File: file, Method: core.MethodNon}, true, true)
+			if err != nil {
+				return nil, err
+			}
+			if bank == 2 {
+				row.Cycles2Non = c.Cycles
+				row.SpillsNon = int64(c.SpillInstrs)
+				row.CopiesNon = int64(c.Copies)
+			} else {
+				row.Cycles4Non = c.Cycles
+			}
+		}
+		rows = append(rows, row)
+	}
+	return rows, nil
+}
+
+// Table7String renders Table VII.
+func Table7String(rows []Table7Row) string {
+	t := &table{header: []string{"DSA-OP",
+		"Spills.bpc", "Spills.non", "Copies.bpc", "Copies.non",
+		"Cycles.bpc", "Cycles.2-non", "Cycles.4-non"}}
+	for _, r := range rows {
+		t.addRow(r.Name, itoa(r.SpillsBPC), itoa(r.SpillsNon),
+			itoa(r.CopiesBPC), itoa(r.CopiesNon),
+			itoa(r.CyclesBPC), itoa(r.Cycles2Non), itoa(r.Cycles4Non))
+	}
+	return t.String()
+}

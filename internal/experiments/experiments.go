@@ -1,0 +1,317 @@
+// Package experiments reproduces every table and figure of the paper's
+// evaluation section over the synthetic workload suites:
+//
+//	Fig. 1   — program classification and interleaving sensitivity
+//	Table I  — suite characteristics
+//	Fig. 10  — Platform-RV#1 static conflicts (1024 regs; 2/4/8 banks)
+//	Table II — RV#1 combined conflicts and reductions
+//	Table III— RV#1 conflict reduction vs spill increment
+//	Fig. 11  — Platform-RV#2 dynamic conflicts (32 regs; 2/4 banks)
+//	Table IV — RV#2 static+dynamic conflicts and reductions
+//	Table V  — RV#2 conflict reduction vs spill increment
+//	Table VI — Platform-DSA conflict ratios (2x4-bpc vs N-banked non)
+//	Table VII— Platform-DSA spills / copies / cycles
+//
+// Each experiment returns a structured result plus a formatted table so the
+// same code backs cmd/benchtab, the root package's benchmarks and
+// EXPERIMENTS.md.
+package experiments
+
+import (
+	"fmt"
+	"math"
+	"runtime"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+
+	"prescount/internal/bankfile"
+	"prescount/internal/core"
+	"prescount/internal/sim"
+	"prescount/internal/workload"
+)
+
+// Methods compared throughout, in the order of the paper's figure legends
+// ("non, bcr, brc and bpc").
+var Methods = []core.Method{core.MethodNon, core.MethodBCR, core.MethodBRC, core.MethodBPC}
+
+// Counts aggregates the metrics of one program under one configuration.
+type Counts struct {
+	// Reles is the conflict-relevant instruction count.
+	Reles int
+	// Static is the static bank-conflict count.
+	Static int
+	// Weighted is the loop-weighted static conflict cost.
+	Weighted float64
+	// SpillInstrs counts spill stores plus reloads.
+	SpillInstrs int
+	// Copies counts register copies in the final code.
+	Copies int
+	// SubViol counts subgroup alignment violations.
+	SubViol int
+	// Dynamic is the simulated dynamic conflict-instance count (only for
+	// experiments that simulate).
+	Dynamic int64
+	// Cycles is the simulated cycle count (only for DSA experiments).
+	Cycles int64
+	// Funcs and Instrs describe size.
+	Funcs, Instrs int
+}
+
+func (c *Counts) add(o Counts) {
+	c.Reles += o.Reles
+	c.Static += o.Static
+	c.Weighted += o.Weighted
+	c.SpillInstrs += o.SpillInstrs
+	c.Copies += o.Copies
+	c.SubViol += o.SubViol
+	c.Dynamic += o.Dynamic
+	c.Cycles += o.Cycles
+	c.Funcs += o.Funcs
+	c.Instrs += o.Instrs
+}
+
+// CompileProgram compiles every function of p under opts and aggregates the
+// statistics. When simulate is true, hot functions of the allocated code
+// are executed to collect dynamic conflicts and cycles.
+func CompileProgram(p *workload.Program, opts core.Options, simulate, vliw bool) (Counts, error) {
+	var total Counts
+	for _, f := range p.Funcs() {
+		res, err := core.Compile(f, opts)
+		if err != nil {
+			return Counts{}, fmt.Errorf("%s/%s: %w", p.Name, f.Name, err)
+		}
+		total.add(Counts{
+			Reles:       res.Report.ConflictRelevant,
+			Static:      res.Report.StaticConflicts,
+			Weighted:    res.Report.WeightedConflicts,
+			SpillInstrs: core.Spills(res.Report),
+			Copies:      res.Report.Copies,
+			SubViol:     res.Report.SubgroupViolations,
+			Funcs:       1,
+			Instrs:      res.Report.Instrs,
+		})
+		if simulate && p.IsHot(f.Name) {
+			sr, err := sim.Run(res.Func, sim.Options{
+				File:    opts.File,
+				MemSize: p.MemSize,
+				VLIW:    vliw,
+			})
+			if err != nil {
+				return Counts{}, fmt.Errorf("simulate %s/%s: %w", p.Name, f.Name, err)
+			}
+			total.Dynamic += sr.DynamicConflicts
+			total.Cycles += sr.Cycles
+		}
+	}
+	return total, nil
+}
+
+// Sweep holds per-program counts for every (bank, method) cell of one
+// platform setting.
+type Sweep struct {
+	// Suites are the workloads swept.
+	Suites []*workload.Suite
+	// Banks are the bank counts swept.
+	Banks []int
+	// Cells maps (bank, method) to per-program counts keyed by program
+	// name.
+	Cells map[cellKey]map[string]Counts
+	// NumRegs is the file size of the platform setting.
+	NumRegs int
+}
+
+type cellKey struct {
+	bank   int
+	method core.Method
+}
+
+// RunSweep compiles the suites at every (bank, method) combination of a
+// platform setting. simulate adds dynamic metrics (Platform-RV#2 style).
+// Programs compile in parallel — every pipeline stage is pure per function
+// and all generators are deterministic, so the result is identical to a
+// serial run.
+func RunSweep(suites []*workload.Suite, numRegs int, banks []int, simulate bool) (*Sweep, error) {
+	sw := &Sweep{
+		Suites:  suites,
+		Banks:   banks,
+		Cells:   map[cellKey]map[string]Counts{},
+		NumRegs: numRegs,
+	}
+	type job struct {
+		key  cellKey
+		prog *workload.Program
+		opts core.Options
+	}
+	var jobs []job
+	for _, bank := range banks {
+		file := bankfile.Config{NumRegs: numRegs, NumBanks: bank, NumSubgroups: 1, ReadPorts: 1}
+		for _, m := range Methods {
+			sw.Cells[cellKey{bank, m}] = map[string]Counts{}
+			for _, s := range suites {
+				for _, p := range s.Programs {
+					jobs = append(jobs, job{cellKey{bank, m}, p, core.Options{File: file, Method: m}})
+				}
+			}
+		}
+	}
+
+	workers := runtime.GOMAXPROCS(0)
+	if workers > len(jobs) {
+		workers = len(jobs)
+	}
+	var (
+		mu      sync.Mutex
+		wg      sync.WaitGroup
+		firstEr error
+		next    int64
+	)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(atomic.AddInt64(&next, 1)) - 1
+				if i >= len(jobs) {
+					return
+				}
+				j := jobs[i]
+				c, err := CompileProgram(j.prog, j.opts, simulate, false)
+				mu.Lock()
+				if err != nil && firstEr == nil {
+					firstEr = err
+				}
+				sw.Cells[j.key][j.prog.Name] = c
+				mu.Unlock()
+			}
+		}()
+	}
+	wg.Wait()
+	if firstEr != nil {
+		return nil, firstEr
+	}
+	return sw, nil
+}
+
+// Get returns the per-program counts of one cell.
+func (sw *Sweep) Get(bank int, m core.Method) map[string]Counts {
+	return sw.Cells[cellKey{bank, m}]
+}
+
+// Total sums a metric over every program of a cell.
+func (sw *Sweep) Total(bank int, m core.Method, metric func(Counts) int64) int64 {
+	var t int64
+	for _, c := range sw.Get(bank, m) {
+		t += metric(c)
+	}
+	return t
+}
+
+// SuiteTotal sums a metric over the programs of one suite in a cell.
+func (sw *Sweep) SuiteTotal(suiteName string, bank int, m core.Method, metric func(Counts) int64) int64 {
+	var t int64
+	for _, s := range sw.Suites {
+		if s.Name != suiteName {
+			continue
+		}
+		cell := sw.Get(bank, m)
+		for _, p := range s.Programs {
+			t += metric(cell[p.Name])
+		}
+	}
+	return t
+}
+
+// StaticMetric extracts static conflicts.
+func StaticMetric(c Counts) int64 { return int64(c.Static) }
+
+// DynamicMetric extracts dynamic conflict instances.
+func DynamicMetric(c Counts) int64 { return c.Dynamic }
+
+// SpillMetric extracts spill instruction counts.
+func SpillMetric(c Counts) int64 { return int64(c.SpillInstrs) }
+
+// GeomeanReduction computes the geometric mean, over programs with a
+// nonzero baseline, of the relative conflict reduction of method m against
+// the baseline method at the given bank count: 1 - conflicts(m)/conflicts(base).
+// Negative per-program reductions are clamped at -1 to keep the geometric
+// mean defined (the paper reports geometric means of reductions).
+func (sw *Sweep) GeomeanReduction(bank int, m, base core.Method, metric func(Counts) int64) float64 {
+	baseCell := sw.Get(bank, base)
+	mCell := sw.Get(bank, m)
+	prod := 1.0
+	n := 0
+	var names []string
+	for name := range baseCell {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		b := metric(baseCell[name])
+		if b == 0 {
+			continue
+		}
+		red := 1 - float64(metric(mCell[name]))/float64(b)
+		// Clamp severe per-program regressions so a single outlier cannot
+		// zero the whole geometric mean (factor floor 0.05).
+		if red < -0.95 {
+			red = -0.95
+		}
+		prod *= 1 + red
+		n++
+	}
+	if n == 0 {
+		return 0
+	}
+	return math.Pow(prod, 1/float64(n)) - 1
+}
+
+// table is a minimal fixed-width text table writer.
+type table struct {
+	header []string
+	rows   [][]string
+}
+
+func (t *table) addRow(cells ...string) { t.rows = append(t.rows, cells) }
+
+func (t *table) String() string {
+	widths := make([]int, len(t.header))
+	for i, h := range t.header {
+		widths[i] = len(h)
+	}
+	for _, r := range t.rows {
+		for i, c := range r {
+			if i < len(widths) && len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	var sb strings.Builder
+	writeRow := func(cells []string) {
+		for i, c := range cells {
+			if i > 0 {
+				sb.WriteString("  ")
+			}
+			fmt.Fprintf(&sb, "%-*s", widths[i], c)
+		}
+		sb.WriteByte('\n')
+	}
+	writeRow(t.header)
+	total := 0
+	for _, w := range widths {
+		total += w + 2
+	}
+	sb.WriteString(strings.Repeat("-", total))
+	sb.WriteByte('\n')
+	for _, r := range t.rows {
+		writeRow(r)
+	}
+	return sb.String()
+}
+
+func itoa(v int64) string { return fmt.Sprintf("%d", v) }
+func ftoa(v float64) string {
+	return fmt.Sprintf("%.2f", v)
+}
+func pct(v float64) string { return fmt.Sprintf("%.2f%%", 100*v) }

@@ -1,0 +1,164 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+
+	"prescount/internal/core"
+	"prescount/internal/workload"
+)
+
+// miniSuite is a small but structurally diverse suite for fast sweep
+// tests: convolutions at several unroll factors, pooling and element-wise
+// kernels.
+func miniSuite() []*workload.Suite {
+	cnn := workload.CNN()
+	var progs []*workload.Program
+	progs = append(progs, cnn.Programs[:8]...)    // conv kernels
+	progs = append(progs, cnn.Programs[42:46]...) // pooling
+	progs = append(progs, cnn.Programs[54:58]...) // element-wise
+	return []*workload.Suite{{
+		Name:     "CNN-KERNEL",
+		Programs: progs,
+	}}
+}
+
+func TestRunSweepShapes(t *testing.T) {
+	sw, err := RunSweep(miniSuite(), 32, []int{2, 4}, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sw.Cells) != 2*len(Methods) {
+		t.Fatalf("cells = %d, want %d", len(sw.Cells), 2*len(Methods))
+	}
+	for _, bank := range sw.Banks {
+		for _, m := range Methods {
+			cell := sw.Get(bank, m)
+			if len(cell) != 16 {
+				t.Fatalf("cell %d-%v has %d programs, want 16", bank, m, len(cell))
+			}
+		}
+	}
+	// Dynamic metrics must be populated on a simulated sweep.
+	if sw.Total(2, core.MethodNon, DynamicMetric) == 0 {
+		t.Error("no dynamic conflicts collected on a conflict-heavy mini suite")
+	}
+}
+
+func TestSweepShapeProperties(t *testing.T) {
+	sw, err := RunSweep(miniSuite(), 1024, []int{2, 4, 8}, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Paper property 1: conflicts decrease (weakly, for a mini suite) as
+	// banks increase under default allocation, and strictly from 2 to 8.
+	c2 := sw.Total(2, core.MethodNon, StaticMetric)
+	c4 := sw.Total(4, core.MethodNon, StaticMetric)
+	c8 := sw.Total(8, core.MethodNon, StaticMetric)
+	if !(c2 >= c4 && c4 >= c8 && c2 > c8) {
+		t.Errorf("conflicts must fall with banks: 2->%d 4->%d 8->%d", c2, c4, c8)
+	}
+	// Paper property 2: both methods reduce conflicts vs non; bpc at least
+	// matches bcr on the rich file.
+	for _, bank := range sw.Banks {
+		non := sw.Total(bank, core.MethodNon, StaticMetric)
+		bcr := sw.Total(bank, core.MethodBCR, StaticMetric)
+		bpc := sw.Total(bank, core.MethodBPC, StaticMetric)
+		if bcr > non || bpc > non {
+			t.Errorf("bank %d: methods increased conflicts (non=%d bcr=%d bpc=%d)", bank, non, bcr, bpc)
+		}
+		if bpc > bcr {
+			t.Errorf("bank %d: bpc (%d) worse than bcr (%d) on rich file", bank, bpc, bcr)
+		}
+	}
+}
+
+func TestTable2Derivation(t *testing.T) {
+	sw, err := RunSweep(miniSuite(), 1024, []int{2}, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rows := Table2(sw, StaticMetric, "")
+	if len(rows) != 1 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	r := rows[0]
+	if r.Impv != r.ReduBPC-r.ReduBCR {
+		t.Errorf("IMPV inconsistent: %d != %d - %d", r.Impv, r.ReduBPC, r.ReduBCR)
+	}
+	if r.Confs <= 0 {
+		t.Error("no baseline conflicts")
+	}
+	s := Table2String(rows)
+	if !strings.Contains(s, "CONFS") {
+		t.Errorf("Table2String missing header:\n%s", s)
+	}
+}
+
+func TestTable3Derivation(t *testing.T) {
+	sw, err := RunSweep(miniSuite(), 32, []int{2}, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rows := Table3(sw, StaticMetric)
+	if len(rows) != 1 {
+		t.Fatalf("rows = %d, want 1 suite", len(rows))
+	}
+	s := Table3String(sw, rows)
+	if !strings.Contains(s, "CNN.CR") || !strings.Contains(s, "CNN.SI") {
+		t.Errorf("Table3String missing rows:\n%s", s)
+	}
+}
+
+func TestGeomeanReduction(t *testing.T) {
+	sw, err := RunSweep(miniSuite(), 1024, []int{2}, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := sw.GeomeanReduction(2, core.MethodBPC, core.MethodNon, StaticMetric)
+	if g <= 0 || g > 1 {
+		t.Errorf("geomean reduction = %v, want (0, 1]", g)
+	}
+	// Self-comparison must be zero.
+	if self := sw.GeomeanReduction(2, core.MethodNon, core.MethodNon, StaticMetric); self != 0 {
+		t.Errorf("self geomean = %v, want 0", self)
+	}
+}
+
+func TestFig1OnMiniCNN(t *testing.T) {
+	s := &workload.Suite{Name: "CNN-KERNEL", Programs: workload.CNN().Programs[:8]}
+	r, err := Fig1(s, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Units != 8 {
+		t.Fatalf("units = %d", r.Units)
+	}
+	if r.Relevant == 0 {
+		t.Error("CNN kernels must be conflict-relevant")
+	}
+	// Conflicting counts are monotonically non-increasing with banks.
+	prev := r.Relevant + 1
+	for _, b := range r.BankCounts {
+		if r.PerBanks[b] > prev {
+			t.Errorf("conflicting units rose with more banks: %v", r.PerBanks)
+		}
+		prev = r.PerBanks[b]
+	}
+	if !strings.Contains(r.String(), "N-WAY") {
+		t.Error("Fig1 string missing panel")
+	}
+}
+
+func TestFigStringsRender(t *testing.T) {
+	sw, err := RunSweep(miniSuite(), 32, []int{2}, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(Fig10String(sw), "normalized") {
+		t.Error("Fig10String malformed")
+	}
+	if !strings.Contains(Fig11String(sw), "DYNAMIC") {
+		t.Error("Fig11String malformed")
+	}
+}

@@ -1,0 +1,77 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestTable1StringRenders(t *testing.T) {
+	rows := []Table1Row{
+		{Name: "SPECfp.433.milc", Exes: 1, Mods: 9, Fns: 12, Reles: 152, Sp32: 0, Sp1k: 0},
+		{Name: "CNN.conv2d.relu", Exes: 42, Mods: 1, Fns: 1, Reles: 134.5, Sp32: 30.3, Sp1k: 0},
+	}
+	s := Table1String(rows)
+	for _, want := range []string{"Benchmark", "Reles", "Sp32", "milc", "conv2d"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("Table1String missing %q:\n%s", want, s)
+		}
+	}
+}
+
+func TestTable6StringRenders(t *testing.T) {
+	rows := []Table6Row{
+		{Name: "reduce", Base: 40, RatioBPC: 0, RatioNon: map[int]float64{2: 1, 4: 0.5, 8: 0.25, 16: 0.125}},
+		{Name: "idft", Base: 4128, RatioBPC: 0.001, RatioNon: map[int]float64{2: 1, 4: 0.5, 8: 0.2, 16: 0.1}},
+		{Name: "empty", Base: 0, RatioNon: map[int]float64{}},
+	}
+	s := Table6String(rows)
+	for _, want := range []string{"2x4-bpc", "16-non", "average", "geomean", "reduce", "idft"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("Table6String missing %q:\n%s", want, s)
+		}
+	}
+}
+
+func TestTable7StringRenders(t *testing.T) {
+	rows := []Table7Row{
+		{Name: "reduce", SpillsBPC: 0, SpillsNon: 0, CopiesBPC: 3, CopiesNon: 0,
+			CyclesBPC: 169, Cycles2Non: 269, Cycles4Non: 229},
+	}
+	s := Table7String(rows)
+	for _, want := range []string{"Spills.bpc", "Cycles.2-non", "reduce", "169"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("Table7String missing %q:\n%s", want, s)
+		}
+	}
+}
+
+func TestFig1StringRenders(t *testing.T) {
+	r := &Fig1Result{
+		Suite:      "SPECfp",
+		Units:      10,
+		Relevant:   8,
+		PerBanks:   map[int]int{2: 8, 4: 6, 8: 5, 16: 4},
+		BankCounts: []int{2, 4, 8, 16},
+	}
+	s := r.String()
+	for _, want := range []string{"SPECfp", "RELEVANT", "CONFLICT-FREE", "80.00%"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("Fig1 String missing %q:\n%s", want, s)
+		}
+	}
+}
+
+func TestSuiteTotalFiltersBySuite(t *testing.T) {
+	sw, err := RunSweep(miniSuite(), 1024, []int{2}, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	all := sw.Total(2, Methods[0], StaticMetric)
+	bySuite := sw.SuiteTotal("CNN-KERNEL", 2, Methods[0], StaticMetric)
+	if all != bySuite {
+		t.Errorf("single-suite sweep: Total %d != SuiteTotal %d", all, bySuite)
+	}
+	if sw.SuiteTotal("SPECfp", 2, Methods[0], StaticMetric) != 0 {
+		t.Error("absent suite must total zero")
+	}
+}

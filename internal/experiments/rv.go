@@ -1,0 +1,230 @@
+package experiments
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"prescount/internal/core"
+	"prescount/internal/workload"
+)
+
+func logOf(v float64) float64 { return math.Log(v) }
+func expOf(v float64) float64 { return math.Exp(v) }
+
+// RV1 runs the Platform-RV Setting #1 sweep: 1024 FP registers, 2/4/8
+// banks, static metrics only (Fig. 10, Tables II and III).
+func RV1() (*Sweep, error) {
+	return RunSweep([]*workload.Suite{workload.SPECfp(), workload.CNN()}, 1024, []int{2, 4, 8}, false)
+}
+
+// RV2 runs the Platform-RV Setting #2 sweep: the riscv-64 budget of 32 FP
+// registers, 2/4 banks, with simulation for dynamic conflict instances
+// (Fig. 11, Tables IV and V).
+func RV2() (*Sweep, error) {
+	return RunSweep([]*workload.Suite{workload.SPECfp(), workload.CNN()}, 32, []int{2, 4}, true)
+}
+
+// Fig10String renders Figure 10's two panels from an RV#1 sweep:
+// (a) per-benchmark conflicts normalized to the 2-bank default allocation,
+// for every bank count and method; (b) the absolute maximum (the 2-bank
+// non column) per SPECfp benchmark.
+func Fig10String(sw *Sweep) string {
+	return figPanels(sw, StaticMetric, "STATIC")
+}
+
+// Fig11String renders Figure 11 (dynamic conflicts) from an RV#2 sweep.
+func Fig11String(sw *Sweep) string {
+	return figPanels(sw, DynamicMetric, "DYNAMIC")
+}
+
+func figPanels(sw *Sweep, metric func(Counts) int64, label string) string {
+	// Panel (a): normalized series per program group.
+	groups := programGroups(sw)
+	t := &table{header: append([]string{"BENCH \\ " + label}, seriesHeaders(sw)...)}
+	for _, g := range groups {
+		base := groupTotal(sw, g.programs, sw.Banks[0], core.MethodNon, metric)
+		row := []string{g.name}
+		for _, bank := range sw.Banks {
+			for _, m := range Methods {
+				v := groupTotal(sw, g.programs, bank, m, metric)
+				if base == 0 {
+					row = append(row, "-")
+				} else {
+					row = append(row, fmt.Sprintf("%.3f", float64(v)/float64(base)))
+				}
+			}
+		}
+		t.addRow(row...)
+	}
+	out := "(a) conflicts normalized to " + fmt.Sprint(sw.Banks[0]) + "-bank non\n" + t.String()
+
+	t2 := &table{header: []string{"BENCH", "MAX " + label + " CONFLICTS (non)"}}
+	for _, g := range groups {
+		if g.suite != "SPECfp" {
+			continue
+		}
+		t2.addRow(g.name, itoa(groupTotal(sw, g.programs, sw.Banks[0], core.MethodNon, metric)))
+	}
+	return out + "\n(b) maximum conflict count per SPECfp benchmark\n" + t2.String()
+}
+
+type progGroup struct {
+	name     string
+	suite    string
+	programs []string
+}
+
+// programGroups groups SPECfp per benchmark and CNN per category (the
+// paper reports CNN geomeans per operation class; we report class totals).
+func programGroups(sw *Sweep) []progGroup {
+	var out []progGroup
+	for _, s := range sw.Suites {
+		byCat := map[string][]string{}
+		var order []string
+		for _, p := range s.Programs {
+			if _, ok := byCat[p.Category]; !ok {
+				order = append(order, p.Category)
+			}
+			byCat[p.Category] = append(byCat[p.Category], p.Name)
+		}
+		if s.Name == "SPECfp" {
+			sort.Strings(order)
+		}
+		for _, cat := range order {
+			out = append(out, progGroup{s.Name + "." + cat, s.Name, byCat[cat]})
+		}
+	}
+	return out
+}
+
+func groupTotal(sw *Sweep, programs []string, bank int, m core.Method, metric func(Counts) int64) int64 {
+	cell := sw.Get(bank, m)
+	var t int64
+	for _, p := range programs {
+		t += metric(cell[p])
+	}
+	return t
+}
+
+func seriesHeaders(sw *Sweep) []string {
+	var out []string
+	for _, bank := range sw.Banks {
+		for _, m := range Methods {
+			out = append(out, fmt.Sprintf("%d-%s", bank, m))
+		}
+	}
+	return out
+}
+
+// Table2Row is one bank-setting row of Table II (and the static half of
+// Table IV): the combined conflict count under default allocation, the
+// reduction achieved by bcr and bpc, and bpc's improvement over bcr.
+type Table2Row struct {
+	// Bank is the bank count.
+	Bank int
+	// Label distinguishes STATIC/DYNAMIC rows (Table IV).
+	Label string
+	// Confs is the combined conflict count under non.
+	Confs int64
+	// ReduBCR and ReduBPC are the conflict-count reductions.
+	ReduBCR, ReduBPC int64
+	// Impv is ReduBPC - ReduBCR.
+	Impv int64
+	// GeoBCR and GeoBPC are geometric-mean per-program reductions vs non;
+	// GeoImpv is bpc's geomean reduction vs bcr.
+	GeoBCR, GeoBPC, GeoImpv float64
+}
+
+// Table2 derives the Table II rows (static) from a sweep.
+func Table2(sw *Sweep, metric func(Counts) int64, label string) []Table2Row {
+	var rows []Table2Row
+	for _, bank := range sw.Banks {
+		non := sw.Total(bank, core.MethodNon, metric)
+		bcr := sw.Total(bank, core.MethodBCR, metric)
+		bpc := sw.Total(bank, core.MethodBPC, metric)
+		rows = append(rows, Table2Row{
+			Bank:    bank,
+			Label:   label,
+			Confs:   non,
+			ReduBCR: non - bcr,
+			ReduBPC: non - bpc,
+			Impv:    (non - bpc) - (non - bcr),
+			GeoBCR:  sw.GeomeanReduction(bank, core.MethodBCR, core.MethodNon, metric),
+			GeoBPC:  sw.GeomeanReduction(bank, core.MethodBPC, core.MethodNon, metric),
+			GeoImpv: sw.GeomeanReduction(bank, core.MethodBPC, core.MethodBCR, metric),
+		})
+	}
+	return rows
+}
+
+// Table2String renders Table II/IV rows.
+func Table2String(rows []Table2Row) string {
+	t := &table{header: []string{"BANK", "CONFS", "Redu.bcr", "Redu.bpc", "IMPV",
+		"geo.bcr", "geo.bpc", "geo.impv(bpc/bcr)"}}
+	for _, r := range rows {
+		name := fmt.Sprintf("%d", r.Bank)
+		if r.Label != "" {
+			name = fmt.Sprintf("%d-%s", r.Bank, r.Label)
+		}
+		t.addRow(name, itoa(r.Confs), itoa(r.ReduBCR), itoa(r.ReduBPC), itoa(r.Impv),
+			pct(r.GeoBCR), pct(r.GeoBPC), pct(r.GeoImpv))
+	}
+	return t.String()
+}
+
+// Table3Row is one suite row of Table III/V: conflict reduction vs spill
+// increment per (bank, method).
+type Table3Row struct {
+	// Suite is "SPEC" or "CNN".
+	Suite string
+	// CR maps "bank-method" to the conflict reduction count.
+	CR map[string]int64
+	// SI maps "bank-method" to the spill instruction increment.
+	SI map[string]int64
+}
+
+// Table3 derives the conflict-reduction / spill-increment comparison.
+func Table3(sw *Sweep, metric func(Counts) int64) []Table3Row {
+	var rows []Table3Row
+	for _, s := range sw.Suites {
+		suiteLabel := "SPEC"
+		if s.Name == "CNN-KERNEL" {
+			suiteLabel = "CNN"
+		}
+		row := Table3Row{Suite: suiteLabel, CR: map[string]int64{}, SI: map[string]int64{}}
+		for _, bank := range sw.Banks {
+			nonConf := sw.SuiteTotal(s.Name, bank, core.MethodNon, metric)
+			nonSpill := sw.SuiteTotal(s.Name, bank, core.MethodNon, SpillMetric)
+			for _, m := range []core.Method{core.MethodBCR, core.MethodBPC} {
+				key := fmt.Sprintf("%d-%s", bank, m)
+				row.CR[key] = nonConf - sw.SuiteTotal(s.Name, bank, m, metric)
+				row.SI[key] = sw.SuiteTotal(s.Name, bank, m, SpillMetric) - nonSpill
+			}
+		}
+		rows = append(rows, row)
+	}
+	return rows
+}
+
+// Table3String renders Table III/V rows.
+func Table3String(sw *Sweep, rows []Table3Row) string {
+	var keys []string
+	for _, bank := range sw.Banks {
+		for _, m := range []core.Method{core.MethodBCR, core.MethodBPC} {
+			keys = append(keys, fmt.Sprintf("%d-%s", bank, m))
+		}
+	}
+	t := &table{header: append([]string{"BK-IMPL"}, keys...)}
+	for _, r := range rows {
+		cr := []string{r.Suite + ".CR"}
+		si := []string{r.Suite + ".SI"}
+		for _, k := range keys {
+			cr = append(cr, itoa(r.CR[k]))
+			si = append(si, itoa(r.SI[k]))
+		}
+		t.addRow(cr...)
+		t.addRow(si...)
+	}
+	return t.String()
+}

@@ -1,0 +1,185 @@
+package ir
+
+import "fmt"
+
+// Builder provides a fluent API for constructing functions. It is the
+// interface the workload generators and examples use; it keeps a current
+// insertion block and offers one method per opcode family.
+//
+// All value-producing methods allocate and return a fresh virtual register,
+// keeping generated code in "almost SSA" form; loop-carried values are
+// updated with explicit copies via SetReg-style ops (Assign).
+type Builder struct {
+	f   *Func
+	cur *Block
+}
+
+// NewBuilder returns a builder for a new function with the given name and
+// an entry block labeled "entry".
+func NewBuilder(name string) *Builder {
+	f := NewFunc(name)
+	b := &Builder{f: f}
+	b.cur = f.NewBlock("entry")
+	return b
+}
+
+// Func finalizes and returns the function, recomputing predecessor lists and
+// verifying structural invariants. It panics on malformed IR: builder misuse
+// is a programming error of the generator, not an input error.
+func (b *Builder) Func() *Func {
+	b.f.RecomputePreds()
+	if err := b.f.Verify(); err != nil {
+		panic(err)
+	}
+	return b.f
+}
+
+// Raw returns the function under construction without verification.
+func (b *Builder) Raw() *Func { return b.f }
+
+// Block creates a new block with the given label without switching to it.
+func (b *Builder) Block(name string) *Block { return b.f.NewBlock(name) }
+
+// SetBlock moves the insertion point to blk.
+func (b *Builder) SetBlock(blk *Block) { b.cur = blk }
+
+// Current returns the current insertion block.
+func (b *Builder) Current() *Block { return b.cur }
+
+// SetTripCount attaches loop trip-count metadata to blk (a loop header).
+func (b *Builder) SetTripCount(blk *Block, n int64) { blk.TripCount = n }
+
+func (b *Builder) emit(in *Instr) *Instr {
+	if b.cur == nil {
+		panic("ir: Builder has no current block")
+	}
+	if t := b.cur.Terminator(); t != nil {
+		panic(fmt.Sprintf("ir: emitting %s after terminator in block %s", in.Op, b.cur.Name))
+	}
+	b.cur.Instrs = append(b.cur.Instrs, in)
+	return in
+}
+
+func (b *Builder) def1(op Op, uses []Reg, imm int64, fimm float64) Reg {
+	d := b.f.NewVReg(op.DefClass())
+	b.emit(&Instr{Op: op, Defs: []Reg{d}, Uses: uses, Imm: imm, FImm: fimm})
+	return d
+}
+
+// IConst emits an integer constant definition.
+func (b *Builder) IConst(v int64) Reg { return b.def1(OpIConst, nil, v, 0) }
+
+// IMov emits a GPR copy.
+func (b *Builder) IMov(src Reg) Reg { return b.def1(OpIMov, []Reg{src}, 0, 0) }
+
+// IAdd emits an integer addition.
+func (b *Builder) IAdd(x, y Reg) Reg { return b.def1(OpIAdd, []Reg{x, y}, 0, 0) }
+
+// IAddI emits an integer add-immediate.
+func (b *Builder) IAddI(x Reg, v int64) Reg { return b.def1(OpIAddI, []Reg{x}, v, 0) }
+
+// IMul emits an integer multiplication.
+func (b *Builder) IMul(x, y Reg) Reg { return b.def1(OpIMul, []Reg{x, y}, 0, 0) }
+
+// IMulI emits an integer multiply-immediate.
+func (b *Builder) IMulI(x Reg, v int64) Reg { return b.def1(OpIMulI, []Reg{x}, v, 0) }
+
+// ICmpLt emits x < y.
+func (b *Builder) ICmpLt(x, y Reg) Reg { return b.def1(OpICmpLt, []Reg{x, y}, 0, 0) }
+
+// ICmpLtI emits x < v.
+func (b *Builder) ICmpLtI(x Reg, v int64) Reg { return b.def1(OpICmpLtI, []Reg{x}, v, 0) }
+
+// FConst emits a floating-point constant definition.
+func (b *Builder) FConst(v float64) Reg { return b.def1(OpFConst, nil, 0, v) }
+
+// FMov emits an FP copy.
+func (b *Builder) FMov(src Reg) Reg { return b.def1(OpFMov, []Reg{src}, 0, 0) }
+
+// FNeg emits -x.
+func (b *Builder) FNeg(x Reg) Reg { return b.def1(OpFNeg, []Reg{x}, 0, 0) }
+
+// FAdd emits x + y.
+func (b *Builder) FAdd(x, y Reg) Reg { return b.def1(OpFAdd, []Reg{x, y}, 0, 0) }
+
+// FSub emits x - y.
+func (b *Builder) FSub(x, y Reg) Reg { return b.def1(OpFSub, []Reg{x, y}, 0, 0) }
+
+// FMul emits x * y.
+func (b *Builder) FMul(x, y Reg) Reg { return b.def1(OpFMul, []Reg{x, y}, 0, 0) }
+
+// FDiv emits x / y.
+func (b *Builder) FDiv(x, y Reg) Reg { return b.def1(OpFDiv, []Reg{x, y}, 0, 0) }
+
+// FMin emits min(x, y).
+func (b *Builder) FMin(x, y Reg) Reg { return b.def1(OpFMin, []Reg{x, y}, 0, 0) }
+
+// FMax emits max(x, y).
+func (b *Builder) FMax(x, y Reg) Reg { return b.def1(OpFMax, []Reg{x, y}, 0, 0) }
+
+// FMA emits x*y + z.
+func (b *Builder) FMA(x, y, z Reg) Reg { return b.def1(OpFMA, []Reg{x, y, z}, 0, 0) }
+
+// FLoad emits a load of mem[base+off].
+func (b *Builder) FLoad(base Reg, off int64) Reg { return b.def1(OpFLoad, []Reg{base}, off, 0) }
+
+// FStore emits a store of val to mem[base+off].
+func (b *Builder) FStore(val, base Reg, off int64) {
+	b.emit(&Instr{Op: OpFStore, Uses: []Reg{val, base}, Imm: off})
+}
+
+// Assign emits a copy of src into the existing register dst (loop-carried
+// update). dst and src must share a class.
+func (b *Builder) Assign(dst, src Reg) {
+	op := OpFMov
+	if b.f.RegClass(dst) == ClassGPR {
+		op = OpIMov
+	}
+	b.emit(&Instr{Op: op, Defs: []Reg{dst}, Uses: []Reg{src}})
+}
+
+// Call emits an external call (clobbers caller-saved registers).
+func (b *Builder) Call() { b.emit(&Instr{Op: OpCall}) }
+
+// Br emits an unconditional branch to target and leaves the current block
+// terminated.
+func (b *Builder) Br(target *Block) {
+	b.emit(&Instr{Op: OpBr})
+	b.cur.Succs = []*Block{target}
+}
+
+// CondBr emits a conditional branch: to taken if cond != 0, else to fallthru.
+func (b *Builder) CondBr(cond Reg, taken, fallthru *Block) {
+	b.emit(&Instr{Op: OpCondBr, Uses: []Reg{cond}})
+	b.cur.Succs = []*Block{taken, fallthru}
+}
+
+// Ret emits a return.
+func (b *Builder) Ret() { b.emit(&Instr{Op: OpRet}) }
+
+// Loop is a convenience for counted loops. It emits:
+//
+//	i = 0; br header
+//	header: body(i);  i += step; if i < n br header else exit
+//
+// body runs with the insertion point inside the loop; Loop returns with the
+// insertion point in the exit block. trip is attached as the header's
+// trip-count metadata.
+func (b *Builder) Loop(n, step int64, body func(i Reg)) {
+	iv := b.IConst(0)
+	header := b.Block(fmt.Sprintf("loop%d", header2(b.f)))
+	exit := b.Block(fmt.Sprintf("exit%d", header2(b.f)))
+	b.Br(header)
+	b.SetBlock(header)
+	if step > 0 {
+		header.TripCount = (n + step - 1) / step
+	}
+	body(iv)
+	next := b.IAddI(iv, step)
+	b.Assign(iv, next)
+	cond := b.ICmpLtI(iv, n)
+	b.CondBr(cond, header, exit)
+	b.SetBlock(exit)
+}
+
+func header2(f *Func) int { return len(f.Blocks) }

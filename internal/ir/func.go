@@ -1,0 +1,304 @@
+package ir
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Instr is a single machine instruction. Defs and Uses hold register
+// operands in opcode-signature order; Imm/FImm hold immediates when the
+// opcode carries one. Terminator targets live on the enclosing Block.
+type Instr struct {
+	Op   Op
+	Defs []Reg
+	Uses []Reg
+	Imm  int64
+	FImm float64
+}
+
+// Clone returns a deep copy of the instruction.
+func (in *Instr) Clone() *Instr {
+	cp := &Instr{Op: in.Op, Imm: in.Imm, FImm: in.FImm}
+	cp.Defs = append([]Reg(nil), in.Defs...)
+	cp.Uses = append([]Reg(nil), in.Uses...)
+	return cp
+}
+
+// Def returns the single definition of the instruction, or NoReg if none.
+func (in *Instr) Def() Reg {
+	if len(in.Defs) == 0 {
+		return NoReg
+	}
+	return in.Defs[0]
+}
+
+// FPUses returns the FP-class register uses of the instruction in operand
+// order. These are the reads that can collide within a register bank.
+func (in *Instr) FPUses() []Reg {
+	var out []Reg
+	for i, u := range in.Uses {
+		if in.Op.UseClass(i) == ClassFP {
+			out = append(out, u)
+		}
+	}
+	return out
+}
+
+// IsConflictRelevant reports whether the instruction reads two or more FP
+// registers (paper §II-A definition).
+func (in *Instr) IsConflictRelevant() bool { return in.Op.IsConflictRelevant() }
+
+// Block is a basic block: a label, a straight-line instruction list whose
+// last element is a terminator, and explicit successor links.
+type Block struct {
+	// ID is the block's dense index within its function.
+	ID int
+	// Name is the block label used by the textual format.
+	Name string
+	// Instrs is the instruction list; the last entry is a terminator.
+	Instrs []*Instr
+	// Succs are the successor blocks in terminator order
+	// (CondBr: [taken, fallthrough]).
+	Succs []*Block
+	// Preds are the predecessor blocks (maintained by Func.RecomputePreds).
+	Preds []*Block
+	// TripCount is loop metadata: if this block is a natural-loop header,
+	// the expected number of iterations of that loop per entry. Zero means
+	// unknown (the cost model substitutes a default).
+	TripCount int64
+}
+
+// Terminator returns the block's final instruction, or nil for an (invalid)
+// empty block.
+func (b *Block) Terminator() *Instr {
+	if len(b.Instrs) == 0 {
+		return nil
+	}
+	last := b.Instrs[len(b.Instrs)-1]
+	if !last.Op.IsTerminator() {
+		return nil
+	}
+	return last
+}
+
+// InsertBefore inserts instruction in at position idx within the block.
+func (b *Block) InsertBefore(idx int, in *Instr) {
+	b.Instrs = append(b.Instrs, nil)
+	copy(b.Instrs[idx+1:], b.Instrs[idx:])
+	b.Instrs[idx] = in
+}
+
+// VRegInfo records per-virtual-register metadata.
+type VRegInfo struct {
+	// Class is the register class of the virtual register.
+	Class Class
+}
+
+// Func is a single machine function: blocks in layout order (entry first)
+// plus the virtual register table.
+type Func struct {
+	// Name is the function's symbol name.
+	Name string
+	// Blocks lists basic blocks in layout order; Blocks[0] is the entry.
+	Blocks []*Block
+	// VRegs is the virtual register table, indexed by VReg dense index.
+	VRegs []VRegInfo
+
+	// NumFPRegs is the size of the physical FP file this function is
+	// allocated against (set by the allocator; informational).
+	NumFPRegs int
+	// SpillSlots is the number of spill slots the allocator created.
+	SpillSlots int
+}
+
+// NewFunc returns an empty function with the given name.
+func NewFunc(name string) *Func { return &Func{Name: name} }
+
+// Entry returns the entry block.
+func (f *Func) Entry() *Block { return f.Blocks[0] }
+
+// NewVReg allocates a fresh virtual register of class c.
+func (f *Func) NewVReg(c Class) Reg {
+	f.VRegs = append(f.VRegs, VRegInfo{Class: c})
+	return VReg(len(f.VRegs) - 1)
+}
+
+// NewBlock appends a new empty block with the given label.
+func (f *Func) NewBlock(name string) *Block {
+	b := &Block{ID: len(f.Blocks), Name: name}
+	f.Blocks = append(f.Blocks, b)
+	return b
+}
+
+// RegClass returns the class of any register operand: the table entry for
+// virtual registers, the encoding-derived class for physical ones.
+func (f *Func) RegClass(r Reg) Class {
+	switch {
+	case r.IsVirt():
+		return f.VRegs[r.VirtIndex()].Class
+	case r.IsGPR():
+		return ClassGPR
+	case r.IsFPR():
+		return ClassFP
+	default:
+		return ClassNone
+	}
+}
+
+// NumInstrs returns the total instruction count of the function.
+func (f *Func) NumInstrs() int {
+	n := 0
+	for _, b := range f.Blocks {
+		n += len(b.Instrs)
+	}
+	return n
+}
+
+// RecomputePreds rebuilds every block's predecessor list and reassigns dense
+// block IDs in layout order. Passes that edit control flow call this before
+// handing the function to analyses.
+func (f *Func) RecomputePreds() {
+	for i, b := range f.Blocks {
+		b.ID = i
+		b.Preds = b.Preds[:0]
+	}
+	for _, b := range f.Blocks {
+		for _, s := range b.Succs {
+			s.Preds = append(s.Preds, b)
+		}
+	}
+}
+
+// Clone returns a deep copy of the function (blocks, instructions and the
+// vreg table). Succ/Pred links are remapped to the cloned blocks.
+func (f *Func) Clone() *Func {
+	nf := &Func{
+		Name:       f.Name,
+		VRegs:      append([]VRegInfo(nil), f.VRegs...),
+		NumFPRegs:  f.NumFPRegs,
+		SpillSlots: f.SpillSlots,
+	}
+	idx := make(map[*Block]*Block, len(f.Blocks))
+	for _, b := range f.Blocks {
+		nb := nf.NewBlock(b.Name)
+		nb.TripCount = b.TripCount
+		for _, in := range b.Instrs {
+			nb.Instrs = append(nb.Instrs, in.Clone())
+		}
+		idx[b] = nb
+	}
+	for _, b := range f.Blocks {
+		nb := idx[b]
+		for _, s := range b.Succs {
+			nb.Succs = append(nb.Succs, idx[s])
+		}
+	}
+	nf.RecomputePreds()
+	return nf
+}
+
+// Verify checks structural invariants: operand counts and classes match
+// opcode signatures, terminators appear exactly at block ends, successor
+// counts match terminators, and virtual register indexes are in range.
+func (f *Func) Verify() error {
+	if len(f.Blocks) == 0 {
+		return fmt.Errorf("ir: function %s has no blocks", f.Name)
+	}
+	for _, b := range f.Blocks {
+		if len(b.Instrs) == 0 {
+			return fmt.Errorf("ir: %s/%s: empty block", f.Name, b.Name)
+		}
+		for i, in := range b.Instrs {
+			isLast := i == len(b.Instrs)-1
+			if in.Op.IsTerminator() != isLast {
+				return fmt.Errorf("ir: %s/%s: terminator %s at position %d/%d",
+					f.Name, b.Name, in.Op, i, len(b.Instrs))
+			}
+			if len(in.Defs) != in.Op.NumDefs() {
+				return fmt.Errorf("ir: %s/%s: %s has %d defs, want %d",
+					f.Name, b.Name, in.Op, len(in.Defs), in.Op.NumDefs())
+			}
+			if len(in.Uses) != in.Op.NumUses() {
+				return fmt.Errorf("ir: %s/%s: %s has %d uses, want %d",
+					f.Name, b.Name, in.Op, len(in.Uses), in.Op.NumUses())
+			}
+			for _, d := range in.Defs {
+				if err := f.checkOperand(d, in.Op.DefClass()); err != nil {
+					return fmt.Errorf("ir: %s/%s: %s def: %v", f.Name, b.Name, in.Op, err)
+				}
+			}
+			for j, u := range in.Uses {
+				if err := f.checkOperand(u, in.Op.UseClass(j)); err != nil {
+					return fmt.Errorf("ir: %s/%s: %s use %d: %v", f.Name, b.Name, in.Op, j, err)
+				}
+			}
+			if isLast && len(b.Succs) != in.Op.NumSuccs() {
+				return fmt.Errorf("ir: %s/%s: %s has %d successors, want %d",
+					f.Name, b.Name, in.Op, len(b.Succs), in.Op.NumSuccs())
+			}
+		}
+	}
+	return nil
+}
+
+func (f *Func) checkOperand(r Reg, want Class) error {
+	if r == NoReg {
+		return fmt.Errorf("missing register operand")
+	}
+	if r.IsVirt() && r.VirtIndex() >= len(f.VRegs) {
+		return fmt.Errorf("virtual register %v out of range (%d vregs)", r, len(f.VRegs))
+	}
+	if got := f.RegClass(r); got != want {
+		return fmt.Errorf("register %v has class %v, want %v", r, got, want)
+	}
+	return nil
+}
+
+// Module is a named collection of functions, the unit the workload
+// generators emit and the pipeline consumes.
+type Module struct {
+	// Name is the module (translation unit) name.
+	Name string
+	// Funcs maps function name to function.
+	Funcs map[string]*Func
+}
+
+// NewModule returns an empty module.
+func NewModule(name string) *Module {
+	return &Module{Name: name, Funcs: make(map[string]*Func)}
+}
+
+// Add inserts f into the module, replacing any previous function of the
+// same name.
+func (m *Module) Add(f *Func) { m.Funcs[f.Name] = f }
+
+// FuncNames returns the function names in sorted order, for deterministic
+// iteration.
+func (m *Module) FuncNames() []string {
+	names := make([]string, 0, len(m.Funcs))
+	for n := range m.Funcs {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// SortedFuncs returns the functions ordered by name.
+func (m *Module) SortedFuncs() []*Func {
+	names := m.FuncNames()
+	out := make([]*Func, len(names))
+	for i, n := range names {
+		out[i] = m.Funcs[n]
+	}
+	return out
+}
+
+// Verify verifies every function in the module.
+func (m *Module) Verify() error {
+	for _, f := range m.SortedFuncs() {
+		if err := f.Verify(); err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -1,0 +1,408 @@
+package ir
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestRegEncoding(t *testing.T) {
+	cases := []struct {
+		r       Reg
+		virt    bool
+		gpr     bool
+		fpr     bool
+		str     string
+		virtIdx int
+	}{
+		{VReg(0), true, false, false, "%0", 0},
+		{VReg(123456), true, false, false, "%123456", 123456},
+		{XReg(0), false, true, false, "x0", -1},
+		{XReg(31), false, true, false, "x31", -1},
+		{FReg(0), false, false, true, "f0", -1},
+		{FReg(1023), false, false, true, "f1023", -1},
+	}
+	for _, c := range cases {
+		if c.r.IsVirt() != c.virt {
+			t.Errorf("%v: IsVirt=%v want %v", c.r, c.r.IsVirt(), c.virt)
+		}
+		if c.r.IsGPR() != c.gpr {
+			t.Errorf("%v: IsGPR=%v want %v", c.r, c.r.IsGPR(), c.gpr)
+		}
+		if c.r.IsFPR() != c.fpr {
+			t.Errorf("%v: IsFPR=%v want %v", c.r, c.r.IsFPR(), c.fpr)
+		}
+		if c.r.String() != c.str {
+			t.Errorf("%v: String=%q want %q", c.r, c.r.String(), c.str)
+		}
+		if c.virt && c.r.VirtIndex() != c.virtIdx {
+			t.Errorf("%v: VirtIndex=%d want %d", c.r, c.r.VirtIndex(), c.virtIdx)
+		}
+	}
+	if NoReg.IsPhys() || NoReg.IsVirt() {
+		t.Error("NoReg must be neither physical nor virtual")
+	}
+}
+
+func TestRegIndexRoundTrip(t *testing.T) {
+	for i := 0; i < 2000; i++ {
+		if got := FReg(i).FPRIndex(); got != i {
+			t.Fatalf("FReg(%d).FPRIndex() = %d", i, got)
+		}
+	}
+	for i := 0; i < NumGPR; i++ {
+		if got := XReg(i).GPRIndex(); got != i {
+			t.Fatalf("XReg(%d).GPRIndex() = %d", i, got)
+		}
+	}
+}
+
+func TestOpSignatures(t *testing.T) {
+	if !OpFAdd.IsConflictRelevant() || !OpFMA.IsConflictRelevant() {
+		t.Error("fadd/fma must be conflict-relevant")
+	}
+	if OpFMov.IsConflictRelevant() || OpFLoad.IsConflictRelevant() || OpFStore.IsConflictRelevant() {
+		t.Error("fmov/fload/fstore must not be conflict-relevant")
+	}
+	if OpFMA.FPUseCount() != 3 {
+		t.Errorf("fma FPUseCount = %d, want 3", OpFMA.FPUseCount())
+	}
+	if OpFStore.FPUseCount() != 1 {
+		t.Errorf("fstore FPUseCount = %d, want 1", OpFStore.FPUseCount())
+	}
+	if !OpBr.IsTerminator() || !OpCondBr.IsTerminator() || !OpRet.IsTerminator() {
+		t.Error("branch ops must be terminators")
+	}
+	if OpCondBr.NumSuccs() != 2 || OpBr.NumSuccs() != 1 || OpRet.NumSuccs() != 0 {
+		t.Error("wrong successor counts")
+	}
+	if !OpFMov.IsCopy() || !OpIMov.IsCopy() || OpFAdd.IsCopy() {
+		t.Error("copy classification wrong")
+	}
+}
+
+func TestOpByNameRoundTrip(t *testing.T) {
+	for op := Op(0); op < opCount; op++ {
+		got, ok := OpByName(op.String())
+		if !ok || got != op {
+			t.Errorf("OpByName(%q) = %v,%v; want %v", op.String(), got, ok, op)
+		}
+	}
+	if _, ok := OpByName("bogus"); ok {
+		t.Error("OpByName accepted bogus mnemonic")
+	}
+}
+
+// buildSAXPY constructs y[i] = a*x[i] + y[i] over n elements.
+func buildSAXPY(n int64) *Func {
+	b := NewBuilder("saxpy")
+	xbase := b.IConst(0)
+	ybase := b.IConst(1000)
+	a := b.FConst(2.0)
+	b.Loop(n, 1, func(i Reg) {
+		addrx := b.IAdd(xbase, i)
+		addry := b.IAdd(ybase, i)
+		x := b.FLoad(addrx, 0)
+		y := b.FLoad(addry, 0)
+		v := b.FMA(a, x, y)
+		b.FStore(v, addry, 0)
+	})
+	b.Ret()
+	return b.Func()
+}
+
+func TestBuilderProducesValidFunc(t *testing.T) {
+	f := buildSAXPY(16)
+	if err := f.Verify(); err != nil {
+		t.Fatalf("Verify: %v", err)
+	}
+	if len(f.Blocks) != 3 {
+		t.Fatalf("got %d blocks, want 3 (entry, loop, exit)", len(f.Blocks))
+	}
+	loop := f.Blocks[1]
+	if loop.TripCount != 16 {
+		t.Errorf("loop trip count = %d, want 16", loop.TripCount)
+	}
+	if len(loop.Preds) != 2 {
+		t.Errorf("loop header preds = %d, want 2", len(loop.Preds))
+	}
+	// The loop body contains an FMA, which is conflict-relevant.
+	found := false
+	for _, in := range loop.Instrs {
+		if in.Op == OpFMA && in.IsConflictRelevant() {
+			found = true
+		}
+	}
+	if !found {
+		t.Error("expected conflict-relevant FMA in loop body")
+	}
+}
+
+func TestVerifyCatchesBadIR(t *testing.T) {
+	t.Run("terminator in middle", func(t *testing.T) {
+		f := NewFunc("bad")
+		blk := f.NewBlock("entry")
+		blk.Instrs = []*Instr{{Op: OpRet}, {Op: OpNop}}
+		if err := f.Verify(); err == nil {
+			t.Error("Verify accepted terminator in block middle")
+		}
+	})
+	t.Run("missing terminator", func(t *testing.T) {
+		f := NewFunc("bad")
+		blk := f.NewBlock("entry")
+		blk.Instrs = []*Instr{{Op: OpNop}}
+		if err := f.Verify(); err == nil {
+			t.Error("Verify accepted block without terminator")
+		}
+	})
+	t.Run("class mismatch", func(t *testing.T) {
+		f := NewFunc("bad")
+		g := f.NewVReg(ClassGPR)
+		h := f.NewVReg(ClassGPR)
+		blk := f.NewBlock("entry")
+		blk.Instrs = []*Instr{
+			{Op: OpFAdd, Defs: []Reg{g}, Uses: []Reg{h, h}},
+			{Op: OpRet},
+		}
+		if err := f.Verify(); err == nil {
+			t.Error("Verify accepted GPR operands on fadd")
+		}
+	})
+	t.Run("wrong use count", func(t *testing.T) {
+		f := NewFunc("bad")
+		v := f.NewVReg(ClassFP)
+		blk := f.NewBlock("entry")
+		blk.Instrs = []*Instr{
+			{Op: OpFAdd, Defs: []Reg{v}, Uses: []Reg{v}},
+			{Op: OpRet},
+		}
+		if err := f.Verify(); err == nil {
+			t.Error("Verify accepted fadd with one use")
+		}
+	})
+	t.Run("succ count mismatch", func(t *testing.T) {
+		f := NewFunc("bad")
+		blk := f.NewBlock("entry")
+		blk.Instrs = []*Instr{{Op: OpBr}}
+		if err := f.Verify(); err == nil {
+			t.Error("Verify accepted br with no successors")
+		}
+	})
+}
+
+func TestCloneIsDeep(t *testing.T) {
+	f := buildSAXPY(8)
+	c := f.Clone()
+	if err := c.Verify(); err != nil {
+		t.Fatalf("clone Verify: %v", err)
+	}
+	// Mutating the clone must not affect the original.
+	c.Blocks[1].Instrs[0].Imm = 999
+	c.Blocks[1].TripCount = 777
+	if f.Blocks[1].Instrs[0].Imm == 999 {
+		t.Error("instruction sharing between clone and original")
+	}
+	if f.Blocks[1].TripCount == 777 {
+		t.Error("block metadata shared between clone and original")
+	}
+	// Clone successors must point at clone blocks.
+	for _, b := range c.Blocks {
+		for _, s := range b.Succs {
+			if s == f.Blocks[s.ID] {
+				t.Fatal("clone successor points at original block")
+			}
+		}
+	}
+}
+
+func TestPrintParseRoundTrip(t *testing.T) {
+	f := buildSAXPY(32)
+	text := Print(f)
+	g, err := Parse(text)
+	if err != nil {
+		t.Fatalf("Parse failed:\n%s\nerr: %v", text, err)
+	}
+	text2 := Print(g)
+	if text != text2 {
+		t.Errorf("round trip mismatch:\n--- first ---\n%s\n--- second ---\n%s", text, text2)
+	}
+	if g.Blocks[1].TripCount != 32 {
+		t.Errorf("trip count lost in round trip: %d", g.Blocks[1].TripCount)
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	cases := []struct{ name, src string }{
+		{"unknown op", "func @f {\n entry:\n bogus\n}"},
+		{"bad succ", "func @f {\n entry:\n br ; succs: nowhere\n}"},
+		{"no header", "entry:\n ret\n}"},
+		{"bad imm", "func @f {\n entry:\n %0:gpr = iconst abc\n ret\n}"},
+		{"missing imm", "func @f {\n entry:\n %0:gpr = iconst\n ret\n}"},
+		{"instr before label", "func @f {\n nop\n}"},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			if _, err := Parse(c.src); err == nil {
+				t.Errorf("Parse accepted invalid input %q", c.src)
+			}
+		})
+	}
+}
+
+func TestParsePhysicalRegs(t *testing.T) {
+	src := `func @phys {
+  entry:
+    f0 = fconst 1.5
+    f1 = fconst 2.5
+    f2 = fadd f0, f1
+    x1 = iconst 0
+    fstore f2, x1, 0
+    ret
+}`
+	f, err := Parse(src)
+	if err != nil {
+		t.Fatalf("Parse: %v", err)
+	}
+	in := f.Blocks[0].Instrs[2]
+	if in.Op != OpFAdd || in.Defs[0] != FReg(2) || in.Uses[0] != FReg(0) || in.Uses[1] != FReg(1) {
+		t.Errorf("parsed physical operands wrong: %+v", in)
+	}
+}
+
+func TestModuleRoundTrip(t *testing.T) {
+	m := NewModule("testmod")
+	m.Add(buildSAXPY(4))
+	b := NewBuilder("second")
+	b.Ret()
+	m.Add(b.Func())
+
+	text := PrintModule(m)
+	m2, err := ParseModule(text)
+	if err != nil {
+		t.Fatalf("ParseModule: %v", err)
+	}
+	if len(m2.Funcs) != 2 {
+		t.Fatalf("got %d funcs, want 2", len(m2.Funcs))
+	}
+	if PrintModule(m2) != text {
+		t.Error("module round trip mismatch")
+	}
+	if err := m2.Verify(); err != nil {
+		t.Errorf("module Verify: %v", err)
+	}
+}
+
+func TestModuleDeterministicOrder(t *testing.T) {
+	m := NewModule("m")
+	for _, n := range []string{"zeta", "alpha", "mid"} {
+		b := NewBuilder(n)
+		b.Ret()
+		m.Add(b.Func())
+	}
+	names := m.FuncNames()
+	want := []string{"alpha", "mid", "zeta"}
+	for i := range want {
+		if names[i] != want[i] {
+			t.Fatalf("FuncNames = %v, want %v", names, want)
+		}
+	}
+}
+
+func TestInsertBefore(t *testing.T) {
+	b := NewBuilder("ins")
+	v := b.FConst(1)
+	w := b.FConst(2)
+	_ = b.FAdd(v, w)
+	b.Ret()
+	f := b.Func()
+	blk := f.Blocks[0]
+	n := len(blk.Instrs)
+	nop := &Instr{Op: OpNop}
+	blk.InsertBefore(2, nop)
+	if len(blk.Instrs) != n+1 || blk.Instrs[2] != nop {
+		t.Fatalf("InsertBefore failed: %v", blk.Instrs)
+	}
+	if blk.Instrs[3].Op != OpFAdd {
+		t.Errorf("instruction after insertion point should be fadd, got %v", blk.Instrs[3].Op)
+	}
+}
+
+func TestPrintContainsSuccsAndTrip(t *testing.T) {
+	f := buildSAXPY(5)
+	text := Print(f)
+	if !strings.Contains(text, "!trip=5") {
+		t.Errorf("printed MIR missing trip metadata:\n%s", text)
+	}
+	if !strings.Contains(text, "; succs:") {
+		t.Errorf("printed MIR missing successor annotations:\n%s", text)
+	}
+}
+
+func TestCallRoundTrip(t *testing.T) {
+	b := NewBuilder("withcall")
+	base := b.IConst(0)
+	v := b.FConst(1)
+	b.Call()
+	b.FStore(v, base, 0)
+	b.Ret()
+	f := b.Func()
+	text := Print(f)
+	if !strings.Contains(text, "call") {
+		t.Fatalf("printed MIR missing call:\n%s", text)
+	}
+	g, err := Parse(text)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if Print(g) != text {
+		t.Error("call round trip mismatch")
+	}
+}
+
+func TestCallerSavedConventions(t *testing.T) {
+	// riscv-like split at 32 registers: 20 caller-saved, 12 callee-saved.
+	callee := 0
+	for i := 0; i < 32; i++ {
+		if !CallerSavedFPR(i, 32) {
+			callee++
+		}
+	}
+	if callee != 12 {
+		t.Errorf("callee-saved count at 32 regs = %d, want 12", callee)
+	}
+	// The cap: a 1024-register file still has only 12 callee-saved.
+	callee = 0
+	for i := 0; i < 1024; i++ {
+		if !CallerSavedFPR(i, 1024) {
+			callee++
+		}
+	}
+	if callee != 12 {
+		t.Errorf("callee-saved count at 1024 regs = %d, want 12 (capped)", callee)
+	}
+	// Callee-saved registers are the top indexes.
+	if CallerSavedFPR(1023, 1024) || !CallerSavedFPR(0, 1024) {
+		t.Error("callee-saved must occupy the top of the file")
+	}
+	// GPRs: x20..x31 callee-saved.
+	if CallerSavedGPR(20) || !CallerSavedGPR(19) {
+		t.Error("GPR convention wrong")
+	}
+}
+
+func TestRegPanicsOnMisuse(t *testing.T) {
+	mustPanic := func(name string, fn func()) {
+		t.Helper()
+		defer func() {
+			if recover() == nil {
+				t.Errorf("%s did not panic", name)
+			}
+		}()
+		fn()
+	}
+	mustPanic("VReg(-1)", func() { VReg(-1) })
+	mustPanic("XReg(32)", func() { XReg(32) })
+	mustPanic("FReg(-1)", func() { FReg(-1) })
+	mustPanic("VirtIndex on phys", func() { FReg(0).VirtIndex() })
+	mustPanic("FPRIndex on GPR", func() { XReg(0).FPRIndex() })
+	mustPanic("GPRIndex on FPR", func() { FReg(0).GPRIndex() })
+}

@@ -1,0 +1,330 @@
+package ir
+
+import (
+	"bufio"
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// Parse reads the textual MIR format produced by Print and returns the
+// function. The grammar is line-oriented:
+//
+//	func @name {
+//	  label: [!trip=N]
+//	    [%d:class[, ...] =] op [operand[, operand...]] [; succs: a, b]
+//	  }
+//
+// Operands are virtual registers (%N), physical registers (xN, fN), integer
+// immediates, or float immediates, validated against the opcode signature.
+func Parse(src string) (*Func, error) {
+	p := &parser{sc: bufio.NewScanner(strings.NewReader(src))}
+	p.sc.Buffer(make([]byte, 1024*1024), 1024*1024)
+	f, err := p.parseFunc()
+	if err != nil {
+		return nil, fmt.Errorf("ir: parse line %d: %w", p.line, err)
+	}
+	return f, nil
+}
+
+// ParseModule reads a module: a "module NAME" header followed by functions.
+func ParseModule(src string) (*Module, error) {
+	lines := strings.Split(src, "\n")
+	name := "m"
+	var body []string
+	for _, l := range lines {
+		t := strings.TrimSpace(l)
+		if strings.HasPrefix(t, "module ") {
+			name = strings.TrimSpace(strings.TrimPrefix(t, "module "))
+			continue
+		}
+		body = append(body, l)
+	}
+	m := NewModule(name)
+	rest := strings.Join(body, "\n")
+	for {
+		idx := strings.Index(rest, "func @")
+		if idx < 0 {
+			break
+		}
+		end := strings.Index(rest[idx:], "\n}")
+		if end < 0 {
+			return nil, fmt.Errorf("ir: unterminated function in module %s", name)
+		}
+		chunk := rest[idx : idx+end+2]
+		f, err := Parse(chunk)
+		if err != nil {
+			return nil, err
+		}
+		m.Add(f)
+		rest = rest[idx+end+2:]
+	}
+	return m, nil
+}
+
+type parser struct {
+	sc   *bufio.Scanner
+	line int
+	f    *Func
+	// pending successor names per block, resolved after all labels are seen.
+	succNames map[*Block][]string
+	blocks    map[string]*Block
+}
+
+func (p *parser) next() (string, bool) {
+	for p.sc.Scan() {
+		p.line++
+		l := strings.TrimSpace(p.sc.Text())
+		if l == "" || strings.HasPrefix(l, "#") {
+			continue
+		}
+		return l, true
+	}
+	return "", false
+}
+
+func (p *parser) parseFunc() (*Func, error) {
+	head, ok := p.next()
+	if !ok {
+		return nil, fmt.Errorf("empty input")
+	}
+	if !strings.HasPrefix(head, "func @") || !strings.HasSuffix(head, "{") {
+		return nil, fmt.Errorf("expected 'func @name {', got %q", head)
+	}
+	name := strings.TrimSpace(strings.TrimSuffix(strings.TrimPrefix(head, "func @"), "{"))
+	p.f = NewFunc(name)
+	p.succNames = make(map[*Block][]string)
+	p.blocks = make(map[string]*Block)
+
+	var cur *Block
+	for {
+		l, ok := p.next()
+		if !ok {
+			return nil, fmt.Errorf("missing closing brace")
+		}
+		if l == "}" {
+			break
+		}
+		if isLabelLine(l) {
+			lbl, trip, err := parseLabel(l)
+			if err != nil {
+				return nil, err
+			}
+			cur = p.getBlock(lbl)
+			cur.TripCount = trip
+			// Move the block into layout order position.
+			continue
+		}
+		if cur == nil {
+			return nil, fmt.Errorf("instruction before any label: %q", l)
+		}
+		in, succs, err := p.parseInstr(l)
+		if err != nil {
+			return nil, err
+		}
+		cur.Instrs = append(cur.Instrs, in)
+		if len(succs) > 0 {
+			p.succNames[cur] = succs
+		}
+	}
+	// Resolve successors.
+	for b, names := range p.succNames {
+		for _, n := range names {
+			s, ok := p.blocks[n]
+			if !ok {
+				return nil, fmt.Errorf("unknown successor block %q", n)
+			}
+			b.Succs = append(b.Succs, s)
+		}
+	}
+	p.f.RecomputePreds()
+	if err := p.f.Verify(); err != nil {
+		return nil, err
+	}
+	return p.f, nil
+}
+
+func isLabelLine(l string) bool {
+	// "name:" optionally followed by !trip=N; instruction lines never end
+	// with ':' before a possible comment.
+	head := l
+	if i := strings.Index(l, "!"); i >= 0 {
+		head = strings.TrimSpace(l[:i])
+	}
+	return strings.HasSuffix(head, ":") && !strings.Contains(head, " ")
+}
+
+func parseLabel(l string) (name string, trip int64, err error) {
+	rest := l
+	if i := strings.Index(l, "!"); i >= 0 {
+		tag := strings.TrimSpace(l[i:])
+		rest = strings.TrimSpace(l[:i])
+		if !strings.HasPrefix(tag, "!trip=") {
+			return "", 0, fmt.Errorf("unknown block metadata %q", tag)
+		}
+		trip, err = strconv.ParseInt(strings.TrimPrefix(tag, "!trip="), 10, 64)
+		if err != nil {
+			return "", 0, fmt.Errorf("bad trip count in %q: %v", l, err)
+		}
+	}
+	return strings.TrimSuffix(rest, ":"), trip, nil
+}
+
+func (p *parser) getBlock(name string) *Block {
+	if b, ok := p.blocks[name]; ok {
+		return b
+	}
+	b := p.f.NewBlock(name)
+	p.blocks[name] = b
+	return b
+}
+
+func (p *parser) parseInstr(l string) (*Instr, []string, error) {
+	var succs []string
+	if i := strings.Index(l, "; succs:"); i >= 0 {
+		for _, s := range strings.Split(l[i+len("; succs:"):], ",") {
+			succs = append(succs, strings.TrimSpace(s))
+		}
+		l = strings.TrimSpace(l[:i])
+	} else if i := strings.Index(l, ";"); i >= 0 {
+		l = strings.TrimSpace(l[:i])
+	}
+
+	in := &Instr{}
+	lhs, rhs := "", l
+	if i := strings.Index(l, " = "); i >= 0 {
+		lhs, rhs = strings.TrimSpace(l[:i]), strings.TrimSpace(l[i+3:])
+	}
+	fields := strings.SplitN(rhs, " ", 2)
+	op, ok := OpByName(fields[0])
+	if !ok {
+		return nil, nil, fmt.Errorf("unknown opcode %q", fields[0])
+	}
+	in.Op = op
+
+	// Defs.
+	if lhs != "" {
+		for _, d := range strings.Split(lhs, ",") {
+			r, err := p.parseDefReg(strings.TrimSpace(d), op.DefClass())
+			if err != nil {
+				return nil, nil, err
+			}
+			in.Defs = append(in.Defs, r)
+		}
+	}
+
+	// Uses and immediates.
+	var args []string
+	if len(fields) == 2 {
+		for _, a := range strings.Split(fields[1], ",") {
+			args = append(args, strings.TrimSpace(a))
+		}
+	}
+	want := op.NumUses()
+	if len(args) < want {
+		return nil, nil, fmt.Errorf("%s: %d operands, need at least %d register uses", op, len(args), want)
+	}
+	for i := 0; i < want; i++ {
+		r, err := p.parseReg(args[i])
+		if err != nil {
+			return nil, nil, err
+		}
+		in.Uses = append(in.Uses, r)
+	}
+	rest := args[want:]
+	if op.HasImm() {
+		if len(rest) == 0 {
+			return nil, nil, fmt.Errorf("%s: missing immediate", op)
+		}
+		v, err := strconv.ParseInt(rest[0], 10, 64)
+		if err != nil {
+			return nil, nil, fmt.Errorf("%s: bad immediate %q: %v", op, rest[0], err)
+		}
+		in.Imm = v
+		rest = rest[1:]
+	}
+	if op.HasFImm() {
+		if len(rest) == 0 {
+			return nil, nil, fmt.Errorf("%s: missing float immediate", op)
+		}
+		v, err := strconv.ParseFloat(rest[0], 64)
+		if err != nil {
+			return nil, nil, fmt.Errorf("%s: bad float immediate %q: %v", op, rest[0], err)
+		}
+		in.FImm = v
+		rest = rest[1:]
+	}
+	// Terminators may name their successors inline ("br body") instead of
+	// (or in addition to) the "; succs:" annotation.
+	if op.IsTerminator() && len(succs) == 0 && len(rest) > 0 {
+		succs, rest = rest, nil
+	}
+	if len(rest) != 0 {
+		return nil, nil, fmt.Errorf("%s: %d extra operands", op, len(rest))
+	}
+	return in, succs, nil
+}
+
+// parseDefReg parses a definition operand "%N:class" / "fN" / "xN", creating
+// vreg table entries as needed.
+func (p *parser) parseDefReg(s string, want Class) (Reg, error) {
+	if strings.HasPrefix(s, "%") {
+		body := s[1:]
+		cls := want
+		if i := strings.Index(body, ":"); i >= 0 {
+			switch body[i+1:] {
+			case "gpr":
+				cls = ClassGPR
+			case "fp":
+				cls = ClassFP
+			default:
+				return NoReg, fmt.Errorf("unknown class %q", body[i+1:])
+			}
+			body = body[:i]
+		}
+		idx, err := strconv.Atoi(body)
+		if err != nil {
+			return NoReg, fmt.Errorf("bad virtual register %q: %v", s, err)
+		}
+		for len(p.f.VRegs) <= idx {
+			p.f.VRegs = append(p.f.VRegs, VRegInfo{Class: ClassNone})
+		}
+		if p.f.VRegs[idx].Class == ClassNone {
+			p.f.VRegs[idx].Class = cls
+		}
+		return VReg(idx), nil
+	}
+	return p.parseReg(s)
+}
+
+func (p *parser) parseReg(s string) (Reg, error) {
+	switch {
+	case strings.HasPrefix(s, "%"):
+		body := s[1:]
+		if i := strings.Index(body, ":"); i >= 0 {
+			body = body[:i]
+		}
+		idx, err := strconv.Atoi(body)
+		if err != nil {
+			return NoReg, fmt.Errorf("bad virtual register %q: %v", s, err)
+		}
+		for len(p.f.VRegs) <= idx {
+			p.f.VRegs = append(p.f.VRegs, VRegInfo{Class: ClassNone})
+		}
+		return VReg(idx), nil
+	case strings.HasPrefix(s, "x"):
+		idx, err := strconv.Atoi(s[1:])
+		if err != nil || idx < 0 || idx >= NumGPR {
+			return NoReg, fmt.Errorf("bad GPR %q", s)
+		}
+		return XReg(idx), nil
+	case strings.HasPrefix(s, "f"):
+		idx, err := strconv.Atoi(s[1:])
+		if err != nil || idx < 0 {
+			return NoReg, fmt.Errorf("bad FP register %q", s)
+		}
+		return FReg(idx), nil
+	default:
+		return NoReg, fmt.Errorf("bad register operand %q", s)
+	}
+}

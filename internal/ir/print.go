@@ -1,0 +1,100 @@
+package ir
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Print renders the function in the textual MIR format accepted by Parse.
+//
+// The format, one instruction per line:
+//
+//	func @name {
+//	  entry:
+//	    %0:gpr = iconst 0
+//	    br loop2 ; succs: loop2
+//	  loop2: !trip=100
+//	    %3:fp = fload %1, 4
+//	    ...
+//	    condbr %9 ; succs: loop2, exit3
+//	  exit3:
+//	    ret
+//	}
+func Print(f *Func) string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "func @%s {\n", f.Name)
+	for _, b := range f.Blocks {
+		fmt.Fprintf(&sb, "  %s:", b.Name)
+		if b.TripCount != 0 {
+			fmt.Fprintf(&sb, " !trip=%d", b.TripCount)
+		}
+		sb.WriteByte('\n')
+		for _, in := range b.Instrs {
+			sb.WriteString("    ")
+			sb.WriteString(formatInstr(f, b, in))
+			sb.WriteByte('\n')
+		}
+	}
+	sb.WriteString("}\n")
+	return sb.String()
+}
+
+func formatInstr(f *Func, b *Block, in *Instr) string {
+	var sb strings.Builder
+	if len(in.Defs) > 0 {
+		for i, d := range in.Defs {
+			if i > 0 {
+				sb.WriteString(", ")
+			}
+			sb.WriteString(regWithClass(f, d))
+		}
+		sb.WriteString(" = ")
+	}
+	sb.WriteString(in.Op.String())
+	first := true
+	arg := func(s string) {
+		if first {
+			sb.WriteByte(' ')
+			first = false
+		} else {
+			sb.WriteString(", ")
+		}
+		sb.WriteString(s)
+	}
+	for _, u := range in.Uses {
+		arg(u.String())
+	}
+	if in.Op.HasImm() {
+		arg(fmt.Sprintf("%d", in.Imm))
+	}
+	if in.Op.HasFImm() {
+		arg(fmt.Sprintf("%g", in.FImm))
+	}
+	if in.Op.IsTerminator() && len(b.Succs) > 0 {
+		names := make([]string, len(b.Succs))
+		for i, s := range b.Succs {
+			names[i] = s.Name
+		}
+		sb.WriteString(" ; succs: ")
+		sb.WriteString(strings.Join(names, ", "))
+	}
+	return sb.String()
+}
+
+func regWithClass(f *Func, r Reg) string {
+	if r.IsVirt() {
+		return fmt.Sprintf("%s:%s", r, f.VRegs[r.VirtIndex()].Class)
+	}
+	return r.String()
+}
+
+// PrintModule renders every function of the module in name order.
+func PrintModule(m *Module) string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "module %s\n\n", m.Name)
+	for _, f := range m.SortedFuncs() {
+		sb.WriteString(Print(f))
+		sb.WriteByte('\n')
+	}
+	return sb.String()
+}

@@ -1,0 +1,124 @@
+package ir
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// randomFunc builds a random but well-formed function: straight-line
+// segments, optional loops, a mix of every opcode family.
+func randomFunc(rng *rand.Rand) *Func {
+	b := NewBuilder("fuzz")
+	base := b.IConst(0)
+	var fpVals []Reg
+	var gprVals []Reg
+	fp := func() Reg {
+		if len(fpVals) == 0 || rng.Float64() < 0.3 {
+			v := b.FConst(rng.Float64() * 10)
+			fpVals = append(fpVals, v)
+			return v
+		}
+		return fpVals[rng.Intn(len(fpVals))]
+	}
+	gpr := func() Reg {
+		if len(gprVals) == 0 || rng.Float64() < 0.3 {
+			v := b.IConst(int64(rng.Intn(100)))
+			gprVals = append(gprVals, v)
+			return v
+		}
+		return gprVals[rng.Intn(len(gprVals))]
+	}
+	emit := func() {
+		switch rng.Intn(12) {
+		case 0:
+			fpVals = append(fpVals, b.FAdd(fp(), fp()))
+		case 1:
+			fpVals = append(fpVals, b.FMul(fp(), fp()))
+		case 2:
+			fpVals = append(fpVals, b.FSub(fp(), fp()))
+		case 3:
+			fpVals = append(fpVals, b.FMin(fp(), fp()))
+		case 4:
+			fpVals = append(fpVals, b.FMA(fp(), fp(), fp()))
+		case 5:
+			fpVals = append(fpVals, b.FNeg(fp()))
+		case 6:
+			fpVals = append(fpVals, b.FLoad(base, int64(rng.Intn(32))))
+		case 7:
+			b.FStore(fp(), base, int64(rng.Intn(32)))
+		case 8:
+			gprVals = append(gprVals, b.IAdd(gpr(), gpr()))
+		case 9:
+			gprVals = append(gprVals, b.IAddI(gpr(), int64(rng.Intn(16))))
+		case 10:
+			gprVals = append(gprVals, b.IMulI(gpr(), int64(1+rng.Intn(4))))
+		case 11:
+			fpVals = append(fpVals, b.FMov(fp()))
+		}
+	}
+	n := 3 + rng.Intn(15)
+	for i := 0; i < n; i++ {
+		emit()
+		if rng.Float64() < 0.05 {
+			b.Call()
+		}
+	}
+	if rng.Float64() < 0.7 {
+		b.Loop(int64(2+rng.Intn(6)), 1, func(Reg) {
+			m := 1 + rng.Intn(8)
+			for i := 0; i < m; i++ {
+				emit()
+			}
+		})
+	}
+	b.FStore(fp(), base, 40)
+	b.Ret()
+	return b.Func()
+}
+
+// quick-check: print -> parse -> print is a fixpoint and the parsed
+// function verifies, for arbitrary generated functions.
+func TestPrintParseRoundTripQuick(t *testing.T) {
+	check := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		f := randomFunc(rng)
+		text := Print(f)
+		g, err := Parse(text)
+		if err != nil {
+			t.Logf("parse failed for seed %d: %v\n%s", seed, err, text)
+			return false
+		}
+		if err := g.Verify(); err != nil {
+			t.Logf("verify failed for seed %d: %v", seed, err)
+			return false
+		}
+		return Print(g) == text
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 120}); err != nil {
+		t.Error(err)
+	}
+}
+
+// quick-check: Clone is a deep copy whose printout matches the original.
+func TestCloneRoundTripQuick(t *testing.T) {
+	check := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		f := randomFunc(rng)
+		c := f.Clone()
+		if Print(c) != Print(f) {
+			return false
+		}
+		// Mutate the clone; the original must not change.
+		before := Print(f)
+		for _, b := range c.Blocks {
+			for _, in := range b.Instrs {
+				in.Imm++
+			}
+		}
+		return Print(f) == before
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,286 @@
+package liveness
+
+import (
+	"sort"
+
+	"prescount/internal/cfg"
+	"prescount/internal/ir"
+)
+
+// Info holds the liveness analysis of one function: a global linearization
+// of instructions into slot indexes, per-block live-in/out sets and per-vreg
+// live intervals.
+type Info struct {
+	F *ir.Func
+
+	// order is the linearized instruction list (layout order).
+	order []instrPos
+	// slotOf maps (block ID, instr index within block) to the read slot.
+	slotOf map[[2]int]int
+	// blockRange maps block ID to [start, end) slot range.
+	blockRange [][2]int
+
+	// LiveIn and LiveOut map block ID to the set of live virtual registers.
+	LiveIn, LiveOut []map[ir.Reg]bool
+
+	// Intervals maps vreg dense index to its live interval (nil if the vreg
+	// never occurs).
+	Intervals []*Interval
+}
+
+type instrPos struct {
+	b  *ir.Block
+	in *ir.Instr
+}
+
+// Compute runs liveness over f, using cf (which must be computed over the
+// same function) for use-frequency weighting of spill weights.
+func Compute(f *ir.Func, cf *cfg.Info) *Info {
+	lv := &Info{F: f}
+	lv.linearize()
+	lv.dataflow()
+	lv.buildIntervals(cf)
+	return lv
+}
+
+func (lv *Info) linearize() {
+	lv.slotOf = make(map[[2]int]int)
+	lv.blockRange = make([][2]int, len(lv.F.Blocks))
+	slot := 0
+	for _, b := range lv.F.Blocks {
+		start := slot
+		for i, in := range b.Instrs {
+			lv.slotOf[[2]int{b.ID, i}] = slot
+			lv.order = append(lv.order, instrPos{b, in})
+			slot += SlotsPerInstr
+		}
+		lv.blockRange[b.ID] = [2]int{start, slot}
+	}
+}
+
+// ReadSlot returns the read slot of instruction index i in block b.
+func (lv *Info) ReadSlot(b *ir.Block, i int) int { return lv.slotOf[[2]int{b.ID, i}] }
+
+// BlockRange returns the [start, end) slot range of b.
+func (lv *Info) BlockRange(b *ir.Block) (int, int) {
+	r := lv.blockRange[b.ID]
+	return r[0], r[1]
+}
+
+// NumSlots returns the total number of slots in the function.
+func (lv *Info) NumSlots() int { return len(lv.order) * SlotsPerInstr }
+
+func (lv *Info) dataflow() {
+	n := len(lv.F.Blocks)
+	lv.LiveIn = make([]map[ir.Reg]bool, n)
+	lv.LiveOut = make([]map[ir.Reg]bool, n)
+	gen := make([]map[ir.Reg]bool, n)  // upward-exposed uses
+	kill := make([]map[ir.Reg]bool, n) // defs
+	for _, b := range lv.F.Blocks {
+		g, k := map[ir.Reg]bool{}, map[ir.Reg]bool{}
+		for _, in := range b.Instrs {
+			for _, u := range in.Uses {
+				if u.IsVirt() && !k[u] {
+					g[u] = true
+				}
+			}
+			for _, d := range in.Defs {
+				if d.IsVirt() {
+					k[d] = true
+				}
+			}
+		}
+		gen[b.ID], kill[b.ID] = g, k
+		lv.LiveIn[b.ID] = map[ir.Reg]bool{}
+		lv.LiveOut[b.ID] = map[ir.Reg]bool{}
+	}
+	// Iterate to fixpoint, reverse layout order for fast convergence.
+	changed := true
+	for changed {
+		changed = false
+		for i := len(lv.F.Blocks) - 1; i >= 0; i-- {
+			b := lv.F.Blocks[i]
+			out := lv.LiveOut[b.ID]
+			for _, s := range b.Succs {
+				for r := range lv.LiveIn[s.ID] {
+					if !out[r] {
+						out[r] = true
+						changed = true
+					}
+				}
+			}
+			in := lv.LiveIn[b.ID]
+			for r := range gen[b.ID] {
+				if !in[r] {
+					in[r] = true
+					changed = true
+				}
+			}
+			for r := range out {
+				if !kill[b.ID][r] && !in[r] {
+					in[r] = true
+					changed = true
+				}
+			}
+		}
+	}
+}
+
+func (lv *Info) buildIntervals(cf *cfg.Info) {
+	lv.Intervals = make([]*Interval, len(lv.F.VRegs))
+	get := func(r ir.Reg) *Interval {
+		idx := r.VirtIndex()
+		if lv.Intervals[idx] == nil {
+			lv.Intervals[idx] = &Interval{}
+		}
+		return lv.Intervals[idx]
+	}
+
+	for _, b := range lv.F.Blocks {
+		start, end := lv.BlockRange(b)
+		// openEnd[v] = slot up to which v is live (exclusive), walking
+		// backward.
+		openEnd := map[ir.Reg]int{}
+		for r := range lv.LiveOut[b.ID] {
+			openEnd[r] = end
+		}
+		for i := len(b.Instrs) - 1; i >= 0; i-- {
+			in := b.Instrs[i]
+			s := lv.ReadSlot(b, i)
+			for _, d := range in.Defs {
+				if !d.IsVirt() {
+					continue
+				}
+				if e, ok := openEnd[d]; ok {
+					get(d).Add(s+1, e)
+					delete(openEnd, d)
+				} else {
+					// Dead def: live for just the write slot.
+					get(d).Add(s+1, s+2)
+				}
+			}
+			for _, u := range in.Uses {
+				if !u.IsVirt() {
+					continue
+				}
+				if _, ok := openEnd[u]; !ok {
+					openEnd[u] = s + 1 // read happens at slot s
+				}
+			}
+		}
+		for r, e := range openEnd {
+			get(r).Add(start, e)
+		}
+	}
+
+	// Spill weights: sum of block frequency per occurrence divided by size.
+	for _, b := range lv.F.Blocks {
+		freq := cf.Freq(b)
+		for _, in := range b.Instrs {
+			for _, d := range in.Defs {
+				if d.IsVirt() {
+					iv := get(d)
+					iv.Weight += freq
+					iv.NumUses++
+				}
+			}
+			for _, u := range in.Uses {
+				if u.IsVirt() {
+					iv := get(u)
+					iv.Weight += freq
+					iv.NumUses++
+				}
+			}
+		}
+	}
+	for _, iv := range lv.Intervals {
+		if iv != nil && iv.Size() > 0 {
+			iv.Weight /= float64(iv.Size())
+		}
+	}
+}
+
+// IntervalOf returns the live interval of the virtual register r, or nil.
+func (lv *Info) IntervalOf(r ir.Reg) *Interval {
+	if !r.IsVirt() || r.VirtIndex() >= len(lv.Intervals) {
+		return nil
+	}
+	return lv.Intervals[r.VirtIndex()]
+}
+
+// Interfere reports whether two virtual registers have overlapping
+// intervals.
+func (lv *Info) Interfere(a, b ir.Reg) bool {
+	ia, ib := lv.IntervalOf(a), lv.IntervalOf(b)
+	return ia != nil && ib != nil && ia.Overlaps(ib)
+}
+
+// MaxPressure returns the maximum number of simultaneously live virtual
+// registers of class c anywhere in the function: the input to the
+// OverallRegPressure() test of Algorithm 1.
+func (lv *Info) MaxPressure(c ir.Class) int {
+	return MaxOverlap(lv.classIntervals(c))
+}
+
+// PressureCurve returns, for each slot, the number of simultaneously live
+// class-c virtual registers.
+func (lv *Info) PressureCurve(c ir.Class) []int {
+	curve := make([]int, lv.NumSlots()+1)
+	for _, iv := range lv.classIntervals(c) {
+		for _, s := range iv.Segments {
+			curve[s.Start]++
+			if s.End < len(curve) {
+				curve[s.End]--
+			}
+		}
+	}
+	run := 0
+	for i, d := range curve {
+		run += d
+		curve[i] = run
+	}
+	return curve
+}
+
+func (lv *Info) classIntervals(c ir.Class) []*Interval {
+	var ivs []*Interval
+	for i, iv := range lv.Intervals {
+		if iv == nil || iv.Empty() {
+			continue
+		}
+		if lv.F.VRegs[i].Class == c {
+			ivs = append(ivs, iv)
+		}
+	}
+	return ivs
+}
+
+// MaxOverlap computes the maximum number of intervals simultaneously live at
+// any slot, by endpoint sweep. It is the "bank pressure count" primitive of
+// the paper (§III-B): the maximum overlap of register live ranges.
+func MaxOverlap(ivs []*Interval) int {
+	type event struct {
+		at    int
+		delta int
+	}
+	var events []event
+	for _, iv := range ivs {
+		for _, s := range iv.Segments {
+			events = append(events, event{s.Start, +1}, event{s.End, -1})
+		}
+	}
+	sort.Slice(events, func(i, j int) bool {
+		if events[i].at != events[j].at {
+			return events[i].at < events[j].at
+		}
+		return events[i].delta < events[j].delta // process ends before starts
+	})
+	cur, max := 0, 0
+	for _, e := range events {
+		cur += e.delta
+		if cur > max {
+			max = cur
+		}
+	}
+	return max
+}

@@ -1,0 +1,176 @@
+// Package pressure implements the bank pressure tracking mechanism of
+// PresCount (paper §III-B): for every register bank it maintains the set of
+// live intervals already committed to that bank and answers "what would the
+// maximum live-range overlap in this bank become if I added this interval?"
+// — the PresCountPrioritize ordering key of Algorithm 1.
+//
+// The tracker also exposes the overall register pressure ratio used for the
+// THRES trade-off between spill risk and conflict cost.
+package pressure
+
+import (
+	"sort"
+
+	"prescount/internal/bankfile"
+	"prescount/internal/liveness"
+)
+
+// Tracker tracks per-bank pressure over live intervals.
+type Tracker struct {
+	cfg bankfile.Config
+	// events per bank: +1 at segment starts, -1 at ends.
+	events [][]event
+	// counts per bank: number of committed intervals.
+	counts []int
+}
+
+type event struct {
+	at    int
+	delta int
+}
+
+// NewTracker returns a tracker for the given register-file configuration.
+func NewTracker(cfg bankfile.Config) *Tracker {
+	return &Tracker{
+		cfg:    cfg,
+		events: make([][]event, cfg.NumBanks),
+		counts: make([]int, cfg.NumBanks),
+	}
+}
+
+// Config returns the register file configuration the tracker serves.
+func (t *Tracker) Config() bankfile.Config { return t.cfg }
+
+// Add commits an interval to the given bank. The bank's event list is kept
+// sorted incrementally: each segment contributes two events inserted at
+// their sorted position.
+func (t *Tracker) Add(bank int, iv *liveness.Interval) {
+	for _, s := range iv.Segments {
+		t.insert(bank, event{s.Start, +1})
+		t.insert(bank, event{s.End, -1})
+	}
+	t.counts[bank]++
+}
+
+func (t *Tracker) insert(bank int, e event) {
+	evs := t.events[bank]
+	i := sort.Search(len(evs), func(i int) bool {
+		if evs[i].at != e.at {
+			return evs[i].at > e.at
+		}
+		return evs[i].delta >= e.delta
+	})
+	evs = append(evs, event{})
+	copy(evs[i+1:], evs[i:])
+	evs[i] = e
+	t.events[bank] = evs
+}
+
+// Count returns the number of intervals committed to the bank.
+func (t *Tracker) Count(bank int) int { return t.counts[bank] }
+
+// Pressure returns the current maximum overlap of intervals in the bank:
+// the paper's "bank pressure count".
+func (t *Tracker) Pressure(bank int) int {
+	cur, max := 0, 0
+	for _, e := range t.events[bank] {
+		cur += e.delta
+		if cur > max {
+			max = cur
+		}
+	}
+	return max
+}
+
+// PressureIfAdded returns what Pressure(bank) would become after adding iv,
+// without committing it. The bank's events are already sorted, and the
+// probe's segments are sorted by construction, so a linear merge suffices.
+func (t *Tracker) PressureIfAdded(bank int, iv *liveness.Interval) int {
+	extra := make([]event, 0, 2*len(iv.Segments))
+	for _, s := range iv.Segments {
+		extra = append(extra, event{s.Start, +1}, event{s.End, -1})
+	}
+	sort.Slice(extra, func(i, j int) bool {
+		if extra[i].at != extra[j].at {
+			return extra[i].at < extra[j].at
+		}
+		return extra[i].delta < extra[j].delta
+	})
+	evs := t.events[bank]
+	cur, max := 0, 0
+	i, j := 0, 0
+	for i < len(evs) || j < len(extra) {
+		var e event
+		switch {
+		case i >= len(evs):
+			e = extra[j]
+			j++
+		case j >= len(extra):
+			e = evs[i]
+			i++
+		case evs[i].at < extra[j].at ||
+			(evs[i].at == extra[j].at && evs[i].delta <= extra[j].delta):
+			e = evs[i]
+			i++
+		default:
+			e = extra[j]
+			j++
+		}
+		cur += e.delta
+		if cur > max {
+			max = cur
+		}
+	}
+	return max
+}
+
+// RankBanks orders the candidate banks by ascending pressure-if-added for
+// iv, breaking ties by current committed-interval count, then by bank index
+// (deterministic). This is PresCountPrioritize of Algorithm 1: the front of
+// the returned slice is the bank adding the least to the pressure count.
+func (t *Tracker) RankBanks(candidates []int, iv *liveness.Interval) []int {
+	type scored struct {
+		bank     int
+		pressure int
+		count    int
+	}
+	out := make([]scored, 0, len(candidates))
+	for _, b := range candidates {
+		out = append(out, scored{b, t.PressureIfAdded(b, iv), t.counts[b]})
+	}
+	sort.SliceStable(out, func(i, j int) bool {
+		if out[i].pressure != out[j].pressure {
+			return out[i].pressure < out[j].pressure
+		}
+		if out[i].count != out[j].count {
+			return out[i].count < out[j].count
+		}
+		return out[i].bank < out[j].bank
+	})
+	banks := make([]int, len(out))
+	for i, s := range out {
+		banks[i] = s.bank
+	}
+	return banks
+}
+
+// MinPressureBank returns the single best bank per RankBanks over all banks.
+func (t *Tracker) MinPressureBank(iv *liveness.Interval) int {
+	all := make([]int, t.cfg.NumBanks)
+	for i := range all {
+		all[i] = i
+	}
+	return t.RankBanks(all, iv)[0]
+}
+
+// OverallRegPressure returns the ratio of the function's maximum FP
+// register pressure to the per-bank register capacity. Algorithm 1 compares
+// this value against THRES: when the ratio is high, choosing banks by
+// pressure (spill avoidance) beats choosing banks by neighbour conflict
+// cost.
+func OverallRegPressure(maxLive int, cfg bankfile.Config) float64 {
+	if cfg.NumRegs == 0 {
+		return 0
+	}
+	return float64(maxLive) / float64(cfg.RegsPerBank())
+}

@@ -1,0 +1,151 @@
+package pressure
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"prescount/internal/bankfile"
+	"prescount/internal/liveness"
+)
+
+func mkInterval(ranges ...[2]int) *liveness.Interval {
+	iv := &liveness.Interval{}
+	for _, r := range ranges {
+		iv.Add(r[0], r[1])
+	}
+	return iv
+}
+
+func TestPressureBasic(t *testing.T) {
+	tr := NewTracker(bankfile.RV2(2))
+	if tr.Pressure(0) != 0 || tr.Pressure(1) != 0 {
+		t.Fatal("fresh tracker must have zero pressure")
+	}
+	tr.Add(0, mkInterval([2]int{0, 10}))
+	tr.Add(0, mkInterval([2]int{5, 15}))
+	tr.Add(0, mkInterval([2]int{20, 30}))
+	if got := tr.Pressure(0); got != 2 {
+		t.Errorf("Pressure(0) = %d, want 2", got)
+	}
+	if got := tr.Pressure(1); got != 0 {
+		t.Errorf("Pressure(1) = %d, want 0", got)
+	}
+	if tr.Count(0) != 3 || tr.Count(1) != 0 {
+		t.Errorf("counts = %d/%d, want 3/0", tr.Count(0), tr.Count(1))
+	}
+}
+
+func TestPressureIfAddedDoesNotCommit(t *testing.T) {
+	tr := NewTracker(bankfile.RV2(2))
+	tr.Add(0, mkInterval([2]int{0, 10}))
+	iv := mkInterval([2]int{5, 8})
+	if got := tr.PressureIfAdded(0, iv); got != 2 {
+		t.Errorf("PressureIfAdded = %d, want 2", got)
+	}
+	if got := tr.Pressure(0); got != 1 {
+		t.Errorf("Pressure after probe = %d, want 1 (probe must not commit)", got)
+	}
+	// Non-overlapping probe does not raise pressure.
+	if got := tr.PressureIfAdded(0, mkInterval([2]int{10, 20})); got != 1 {
+		t.Errorf("adjacent probe = %d, want 1", got)
+	}
+}
+
+func TestRankBanksPrefersLowPressure(t *testing.T) {
+	tr := NewTracker(bankfile.RV2(4))
+	// Load bank 0 heavily, bank 1 lightly at the probe point.
+	tr.Add(0, mkInterval([2]int{0, 100}))
+	tr.Add(0, mkInterval([2]int{0, 100}))
+	tr.Add(1, mkInterval([2]int{0, 100}))
+	iv := mkInterval([2]int{10, 20})
+	ranked := tr.RankBanks([]int{0, 1, 2, 3}, iv)
+	if ranked[0] != 2 && ranked[0] != 3 {
+		t.Errorf("ranked[0] = %d, want an empty bank", ranked[0])
+	}
+	if ranked[len(ranked)-1] != 0 {
+		t.Errorf("ranked last = %d, want most-pressured bank 0", ranked[len(ranked)-1])
+	}
+	// Tie between empty banks 2 and 3 must break deterministically by index.
+	if !(ranked[0] == 2 && ranked[1] == 3) {
+		t.Errorf("tie break not deterministic: %v", ranked)
+	}
+}
+
+func TestRankBanksTieBreakByCount(t *testing.T) {
+	tr := NewTracker(bankfile.RV2(2))
+	// Equal max pressure, different counts: bank 1 has two disjoint
+	// intervals (pressure 1), bank 0 has one.
+	tr.Add(1, mkInterval([2]int{0, 5}))
+	tr.Add(1, mkInterval([2]int{10, 15}))
+	tr.Add(0, mkInterval([2]int{0, 5}))
+	iv := mkInterval([2]int{20, 25})
+	ranked := tr.RankBanks([]int{0, 1}, iv)
+	if ranked[0] != 0 {
+		t.Errorf("expected bank 0 (fewer members) first, got %v", ranked)
+	}
+}
+
+func TestMinPressureBank(t *testing.T) {
+	tr := NewTracker(bankfile.RV2(2))
+	tr.Add(0, mkInterval([2]int{0, 50}))
+	if got := tr.MinPressureBank(mkInterval([2]int{0, 10})); got != 1 {
+		t.Errorf("MinPressureBank = %d, want 1", got)
+	}
+}
+
+func TestOverallRegPressure(t *testing.T) {
+	cfg := bankfile.RV2(2) // 32 regs, 16 per bank
+	if got := OverallRegPressure(8, cfg); got != 0.5 {
+		t.Errorf("OverallRegPressure(8) = %g, want 0.5", got)
+	}
+	if got := OverallRegPressure(32, cfg); got != 2.0 {
+		t.Errorf("OverallRegPressure(32) = %g, want 2.0", got)
+	}
+}
+
+// quick-check: Pressure equals liveness.MaxOverlap over the committed
+// intervals, and PressureIfAdded equals Pressure after a real Add.
+func TestTrackerAgreesWithMaxOverlapQuick(t *testing.T) {
+	check := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		tr := NewTracker(bankfile.RV2(2))
+		var committed []*liveness.Interval
+		for k := 0; k < 10; k++ {
+			iv := &liveness.Interval{}
+			for j := 0; j < 1+rng.Intn(3); j++ {
+				s := rng.Intn(80)
+				iv.Add(s, s+1+rng.Intn(15))
+			}
+			probe := tr.PressureIfAdded(0, iv)
+			tr.Add(0, iv)
+			committed = append(committed, iv)
+			if tr.Pressure(0) != probe {
+				return false
+			}
+			if tr.Pressure(0) != liveness.MaxOverlap(committed) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestBalancedFillingViaRank(t *testing.T) {
+	// Repeatedly adding identical overlapping intervals via the ranking
+	// must distribute them evenly over all banks.
+	tr := NewTracker(bankfile.RV1(4))
+	for i := 0; i < 20; i++ {
+		iv := mkInterval([2]int{0, 100})
+		b := tr.MinPressureBank(iv)
+		tr.Add(b, iv)
+	}
+	for b := 0; b < 4; b++ {
+		if got := tr.Pressure(b); got != 5 {
+			t.Errorf("bank %d pressure = %d, want 5 (even split)", b, got)
+		}
+	}
+}

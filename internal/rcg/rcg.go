@@ -1,0 +1,180 @@
+// Package rcg builds the Register Conflict Graph (RCG) of a function and
+// annotates it with the conflict-cost model of the paper (Equations 1 and
+// 2). The RCG is the structure PresCount colors: vertices are the virtual
+// registers appearing as FP reads of conflict-relevant instructions, and an
+// edge joins two registers read by the same instruction (they would collide
+// if placed in the same bank). The RCG is a subgraph of the RIG only in the
+// sense of sharing vertices; it is built independently (paper §V).
+package rcg
+
+import (
+	"sort"
+
+	"prescount/internal/cfg"
+	"prescount/internal/ir"
+)
+
+// Graph is the annotated register conflict graph.
+type Graph struct {
+	// Nodes lists conflicting registers in increasing dense-index order.
+	Nodes []ir.Reg
+	// Cost maps register to Cost_R (Equation 2): the summed Cost_I of all
+	// conflict-relevant instructions reading it.
+	Cost map[ir.Reg]float64
+	// adjacency with accumulated edge weight (summed Cost_I of the
+	// instructions inducing the edge).
+	adj map[ir.Reg]map[ir.Reg]float64
+	// Sites records, per register, the conflict-relevant instructions
+	// reading it (for diagnostics and the bcr baseline).
+	Sites map[ir.Reg][]*ir.Instr
+}
+
+// Build constructs the RCG of f using the cost model from cf.
+// Only virtual FP registers participate; physical operands (already fixed)
+// are ignored, matching a pre-allocation assigner.
+func Build(f *ir.Func, cf *cfg.Info) *Graph {
+	g := &Graph{
+		Cost:  make(map[ir.Reg]float64),
+		adj:   make(map[ir.Reg]map[ir.Reg]float64),
+		Sites: make(map[ir.Reg][]*ir.Instr),
+	}
+	for _, b := range f.Blocks {
+		cost := cf.InstrCost(b)
+		for _, in := range b.Instrs {
+			if !in.IsConflictRelevant() {
+				continue
+			}
+			fpUses := virtFPUses(f, in)
+			if len(fpUses) < 2 {
+				continue // fewer than two *virtual* FP reads: nothing to color
+			}
+			for _, r := range fpUses {
+				g.Cost[r] += cost
+				g.Sites[r] = append(g.Sites[r], in)
+			}
+			for i := 0; i < len(fpUses); i++ {
+				for j := i + 1; j < len(fpUses); j++ {
+					g.addEdge(fpUses[i], fpUses[j], cost)
+				}
+			}
+		}
+	}
+	for r := range g.Cost {
+		g.Nodes = append(g.Nodes, r)
+	}
+	sort.Slice(g.Nodes, func(i, j int) bool { return g.Nodes[i] < g.Nodes[j] })
+	return g
+}
+
+// virtFPUses returns the distinct virtual FP register reads of in.
+func virtFPUses(f *ir.Func, in *ir.Instr) []ir.Reg {
+	var out []ir.Reg
+	for i, u := range in.Uses {
+		if in.Op.UseClass(i) != ir.ClassFP || !u.IsVirt() {
+			continue
+		}
+		dup := false
+		for _, o := range out {
+			if o == u {
+				dup = true
+				break
+			}
+		}
+		if !dup {
+			out = append(out, u)
+		}
+	}
+	return out
+}
+
+func (g *Graph) addEdge(a, b ir.Reg, w float64) {
+	if a == b {
+		return
+	}
+	if g.adj[a] == nil {
+		g.adj[a] = make(map[ir.Reg]float64)
+	}
+	if g.adj[b] == nil {
+		g.adj[b] = make(map[ir.Reg]float64)
+	}
+	g.adj[a][b] += w
+	g.adj[b][a] += w
+}
+
+// HasEdge reports whether a and b conflict.
+func (g *Graph) HasEdge(a, b ir.Reg) bool {
+	_, ok := g.adj[a][b]
+	return ok
+}
+
+// EdgeWeight returns the accumulated Cost_I of the edge (0 if absent).
+func (g *Graph) EdgeWeight(a, b ir.Reg) float64 { return g.adj[a][b] }
+
+// Neighbors returns the conflict neighbours of r in sorted order.
+func (g *Graph) Neighbors(r ir.Reg) []ir.Reg {
+	out := make([]ir.Reg, 0, len(g.adj[r]))
+	for n := range g.adj[r] {
+		out = append(out, n)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// Degree returns the conflict degree of r.
+func (g *Graph) Degree(r ir.Reg) int { return len(g.adj[r]) }
+
+// NumEdges returns the number of undirected conflict edges.
+func (g *Graph) NumEdges() int {
+	n := 0
+	for _, nb := range g.adj {
+		n += len(nb)
+	}
+	return n / 2
+}
+
+// Components returns the connected components of the RCG, each sorted by
+// register, with components ordered by decreasing maximum Cost_R (ties by
+// smallest register) — the processing order of Algorithm 1 ("we process
+// each subgraph in descending order of conflict cost").
+func (g *Graph) Components() [][]ir.Reg {
+	seen := make(map[ir.Reg]bool, len(g.Nodes))
+	var comps [][]ir.Reg
+	for _, start := range g.Nodes {
+		if seen[start] {
+			continue
+		}
+		var comp []ir.Reg
+		stack := []ir.Reg{start}
+		seen[start] = true
+		for len(stack) > 0 {
+			r := stack[len(stack)-1]
+			stack = stack[:len(stack)-1]
+			comp = append(comp, r)
+			for _, n := range g.Neighbors(r) {
+				if !seen[n] {
+					seen[n] = true
+					stack = append(stack, n)
+				}
+			}
+		}
+		sort.Slice(comp, func(i, j int) bool { return comp[i] < comp[j] })
+		comps = append(comps, comp)
+	}
+	maxCost := func(comp []ir.Reg) float64 {
+		m := 0.0
+		for _, r := range comp {
+			if g.Cost[r] > m {
+				m = g.Cost[r]
+			}
+		}
+		return m
+	}
+	sort.SliceStable(comps, func(i, j int) bool {
+		ci, cj := maxCost(comps[i]), maxCost(comps[j])
+		if ci != cj {
+			return ci > cj
+		}
+		return comps[i][0] < comps[j][0]
+	})
+	return comps
+}

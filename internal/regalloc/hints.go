@@ -1,0 +1,222 @@
+package regalloc
+
+import (
+	"math/rand"
+	"sort"
+	"sync"
+
+	"prescount/internal/ir"
+)
+
+// allocOrderCache memoizes the FP allocation orders per file size.
+var allocOrderCache sync.Map // int -> []int
+
+// allocOrder returns the default allocation order of the FP file: a fixed,
+// deterministic permutation of the register indexes.
+//
+// Real ABIs allocate registers grouped by role (argument, temporary,
+// callee-saved), an order that has no correlation with the index-mod-N bank
+// interleaving — which is exactly why the paper's default allocator (`non`)
+// conflicts so often. A plain ascending order would accidentally alternate
+// banks for adjacently-allocated values and make the baseline unrealistically
+// conflict-free, so the model uses a seeded shuffle: deterministic across
+// runs and functions, uncorrelated with bank parity.
+func allocOrder(numRegs int) []int {
+	if v, ok := allocOrderCache.Load(numRegs); ok {
+		return v.([]int)
+	}
+	order := make([]int, numRegs)
+	for i := range order {
+		order[i] = i
+	}
+	rng := rand.New(rand.NewSource(0x5ca1ab1e))
+	rng.Shuffle(len(order), func(i, j int) { order[i], order[j] = order[j], order[i] })
+	allocOrderCache.Store(numRegs, order)
+	return order
+}
+
+// candidates returns the ordered physical-register candidate list for r.
+// The order encodes all hinting: earlier candidates are preferred both for
+// free assignment and for eviction.
+func (a *allocator) candidates(r ir.Reg, c ir.Class) []int {
+	if c == ir.ClassGPR {
+		return sortedRegs(numGPRFile)
+	}
+	switch a.opts.Method {
+	case MethodBPC:
+		return a.bpcCandidates(r)
+	case MethodBCR:
+		return a.bcrCandidates(r)
+	default:
+		return allocOrder(a.opts.Cfg.NumRegs)
+	}
+}
+
+// bpcCandidates orders FP registers for the PresCount method:
+//  1. registers conforming to the assigned bank and (on subgroup files) the
+//     group's subgroup displacement — the Hints of Algorithm 2;
+//  2. the rest of the assigned bank;
+//  3. everything else in index order (keeps the allocator total: the bank
+//     assignment is a strong preference, not a hard constraint, because
+//     breaking it is cheaper than spilling — paper §III-B).
+func (a *allocator) bpcCandidates(r ir.Reg) []int {
+	cfg := a.opts.Cfg
+	// Spill pseudo-registers inherit the bank of the register they stand
+	// in for, so reload/store sites keep the RCG coloring.
+	if parent, ok := a.pseudoParent[r]; ok {
+		r = parent
+	}
+	bank, haveBank := a.opts.BankOf[r]
+	if !haveBank {
+		bank, haveBank = a.opts.FreeHints[r]
+	}
+	if !haveBank {
+		return allocOrder(cfg.NumRegs)
+	}
+	displ := -1
+	if cfg.HasSubgroups() {
+		displ = a.subgroupDispl(r)
+	}
+	seen := make([]bool, cfg.NumRegs)
+	out := make([]int, 0, cfg.NumRegs)
+	add := func(regs []int) {
+		for _, p := range regs {
+			if !seen[p] {
+				seen[p] = true
+				out = append(out, p)
+			}
+		}
+	}
+	if displ >= 0 {
+		add(cfg.RegsConforming(bank, displ))
+	}
+	add(cfg.RegsConforming(bank, -1))
+	// Fallback outside the assigned bank: rather than a blind order, reuse
+	// the per-instruction avoidance of the bcr heuristic, so a broken bank
+	// assignment still dodges the hottest conflict partner.
+	add(a.bcrCandidates(r))
+	return out
+}
+
+// subgroupDispl implements Algorithm 2's displacement bookkeeping: the
+// register's SDG group receives the least-used subgroup the first time any
+// member allocates, and every member afterwards reuses it. Split-generated
+// registers absent from the group map fall back to the least-used subgroup
+// individually.
+func (a *allocator) subgroupDispl(r ir.Reg) int {
+	group, ok := a.opts.SubgroupGroups[r]
+	if !ok {
+		// Handle split-generated or free registers: balance individually.
+		d := a.minUsedSubgroup()
+		a.usage[d]++
+		return d
+	}
+	if d, ok := a.res.GroupDispl[group]; ok {
+		return d
+	}
+	d := a.minUsedSubgroup()
+	a.res.GroupDispl[group] = d
+	// Increase the usage of the subgroup by the group's size.
+	size := 0
+	for _, g := range a.opts.SubgroupGroups {
+		if g == group {
+			size++
+		}
+	}
+	a.usage[d] += size
+	return d
+}
+
+func (a *allocator) minUsedSubgroup() int {
+	best := 0
+	for s := 1; s < len(a.usage); s++ {
+		if a.usage[s] < a.usage[best] {
+			best = s
+		}
+	}
+	return best
+}
+
+// bcrCandidates implements the Intel-GC-style baseline: when allocating r,
+// look at ONE conflict-relevant instruction using r — the hottest site —
+// and prefer free registers outside the banks of that instruction's
+// already-assigned partner operands. Restricting the hint to a single
+// instruction is the paper's stated limitation of the bcr heuristic ("it
+// does not model bank conflict restrictions more than a single
+// instruction", §V); registers read by several instructions with different
+// partners therefore keep residual conflicts that the RCG-based bpc
+// removes. The hint never forces anything: if every bank is "bad",
+// allocation proceeds in default order (bcr avoids spills at the price of
+// conflicts, §IV-A2).
+func (a *allocator) bcrCandidates(r ir.Reg) []int {
+	cfg := a.opts.Cfg
+	if parent, ok := a.pseudoParent[r]; ok {
+		r = parent
+	}
+	site := a.hottestConflictSite(r)
+	avoid := make([]bool, cfg.NumBanks)
+	any := false
+	if site != nil {
+		for i, u := range site.Uses {
+			if site.Op.UseClass(i) != ir.ClassFP || u == r || !u.IsVirt() {
+				continue
+			}
+			if p, ok := a.assignment[u]; ok {
+				avoid[cfg.Bank(p)] = true
+				any = true
+			}
+		}
+	}
+	all := allocOrder(cfg.NumRegs)
+	if !any {
+		return all
+	}
+	good := make([]int, 0, cfg.NumRegs)
+	bad := make([]int, 0, cfg.NumRegs)
+	for _, p := range all {
+		if avoid[cfg.Bank(p)] {
+			bad = append(bad, p)
+		} else {
+			good = append(good, p)
+		}
+	}
+	return append(good, bad...)
+}
+
+// hottestConflictSite returns the conflict-relevant instruction reading r
+// whose enclosing block has the highest estimated frequency (the site a
+// single-instruction heuristic would optimize for), or nil.
+func (a *allocator) hottestConflictSite(r ir.Reg) *ir.Instr {
+	if a.conflictSites == nil {
+		a.conflictSites = map[ir.Reg]*ir.Instr{}
+		bestCost := map[ir.Reg]float64{}
+		for _, b := range a.f.Blocks {
+			cost := a.cf.InstrCost(b)
+			for _, in := range b.Instrs {
+				if !in.Op.IsConflictRelevant() {
+					continue
+				}
+				for i, u := range in.Uses {
+					if in.Op.UseClass(i) != ir.ClassFP || !u.IsVirt() {
+						continue
+					}
+					if _, seen := a.conflictSites[u]; !seen || cost > bestCost[u] {
+						a.conflictSites[u] = in
+						bestCost[u] = cost
+					}
+				}
+			}
+		}
+	}
+	return a.conflictSites[r]
+}
+
+// banksSorted returns bank indexes ordered ascending (helper for tests).
+func banksSorted(n int) []int {
+	out := make([]int, n)
+	for i := range out {
+		out[i] = i
+	}
+	sort.Ints(out)
+	return out
+}

@@ -1,0 +1,195 @@
+package regalloc
+
+import (
+	"testing"
+
+	"prescount/internal/assign"
+	"prescount/internal/bankfile"
+	"prescount/internal/cfg"
+	"prescount/internal/conflict"
+	"prescount/internal/ir"
+	"prescount/internal/liveness"
+	"prescount/internal/rcg"
+	"prescount/internal/sim"
+)
+
+func runLinear(t *testing.T, f *ir.Func, cfgFile bankfile.Config, m Method) (*Result, *ir.Func) {
+	t.Helper()
+	opts := Options{Cfg: cfgFile, Method: m}
+	if m == MethodBPC {
+		cf := cfg.Compute(f)
+		lv := liveness.Compute(f, cf)
+		g := rcg.Build(f, cf)
+		res := assign.PresCount(f, g, lv, cfgFile, assign.Options{})
+		opts.BankOf = res.BankOf
+		opts.FreeHints = res.FreeHints
+	}
+	r, err := RunLinearScan(f, opts)
+	if err != nil {
+		t.Fatalf("RunLinearScan(%v): %v", m, err)
+	}
+	if err := f.Verify(); err != nil {
+		t.Fatalf("Verify: %v", err)
+	}
+	allPhysical(t, f)
+	return r, f
+}
+
+// widePressure builds a function with init stores, long-lived values and a
+// final checksum store so simulation is meaningful.
+func widePressure(n int) *ir.Func {
+	bd := ir.NewBuilder("wide")
+	base := bd.IConst(0)
+	for i := 0; i < 16; i++ {
+		c := bd.FConst(float64(i) + 1)
+		bd.FStore(c, base, int64(i))
+	}
+	var vals []ir.Reg
+	for i := 0; i < n; i++ {
+		vals = append(vals, bd.FLoad(base, int64(i%16)))
+	}
+	sum := vals[0]
+	for _, v := range vals[1:] {
+		sum = bd.FAdd(sum, v)
+	}
+	bd.FStore(sum, base, 20)
+	bd.Ret()
+	return bd.Func()
+}
+
+func TestLinearScanAllocates(t *testing.T) {
+	for _, m := range []Method{MethodNon, MethodBPC} {
+		res, _ := runLinear(t, widePressure(8), bankfile.RV2(2), m)
+		if res.SpilledVRegs != 0 {
+			t.Errorf("%v: unexpected spills %d", m, res.SpilledVRegs)
+		}
+	}
+}
+
+func TestLinearScanRejectsBCR(t *testing.T) {
+	_, err := RunLinearScan(widePressure(4), Options{Cfg: bankfile.RV2(2), Method: MethodBCR})
+	if err == nil {
+		t.Fatal("linear scan accepted the bcr method")
+	}
+}
+
+func TestLinearScanSpillsUnderPressure(t *testing.T) {
+	// 40 live values, 32 registers minus 3 scratch: must spill.
+	res, f := runLinear(t, widePressure(40), bankfile.RV2(2), MethodNon)
+	if res.SpilledVRegs == 0 {
+		t.Fatal("expected spills")
+	}
+	if res.SpillStores == 0 || res.SpillReloads == 0 {
+		t.Error("missing spill code")
+	}
+	// Scratch registers must carry the reloads.
+	found := false
+	for _, b := range f.Blocks {
+		for _, in := range b.Instrs {
+			if in.Op == ir.OpFReload {
+				found = true
+			}
+		}
+	}
+	if !found {
+		t.Error("no reload instructions emitted")
+	}
+}
+
+func TestLinearScanPreservesSemantics(t *testing.T) {
+	for _, n := range []int{8, 30, 40, 64} {
+		orig := widePressure(n)
+		ref, err := sim.Run(orig, sim.Options{MemSize: 64})
+		if err != nil {
+			t.Fatal(err)
+		}
+		work := orig.Clone()
+		_, af := runLinear(t, work, bankfile.RV2(2), MethodBPC)
+		got, err := sim.Run(af, sim.Options{MemSize: 64, File: bankfile.RV2(2)})
+		if err != nil {
+			t.Fatalf("n=%d: %v", n, err)
+		}
+		if got.MemChecksum != ref.MemChecksum {
+			t.Errorf("n=%d: linear scan changed semantics", n)
+		}
+	}
+}
+
+func TestLinearScanBPCHonorsBanks(t *testing.T) {
+	bd := ir.NewBuilder("pair")
+	base := bd.IConst(0)
+	x := bd.FLoad(base, 0)
+	y := bd.FLoad(base, 1)
+	s := bd.FAdd(x, y)
+	bd.FStore(s, base, 2)
+	bd.Ret()
+	f := bd.Func()
+	cfgFile := bankfile.RV2(2)
+	res, af := runLinear(t, f, cfgFile, MethodBPC)
+	if res.BankBreaks != 0 {
+		t.Errorf("bank breaks = %d", res.BankBreaks)
+	}
+	r := conflict.Analyze(af, cfgFile)
+	if r.StaticConflicts != 0 {
+		t.Errorf("bpc linear scan left %d conflicts", r.StaticConflicts)
+	}
+}
+
+func TestLinearScanBPCReducesConflicts(t *testing.T) {
+	// Shared-coefficient pattern where bank hints matter.
+	mk := func() *ir.Func {
+		bd := ir.NewBuilder("coef")
+		base := bd.IConst(0)
+		for i := 0; i < 16; i++ {
+			c := bd.FConst(float64(i + 1))
+			bd.FStore(c, base, int64(i))
+		}
+		var coefs []ir.Reg
+		for i := 0; i < 6; i++ {
+			coefs = append(coefs, bd.FLoad(base, int64(i)))
+		}
+		sum := bd.FConst(0)
+		bd.Loop(8, 1, func(ir.Reg) {
+			for u := 0; u < 6; u++ {
+				x := bd.FLoad(base, int64(8+u))
+				p := bd.FMul(coefs[u], x)
+				q := bd.FMul(coefs[(u+1)%6], p)
+				s := bd.FAdd(sum, q)
+				bd.Assign(sum, s)
+			}
+		})
+		bd.FStore(sum, base, 30)
+		bd.Ret()
+		return bd.Func()
+	}
+	cfgFile := bankfile.RV2(2)
+	_, fn := runLinear(t, mk(), cfgFile, MethodNon)
+	_, fb := runLinear(t, mk(), cfgFile, MethodBPC)
+	cn := conflict.Analyze(fn, cfgFile).StaticConflicts
+	cb := conflict.Analyze(fb, cfgFile).StaticConflicts
+	if cb > cn {
+		t.Errorf("bpc hints under linear scan made things worse: %d > %d", cb, cn)
+	}
+	if cn == 0 {
+		t.Log("baseline had no conflicts; hint benefit unobservable on this seed")
+	}
+}
+
+func TestLinearScanTooSmallFile(t *testing.T) {
+	_, err := RunLinearScan(widePressure(4), Options{
+		Cfg: bankfile.Config{NumRegs: 2, NumBanks: 2, NumSubgroups: 1, ReadPorts: 1},
+	})
+	if err == nil {
+		t.Fatal("accepted a file smaller than the scratch set")
+	}
+}
+
+func TestLinearScanDeterministic(t *testing.T) {
+	f1 := widePressure(40)
+	f2 := widePressure(40)
+	runLinear(t, f1, bankfile.RV2(2), MethodNon)
+	runLinear(t, f2, bankfile.RV2(2), MethodNon)
+	if ir.Print(f1) != ir.Print(f2) {
+		t.Error("linear scan not deterministic")
+	}
+}

@@ -1,0 +1,507 @@
+// Package regalloc implements the Enhanced Register Allocation phase of the
+// paper's Figure 4: a greedy live-interval register allocator in the style
+// of LLVM's RAGreedy, extended with
+//
+//   - bank assignment constraints produced by the PresCount assigner
+//     (internal/assign), honored through candidate ordering ("hints");
+//   - the bcr baseline's per-instruction greedy bank hinting (mimicking the
+//     Intel Graphics Compiler heuristic the paper compares against);
+//   - subgroup displacement bookkeeping for the DSA's bank-subgroup file
+//     (Algorithm 2): groups of registers connected in the SDG receive one
+//     subgroup displacement, chosen as the least-used subgroup, and the
+//     allocator prefers physical registers conforming to (bank, displ).
+//
+// The allocator assigns FP and GPR classes independently and evicts
+// lower-weight intervals when beneficial. When an interval cannot be
+// placed, it is first considered for live-range splitting around a loop
+// (a pinned child register serves the loop region); otherwise it spills,
+// with region-based reload placement (consecutive uses share one reload)
+// and rematerialization for constants. All spill and split code is planned
+// during allocation over a stable slot-index space and materialized in a
+// single rewrite at the end.
+package regalloc
+
+import (
+	"container/heap"
+	"fmt"
+	"math"
+	"sort"
+
+	"prescount/internal/bankfile"
+	"prescount/internal/cfg"
+	"prescount/internal/ir"
+	"prescount/internal/liveness"
+)
+
+// Method selects the bank-conflict mitigation strategy of the allocator.
+type Method int
+
+const (
+	// MethodNon is the default allocation with no bank awareness.
+	MethodNon Method = iota
+	// MethodBCR applies greedy per-instruction bank hinting at allocation
+	// time (the Intel-GC-style baseline).
+	MethodBCR
+	// MethodBPC consumes the PresCount pre-allocation bank assignment.
+	MethodBPC
+	// MethodBRC allocates like MethodNon and relies on a post-allocation
+	// register renumbering pass (internal/renumber) applied by the
+	// pipeline — the Patney/LTRF-style baseline of the paper's figures.
+	MethodBRC
+)
+
+// String returns the paper's name for the method.
+func (m Method) String() string {
+	switch m {
+	case MethodBCR:
+		return "bcr"
+	case MethodBPC:
+		return "bpc"
+	case MethodBRC:
+		return "brc"
+	default:
+		return "non"
+	}
+}
+
+// Options configures one allocation run.
+type Options struct {
+	// Cfg is the FP register file configuration.
+	Cfg bankfile.Config
+	// Method selects non/bcr/bpc behaviour.
+	Method Method
+	// BankOf is the PresCount bank assignment for RCG registers (bpc only).
+	BankOf map[ir.Reg]int
+	// FreeHints is the PresCount balancing hint for RCG-absent registers
+	// (bpc only).
+	FreeHints map[ir.Reg]int
+	// SubgroupGroups maps FP vregs to their SDG group id; enables
+	// Algorithm 2 subgroup displacement bookkeeping when Cfg.HasSubgroups.
+	SubgroupGroups map[ir.Reg]int
+}
+
+// Result reports the allocation outcome. After Run the function is fully
+// rewritten onto physical registers.
+type Result struct {
+	// LoopSplits counts live ranges split around a loop instead of
+	// spilled.
+	LoopSplits int
+	// SpilledVRegs is the number of virtual registers sent to stack slots
+	// (both classes).
+	SpilledVRegs int
+	// SpillStores and SpillReloads count inserted spill/reload
+	// instructions.
+	SpillStores, SpillReloads int
+	// Evictions counts interval evictions.
+	Evictions int
+	// Remats counts spilled registers handled by rematerializing their
+	// constant instead of a stack slot.
+	Remats int
+	// BankBreaks counts FP intervals that could not be placed in their
+	// PresCount-assigned bank.
+	BankBreaks int
+	// AssignedBank maps original FP vregs to the bank they landed in.
+	AssignedBank map[ir.Reg]int
+	// GroupDispl maps SDG group id to its chosen subgroup displacement.
+	GroupDispl map[int]int
+}
+
+// numGPRFile is the GPR file size used for the scalar class.
+const numGPRFile = ir.NumGPR
+
+// Run allocates f onto physical registers in place and returns statistics.
+func Run(f *ir.Func, opts Options) (*Result, error) {
+	opts.Cfg = opts.Cfg.Normalize()
+	if err := opts.Cfg.Validate(); err != nil {
+		return nil, err
+	}
+	a := &allocator{
+		f:    f,
+		opts: opts,
+		res: &Result{
+			AssignedBank: map[ir.Reg]int{},
+			GroupDispl:   map[int]int{},
+		},
+		assignment: map[ir.Reg]int{},
+		spillSlot:  map[ir.Reg]int{},
+		usage:      make([]int, opts.Cfg.NumSubgroups),
+	}
+	if err := a.run(); err != nil {
+		return nil, err
+	}
+	return a.res, nil
+}
+
+type allocator struct {
+	f    *ir.Func
+	opts Options
+	res  *Result
+
+	cf *cfg.Info
+	lv *liveness.Info
+
+	// unions[class][phys] is the interval union occupying one physical
+	// register of the class.
+	fpUnions  []*liveness.Union
+	gprUnions []*liveness.Union
+
+	// assignment maps vreg -> physical index within its class file.
+	assignment map[ir.Reg]int
+	// intervals can be overridden for spill pseudo-registers whose ranges
+	// are synthesized rather than computed.
+	override map[ir.Reg]*liveness.Interval
+	// weight overrides (spill children are infinite).
+	weightOverride map[ir.Reg]float64
+	// spillSlot maps spilled vreg -> stack slot.
+	spillSlot map[ir.Reg]int
+	// sitePseudo maps (instr, spilled vreg, isDef) -> pseudo vreg.
+	sitePseudo map[siteKey]ir.Reg
+	// spilled marks vregs already spilled (cannot spill twice).
+	spilled map[ir.Reg]bool
+	// remat maps rematerializable spilled vregs to their constant-producing
+	// definition.
+	remat map[ir.Reg]*ir.Instr
+	// pseudoParent maps a spill pseudo-register to the spilled register it
+	// stands in for; hint lookups resolve through it (the paper's
+	// Algorithm 2 handles such allocator-created registers explicitly).
+	pseudoParent map[ir.Reg]ir.Reg
+	// spanMembers maps a span pseudo to the instructions it serves;
+	// firstReload marks the site that emits the span's single reload.
+	spanMembers map[ir.Reg][]*ir.Instr
+	firstReload map[siteKey]bool
+	// splits records committed loop splits per parent register; splitDone
+	// limits each register to a single split.
+	splits    map[ir.Reg][]splitPlan
+	splitDone map[ir.Reg]bool
+
+	// subgroup bookkeeping (Algorithm 2).
+	usage []int // per-subgroup accumulated usage
+
+	// conflictSites caches each register's hottest conflict-relevant
+	// instruction for the bcr heuristic (built lazily).
+	conflictSites map[ir.Reg]*ir.Instr
+
+	// fixedFP and fixedGPR hold per-physical-register clobber intervals
+	// from call sites: caller-saved registers are unavailable to any
+	// interval that spans a call, forcing long-lived values into the
+	// callee-saved subset or onto the stack.
+	fixedFP, fixedGPR []*liveness.Interval
+
+	queue *workQueue
+}
+
+type siteKey struct {
+	in    *ir.Instr
+	vreg  ir.Reg
+	isDef bool
+}
+
+func (a *allocator) run() error {
+	a.cf = cfg.Compute(a.f)
+	a.lv = liveness.Compute(a.f, a.cf)
+	a.override = map[ir.Reg]*liveness.Interval{}
+	a.weightOverride = map[ir.Reg]float64{}
+	a.sitePseudo = map[siteKey]ir.Reg{}
+	a.spilled = map[ir.Reg]bool{}
+	a.remat = map[ir.Reg]*ir.Instr{}
+	a.pseudoParent = map[ir.Reg]ir.Reg{}
+	a.spanMembers = map[ir.Reg][]*ir.Instr{}
+	a.firstReload = map[siteKey]bool{}
+	a.splits = map[ir.Reg][]splitPlan{}
+	a.splitDone = map[ir.Reg]bool{}
+
+	a.fpUnions = make([]*liveness.Union, a.opts.Cfg.NumRegs)
+	for i := range a.fpUnions {
+		a.fpUnions[i] = liveness.NewUnion()
+	}
+	a.gprUnions = make([]*liveness.Union, numGPRFile)
+	for i := range a.gprUnions {
+		a.gprUnions[i] = liveness.NewUnion()
+	}
+	a.buildFixedClobbers()
+
+	a.queue = newWorkQueue()
+	for idx := range a.f.VRegs {
+		r := ir.VReg(idx)
+		iv := a.intervalOf(r)
+		if iv == nil || iv.Empty() {
+			continue
+		}
+		a.queue.push(r, a.priorityOf(r))
+	}
+
+	guard := 0
+	maxSteps := 50 * (len(a.f.VRegs) + 10) * (a.opts.Cfg.NumRegs + numGPRFile)
+	for a.queue.Len() > 0 {
+		guard++
+		if guard > maxSteps {
+			return fmt.Errorf("regalloc: %s: allocation did not converge", a.f.Name)
+		}
+		r := a.queue.pop()
+		if _, done := a.assignment[r]; done {
+			continue
+		}
+		if err := a.assignOne(r); err != nil {
+			return err
+		}
+	}
+	a.materialize()
+	return a.f.Verify()
+}
+
+// buildFixedClobbers records, for every caller-saved physical register, a
+// one-slot clobber interval at each call site.
+func (a *allocator) buildFixedClobbers() {
+	a.fixedFP = make([]*liveness.Interval, a.opts.Cfg.NumRegs)
+	a.fixedGPR = make([]*liveness.Interval, numGPRFile)
+	var callSlots []int
+	for _, b := range a.f.Blocks {
+		for i, in := range b.Instrs {
+			if in.Op == ir.OpCall {
+				callSlots = append(callSlots, a.lv.ReadSlot(b, i))
+			}
+		}
+	}
+	if len(callSlots) == 0 {
+		return
+	}
+	mk := func() *liveness.Interval {
+		iv := &liveness.Interval{}
+		for _, s := range callSlots {
+			iv.Add(s, s+1)
+		}
+		return iv
+	}
+	for p := 0; p < a.opts.Cfg.NumRegs; p++ {
+		if ir.CallerSavedFPR(p, a.opts.Cfg.NumRegs) {
+			a.fixedFP[p] = mk()
+		}
+	}
+	for p := 0; p < numGPRFile; p++ {
+		if ir.CallerSavedGPR(p) {
+			a.fixedGPR[p] = mk()
+		}
+	}
+}
+
+// fixedOf returns the clobber interval of a physical register (nil if the
+// register is callee-saved or there are no calls).
+func (a *allocator) fixedOf(c ir.Class, p int) *liveness.Interval {
+	if c == ir.ClassFP {
+		return a.fixedFP[p]
+	}
+	return a.fixedGPR[p]
+}
+
+// spansCall reports whether the interval overlaps any call-site clobber.
+func (a *allocator) spansCall(c ir.Class, iv *liveness.Interval) bool {
+	// Every caller-saved register carries the same clobber interval; probe
+	// the first one of the class.
+	fixed := a.fixedFP
+	if c == ir.ClassGPR {
+		fixed = a.fixedGPR
+	}
+	for _, fx := range fixed {
+		if fx != nil {
+			return fx.Overlaps(iv)
+		}
+	}
+	return false
+}
+
+func (a *allocator) classOf(r ir.Reg) ir.Class { return a.f.VRegs[r.VirtIndex()].Class }
+
+func (a *allocator) unions(c ir.Class) []*liveness.Union {
+	if c == ir.ClassFP {
+		return a.fpUnions
+	}
+	return a.gprUnions
+}
+
+func (a *allocator) intervalOf(r ir.Reg) *liveness.Interval {
+	if iv, ok := a.override[r]; ok {
+		return iv
+	}
+	if r.VirtIndex() < len(a.lv.Intervals) {
+		return a.lv.Intervals[r.VirtIndex()]
+	}
+	return nil
+}
+
+func (a *allocator) weightOf(r ir.Reg) float64 {
+	if w, ok := a.weightOverride[r]; ok {
+		return w
+	}
+	iv := a.intervalOf(r)
+	if iv == nil {
+		return 0
+	}
+	return iv.Weight
+}
+
+// priorityOf is the allocation-queue key: long intervals first (LLVM
+// RAGreedy's global-before-local ordering), with spill pseudo-registers at
+// the very front. Priority deliberately differs from the eviction weight —
+// that difference is what lets a hot, short interval arriving late evict a
+// long, cold one allocated early.
+func (a *allocator) priorityOf(r ir.Reg) float64 {
+	if w, ok := a.weightOverride[r]; ok {
+		return w // spill pseudos: +Inf, handled immediately
+	}
+	iv := a.intervalOf(r)
+	if iv == nil {
+		return 0
+	}
+	return float64(iv.Size())
+}
+
+// assignOne places one virtual register: free candidate, then eviction,
+// then spilling.
+func (a *allocator) assignOne(r ir.Reg) error {
+	c := a.classOf(r)
+	iv := a.intervalOf(r)
+	unions := a.unions(c)
+	cands := a.candidates(r, c)
+	// CSR-aware ordering: an interval crossing a call can only live in
+	// callee-saved registers, so try those first (stable within each
+	// group) instead of burning through doomed caller-saved candidates.
+	if a.spansCall(c, iv) {
+		callee := make([]int, 0, len(cands))
+		caller := make([]int, 0, len(cands))
+		for _, p := range cands {
+			if a.fixedOf(c, p) != nil {
+				caller = append(caller, p)
+			} else {
+				callee = append(callee, p)
+			}
+		}
+		cands = append(callee, caller...)
+	}
+
+	// Stage 1: first free candidate (callee-saved availability included:
+	// a caller-saved register is unusable for intervals spanning a call).
+	for _, p := range cands {
+		if fx := a.fixedOf(c, p); fx != nil && fx.Overlaps(iv) {
+			continue
+		}
+		if !unions[p].HasConflict(iv) {
+			a.place(r, c, p)
+			return nil
+		}
+	}
+
+	// Stage 2: eviction. Choose the candidate whose interfering intervals
+	// all weigh strictly less than r, minimizing the evicted weight sum.
+	w := a.weightOf(r)
+	bestP := -1
+	bestCost := math.Inf(1)
+	var bestVictims []ir.Reg
+	for _, p := range cands {
+		if fx := a.fixedOf(c, p); fx != nil && fx.Overlaps(iv) {
+			continue // call clobbers are not evictable
+		}
+		victims := unions[p].ConflictsWith(iv)
+		ok := true
+		cost := 0.0
+		var vs []ir.Reg
+		for _, v := range victims {
+			vr := v.(ir.Reg)
+			vw := a.weightOf(vr)
+			if vw >= w {
+				ok = false
+				break
+			}
+			cost += vw
+			vs = append(vs, vr)
+		}
+		if ok && cost < bestCost {
+			bestP, bestCost, bestVictims = p, cost, vs
+		}
+	}
+	if bestP >= 0 {
+		for _, v := range bestVictims {
+			a.evict(v, c, bestP)
+		}
+		a.place(r, c, bestP)
+		return nil
+	}
+
+	// Stage 3: spill. A span pseudo that cannot be placed is demoted to
+	// per-use pseudos; a per-use pseudo that cannot be placed is a bug
+	// (its one-slot interval conflicts with at most an instruction's worth
+	// of other pseudos).
+	if a.weightOf(r) == math.Inf(1) {
+		if a.demoteSpan(r) {
+			return nil
+		}
+		return fmt.Errorf("regalloc: %s: unassignable spill pseudo-register %v", a.f.Name, r)
+	}
+	// Stage 3a: live-range splitting around a loop, the cheaper remedy the
+	// paper's Enhanced RA applies before committing to memory traffic.
+	if a.trySplitAroundLoop(r, c) {
+		return nil
+	}
+	a.spill(r, c)
+	return nil
+}
+
+func (a *allocator) place(r ir.Reg, c ir.Class, p int) {
+	a.assignment[r] = p
+	a.unions(c)[p].Insert(r, a.intervalOf(r))
+	if c == ir.ClassFP {
+		a.res.AssignedBank[r] = a.opts.Cfg.Bank(p)
+		if a.opts.Method == MethodBPC {
+			if want, ok := a.opts.BankOf[r]; ok && want != a.opts.Cfg.Bank(p) {
+				a.res.BankBreaks++
+			}
+		}
+	}
+}
+
+func (a *allocator) evict(r ir.Reg, c ir.Class, p int) {
+	a.unions(c)[p].Remove(r)
+	delete(a.assignment, r)
+	delete(a.res.AssignedBank, r)
+	a.res.Evictions++
+	a.queue.push(r, a.priorityOf(r))
+}
+
+// workQueue is a max-heap over (weight, then smaller register first).
+type workQueue struct{ items []queueItem }
+
+type queueItem struct {
+	r ir.Reg
+	w float64
+}
+
+func newWorkQueue() *workQueue { return &workQueue{} }
+
+func (q *workQueue) Len() int { return len(q.items) }
+func (q *workQueue) Less(i, j int) bool {
+	if q.items[i].w != q.items[j].w {
+		return q.items[i].w > q.items[j].w
+	}
+	return q.items[i].r < q.items[j].r
+}
+func (q *workQueue) Swap(i, j int) { q.items[i], q.items[j] = q.items[j], q.items[i] }
+func (q *workQueue) Push(x interface{}) {
+	q.items = append(q.items, x.(queueItem))
+}
+func (q *workQueue) Pop() interface{} {
+	it := q.items[len(q.items)-1]
+	q.items = q.items[:len(q.items)-1]
+	return it
+}
+
+func (q *workQueue) push(r ir.Reg, w float64) { heap.Push(q, queueItem{r, w}) }
+func (q *workQueue) pop() ir.Reg              { return heap.Pop(q).(queueItem).r }
+
+// sortedRegs returns 0..n-1; kept as a helper for candidate building.
+func sortedRegs(n int) []int {
+	out := make([]int, n)
+	for i := range out {
+		out[i] = i
+	}
+	sort.Ints(out)
+	return out
+}

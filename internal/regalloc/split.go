@@ -1,0 +1,264 @@
+package regalloc
+
+import (
+	"math"
+
+	"prescount/internal/cfg"
+	"prescount/internal/ir"
+	"prescount/internal/liveness"
+)
+
+// splitPlan records one committed live-range split: uses of parent inside
+// [start, end) are served by child, which receives its value from a copy
+// (or reload, if the parent later spills) inserted in the preheader.
+type splitPlan struct {
+	parent, child ir.Reg
+	start, end    int
+	preheader     *ir.Block
+}
+
+// trySplitAroundLoop is the allocator's last resort before spilling a
+// register: if r is live through a loop, is used inside it, and is neither
+// defined there nor crossing a call there, the loop region is split off
+// into a fresh child register. The child is placed immediately (the split
+// aborts if no register is free for the loop range), inherits r's bank and
+// subgroup through the pseudoParent map — the paper's requirement that
+// split-generated registers keep their assignment (Algorithm 2) — and the
+// shrunken parent goes back on the queue, where it often fits or, at
+// worst, spills only its cold remainder.
+func (a *allocator) trySplitAroundLoop(r ir.Reg, c ir.Class) bool {
+	if _, isChild := a.pseudoParent[r]; isChild {
+		return false // split/spill products are never re-split
+	}
+	if a.splitDone[r] {
+		return false // one split per register keeps ranges disjoint
+	}
+	iv := a.intervalOf(r)
+	if iv == nil || iv.Empty() {
+		return false
+	}
+
+	best := a.pickSplitLoop(r, iv)
+	if best == nil {
+		return false
+	}
+	ls, le := a.loopRange(best)
+
+	// Build the child interval and verify it can be placed right now in a
+	// free register; otherwise splitting would only defer a spill.
+	child := a.f.NewVReg(c)
+	civ := &liveness.Interval{}
+	civ.Add(ls, le)
+	civ.Weight = iv.Weight
+	a.override[child] = civ
+	a.weightOverride[child] = math.Inf(1) // placed once, never evicted
+	a.pseudoParent[child] = r
+
+	// The child is pinned (never evicted), so committing it must leave
+	// spare capacity in the loop region for spill pseudo-registers of
+	// other values: an instruction can demand up to three reloads plus a
+	// store at once.
+	const reserve = 4
+	phys, free := -1, 0
+	for _, p := range a.candidates(child, c) {
+		if fx := a.fixedOf(c, p); fx != nil && fx.Overlaps(civ) {
+			continue
+		}
+		if !a.unions(c)[p].HasConflict(civ) {
+			if phys < 0 {
+				phys = p
+			}
+			free++
+			if free > reserve {
+				break
+			}
+		}
+	}
+	if phys < 0 || free <= reserve {
+		// Abort: undo the tentative child.
+		delete(a.override, child)
+		delete(a.weightOverride, child)
+		delete(a.pseudoParent, child)
+		return false
+	}
+	a.place(child, c, phys)
+
+	// Shrink the parent to its cold remainder and requeue it.
+	reduced := subtractRange(iv, ls, le)
+	reduced.Weight = iv.Weight
+	reduced.NumUses = iv.NumUses
+	a.override[r] = reduced
+	a.splitDone[r] = true
+	a.splits[r] = append(a.splits[r], splitPlan{
+		parent:    r,
+		child:     child,
+		start:     ls,
+		end:       le,
+		preheader: a.preheaderOf(best),
+	})
+	a.res.LoopSplits++
+	if !reduced.Empty() {
+		a.queue.push(r, a.priorityOf(r))
+	}
+	return true
+}
+
+// pickSplitLoop returns the hottest loop suitable for splitting r, or nil.
+func (a *allocator) pickSplitLoop(r ir.Reg, iv *liveness.Interval) *cfg.Loop {
+	var best *cfg.Loop
+	bestFreq := 0.0
+	var visit func(l *cfg.Loop)
+	visit = func(l *cfg.Loop) {
+		for _, child := range l.Children {
+			visit(child)
+		}
+		ls, le := a.loopRange(l)
+		if !a.splitSuitable(r, iv, l, ls, le) {
+			return
+		}
+		f := a.cf.Freq(l.Header)
+		if f > bestFreq {
+			best, bestFreq = l, f
+		}
+	}
+	for _, l := range a.cf.Loops {
+		visit(l)
+	}
+	return best
+}
+
+// loopRange returns the slot range covering every block of the loop.
+func (a *allocator) loopRange(l *cfg.Loop) (int, int) {
+	ls, le := math.MaxInt32, 0
+	for id := range l.Blocks {
+		s, e := a.lv.BlockRange(a.f.Blocks[id])
+		if s < ls {
+			ls = s
+		}
+		if e > le {
+			le = e
+		}
+	}
+	return ls, le
+}
+
+// splitSuitable checks the structural preconditions for splitting r around
+// loop l with slot range [ls, le).
+func (a *allocator) splitSuitable(r ir.Reg, iv *liveness.Interval, l *cfg.Loop, ls, le int) bool {
+	// Live through the whole loop, with something left outside.
+	if !iv.Covers(ls) || !iv.Covers(le-1) || iv.Start() >= ls || iv.End() <= le {
+		return false
+	}
+	if a.preheaderOf(l) == nil {
+		return false
+	}
+	usesIn := 0
+	for id := range l.Blocks {
+		b := a.f.Blocks[id]
+		for i, in := range b.Instrs {
+			_ = i
+			if in.Op == ir.OpCall {
+				return false // child would need a callee-saved register anyway
+			}
+			for _, d := range in.Defs {
+				if d == r {
+					return false // value changes inside: copy-back needed
+				}
+			}
+			for _, u := range in.Uses {
+				if u == r {
+					usesIn++
+				}
+			}
+		}
+	}
+	return usesIn > 0
+}
+
+// preheaderOf returns the unique out-of-loop predecessor of the loop
+// header, or nil.
+func (a *allocator) preheaderOf(l *cfg.Loop) *ir.Block {
+	var pre *ir.Block
+	for _, p := range l.Header.Preds {
+		if l.Blocks[p.ID] {
+			continue
+		}
+		if pre != nil {
+			return nil // multiple entries
+		}
+		pre = p
+	}
+	return pre
+}
+
+// subtractRange returns a copy of iv with [start, end) removed.
+func subtractRange(iv *liveness.Interval, start, end int) *liveness.Interval {
+	out := &liveness.Interval{}
+	for _, s := range iv.Segments {
+		if s.End <= start || s.Start >= end {
+			out.Add(s.Start, s.End)
+			continue
+		}
+		if s.Start < start {
+			out.Add(s.Start, start)
+		}
+		if s.End > end {
+			out.Add(end, s.End)
+		}
+	}
+	return out
+}
+
+// splitRangeFor returns the child register serving a use of r at the given
+// slot, or NoReg.
+func (a *allocator) splitChildAt(r ir.Reg, slot int) ir.Reg {
+	for _, sp := range a.splits[r] {
+		if slot >= sp.start && slot < sp.end {
+			return sp.child
+		}
+	}
+	return ir.NoReg
+}
+
+// materializeSplits inserts the preheader copies for every committed
+// split. Runs inside materialize, after operand rewriting: if the parent
+// kept a register the copy is a register move; if the parent spilled, the
+// child is initialized straight from the stack slot (or by
+// rematerializing the constant).
+func (a *allocator) materializeSplits() {
+	for _, plans := range a.splits {
+		for _, sp := range plans {
+			childPhys := a.physOf(sp.child)
+			var init *ir.Instr
+			switch {
+			case !a.spilled[sp.parent]:
+				op := ir.OpFMov
+				if a.classOf(sp.parent) == ir.ClassGPR {
+					op = ir.OpIMov
+				}
+				init = &ir.Instr{Op: op, Defs: []ir.Reg{childPhys}, Uses: []ir.Reg{a.physOf(sp.parent)}}
+			case a.remat[sp.parent] != nil:
+				def := a.remat[sp.parent]
+				init = &ir.Instr{Op: def.Op, Defs: []ir.Reg{childPhys}, Imm: def.Imm, FImm: def.FImm}
+			default:
+				op := ir.OpFReload
+				if a.classOf(sp.parent) == ir.ClassGPR {
+					op = ir.OpIReload
+				}
+				init = &ir.Instr{Op: op, Defs: []ir.Reg{childPhys}, Imm: int64(a.spillSlot[sp.parent])}
+				a.res.SpillReloads++
+			}
+			term := len(sp.preheader.Instrs) - 1
+			sp.preheader.InsertBefore(term, init)
+		}
+	}
+}
+
+// physOf encodes the physical register assigned to a virtual register.
+func (a *allocator) physOf(r ir.Reg) ir.Reg {
+	p := a.assignment[r]
+	if a.classOf(r) == ir.ClassFP {
+		return ir.FReg(p)
+	}
+	return ir.XReg(p)
+}

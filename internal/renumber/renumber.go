@@ -1,0 +1,219 @@
+// Package renumber implements the post-allocation bank-conflict mitigation
+// the paper calls brc and discusses in Related Work (Patney et al.'s
+// register renumbering, LTRF's interval renumbering): after ordinary
+// register allocation, physical registers are globally permuted so that
+// registers read together land in different banks.
+//
+// A global permutation is a pure renaming — no copies, no spills, no
+// live-range work — which is exactly both its appeal and the limitation the
+// paper criticizes: the post-allocation Register Conflict Graph is built
+// over *physical* registers, so every virtual register that shared a
+// physical register contributes edges to the same node, making the graph
+// much harder to color than the pre-allocation RCG (paper §V). The pass
+// therefore removes the easy conflicts and leaves the aggregated ones.
+package renumber
+
+import (
+	"sort"
+
+	"prescount/internal/bankfile"
+	"prescount/internal/cfg"
+	"prescount/internal/ir"
+)
+
+// Stats reports the renumbering outcome.
+type Stats struct {
+	// Renamed is the number of physical registers whose index changed.
+	Renamed int
+	// Nodes is the size of the physical-register conflict graph.
+	Nodes int
+	// OverflowNodes counts registers that could not be placed in their
+	// preferred bank because its index pool was exhausted.
+	OverflowNodes int
+}
+
+// Run permutes the FP physical registers of an allocated function to
+// reduce weighted bank conflicts, rewriting the function in place.
+func Run(f *ir.Func, file bankfile.Config, cf *cfg.Info) Stats {
+	file = file.Normalize()
+	var st Stats
+
+	// Build the physical-register conflict graph.
+	cost := map[int]float64{}    // node -> Cost_R
+	edge := map[[2]int]float64{} // (lo, hi) -> accumulated Cost_I
+	neighbors := map[int]map[int]bool{}
+	used := map[int]bool{}
+	addNode := func(r int) {
+		if neighbors[r] == nil {
+			neighbors[r] = map[int]bool{}
+		}
+	}
+	for _, b := range f.Blocks {
+		w := cf.InstrCost(b)
+		for _, in := range b.Instrs {
+			for i, u := range in.Uses {
+				if in.Op.UseClass(i) == ir.ClassFP && u.IsFPR() {
+					used[u.FPRIndex()] = true
+				}
+			}
+			for _, d := range in.Defs {
+				if d.IsFPR() {
+					used[d.FPRIndex()] = true
+				}
+			}
+			if !in.Op.IsConflictRelevant() {
+				continue
+			}
+			var reads []int
+			seen := map[int]bool{}
+			for i, u := range in.Uses {
+				if in.Op.UseClass(i) != ir.ClassFP || !u.IsFPR() {
+					continue
+				}
+				idx := u.FPRIndex()
+				if !seen[idx] {
+					seen[idx] = true
+					reads = append(reads, idx)
+				}
+			}
+			if len(reads) < 2 {
+				continue
+			}
+			for _, r := range reads {
+				cost[r] += w
+				addNode(r)
+			}
+			for i := 0; i < len(reads); i++ {
+				for j := i + 1; j < len(reads); j++ {
+					lo, hi := reads[i], reads[j]
+					if lo > hi {
+						lo, hi = hi, lo
+					}
+					edge[[2]int{lo, hi}] += w
+					neighbors[lo][hi] = true
+					neighbors[hi][lo] = true
+				}
+			}
+		}
+	}
+	st.Nodes = len(neighbors)
+	if st.Nodes == 0 {
+		return st
+	}
+
+	// Color nodes in descending cost order (cost-first, like the paper's
+	// coloring, but with no live-range information — the defining handicap
+	// of post-allocation methods).
+	nodes := make([]int, 0, len(neighbors))
+	for r := range neighbors {
+		nodes = append(nodes, r)
+	}
+	sort.Slice(nodes, func(i, j int) bool {
+		if cost[nodes[i]] != cost[nodes[j]] {
+			return cost[nodes[i]] > cost[nodes[j]]
+		}
+		return nodes[i] < nodes[j]
+	})
+	bankOf := map[int]int{}
+	for _, r := range nodes {
+		best, bestCost := 0, -1.0
+		for bk := 0; bk < file.NumBanks; bk++ {
+			c := 0.0
+			for n := range neighbors[r] {
+				if nb, ok := bankOf[n]; ok && nb == bk {
+					lo, hi := r, n
+					if lo > hi {
+						lo, hi = hi, lo
+					}
+					c += edge[[2]int{lo, hi}]
+				}
+			}
+			if bestCost < 0 || c < bestCost {
+				best, bestCost = bk, c
+			}
+		}
+		bankOf[r] = best
+	}
+
+	// Derive a bijective permutation: each colored node takes a fresh
+	// index in its target bank; overflowing nodes and unused registers
+	// fill the remaining indexes. The permutation must stay within the
+	// caller-saved and callee-saved partitions — a value parked in a
+	// callee-saved register to survive a call must remain callee-saved.
+	saved := func(r int) int {
+		if ir.CallerSavedFPR(r, file.NumRegs) {
+			return 0
+		}
+		return 1
+	}
+	free := make([][][]int, file.NumBanks) // [bank][savedClass]
+	for bk := 0; bk < file.NumBanks; bk++ {
+		free[bk] = make([][]int, 2)
+		for _, idx := range file.RegsInBank(bk) {
+			s := saved(idx)
+			free[bk][s] = append(free[bk][s], idx)
+		}
+	}
+	take := func(bk, s int) (int, bool) {
+		if len(free[bk][s]) == 0 {
+			return 0, false
+		}
+		idx := free[bk][s][0]
+		free[bk][s] = free[bk][s][1:]
+		return idx, true
+	}
+	perm := map[int]int{}
+	for _, r := range nodes {
+		s := saved(r)
+		idx, ok := take(bankOf[r], s)
+		if !ok {
+			st.OverflowNodes++
+			// Preferred bank exhausted in this saved class: take any
+			// remaining index of the same class.
+			for bk := 0; bk < file.NumBanks && !ok; bk++ {
+				idx, ok = take(bk, s)
+			}
+		}
+		perm[r] = idx
+	}
+	// Remaining used (but conflict-irrelevant) registers keep a stable
+	// order into the leftover indexes of their saved class.
+	var rest []int
+	for r := range used {
+		if _, done := perm[r]; !done {
+			rest = append(rest, r)
+		}
+	}
+	sort.Ints(rest)
+	for _, r := range rest {
+		s := saved(r)
+		for bk := 0; bk < file.NumBanks; bk++ {
+			if idx, ok := take(bk, s); ok {
+				perm[r] = idx
+				break
+			}
+		}
+	}
+
+	// Rewrite.
+	for _, b := range f.Blocks {
+		for _, in := range b.Instrs {
+			for k, u := range in.Uses {
+				if u.IsFPR() {
+					in.Uses[k] = ir.FReg(perm[u.FPRIndex()])
+				}
+			}
+			for k, d := range in.Defs {
+				if d.IsFPR() {
+					in.Defs[k] = ir.FReg(perm[d.FPRIndex()])
+				}
+			}
+		}
+	}
+	for from, to := range perm {
+		if from != to {
+			st.Renamed++
+		}
+	}
+	return st
+}

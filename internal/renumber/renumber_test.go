@@ -1,0 +1,180 @@
+package renumber
+
+import (
+	"testing"
+
+	"prescount/internal/bankfile"
+	"prescount/internal/cfg"
+	"prescount/internal/conflict"
+	"prescount/internal/ir"
+	"prescount/internal/sim"
+)
+
+func parse(t *testing.T, src string) *ir.Func {
+	t.Helper()
+	f, err := ir.Parse(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return f
+}
+
+func TestRenumberRemovesEasyConflict(t *testing.T) {
+	// f0 and f2 share bank 0 under 2 banks; renumbering moves one.
+	src := `func @t {
+  entry:
+    f0 = fconst 1
+    f2 = fconst 2
+    f4 = fadd f0, f2
+    x1 = iconst 0
+    fstore f4, x1, 0
+    ret
+}`
+	f := parse(t, src)
+	file := bankfile.RV2(2)
+	before := conflict.Analyze(f, file).StaticConflicts
+	if before != 1 {
+		t.Fatalf("precondition: conflicts = %d, want 1", before)
+	}
+	refBefore, err := sim.Run(f, sim.Options{MemSize: 16})
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := Run(f, file, cfg.Compute(f))
+	if st.Renamed == 0 {
+		t.Fatal("nothing renamed")
+	}
+	after := conflict.Analyze(f, file).StaticConflicts
+	if after != 0 {
+		t.Errorf("conflicts after renumbering = %d, want 0", after)
+	}
+	refAfter, err := sim.Run(f, sim.Options{MemSize: 16})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if refBefore.MemChecksum != refAfter.MemChecksum {
+		t.Error("renumbering changed semantics")
+	}
+	if err := f.Verify(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRenumberIsBijective(t *testing.T) {
+	// Many registers including unused ones: after renumbering, no two
+	// operands that were distinct may alias.
+	src := `func @t {
+  entry:
+    f0 = fconst 1
+    f1 = fconst 2
+    f2 = fconst 3
+    f3 = fconst 4
+    f4 = fadd f0, f2
+    f5 = fadd f1, f3
+    f6 = fadd f4, f5
+    x1 = iconst 0
+    fstore f6, x1, 0
+    ret
+}`
+	f := parse(t, src)
+	// Record original operand identities per instruction position.
+	type key struct{ b, i, k int }
+	orig := map[key]ir.Reg{}
+	for bi, b := range f.Blocks {
+		for ii, in := range b.Instrs {
+			for k, u := range in.Uses {
+				orig[key{bi, ii, k}] = u
+			}
+		}
+	}
+	Run(f, bankfile.RV2(2), cfg.Compute(f))
+	// Same original register -> same new register; different -> different.
+	rename := map[ir.Reg]ir.Reg{}
+	seenNew := map[ir.Reg]ir.Reg{}
+	for bi, b := range f.Blocks {
+		for ii, in := range b.Instrs {
+			for k, u := range in.Uses {
+				o := orig[key{bi, ii, k}]
+				if !o.IsFPR() {
+					continue
+				}
+				if prev, ok := rename[o]; ok && prev != u {
+					t.Fatalf("register %v renamed inconsistently: %v vs %v", o, prev, u)
+				}
+				rename[o] = u
+				if prevOld, ok := seenNew[u]; ok && prevOld != o {
+					t.Fatalf("two registers collapsed onto %v", u)
+				}
+				seenNew[u] = o
+			}
+		}
+	}
+}
+
+// TestAggregatedConflictsSurvive demonstrates the paper's §V criticism:
+// when a physical register was reused by several virtual registers with
+// different conflict partners, the post-allocation graph can be
+// uncolorable even though the pre-allocation RCG was fine.
+func TestAggregatedConflictsSurvive(t *testing.T) {
+	// f0 conflicts with f2 in one instruction and with f4 in another; f2
+	// also conflicts with f4: a triangle over physical registers on a
+	// 2-bank file keeps >= 1 conflict whatever the renumbering.
+	src := `func @t {
+  entry:
+    f0 = fconst 1
+    f2 = fconst 2
+    f4 = fconst 3
+    f6 = fadd f0, f2
+    f8 = fadd f0, f4
+    f10 = fadd f2, f4
+    f12 = fadd f6, f8
+    f14 = fadd f12, f10
+    x1 = iconst 0
+    fstore f14, x1, 0
+    ret
+}`
+	f := parse(t, src)
+	file := bankfile.RV2(2)
+	Run(f, file, cfg.Compute(f))
+	after := conflict.Analyze(f, file).StaticConflicts
+	if after == 0 {
+		t.Error("physical triangle cannot be conflict-free on 2 banks")
+	}
+	if after > 1 {
+		t.Errorf("renumbering left %d conflicts; the optimum is 1", after)
+	}
+}
+
+func TestRenumberNoConflictsNoChange(t *testing.T) {
+	src := `func @t {
+  entry:
+    f0 = fconst 1
+    x1 = iconst 0
+    fstore f0, x1, 0
+    ret
+}`
+	f := parse(t, src)
+	st := Run(f, bankfile.RV2(2), cfg.Compute(f))
+	if st.Nodes != 0 || st.Renamed != 0 {
+		t.Errorf("conflict-free function renumbered: %+v", st)
+	}
+}
+
+func TestRenumberDeterministic(t *testing.T) {
+	src := `func @t {
+  entry:
+    f0 = fconst 1
+    f2 = fconst 2
+    f4 = fadd f0, f2
+    x1 = iconst 0
+    fstore f4, x1, 0
+    ret
+}`
+	f1 := parse(t, src)
+	f2 := parse(t, src)
+	Run(f1, bankfile.RV2(2), cfg.Compute(f1))
+	Run(f2, bankfile.RV2(2), cfg.Compute(f2))
+	if ir.Print(f1) != ir.Print(f2) {
+		t.Error("renumbering not deterministic")
+	}
+}

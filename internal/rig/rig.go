@@ -1,0 +1,164 @@
+// Package rig builds the Register Interference Graph (RIG) of a function:
+// one vertex per virtual register of a chosen class, with an edge between
+// two registers whose live intervals overlap (Figure 2b of the paper).
+//
+// The greedy allocator itself queries interval unions directly, but the RIG
+// is the reference structure for the colorability arguments of §II-B and is
+// used by tests, examples and the unbalanced-assignment diagnostics.
+package rig
+
+import (
+	"sort"
+
+	"prescount/internal/ir"
+	"prescount/internal/liveness"
+)
+
+// Graph is an undirected interference graph over virtual registers.
+type Graph struct {
+	// Nodes lists member registers in increasing dense-index order.
+	Nodes []ir.Reg
+	adj   map[ir.Reg]map[ir.Reg]bool
+}
+
+// Build constructs the RIG for class c from the liveness analysis.
+// Complexity is O(n log n + e) by sweeping interval start points.
+func Build(f *ir.Func, lv *liveness.Info, c ir.Class) *Graph {
+	g := &Graph{adj: make(map[ir.Reg]map[ir.Reg]bool)}
+	type entry struct {
+		r  ir.Reg
+		iv *liveness.Interval
+	}
+	var entries []entry
+	for i, info := range f.VRegs {
+		if info.Class != c {
+			continue
+		}
+		iv := lv.Intervals[i]
+		if iv == nil || iv.Empty() {
+			continue
+		}
+		r := ir.VReg(i)
+		entries = append(entries, entry{r, iv})
+		g.Nodes = append(g.Nodes, r)
+		g.adj[r] = make(map[ir.Reg]bool)
+	}
+	sort.Slice(entries, func(i, j int) bool { return entries[i].iv.Start() < entries[j].iv.Start() })
+	// Active list sweep: compare each interval only against intervals whose
+	// end exceeds its start.
+	var active []entry
+	for _, e := range entries {
+		keep := active[:0]
+		for _, a := range active {
+			if a.iv.End() > e.iv.Start() {
+				keep = append(keep, a)
+				if a.iv.Overlaps(e.iv) {
+					g.addEdge(a.r, e.r)
+				}
+			}
+		}
+		active = append(keep, e)
+	}
+	return g
+}
+
+func (g *Graph) addEdge(a, b ir.Reg) {
+	if a == b {
+		return
+	}
+	g.adj[a][b] = true
+	g.adj[b][a] = true
+}
+
+// HasEdge reports whether a and b interfere.
+func (g *Graph) HasEdge(a, b ir.Reg) bool { return g.adj[a][b] }
+
+// Neighbors returns the interference neighbours of r in sorted order.
+func (g *Graph) Neighbors(r ir.Reg) []ir.Reg {
+	out := make([]ir.Reg, 0, len(g.adj[r]))
+	for n := range g.adj[r] {
+		out = append(out, n)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// Degree returns the interference degree of r.
+func (g *Graph) Degree(r ir.Reg) int { return len(g.adj[r]) }
+
+// NumEdges returns the number of undirected edges.
+func (g *Graph) NumEdges() int {
+	n := 0
+	for _, nb := range g.adj {
+		n += len(nb)
+	}
+	return n / 2
+}
+
+// SubgraphColorable reports whether the sub-RIG induced by the registers
+// assigned to one bank is k-colorable under the simple greedy bound used in
+// the paper's §II-B discussion: it attempts a smallest-last greedy coloring
+// and reports success. This is the diagnostic behind the "unbalanced bank
+// assignment" examples (Figure 3).
+func (g *Graph) SubgraphColorable(members []ir.Reg, k int) bool {
+	set := make(map[ir.Reg]bool, len(members))
+	for _, m := range members {
+		set[m] = true
+	}
+	deg := func(r ir.Reg) int {
+		d := 0
+		for n := range g.adj[r] {
+			if set[n] {
+				d++
+			}
+		}
+		return d
+	}
+	// Smallest-last ordering.
+	order := make([]ir.Reg, 0, len(members))
+	remaining := make(map[ir.Reg]bool, len(members))
+	for _, m := range members {
+		remaining[m] = true
+	}
+	for len(remaining) > 0 {
+		var best ir.Reg
+		bestDeg := -1
+		for r := range remaining {
+			d := 0
+			for n := range g.adj[r] {
+				if remaining[n] {
+					d++
+				}
+			}
+			if bestDeg < 0 || d < bestDeg || (d == bestDeg && r < best) {
+				best, bestDeg = r, d
+			}
+		}
+		delete(remaining, best)
+		order = append(order, best)
+	}
+	// Color in reverse smallest-last order.
+	colors := make(map[ir.Reg]int, len(members))
+	for i := len(order) - 1; i >= 0; i-- {
+		r := order[i]
+		used := make([]bool, k)
+		for n := range g.adj[r] {
+			if c, ok := colors[n]; ok && set[n] {
+				used[c] = true
+			}
+		}
+		assigned := false
+		for c := 0; c < k; c++ {
+			if !used[c] {
+				colors[r] = c
+				assigned = true
+				break
+			}
+		}
+		if !assigned {
+			return false
+		}
+	}
+	_ = deg
+	return true
+}

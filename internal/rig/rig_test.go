@@ -1,0 +1,148 @@
+package rig
+
+import (
+	"testing"
+
+	"prescount/internal/cfg"
+	"prescount/internal/ir"
+	"prescount/internal/liveness"
+)
+
+func build(t *testing.T, f *ir.Func) *Graph {
+	t.Helper()
+	cf := cfg.Compute(f)
+	lv := liveness.Compute(f, cf)
+	return Build(f, lv, ir.ClassFP)
+}
+
+// fig2Func reconstructs the shape of the paper's Figure 2a: four registers
+// with pairwise overlapping live ranges forming the RIG of Figure 2b.
+func fig2Func(t *testing.T) (*ir.Func, [4]ir.Reg) {
+	t.Helper()
+	b := ir.NewBuilder("fig2")
+	base := b.IConst(0)
+	r0 := b.FLoad(base, 0)
+	r1 := b.FLoad(base, 1)
+	vr2 := b.FAdd(r0, r1)  // vr2 = r0 + r1
+	vr3 := b.FMul(r0, vr2) // vr3 = r0 * vr2
+	s := b.FAdd(vr2, vr3)
+	b.FStore(s, base, 2)
+	b.FStore(r1, base, 3) // keep r1 live to the end
+	b.Ret()
+	return b.Func(), [4]ir.Reg{r0, r1, vr2, vr3}
+}
+
+func TestRIGEdges(t *testing.T) {
+	f, regs := fig2Func(t)
+	g := build(t, f)
+	r0, r1, vr2, vr3 := regs[0], regs[1], regs[2], regs[3]
+
+	mustEdge := [][2]ir.Reg{
+		{r0, r1}, {r0, vr2}, {r1, vr2}, {r1, vr3}, {vr2, vr3},
+	}
+	for _, e := range mustEdge {
+		if !g.HasEdge(e[0], e[1]) {
+			t.Errorf("missing interference edge %v-%v", e[0], e[1])
+		}
+	}
+	// r0 dies at the fmul that defines vr3's input read... r0 is read by
+	// the vr3-defining instruction, so r0's range ends exactly where vr3
+	// starts: no interference.
+	if g.HasEdge(r0, vr3) {
+		t.Error("r0 and vr3 must not interfere (use ends where def begins)")
+	}
+}
+
+func TestRIGSymmetricAndIrreflexive(t *testing.T) {
+	f, _ := fig2Func(t)
+	g := build(t, f)
+	for _, a := range g.Nodes {
+		if g.HasEdge(a, a) {
+			t.Errorf("self edge on %v", a)
+		}
+		for _, b := range g.Neighbors(a) {
+			if !g.HasEdge(b, a) {
+				t.Errorf("asymmetric edge %v-%v", a, b)
+			}
+		}
+	}
+}
+
+func TestRIGMatchesIntervalOverlap(t *testing.T) {
+	f, _ := fig2Func(t)
+	cf := cfg.Compute(f)
+	lv := liveness.Compute(f, cf)
+	g := Build(f, lv, ir.ClassFP)
+	for _, a := range g.Nodes {
+		for _, b := range g.Nodes {
+			if a >= b {
+				continue
+			}
+			if g.HasEdge(a, b) != lv.Interfere(a, b) {
+				t.Errorf("edge %v-%v = %v, interval overlap = %v",
+					a, b, g.HasEdge(a, b), lv.Interfere(a, b))
+			}
+		}
+	}
+}
+
+func TestRIGExcludesGPRs(t *testing.T) {
+	f, _ := fig2Func(t)
+	g := build(t, f)
+	for _, n := range g.Nodes {
+		if f.RegClass(n) != ir.ClassFP {
+			t.Errorf("non-FP node %v in FP RIG", n)
+		}
+	}
+}
+
+func TestSubgraphColorable(t *testing.T) {
+	f, regs := fig2Func(t)
+	g := build(t, f)
+	r0, r1, vr2, vr3 := regs[0], regs[1], regs[2], regs[3]
+
+	// Figure 3a: {r0, vr2} in one bank, {r1, vr3} in the other; each pair
+	// interferes, so each needs 2 registers per bank: 2-colorable.
+	if !g.SubgraphColorable([]ir.Reg{r0, vr2}, 2) {
+		t.Error("bank {r0,vr2} should be 2-colorable")
+	}
+	if !g.SubgraphColorable([]ir.Reg{r1, vr3}, 2) {
+		t.Error("bank {r1,vr3} should be 2-colorable")
+	}
+	// Figure 3b's unbalanced shape: a mutually-interfering triple is not
+	// 2-colorable.
+	if g.SubgraphColorable([]ir.Reg{r1, vr2, vr3}, 2) {
+		t.Error("triangle {r1,vr2,vr3} must not be 2-colorable")
+	}
+	if !g.SubgraphColorable([]ir.Reg{r1, vr2, vr3}, 3) {
+		t.Error("triangle must be 3-colorable")
+	}
+	// Whole graph: 4 registers, max clique 3 -> 3-colorable, not 2.
+	if g.SubgraphColorable(g.Nodes, 2) {
+		t.Error("full RIG must not be 2-colorable")
+	}
+	if !g.SubgraphColorable(g.Nodes, 3) {
+		t.Error("full RIG must be 3-colorable")
+	}
+}
+
+func TestRIGEmptyFunction(t *testing.T) {
+	b := ir.NewBuilder("empty")
+	b.Ret()
+	g := build(t, b.Func())
+	if len(g.Nodes) != 0 || g.NumEdges() != 0 {
+		t.Errorf("empty function produced nodes=%d edges=%d", len(g.Nodes), g.NumEdges())
+	}
+}
+
+func TestRIGDegreeAndEdgeCount(t *testing.T) {
+	f, _ := fig2Func(t)
+	g := build(t, f)
+	sum := 0
+	for _, n := range g.Nodes {
+		sum += g.Degree(n)
+	}
+	if sum != 2*g.NumEdges() {
+		t.Errorf("handshake violated: sum deg %d != 2*edges %d", sum, 2*g.NumEdges())
+	}
+}

@@ -1,0 +1,235 @@
+// Package sched implements a pre-allocation list scheduler: within each
+// basic block it reorders instructions (respecting data, memory and control
+// dependences) to reduce peak register pressure, in the spirit of the
+// pressure-aware pre-RA schedulers the paper cites as the inspiration for
+// its bank pressure tracking. It is the second standard phase of the
+// Figure 4 pipeline.
+package sched
+
+import (
+	"prescount/internal/ir"
+)
+
+// Stats reports scheduling activity.
+type Stats struct {
+	// Reordered counts blocks whose instruction order changed.
+	Reordered int
+}
+
+// Run schedules every block of f in place.
+func Run(f *ir.Func) Stats {
+	var st Stats
+	for _, b := range f.Blocks {
+		if scheduleBlock(f, b) {
+			st.Reordered++
+		}
+	}
+	return st
+}
+
+// scheduleBlock performs a forward list scheduling of one block. It returns
+// whether the order changed.
+func scheduleBlock(f *ir.Func, b *ir.Block) bool {
+	n := len(b.Instrs)
+	if n <= 2 {
+		return false
+	}
+	body := b.Instrs[:n-1] // keep the terminator last
+	term := b.Instrs[n-1]
+
+	// Build the dependence DAG.
+	preds := make([]map[int]bool, len(body))
+	succs := make([]map[int]bool, len(body))
+	for i := range body {
+		preds[i] = map[int]bool{}
+		succs[i] = map[int]bool{}
+	}
+	addDep := func(from, to int) {
+		if from != to && !succs[from][to] {
+			succs[from][to] = true
+			preds[to][from] = true
+		}
+	}
+	lastDef := map[ir.Reg]int{}
+	lastUses := map[ir.Reg][]int{}
+	var memOps []int
+	lastBarrier := -1
+	for i, in := range body {
+		// Calls are full scheduling barriers: they clobber caller-saved
+		// registers, so no instruction may move across one.
+		if in.Op == ir.OpCall {
+			for j := lastBarrier + 1; j < i; j++ {
+				addDep(j, i)
+			}
+			lastBarrier = i
+		} else if lastBarrier >= 0 {
+			addDep(lastBarrier, i)
+		}
+		for _, u := range in.Uses {
+			if d, ok := lastDef[u]; ok {
+				addDep(d, i) // RAW
+			}
+			lastUses[u] = append(lastUses[u], i)
+		}
+		for _, d := range in.Defs {
+			if pd, ok := lastDef[d]; ok {
+				addDep(pd, i) // WAW
+			}
+			for _, u := range lastUses[d] {
+				addDep(u, i) // WAR
+			}
+			lastDef[d] = i
+			lastUses[d] = nil
+		}
+		if isMem(in.Op) {
+			for _, m := range memOps {
+				if mayAlias(body[m], in) {
+					addDep(m, i)
+				}
+			}
+			memOps = append(memOps, i)
+		}
+	}
+
+	// Uses remaining per register: a def whose last use is scheduled frees
+	// a register; scheduling a def opens one. Greedy choice: among ready
+	// instructions pick the one minimizing net FP live growth, then net
+	// GPR growth, then original order (stability).
+	remainingUses := map[ir.Reg]int{}
+	for _, in := range body {
+		for _, u := range in.Uses {
+			if u.IsVirt() {
+				remainingUses[u]++
+			}
+		}
+	}
+	indeg := make([]int, len(body))
+	for i := range body {
+		indeg[i] = len(preds[i])
+	}
+	var ready []int
+	for i := range body {
+		if indeg[i] == 0 {
+			ready = append(ready, i)
+		}
+	}
+	score := func(i int) (fpDelta, gprDelta int) {
+		in := body[i]
+		for _, d := range in.Defs {
+			if !d.IsVirt() {
+				continue
+			}
+			if f.RegClass(d) == ir.ClassFP {
+				fpDelta++
+			} else {
+				gprDelta++
+			}
+		}
+		// A register dies here if this instruction holds all its remaining
+		// uses (count occurrences, so x*x kills x correctly).
+		occ := map[ir.Reg]int{}
+		for _, u := range in.Uses {
+			if u.IsVirt() {
+				occ[u]++
+			}
+		}
+		for u, n := range occ {
+			if remainingUses[u] != n {
+				continue
+			}
+			if f.RegClass(u) == ir.ClassFP {
+				fpDelta--
+			} else {
+				gprDelta--
+			}
+		}
+		return
+	}
+	var order []int
+	for len(ready) > 0 {
+		best, bi := ready[0], 0
+		bf, bg := score(best)
+		for k := 1; k < len(ready); k++ {
+			cand := ready[k]
+			cf2, cg := score(cand)
+			if cf2 < bf || (cf2 == bf && cg < bg) ||
+				(cf2 == bf && cg == bg && cand < best) {
+				best, bi, bf, bg = cand, k, cf2, cg
+			}
+		}
+		ready = append(ready[:bi], ready[bi+1:]...)
+		order = append(order, best)
+		for _, u := range body[best].Uses {
+			if u.IsVirt() {
+				remainingUses[u]--
+			}
+		}
+		for s := range succs[best] {
+			indeg[s]--
+			if indeg[s] == 0 {
+				ready = append(ready, s)
+			}
+		}
+	}
+	if len(order) != len(body) {
+		// Cycle (cannot happen with a well-formed DAG); keep original.
+		return false
+	}
+	changed := false
+	newBody := make([]*ir.Instr, len(body))
+	for pos, idx := range order {
+		newBody[pos] = body[idx]
+		if idx != pos {
+			changed = true
+		}
+	}
+	if !changed {
+		return false
+	}
+	b.Instrs = append(newBody, term)
+	return true
+}
+
+func isMem(op ir.Op) bool {
+	switch op {
+	case ir.OpFLoad, ir.OpFStore, ir.OpFSpill, ir.OpFReload:
+		return true
+	}
+	return false
+}
+
+// mayAlias reports whether two memory operations might touch the same
+// location and therefore must stay ordered. It applies three facts:
+// two reads never conflict; spill slots live in a private area disjoint
+// from program memory; accesses off the same base register with different
+// offsets are disjoint.
+func mayAlias(a, b *ir.Instr) bool {
+	aRead := a.Op == ir.OpFLoad || a.Op == ir.OpFReload
+	bRead := b.Op == ir.OpFLoad || b.Op == ir.OpFReload
+	if aRead && bRead {
+		return false
+	}
+	aSpill := a.Op == ir.OpFSpill || a.Op == ir.OpFReload
+	bSpill := b.Op == ir.OpFSpill || b.Op == ir.OpFReload
+	if aSpill != bSpill {
+		return false
+	}
+	if aSpill && bSpill {
+		return a.Imm == b.Imm
+	}
+	if base(a) == base(b) && base(a) != ir.NoReg {
+		return a.Imm == b.Imm
+	}
+	return true
+}
+
+// base returns the address base register of a program memory access.
+func base(in *ir.Instr) ir.Reg {
+	switch in.Op {
+	case ir.OpFLoad:
+		return in.Uses[0]
+	case ir.OpFStore:
+		return in.Uses[1]
+	}
+	return ir.NoReg
+}

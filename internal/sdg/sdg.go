@@ -1,0 +1,418 @@
+// Package sdg implements the Same Displacement Graph and the SDG-based
+// subgroup splitting phase of the paper (§III-C). The SDG is a directed
+// graph over virtual FP registers: every vector ALU instruction contributes
+// an edge from each FP input operand to its output operand, expressing the
+// DSA's subgroup alignment constraint — all operands of one instruction must
+// receive the same subgroup displacement. Weakly connected components of the
+// SDG are the "subgroup groups" that the register allocator must place into
+// a single subgroup.
+//
+// Large groups defeat balanced subgroup assignment, so the splitting phase
+// breaks them at "centered" vertices by inserting register copies:
+//
+//   - input sharing (Figure 8): a vertex with many outgoing edges (a value
+//     read by many operations) is duplicated and half of its readers are
+//     redirected to the copy;
+//   - output sharing (Figure 9): a vertex with many incoming edges (an
+//     accumulator redefined by a reduction chain) has its live range renamed
+//     mid-chain through a copy.
+//
+// Copies do not carry the alignment constraint, so each split disconnects
+// the component. The phase runs right after register coalescing so the
+// inserted copies are not coalesced back (Figure 4 phase ordering).
+package sdg
+
+import (
+	"sort"
+
+	"prescount/internal/ir"
+)
+
+// DefaultMaxGroup is the default upper bound on subgroup group size before
+// splitting is attempted.
+const DefaultMaxGroup = 8
+
+// maxRounds caps the split loop; each round inserts at least one copy, so
+// this only guards degenerate inputs.
+const maxRounds = 256
+
+// Graph is the Same Displacement Graph of a function.
+type Graph struct {
+	// Out maps register to the registers its value flows into (per
+	// instruction input->output edges), with multiplicity.
+	Out map[ir.Reg][]ir.Reg
+	// In maps register to the input registers of the instructions defining
+	// it, with multiplicity.
+	In map[ir.Reg][]ir.Reg
+}
+
+// Build constructs the SDG over virtual FP registers of f.
+func Build(f *ir.Func) *Graph {
+	g := &Graph{Out: map[ir.Reg][]ir.Reg{}, In: map[ir.Reg][]ir.Reg{}}
+	for _, b := range f.Blocks {
+		for _, in := range b.Instrs {
+			if !in.Op.IsVectorALU() {
+				continue
+			}
+			d := in.Def()
+			if d == ir.NoReg || !d.IsVirt() {
+				continue
+			}
+			for i, u := range in.Uses {
+				if in.Op.UseClass(i) != ir.ClassFP || !u.IsVirt() || u == d {
+					continue
+				}
+				g.Out[u] = append(g.Out[u], d)
+				g.In[d] = append(g.In[d], u)
+			}
+		}
+	}
+	return g
+}
+
+// OutDegree returns the number of outgoing edges of r.
+func (g *Graph) OutDegree(r ir.Reg) int { return len(g.Out[r]) }
+
+// InDegree returns the number of incoming edges of r.
+func (g *Graph) InDegree(r ir.Reg) int { return len(g.In[r]) }
+
+// Groups returns the weakly connected components ("subgroup groups") of the
+// SDG, each sorted, ordered by decreasing size then smallest member.
+func (g *Graph) Groups() [][]ir.Reg {
+	parent := map[ir.Reg]ir.Reg{}
+	var find func(r ir.Reg) ir.Reg
+	find = func(r ir.Reg) ir.Reg {
+		p, ok := parent[r]
+		if !ok {
+			parent[r] = r
+			return r
+		}
+		if p == r {
+			return r
+		}
+		root := find(p)
+		parent[r] = root
+		return root
+	}
+	union := func(a, b ir.Reg) {
+		ra, rb := find(a), find(b)
+		if ra != rb {
+			if ra > rb {
+				ra, rb = rb, ra
+			}
+			parent[rb] = ra
+		}
+	}
+	for u, outs := range g.Out {
+		for _, d := range outs {
+			union(u, d)
+		}
+	}
+	byRoot := map[ir.Reg][]ir.Reg{}
+	var members []ir.Reg
+	for r := range parent {
+		members = append(members, r)
+	}
+	sort.Slice(members, func(i, j int) bool { return members[i] < members[j] })
+	for _, r := range members {
+		root := find(r)
+		byRoot[root] = append(byRoot[root], r)
+	}
+	var groups [][]ir.Reg
+	for _, root := range sortedKeys(byRoot) {
+		groups = append(groups, byRoot[root])
+	}
+	sort.SliceStable(groups, func(i, j int) bool {
+		if len(groups[i]) != len(groups[j]) {
+			return len(groups[i]) > len(groups[j])
+		}
+		return groups[i][0] < groups[j][0]
+	})
+	return groups
+}
+
+func sortedKeys(m map[ir.Reg][]ir.Reg) []ir.Reg {
+	keys := make([]ir.Reg, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool { return keys[i] < keys[j] })
+	return keys
+}
+
+// GroupOf returns a map from register to its group index per Groups().
+func (g *Graph) GroupOf() map[ir.Reg]int {
+	out := map[ir.Reg]int{}
+	for i, grp := range g.Groups() {
+		for _, r := range grp {
+			out[r] = i
+		}
+	}
+	return out
+}
+
+// Stats reports the splitting activity.
+type Stats struct {
+	// CopiesInserted is the number of fmov instructions added.
+	CopiesInserted int
+	// GroupsBefore and GroupsAfter count SDG components.
+	GroupsBefore, GroupsAfter int
+	// LargestBefore and LargestAfter are the biggest component sizes.
+	LargestBefore, LargestAfter int
+}
+
+// Options configures splitting.
+type Options struct {
+	// MaxGroup is the component size above which splitting triggers
+	// (default DefaultMaxGroup).
+	MaxGroup int
+}
+
+// Split rewrites f in place, breaking oversized SDG components, and returns
+// statistics. The rewrite is semantics-preserving: it only inserts copies
+// and renames live ranges.
+func Split(f *ir.Func, opts Options) Stats {
+	maxGroup := opts.MaxGroup
+	if maxGroup <= 0 {
+		maxGroup = DefaultMaxGroup
+	}
+	var st Stats
+	g := Build(f)
+	groups := g.Groups()
+	st.GroupsBefore = len(groups)
+	if len(groups) > 0 {
+		st.LargestBefore = len(groups[0])
+	}
+
+	stall := 0
+	prevLargest := st.LargestBefore
+	for round := 0; round < maxRounds; round++ {
+		g = Build(f)
+		groups = g.Groups()
+		if len(groups) == 0 || len(groups[0]) <= maxGroup {
+			break
+		}
+		// Progress guard: if splitting stops shrinking the largest group,
+		// give up rather than inserting useless copies.
+		if len(groups[0]) >= prevLargest {
+			stall++
+			if stall > 4 {
+				break
+			}
+		} else {
+			stall = 0
+		}
+		prevLargest = len(groups[0])
+		split := false
+		for _, grp := range groups {
+			if len(grp) <= maxGroup {
+				break
+			}
+			if splitGroup(f, g, grp) {
+				st.CopiesInserted++
+				split = true
+				break // rebuild the graph before the next split
+			}
+		}
+		if !split {
+			break
+		}
+	}
+
+	g = Build(f)
+	groups = g.Groups()
+	st.GroupsAfter = len(groups)
+	if len(groups) > 0 {
+		st.LargestAfter = len(groups[0])
+	}
+	return st
+}
+
+// splitGroup finds the centered vertex of the group and splits it. Returns
+// whether a copy was inserted.
+func splitGroup(f *ir.Func, g *Graph, grp []ir.Reg) bool {
+	// Pick the member with the highest degree (outgoing preferred on ties:
+	// input sharing is the cheaper split).
+	var center ir.Reg
+	bestDeg := -1
+	outCenter := false
+	for _, r := range grp {
+		if d := g.OutDegree(r); d > bestDeg {
+			center, bestDeg, outCenter = r, d, true
+		}
+	}
+	for _, r := range grp {
+		if d := g.InDegree(r); d > bestDeg {
+			center, bestDeg, outCenter = r, d, false
+		}
+	}
+	if bestDeg < 2 {
+		return false
+	}
+	if outCenter {
+		if splitInputSharing(f, center) {
+			return true
+		}
+		return splitOutputSharing(f, center)
+	}
+	if splitOutputSharing(f, center) {
+		return true
+	}
+	return splitInputSharing(f, center)
+}
+
+// splitInputSharing handles Figure 8: a value read by many ALU operations.
+// It inserts "r2 = fmov r" before the median reader inside one block and
+// redirects the second half of that block's readers to r2. Only applied
+// when r has a block with at least two ALU readers and r is not redefined
+// between them.
+func splitInputSharing(f *ir.Func, r ir.Reg) bool {
+	for _, b := range f.Blocks {
+		// Collect reader positions within b, stopping at redefinitions.
+		var readers []int
+		lastDef := -1
+		for i, in := range b.Instrs {
+			if in.Op.IsVectorALU() && readsFP(in, r) && in.Def() != r {
+				readers = append(readers, i)
+			}
+			for _, d := range in.Defs {
+				if d == r {
+					lastDef = i
+				}
+			}
+		}
+		if len(readers) < 2 {
+			continue
+		}
+		mid := readers[len(readers)/2]
+		if lastDef >= readers[len(readers)/2-1] && lastDef < mid {
+			// r redefined between the halves; renaming unsafe without more
+			// analysis. Skip this block.
+			continue
+		}
+		// Also require no redefinition after mid within the rewritten span.
+		unsafe := false
+		for i := mid; i < len(b.Instrs); i++ {
+			for _, d := range b.Instrs[i].Defs {
+				if d == r {
+					unsafe = true
+				}
+			}
+		}
+		if unsafe {
+			continue
+		}
+		r2 := f.NewVReg(ir.ClassFP)
+		b.InsertBefore(mid, &ir.Instr{Op: ir.OpFMov, Defs: []ir.Reg{r2}, Uses: []ir.Reg{r}})
+		for i := mid + 1; i < len(b.Instrs); i++ {
+			in := b.Instrs[i]
+			if !in.Op.IsVectorALU() {
+				continue
+			}
+			for k, u := range in.Uses {
+				if u == r && in.Op.UseClass(k) == ir.ClassFP {
+					in.Uses[k] = r2
+				}
+			}
+		}
+		return true
+	}
+	return false
+}
+
+// splitOutputSharing handles Figure 9: an accumulator redefined by a chain
+// of reductions. It renames the suffix of the chain within one block
+// through a fresh register, inserting one copy at the split point and, if
+// the original register is read after the block (or later in the block by
+// non-ALU code), a compensating copy back before the terminator.
+func splitOutputSharing(f *ir.Func, r ir.Reg) bool {
+	for _, b := range f.Blocks {
+		// Any redefinition (ALU or copy) participates in the accumulation
+		// chain: before coalescing the chain looks like
+		// "s = fadd r, x; r = fmov s", after coalescing "r = fadd r, x".
+		var defs []int
+		for i, in := range b.Instrs {
+			for _, d := range in.Defs {
+				if d == r {
+					defs = append(defs, i)
+				}
+			}
+		}
+		if len(defs) < 2 {
+			continue
+		}
+		mid := defs[len(defs)/2]
+		r2 := f.NewVReg(ir.ClassFP)
+		// Insert "r2 = fmov r" before the mid definition, then rename all
+		// subsequent defs and uses of r in this block to r2.
+		b.InsertBefore(mid, &ir.Instr{Op: ir.OpFMov, Defs: []ir.Reg{r2}, Uses: []ir.Reg{r}})
+		for i := mid + 1; i < len(b.Instrs); i++ {
+			in := b.Instrs[i]
+			for k, u := range in.Uses {
+				if u == r {
+					in.Uses[k] = r2
+				}
+			}
+			for k, d := range in.Defs {
+				if d == r {
+					in.Defs[k] = r2
+				}
+			}
+		}
+		// If r is observable after this block, restore it.
+		if liveAfterBlock(f, b, r) {
+			term := len(b.Instrs) - 1
+			b.InsertBefore(term, &ir.Instr{Op: ir.OpFMov, Defs: []ir.Reg{r}, Uses: []ir.Reg{r2}})
+		}
+		return true
+	}
+	return false
+}
+
+func readsFP(in *ir.Instr, r ir.Reg) bool {
+	for i, u := range in.Uses {
+		if u == r && in.Op.UseClass(i) == ir.ClassFP {
+			return true
+		}
+	}
+	return false
+}
+
+// liveAfterBlock conservatively reports whether r may be read after block b
+// (in any other block, including b itself via a loop).
+func liveAfterBlock(f *ir.Func, b *ir.Block, r ir.Reg) bool {
+	for _, blk := range f.Blocks {
+		if blk == b {
+			continue
+		}
+		for _, in := range blk.Instrs {
+			for _, u := range in.Uses {
+				if u == r {
+					return true
+				}
+			}
+		}
+	}
+	// Loops back into b itself would re-read r upward-exposed; if b is in a
+	// cycle, be conservative.
+	return inCycle(b)
+}
+
+func inCycle(b *ir.Block) bool {
+	seen := map[*ir.Block]bool{}
+	var stack []*ir.Block
+	stack = append(stack, b.Succs...)
+	for len(stack) > 0 {
+		x := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		if x == b {
+			return true
+		}
+		if seen[x] {
+			continue
+		}
+		seen[x] = true
+		stack = append(stack, x.Succs...)
+	}
+	return false
+}

@@ -1,0 +1,207 @@
+package sdg
+
+import (
+	"testing"
+
+	"prescount/internal/ir"
+)
+
+// sharedInputFunc builds the Figure 8 pattern: one value "a" read by six
+// operations.
+func sharedInputFunc(t *testing.T) (*ir.Func, ir.Reg) {
+	t.Helper()
+	bd := ir.NewBuilder("inputshare")
+	base := bd.IConst(0)
+	a := bd.FLoad(base, 0)
+	for i := 0; i < 6; i++ {
+		x := bd.FLoad(base, int64(1+i))
+		s := bd.FMul(a, x)
+		bd.FStore(s, base, int64(10+i))
+	}
+	bd.Ret()
+	return bd.Func(), a
+}
+
+// reductionFunc builds the Figure 9 pattern: an accumulator redefined by a
+// chain of adds (unrolled reduction).
+func reductionFunc(t *testing.T, n int) (*ir.Func, ir.Reg) {
+	t.Helper()
+	bd := ir.NewBuilder("outputshare")
+	base := bd.IConst(0)
+	acc := bd.FConst(0)
+	for i := 0; i < n; i++ {
+		x := bd.FLoad(base, int64(i))
+		s := bd.FAdd(acc, x)
+		bd.Assign(acc, s)
+	}
+	bd.FStore(acc, base, 100)
+	bd.Ret()
+	return bd.Func(), acc
+}
+
+func TestBuildEdges(t *testing.T) {
+	f, a := sharedInputFunc(t)
+	g := Build(f)
+	if got := g.OutDegree(a); got != 6 {
+		t.Errorf("OutDegree(a) = %d, want 6", got)
+	}
+	if got := g.InDegree(a); got != 0 {
+		t.Errorf("InDegree(a) = %d, want 0", got)
+	}
+}
+
+func TestGroupsUniteSharedInput(t *testing.T) {
+	f, a := sharedInputFunc(t)
+	g := Build(f)
+	groups := g.Groups()
+	if len(groups) != 1 {
+		t.Fatalf("groups = %d, want 1 connected component", len(groups))
+	}
+	// a + 6 x's + 6 products = 13 registers.
+	if len(groups[0]) != 13 {
+		t.Errorf("group size = %d, want 13", len(groups[0]))
+	}
+	found := false
+	for _, r := range groups[0] {
+		if r == a {
+			found = true
+		}
+	}
+	if !found {
+		t.Error("center register missing from its group")
+	}
+}
+
+func TestCopiesDoNotJoinGroups(t *testing.T) {
+	bd := ir.NewBuilder("copygap")
+	base := bd.IConst(0)
+	a := bd.FLoad(base, 0)
+	b := bd.FLoad(base, 1)
+	s1 := bd.FAdd(a, b) // group 1: {a, b, s1}
+	c := bd.FMov(s1)    // copy: no SDG edge
+	d := bd.FLoad(base, 2)
+	s2 := bd.FAdd(c, d) // group 2: {c, d, s2}
+	bd.FStore(s2, base, 3)
+	bd.Ret()
+	f := bd.Func()
+	g := Build(f)
+	groups := g.Groups()
+	if len(groups) != 2 {
+		t.Fatalf("groups = %d, want 2 (copy must break the chain)", len(groups))
+	}
+}
+
+func TestSplitInputSharing(t *testing.T) {
+	f, _ := sharedInputFunc(t)
+	st := Split(f, Options{MaxGroup: 6})
+	if st.CopiesInserted == 0 {
+		t.Fatal("no copies inserted for oversized input-sharing group")
+	}
+	if st.LargestAfter > 6 {
+		t.Errorf("largest group after split = %d, want <= 6", st.LargestAfter)
+	}
+	if st.LargestBefore != 13 {
+		t.Errorf("largest before = %d, want 13", st.LargestBefore)
+	}
+	if err := f.Verify(); err != nil {
+		t.Fatalf("Verify after split: %v", err)
+	}
+}
+
+func TestSplitOutputSharing(t *testing.T) {
+	f, _ := reductionFunc(t, 8)
+	before := Build(f).Groups()
+	if len(before) != 1 {
+		t.Fatalf("reduction must form one group, got %d", len(before))
+	}
+	st := Split(f, Options{MaxGroup: 8})
+	if st.CopiesInserted == 0 {
+		t.Fatal("no copies inserted for oversized reduction group")
+	}
+	if st.LargestAfter >= st.LargestBefore {
+		t.Errorf("split did not shrink largest group: %d -> %d", st.LargestBefore, st.LargestAfter)
+	}
+	if err := f.Verify(); err != nil {
+		t.Fatalf("Verify after split: %v", err)
+	}
+}
+
+func TestSplitPreservesDefBeforeUse(t *testing.T) {
+	for _, n := range []int{4, 8, 16, 32} {
+		f, _ := reductionFunc(t, n)
+		Split(f, Options{MaxGroup: 4})
+		defined := map[ir.Reg]bool{}
+		for _, b := range f.Blocks {
+			for _, in := range b.Instrs {
+				for _, u := range in.Uses {
+					if u.IsVirt() && !defined[u] {
+						t.Fatalf("n=%d: use of %v before def after splitting", n, u)
+					}
+				}
+				for _, d := range in.Defs {
+					defined[d] = true
+				}
+			}
+		}
+	}
+}
+
+func TestSplitIdempotentWhenSmall(t *testing.T) {
+	f, _ := sharedInputFunc(t)
+	st := Split(f, Options{MaxGroup: 64})
+	if st.CopiesInserted != 0 {
+		t.Errorf("small groups must not be split, inserted %d copies", st.CopiesInserted)
+	}
+}
+
+func TestSplitTerminates(t *testing.T) {
+	// A big combined pattern: shared input feeding a reduction.
+	bd := ir.NewBuilder("big")
+	base := bd.IConst(0)
+	a := bd.FLoad(base, 0)
+	acc := bd.FConst(0)
+	for i := 0; i < 20; i++ {
+		x := bd.FLoad(base, int64(1+i))
+		p := bd.FMul(a, x)
+		s := bd.FAdd(acc, p)
+		bd.Assign(acc, s)
+	}
+	bd.FStore(acc, base, 99)
+	bd.Ret()
+	f := bd.Func()
+	st := Split(f, Options{MaxGroup: 6})
+	if err := f.Verify(); err != nil {
+		t.Fatalf("Verify: %v", err)
+	}
+	if st.GroupsAfter <= st.GroupsBefore {
+		t.Errorf("expected more groups after splitting: %d -> %d", st.GroupsBefore, st.GroupsAfter)
+	}
+	t.Logf("big split: copies=%d largest %d->%d groups %d->%d",
+		st.CopiesInserted, st.LargestBefore, st.LargestAfter, st.GroupsBefore, st.GroupsAfter)
+}
+
+func TestGroupOfCoversAllMembers(t *testing.T) {
+	f, _ := sharedInputFunc(t)
+	g := Build(f)
+	groupOf := g.GroupOf()
+	for _, grp := range g.Groups() {
+		for _, r := range grp {
+			if _, ok := groupOf[r]; !ok {
+				t.Errorf("register %v missing from GroupOf", r)
+			}
+		}
+	}
+}
+
+func TestDeterministicSplit(t *testing.T) {
+	mk := func() *ir.Func {
+		f, _ := reductionFunc(t, 12)
+		return f
+	}
+	f1, f2 := mk(), mk()
+	Split(f1, Options{MaxGroup: 4})
+	Split(f2, Options{MaxGroup: 4})
+	if ir.Print(f1) != ir.Print(f2) {
+		t.Error("splitting is not deterministic")
+	}
+}

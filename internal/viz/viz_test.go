@@ -1,0 +1,106 @@
+package viz
+
+import (
+	"strings"
+	"testing"
+
+	"prescount/internal/cfg"
+	"prescount/internal/ir"
+	"prescount/internal/liveness"
+	"prescount/internal/rcg"
+	"prescount/internal/rig"
+	"prescount/internal/sdg"
+)
+
+func buildGraphFunc(t *testing.T) *ir.Func {
+	t.Helper()
+	bd := ir.NewBuilder("viz")
+	base := bd.IConst(0)
+	a := bd.FLoad(base, 0)
+	b := bd.FLoad(base, 1)
+	c := bd.FAdd(a, b)
+	d := bd.FMul(c, a)
+	bd.FStore(d, base, 2)
+	bd.Ret()
+	return bd.Func()
+}
+
+func TestRIGDot(t *testing.T) {
+	f := buildGraphFunc(t)
+	cf := cfg.Compute(f)
+	lv := liveness.Compute(f, cf)
+	g := rig.Build(f, lv, ir.ClassFP)
+	dot := RIGDot(g, nil)
+	if !strings.HasPrefix(dot, "graph RIG {") || !strings.HasSuffix(dot, "}\n") {
+		t.Fatalf("malformed DOT:\n%s", dot)
+	}
+	for _, n := range g.Nodes {
+		if !strings.Contains(dot, n.String()) {
+			t.Errorf("node %v missing from DOT", n)
+		}
+	}
+	if !strings.Contains(dot, " -- ") {
+		t.Error("no undirected edges rendered")
+	}
+	// With banks: annotations appear.
+	banks := map[ir.Reg]int{}
+	for i, n := range g.Nodes {
+		banks[n] = i % 2
+	}
+	dot2 := RIGDot(g, banks)
+	if !strings.Contains(dot2, "bank0") || !strings.Contains(dot2, "bank1") {
+		t.Error("bank annotations missing")
+	}
+}
+
+func TestRCGDotMarksResidualConflicts(t *testing.T) {
+	f := buildGraphFunc(t)
+	cf := cfg.Compute(f)
+	g := rcg.Build(f, cf)
+	if len(g.Nodes) == 0 {
+		t.Fatal("no RCG nodes")
+	}
+	sameBank := map[ir.Reg]int{}
+	for _, n := range g.Nodes {
+		sameBank[n] = 0
+	}
+	dot := RCGDot(g, sameBank)
+	if !strings.Contains(dot, "color=red") {
+		t.Error("same-bank edges not highlighted")
+	}
+	if !strings.Contains(dot, "cost=") {
+		t.Error("node costs missing")
+	}
+	diffBank := map[ir.Reg]int{}
+	for i, n := range g.Nodes {
+		diffBank[n] = i % 2
+	}
+	dot2 := RCGDot(g, diffBank)
+	_ = dot2 // at minimum it must render without panicking
+}
+
+func TestSDGDotClusters(t *testing.T) {
+	f := buildGraphFunc(t)
+	g := sdg.Build(f)
+	dot := SDGDot(g)
+	if !strings.Contains(dot, "subgraph cluster_0") {
+		t.Errorf("no clusters rendered:\n%s", dot)
+	}
+	if !strings.Contains(dot, " -> ") {
+		t.Error("no directed edges rendered")
+	}
+}
+
+func TestDotDeterministic(t *testing.T) {
+	f := buildGraphFunc(t)
+	cf := cfg.Compute(f)
+	lv := liveness.Compute(f, cf)
+	g := rig.Build(f, lv, ir.ClassFP)
+	if RIGDot(g, nil) != RIGDot(g, nil) {
+		t.Error("RIGDot not deterministic")
+	}
+	sg := sdg.Build(f)
+	if SDGDot(sg) != SDGDot(sg) {
+		t.Error("SDGDot not deterministic")
+	}
+}

@@ -1,0 +1,205 @@
+package workload
+
+import (
+	"fmt"
+
+	"prescount/internal/ir"
+)
+
+// CNN generates the 64-kernel CNN-KERNEL suite: conv2d+relu (42 kernels),
+// avg-pool2d (6), max-pool2d (6) and element-wise "other" kernels (10),
+// each at an explicit unroll factor. The paper unrolls kernels manually to
+// raise bank pressure; the unroll factor here plays the same role: it
+// multiplies the number of conflict-relevant instructions per loop body.
+func CNN() *Suite {
+	s := &Suite{Name: "CNN-KERNEL"}
+	idx := 0
+	add := func(p *Program) {
+		s.Programs = append(s.Programs, p)
+		idx++
+	}
+	// 42 convolution kernels: combinations of kernel size, input channels
+	// and unroll factor.
+	convCfgs := []struct{ k, cin, unroll int }{}
+	for _, k := range []int{1, 3} {
+		for _, cin := range []int{4, 8, 16} {
+			for _, u := range []int{1, 2, 4, 8} {
+				convCfgs = append(convCfgs, struct{ k, cin, unroll int }{k, cin, u})
+			}
+		}
+	}
+	// 2*3*4 = 24 so far; add 3x3 with larger channel counts for the rest.
+	for _, cin := range []int{24, 32, 48} {
+		for _, u := range []int{1, 2, 4, 8, 16, 32} {
+			convCfgs = append(convCfgs, struct{ k, cin, unroll int }{3, cin, u})
+		}
+	}
+	for i, c := range convCfgs[:42] {
+		add(convKernel(fmt.Sprintf("conv2d.relu.%02d", i), c.k, c.cin, c.unroll))
+	}
+	// 6 + 6 pooling kernels.
+	pi := 0
+	for _, k := range []int{2, 3} {
+		for _, u := range []int{1, 4, 16} {
+			add(poolKernel(fmt.Sprintf("avg.pool2d.%02d", pi), k, u, false))
+			pi++
+		}
+	}
+	pi = 0
+	for _, k := range []int{2, 3} {
+		for _, u := range []int{1, 4, 16} {
+			add(poolKernel(fmt.Sprintf("max.pool2d.%02d", pi), k, u, true))
+			pi++
+		}
+	}
+	// 10 element-wise kernels.
+	for i := 0; i < 10; i++ {
+		add(elementwiseKernel(fmt.Sprintf("other.%02d", i), 1+i%4, 1+(i%3)*3))
+	}
+	return s
+}
+
+// convKernel builds a direct convolution with ReLU over a sliding window:
+// the unrolled outputs share input pixels (output u reads pixels
+// u..u+taps-1), exactly the operand reuse of real convolutions. A pixel
+// therefore multiplies against *different* weights in different
+// instructions — the multi-site conflict pattern an RCG colors globally
+// but a single-instruction heuristic cannot (paper §V on bcr).
+func convKernel(name string, k, cin, unroll int) *Program {
+	b := ir.NewBuilder(name)
+	base := b.IConst(0)
+	weights := k * k
+	taps := weights * min(cin, 4) // inner extent per output
+	initArray(b, base, 64)
+
+	// Weights stay in registers across the loop (live range pressure).
+	var w []ir.Reg
+	for i := 0; i < weights; i++ {
+		w = append(w, b.FLoad(base, int64(i)))
+	}
+	zero := b.FConst(0)
+	b.Loop(8, 1, func(ir.Reg) {
+		// One sliding window of pixels shared by all unrolled outputs.
+		window := taps + unroll - 1
+		pix := make([]ir.Reg, window)
+		for i := range pix {
+			pix[i] = b.FLoad(base, int64(16+i%48))
+		}
+		for u := 0; u < unroll; u++ {
+			acc := b.FConst(0)
+			for t := 0; t < taps; t++ {
+				x := pix[u+t]
+				// Multiply-accumulate, mostly as separate mul+add (the
+				// 2-read form whose conflicts a bank assigner can remove);
+				// every fourth tap uses the fused 3-read form, whose
+				// conflict is irreducible on a 2-bank file.
+				if t%4 == 3 {
+					acc = b.FMA(w[t%weights], x, acc)
+				} else {
+					p := b.FMul(w[t%weights], x)
+					acc = b.FAdd(acc, p)
+				}
+			}
+			out := b.FMax(acc, zero) // ReLU
+			b.FStore(out, base, int64(100+u))
+		}
+	})
+	b.Ret()
+	return &Program{
+		Name:     "CNN." + name,
+		Category: categoryOf(name),
+		Modules:  []*ir.Module{moduleWith(name, b.Func())},
+		MemSize:  1 << 10,
+	}
+}
+
+// poolKernel builds average or max pooling over k*k windows, unrolled.
+func poolKernel(name string, k, unroll int, isMax bool) *Program {
+	b := ir.NewBuilder(name)
+	base := b.IConst(0)
+	initArray(b, base, 64)
+	inv := b.FConst(1.0 / float64(k*k))
+	b.Loop(8, 1, func(ir.Reg) {
+		for u := 0; u < unroll; u++ {
+			acc := b.FLoad(base, int64(u%32))
+			for t := 1; t < k*k; t++ {
+				x := b.FLoad(base, int64((u+t)%48))
+				if isMax {
+					acc = b.FMax(acc, x)
+				} else {
+					acc = b.FAdd(acc, x)
+				}
+			}
+			if !isMax {
+				acc = b.FMul(acc, inv)
+			}
+			b.FStore(acc, base, int64(100+u))
+		}
+	})
+	b.Ret()
+	return &Program{
+		Name:     "CNN." + name,
+		Category: categoryOf(name),
+		Modules:  []*ir.Module{moduleWith(name, b.Func())},
+		MemSize:  1 << 10,
+	}
+}
+
+// elementwiseKernel builds chains of element-wise binary operations
+// (activation-style kernels).
+func elementwiseKernel(name string, chains, unroll int) *Program {
+	b := ir.NewBuilder(name)
+	base := b.IConst(0)
+	initArray(b, base, 32)
+	b.Loop(8, 1, func(ir.Reg) {
+		for u := 0; u < unroll; u++ {
+			x := b.FLoad(base, int64(u%16))
+			y := b.FLoad(base, int64((u+1)%16))
+			v := b.FAdd(x, y)
+			for c := 0; c < chains; c++ {
+				z := b.FLoad(base, int64((u+c+2)%16))
+				if c%2 == 0 {
+					v = b.FMul(v, z)
+				} else {
+					v = b.FMax(v, z)
+				}
+			}
+			b.FStore(v, base, int64(100+u))
+		}
+	})
+	b.Ret()
+	return &Program{
+		Name:     "CNN." + name,
+		Category: categoryOf(name),
+		Modules:  []*ir.Module{moduleWith(name, b.Func())},
+		MemSize:  1 << 10,
+	}
+}
+
+func categoryOf(name string) string {
+	switch {
+	case len(name) >= 6 && name[:6] == "conv2d":
+		return "conv2d.relu"
+	case len(name) >= 10 && name[:10] == "avg.pool2d":
+		return "avg.pool2d"
+	case len(name) >= 10 && name[:10] == "max.pool2d":
+		return "max.pool2d"
+	default:
+		return "other"
+	}
+}
+
+func moduleWith(name string, fs ...*ir.Func) *ir.Module {
+	m := ir.NewModule(name)
+	for _, f := range fs {
+		m.Add(f)
+	}
+	return m
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

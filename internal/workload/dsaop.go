@@ -1,0 +1,179 @@
+package workload
+
+import (
+	"math"
+
+	"prescount/internal/ir"
+)
+
+// DSAOP generates the eight DSA kernels of the paper's Tables VI/VII. The
+// DSA's vector ISA reads at most two register operands per instruction (a
+// 2-bank file cannot serve three single-ported reads), so these kernels use
+// only two-input ops: multiply-accumulate appears as fmul followed by fadd.
+//
+// The kernels span the splitting-relevant patterns of §III-C:
+// reductions (output sharing), shared broadcast operands (input sharing),
+// stencils, and the IDFT, which combines both at scale.
+func DSAOP() *Suite {
+	return &Suite{Name: "DSA-OP", Programs: []*Program{
+		reduceKernel("reduce", 5, 8),
+		reduceKernel("red-ur", 50, 4),
+		sharedUseKernel("shruse", 10, 4),
+		sharedUseKernel("sr-ur", 200, 1),
+		dwConv2dKernel("dw-conv2d"),
+		mixedKernel("tr18987", 25, 7),
+		mixedKernel("tr15651", 64, 8),
+		idftKernel("idft", 32),
+	}}
+}
+
+func dsaProgram(name string, f *ir.Func, mem int) *Program {
+	return &Program{
+		Name:     name,
+		Category: name,
+		Modules:  []*ir.Module{moduleWith(name, f)},
+		MemSize:  mem,
+	}
+}
+
+// reduceKernel sums an array with `unrolled` adds per loop iteration: the
+// output-sharing pattern of Figure 9.
+func reduceKernel(name string, unrolled int, trips int64) *Program {
+	b := ir.NewBuilder(name)
+	base := b.IConst(0)
+	initArray(b, base, 64)
+	acc := b.FConst(0)
+	b.Loop(trips, 1, func(ir.Reg) {
+		for u := 0; u < unrolled; u++ {
+			x := b.FLoad(base, int64(u%48))
+			s := b.FAdd(acc, x)
+			b.Assign(acc, s)
+		}
+	})
+	b.FStore(acc, base, 100)
+	b.Ret()
+	return dsaProgram(name, b.Func(), 1<<10)
+}
+
+// sharedUseKernel multiplies one broadcast value with many inputs: the
+// input-sharing pattern of Figure 8.
+func sharedUseKernel(name string, ops int, trips int64) *Program {
+	b := ir.NewBuilder(name)
+	base := b.IConst(0)
+	initArray(b, base, 64)
+	a := b.FLoad(base, 0) // the shared operand
+	body := func() {
+		for u := 0; u < ops; u++ {
+			x := b.FLoad(base, int64(1+u%48))
+			p := b.FMul(a, x)
+			b.FStore(p, base, int64(100+u%64))
+		}
+	}
+	if trips > 1 {
+		b.Loop(trips, 1, func(ir.Reg) { body() })
+	} else {
+		body()
+	}
+	b.Ret()
+	return dsaProgram(name, b.Func(), 1<<10)
+}
+
+// dwConv2dKernel is a 3x3 depthwise convolution: 9 multiply-accumulates per
+// output, over an 8-position loop.
+func dwConv2dKernel(name string) *Program {
+	b := ir.NewBuilder(name)
+	base := b.IConst(0)
+	initArray(b, base, 64)
+	var w [9]ir.Reg
+	for i := range w {
+		w[i] = b.FLoad(base, int64(i))
+	}
+	b.Loop(8, 1, func(ir.Reg) {
+		acc := b.FConst(0)
+		for t := 0; t < 9; t++ {
+			x := b.FLoad(base, int64(16+t))
+			p := b.FMul(w[t], x)
+			acc = b.FAdd(acc, p)
+		}
+		b.FStore(acc, base, 100)
+	})
+	b.Ret()
+	return dsaProgram(name, b.Func(), 1<<10)
+}
+
+// mixedKernel interleaves element-wise chains with partial reductions,
+// standing in for the paper's anonymized high-performance kernels
+// (tr18987, tr15651).
+func mixedKernel(name string, width int, trips int64) *Program {
+	b := ir.NewBuilder(name)
+	base := b.IConst(0)
+	initArray(b, base, 64)
+	acc := b.FConst(0)
+	b.Loop(trips, 1, func(ir.Reg) {
+		var partial []ir.Reg
+		for u := 0; u < width; u++ {
+			x := b.FLoad(base, int64(u%32))
+			y := b.FLoad(base, int64((u+5)%32))
+			p := b.FMul(x, y)
+			q := b.FMax(p, x)
+			partial = append(partial, q)
+		}
+		// Tree-reduce the partials.
+		for len(partial) > 1 {
+			var next []ir.Reg
+			for i := 0; i+1 < len(partial); i += 2 {
+				next = append(next, b.FAdd(partial[i], partial[i+1]))
+			}
+			if len(partial)%2 == 1 {
+				next = append(next, partial[len(partial)-1])
+			}
+			partial = next
+		}
+		s := b.FAdd(acc, partial[0])
+		b.Assign(acc, s)
+	})
+	b.FStore(acc, base, 100)
+	b.Ret()
+	return dsaProgram(name, b.Func(), 1<<10)
+}
+
+// idftKernel computes an N-point inverse DFT over precomputed twiddle
+// factors, inner loop fully unrolled: per output k, sum over n of
+// re[n]*cos(2πkn/N) - im[n]*sin(2πkn/N) (and the imaginary counterpart).
+// The twiddles act as broadcastable constants, the double accumulation is
+// an output-sharing chain: the combined pattern that makes the paper's
+// idft the heaviest subgroup-splitting client (Table VII).
+func idftKernel(name string, n int) *Program {
+	b := ir.NewBuilder(name)
+	base := b.IConst(0)
+	// Layout: re at [0, n), im at [n, 2n), out re at [256, 256+n), out im
+	// at [320, 320+n).
+	initArray(b, base, 2*n)
+	invN := b.FConst(1.0 / float64(n))
+	for k := 0; k < n; k++ {
+		accRe := b.FConst(0)
+		accIm := b.FConst(0)
+		for j := 0; j < n; j++ {
+			angle := 2 * math.Pi * float64(k) * float64(j) / float64(n)
+			c := b.FConst(math.Cos(angle))
+			s := b.FConst(math.Sin(angle))
+			re := b.FLoad(base, int64(j))
+			im := b.FLoad(base, int64(n+j))
+			// reOut += re*c - im*s ; imOut += re*s + im*c
+			t1 := b.FMul(re, c)
+			t2 := b.FMul(im, s)
+			t3 := b.FSub(t1, t2)
+			accRe = b.FAdd(accRe, t3)
+			t4 := b.FMul(re, s)
+			t5 := b.FMul(im, c)
+			t6 := b.FAdd(t4, t5)
+			accIm = b.FAdd(accIm, t6)
+		}
+		outRe := b.FMul(accRe, invN)
+		outIm := b.FMul(accIm, invN)
+		b.FStore(outRe, base, int64(256+k))
+		b.FStore(outIm, base, int64(320+k))
+	}
+	b.Ret()
+	return dsaProgram(name, b.Func(), 1<<10)
+}

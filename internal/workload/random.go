@@ -1,0 +1,66 @@
+package workload
+
+import (
+	"math/rand"
+
+	"prescount/internal/ir"
+)
+
+// Random generates a random, well-formed, executable function from a seed:
+// straight-line arithmetic over fresh and reused values, optional loops
+// with stores, always self-initializing. It is the fuzzing entry point the
+// pipeline property tests drive — any function it returns must compile
+// under every method and register file without changing semantics.
+func Random(seed int64) *ir.Func {
+	rng := rand.New(rand.NewSource(seed))
+	b := ir.NewBuilder("rand")
+	base := b.IConst(0)
+	initArray(b, base, 24)
+
+	var fpVals []ir.Reg
+	fp := func() ir.Reg {
+		if len(fpVals) == 0 || rng.Float64() < 0.35 {
+			v := b.FLoad(base, int64(rng.Intn(24)))
+			fpVals = append(fpVals, v)
+			return v
+		}
+		return fpVals[rng.Intn(len(fpVals))]
+	}
+	emit := func() {
+		switch rng.Intn(10) {
+		case 0, 1:
+			fpVals = append(fpVals, b.FAdd(fp(), fp()))
+		case 2, 3:
+			fpVals = append(fpVals, b.FMul(fp(), fp()))
+		case 4:
+			fpVals = append(fpVals, b.FSub(fp(), fp()))
+		case 5:
+			fpVals = append(fpVals, b.FMin(fp(), fp()))
+		case 6:
+			fpVals = append(fpVals, b.FMax(fp(), fp()))
+		case 7:
+			fpVals = append(fpVals, b.FMA(fp(), fp(), fp()))
+		case 8:
+			fpVals = append(fpVals, b.FNeg(fp()))
+		case 9:
+			b.FStore(fp(), base, int64(32+rng.Intn(16)))
+		}
+		if rng.Float64() < 0.06 {
+			b.Call()
+		}
+	}
+	for i := 0; i < 4+rng.Intn(20); i++ {
+		emit()
+	}
+	loops := rng.Intn(3)
+	for l := 0; l < loops; l++ {
+		b.Loop(int64(2+rng.Intn(5)), 1, func(ir.Reg) {
+			for i := 0; i < 2+rng.Intn(10); i++ {
+				emit()
+			}
+		})
+	}
+	b.FStore(fp(), base, 60)
+	b.Ret()
+	return b.Func()
+}

@@ -1,0 +1,282 @@
+package workload
+
+import (
+	"fmt"
+	"math/rand"
+
+	"prescount/internal/ir"
+)
+
+// specProfile shapes one synthetic SPECfp benchmark. The counts are the
+// paper's Table I characteristics scaled down (functions by ~1/20, modules
+// by ~1/8, conflict-relevant instructions by ~1/10) so the whole suite
+// compiles in seconds while preserving the relative proportions that drive
+// the evaluation: which benchmarks have many small functions (dealII,
+// soplex), which have few huge ones (namd), and which are nearly
+// conflict-free (sphinx3, lbm).
+type specProfile struct {
+	name string
+	// mods and fns are the module and function counts.
+	mods, fns int
+	// reles is the target conflict-relevant instruction count for the
+	// whole benchmark.
+	reles int
+	// width is the peak simultaneously-live FP value count of hot
+	// functions; widths above the 32-register budget drive the Sp32
+	// spill column.
+	width int
+	// maxDepth is the maximum loop-nest depth.
+	maxDepth int
+	// hotFrac is the fraction of functions executed at runtime.
+	hotFrac float64
+	// callFrac is the probability of an external call between expression
+	// trees; values living across calls must use callee-saved registers,
+	// reproducing the paper's spills-at-1024-registers effect (Sp1k).
+	callFrac float64
+}
+
+// specProfiles mirrors Table I's eight rows.
+var specProfiles = []specProfile{
+	{name: "433.milc", mods: 9, fns: 12, reles: 173, width: 12, maxDepth: 2, hotFrac: 0.6, callFrac: 0.1},
+	{name: "435.gromacs", mods: 16, fns: 46, reles: 1014, width: 24, maxDepth: 3, hotFrac: 0.5, callFrac: 0.2},
+	{name: "444.namd", mods: 2, fns: 5, reles: 901, width: 40, maxDepth: 2, hotFrac: 0.8, callFrac: 0.05},
+	{name: "447.dealII", mods: 15, fns: 180, reles: 1919, width: 36, maxDepth: 3, hotFrac: 0.3, callFrac: 0.3},
+	{name: "450.soplex", mods: 8, fns: 62, reles: 274, width: 10, maxDepth: 2, hotFrac: 0.4, callFrac: 0.2},
+	{name: "453.povray", mods: 12, fns: 77, reles: 1975, width: 34, maxDepth: 3, hotFrac: 0.4, callFrac: 0.3},
+	{name: "470.lbm", mods: 1, fns: 2, reles: 67, width: 14, maxDepth: 1, hotFrac: 1.0, callFrac: 0},
+	{name: "482.sphinx3", mods: 6, fns: 16, reles: 36, width: 6, maxDepth: 2, hotFrac: 0.5, callFrac: 0.15},
+}
+
+// SPECfp generates the synthetic SPECfp suite.
+func SPECfp() *Suite {
+	s := &Suite{Name: "SPECfp"}
+	for _, p := range specProfiles {
+		s.Programs = append(s.Programs, genSPECProgram(p))
+	}
+	return s
+}
+
+func genSPECProgram(p specProfile) *Program {
+	r := rng("specfp." + p.name)
+	prog := &Program{
+		Name:     "SPECfp." + p.name,
+		Category: p.name,
+		Hot:      map[string]bool{},
+		MemSize:  1 << 12,
+	}
+	// Distribute functions over modules and the reles budget over
+	// functions. A minority of functions are conflict-irrelevant (pure
+	// data movement), reproducing the Figure 1a split.
+	fnsPerMod := p.fns / p.mods
+	if fnsPerMod == 0 {
+		fnsPerMod = 1
+	}
+	relesLeft := p.reles
+	fnIdx := 0
+	var firstRelevant string
+	hotRelevant := false
+	for mi := 0; mi < p.mods; mi++ {
+		mod := ir.NewModule(fmt.Sprintf("%s_m%02d", p.name, mi))
+		n := fnsPerMod
+		if mi == p.mods-1 {
+			n = p.fns - fnIdx // remainder into the last module
+		}
+		for k := 0; k < n; k++ {
+			name := fmt.Sprintf("fn%03d", fnIdx)
+			irrelevant := r.Float64() < 0.25
+			target := 0
+			if !irrelevant {
+				remainingFns := p.fns - fnIdx
+				target = relesLeft / max(1, remainingFns)
+				// Skew: some functions concentrate far more conflicts.
+				if r.Float64() < 0.2 {
+					target *= 3
+				}
+				if target > relesLeft {
+					target = relesLeft
+				}
+				relesLeft -= target
+			}
+			f := genSPECFunc(name, r, p, target)
+			mod.Add(f)
+			if target > 0 && firstRelevant == "" {
+				firstRelevant = name
+			}
+			if r.Float64() < p.hotFrac {
+				prog.Hot[name] = true
+				if target > 0 {
+					hotRelevant = true
+				}
+			}
+			fnIdx++
+		}
+		prog.Modules = append(prog.Modules, mod)
+	}
+	// Ensure at least one conflict-relevant function executes so dynamic
+	// metrics are nonzero for every benchmark.
+	if !hotRelevant && firstRelevant != "" {
+		prog.Hot[firstRelevant] = true
+	}
+	if len(prog.Hot) == 0 {
+		prog.Hot[prog.Funcs()[0].Name] = true
+	}
+	return prog
+}
+
+// genSPECFunc builds one function with approximately `target`
+// conflict-relevant instructions: a pool of long-lived "coefficient"
+// values loaded before the loop nest (live across it, like real stencil
+// weights and physics constants — the source of register pressure and of
+// multi-site conflict registers), and expression trees over fresh loads
+// and those coefficients inside the nest.
+func genSPECFunc(name string, r *rand.Rand, p specProfile, target int) *ir.Func {
+	b := ir.NewBuilder(name)
+	base := b.IConst(0)
+	arr := 16 + r.Intn(17) // initialized array size
+	initArray(b, base, arr)
+
+	if target == 0 {
+		// Conflict-irrelevant: shuffle data around.
+		for i := 0; i < 4+r.Intn(8); i++ {
+			v := b.FLoad(base, int64(r.Intn(arr)))
+			w := b.FMov(v)
+			b.FStore(w, base, int64(64+i))
+		}
+		b.Ret()
+		return b.Func()
+	}
+
+	// A quarter of the relevant functions are tiny (a handful of conflict
+	// sites and narrow expressions), like the paper's many small
+	// conflict-relevant tests; these are the units that can end up
+	// conflict-free on wide interleavings (Figure 1b).
+	width := p.width
+	if r.Float64() < 0.25 {
+		target = 1 + r.Intn(3)
+		width = 2 + r.Intn(2)
+	}
+
+	// Long-lived coefficients: loaded once, used throughout the nest.
+	// Their count tracks the profile width, creating genuine pressure on
+	// tight register files.
+	nCoef := width / 2
+	if nCoef > target+2 {
+		nCoef = target + 2
+	}
+	if nCoef < 2 {
+		nCoef = 2
+	}
+	coefs := make([]ir.Reg, 0, nCoef)
+	for i := 0; i < nCoef; i++ {
+		coefs = append(coefs, b.FLoad(base, int64(r.Intn(arr))))
+	}
+
+	depth := 1 + r.Intn(p.maxDepth)
+	emitted := 0
+	var nest func(d int)
+	nest = func(d int) {
+		if d == 0 {
+			// Body: one or more expression trees. Calls are emitted
+			// between loop levels, not here: hot inner loops rarely call,
+			// but the long-lived coefficients outside them do live across
+			// calls (the Sp1k effect).
+			for emitted < target {
+				emitted += emitExprTree(b, r, base, arr, width, coefs)
+				if r.Float64() < 0.3 {
+					break // spread the budget across loop levels
+				}
+			}
+			return
+		}
+		trip := int64(3 + r.Intn(6))
+		b.Loop(trip, 1, func(ir.Reg) { nest(d - 1) })
+		// Some benchmarks also compute and call between loop levels; the
+		// coefficient pool lives across those calls.
+		if r.Float64() < p.callFrac {
+			b.Call()
+		}
+		if r.Float64() < 0.3 && emitted < target {
+			emitted += emitExprTree(b, r, base, arr, width/2, coefs)
+		}
+	}
+	for emitted < target {
+		nest(depth)
+		if depth > 1 && r.Float64() < 0.5 {
+			depth--
+		}
+	}
+	// Keep every coefficient observable so its live range really spans the
+	// nest.
+	keep := coefs[0]
+	for _, c := range coefs[1:] {
+		keep = b.FAdd(keep, c)
+		emitted++
+	}
+	b.FStore(keep, base, 63)
+	b.Ret()
+	return b.Func()
+}
+
+// emitExprTree folds `width` operands — a mix of fresh loads and shared
+// coefficients — with random binary ops (plus the occasional FMA), storing
+// the result. Shared coefficients participate in many conflict-relevant
+// instructions with different partners, which is exactly the multi-site
+// pattern a single-instruction heuristic (bcr) cannot model but RCG
+// coloring (bpc) can. Returns the number of conflict-relevant instructions
+// emitted.
+func emitExprTree(b *ir.Builder, r *rand.Rand, base ir.Reg, arr, width int, coefs []ir.Reg) int {
+	if width < 2 {
+		width = 2
+	}
+	vals := make([]ir.Reg, 0, width)
+	for i := 0; i < width; i++ {
+		if len(coefs) > 0 && r.Float64() < 0.4 {
+			vals = append(vals, coefs[r.Intn(len(coefs))])
+		} else {
+			vals = append(vals, b.FLoad(base, int64(r.Intn(arr))))
+		}
+	}
+	count := 0
+	for len(vals) > 1 {
+		// Pick two (or three for FMA) operands; fold.
+		i := r.Intn(len(vals))
+		x := vals[i]
+		vals = append(vals[:i], vals[i+1:]...)
+		j := r.Intn(len(vals))
+		y := vals[j]
+		var res ir.Reg
+		if x == y {
+			// The same shared coefficient drawn twice: a self-pair cannot
+			// conflict, fold it against a fresh load instead.
+			y = b.FLoad(base, int64(r.Intn(arr)))
+			vals = append(vals[:j], vals[j+1:]...)
+			res = emitBinary(b, r, x, y)
+		} else if len(vals) >= 2 && r.Float64() < 0.25 {
+			k := (j + 1) % len(vals)
+			z := vals[k]
+			res = b.FMA(x, y, z)
+			// Remove the higher index first to keep the other valid.
+			if k > j {
+				vals = append(vals[:k], vals[k+1:]...)
+				vals = append(vals[:j], vals[j+1:]...)
+			} else {
+				vals = append(vals[:j], vals[j+1:]...)
+				vals = append(vals[:k], vals[k+1:]...)
+			}
+		} else {
+			vals = append(vals[:j], vals[j+1:]...)
+			res = emitBinary(b, r, x, y)
+		}
+		vals = append(vals, res)
+		count++
+	}
+	b.FStore(vals[0], base, int64(64+r.Intn(32)))
+	return count
+}
+
+func max(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

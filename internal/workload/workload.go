@@ -1,0 +1,140 @@
+// Package workload generates the three benchmark suites of the paper's
+// evaluation as executable MIR:
+//
+//   - specfp: a seeded synthetic stand-in for the eight SPECfp benchmarks,
+//     with module/function counts and conflict-relevant instruction
+//     profiles proportional to the paper's Table I (scaled down; see
+//     EXPERIMENTS.md);
+//   - cnn: 64 CNN kernels (conv2d+relu, avg-pool2d, max-pool2d,
+//     element-wise) with explicit unroll factors, mirroring the paper's
+//     manually-unrolled MobileNet kernels;
+//   - dsaop: the eight named DSA kernels of Tables VI/VII (reduce, red-ur,
+//     shruse, sr-ur, dw-conv2d, tr18987, tr15651, idft), restricted to
+//     2-input vector ops as the 2-bank DSA requires.
+//
+// Every generator is deterministic: the same name always produces the same
+// program. All programs are self-contained (they initialize the memory they
+// read) so the simulator can execute them and compare pre-/post-allocation
+// semantics.
+package workload
+
+import (
+	"hash/fnv"
+	"math/rand"
+	"sort"
+
+	"prescount/internal/ir"
+)
+
+// Program is one "executable": one or more modules plus execution metadata.
+type Program struct {
+	// Name identifies the program within its suite.
+	Name string
+	// Category groups programs for reporting (e.g. "conv2d.relu").
+	Category string
+	// Modules are the translation units of the program.
+	Modules []*ir.Module
+	// Hot marks the functions executed at runtime (simulated for dynamic
+	// metrics). A nil map means every function runs. This reproduces the
+	// paper's observation that dynamic execution covers only a portion of
+	// the compiled code.
+	Hot map[string]bool
+	// MemSize is the data memory the program needs.
+	MemSize int
+}
+
+// Funcs returns all functions of the program in deterministic order.
+func (p *Program) Funcs() []*ir.Func {
+	var out []*ir.Func
+	for _, m := range p.Modules {
+		out = append(out, m.SortedFuncs()...)
+	}
+	return out
+}
+
+// NumFuncs returns the total function count.
+func (p *Program) NumFuncs() int {
+	n := 0
+	for _, m := range p.Modules {
+		n += len(m.Funcs)
+	}
+	return n
+}
+
+// IsHot reports whether the named function executes at runtime.
+func (p *Program) IsHot(name string) bool {
+	if p.Hot == nil {
+		return true
+	}
+	return p.Hot[name]
+}
+
+// Suite is a named list of programs.
+type Suite struct {
+	// Name is the suite name ("SPECfp", "CNN-KERNEL", "DSA-OP").
+	Name string
+	// Programs in deterministic order.
+	Programs []*Program
+}
+
+// Categories returns the distinct program categories in sorted order.
+func (s *Suite) Categories() []string {
+	set := map[string]bool{}
+	for _, p := range s.Programs {
+		set[p.Category] = true
+	}
+	out := make([]string, 0, len(set))
+	for c := range set {
+		out = append(out, c)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// seedFor derives a deterministic RNG seed from a name.
+func seedFor(name string) int64 {
+	h := fnv.New64a()
+	h.Write([]byte(name))
+	return int64(h.Sum64() & 0x7fffffffffffffff)
+}
+
+// rng returns a deterministic generator for the given name.
+func rng(name string) *rand.Rand { return rand.New(rand.NewSource(seedFor(name))) }
+
+// initArray emits straight-line stores filling mem[0..n) with a
+// deterministic, nonzero pattern. Stores read a single FP register, so the
+// init section is conflict-irrelevant and does not distort statistics.
+func initArray(b *ir.Builder, base ir.Reg, n int) {
+	for i := 0; i < n; i++ {
+		v := 1.0 + 0.5*float64(i%7) + 0.125*float64(i%3)
+		c := b.FConst(v)
+		b.FStore(c, base, int64(i))
+	}
+}
+
+// binaryOps are the conflict-relevant two-input FP operations the
+// generators draw from. Division is included but weighted down and its
+// right operand always comes from initialized (nonzero) data.
+var binaryOps = []ir.Op{
+	ir.OpFAdd, ir.OpFAdd, ir.OpFMul, ir.OpFMul, ir.OpFSub,
+	ir.OpFMin, ir.OpFMax, ir.OpFDiv,
+}
+
+// emitBinary emits one random two-input operation.
+func emitBinary(b *ir.Builder, r *rand.Rand, x, y ir.Reg) ir.Reg {
+	op := binaryOps[r.Intn(len(binaryOps))]
+	switch op {
+	case ir.OpFAdd:
+		return b.FAdd(x, y)
+	case ir.OpFSub:
+		return b.FSub(x, y)
+	case ir.OpFMul:
+		return b.FMul(x, y)
+	case ir.OpFDiv:
+		return b.FDiv(x, y)
+	case ir.OpFMin:
+		return b.FMin(x, y)
+	default:
+		return b.FMax(x, y)
+	}
+}

@@ -1,0 +1,216 @@
+package workload
+
+import (
+	"testing"
+
+	"prescount/internal/bankfile"
+	"prescount/internal/conflict"
+	"prescount/internal/ir"
+	"prescount/internal/sim"
+)
+
+func TestSPECfpShape(t *testing.T) {
+	s := SPECfp()
+	if len(s.Programs) != 8 {
+		t.Fatalf("SPECfp programs = %d, want 8", len(s.Programs))
+	}
+	names := map[string]bool{}
+	totalReles := 0
+	for _, p := range s.Programs {
+		if names[p.Name] {
+			t.Errorf("duplicate program %s", p.Name)
+		}
+		names[p.Name] = true
+		if len(p.Modules) == 0 || p.NumFuncs() == 0 {
+			t.Errorf("%s: empty program", p.Name)
+		}
+		for _, f := range p.Funcs() {
+			if err := f.Verify(); err != nil {
+				t.Fatalf("%s/%s: %v", p.Name, f.Name, err)
+			}
+			r := conflict.Analyze(f, bankfile.RV2(2))
+			totalReles += r.ConflictRelevant
+		}
+		if len(p.Hot) == 0 {
+			t.Errorf("%s: no hot functions", p.Name)
+		}
+	}
+	// The suite-wide conflict-relevant count should be in the vicinity of
+	// the scaled Table I total (~6350, scaled /10).
+	if totalReles < 3000 || totalReles > 13000 {
+		t.Errorf("SPECfp total conflict-relevant instrs = %d, want 3000..13000", totalReles)
+	}
+}
+
+func TestSPECfpDeterministic(t *testing.T) {
+	a, b := SPECfp(), SPECfp()
+	for i := range a.Programs {
+		fa, fb := a.Programs[i].Funcs(), b.Programs[i].Funcs()
+		if len(fa) != len(fb) {
+			t.Fatalf("%s: function count differs", a.Programs[i].Name)
+		}
+		for j := range fa {
+			if ir.Print(fa[j]) != ir.Print(fb[j]) {
+				t.Fatalf("%s/%s: nondeterministic generation",
+					a.Programs[i].Name, fa[j].Name)
+			}
+		}
+	}
+}
+
+func TestSPECfpProportions(t *testing.T) {
+	s := SPECfp()
+	byName := map[string]int{}
+	for _, p := range s.Programs {
+		n := 0
+		for _, f := range p.Funcs() {
+			n += conflict.Analyze(f, bankfile.RV2(2)).ConflictRelevant
+		}
+		byName[p.Category] = n
+	}
+	// Table I ordering must be preserved: povray and dealII near the top,
+	// sphinx3 and lbm at the bottom.
+	if byName["453.povray"] < byName["470.lbm"] ||
+		byName["447.dealII"] < byName["482.sphinx3"] {
+		t.Errorf("conflict-relevant proportions lost: %v", byName)
+	}
+	if byName["444.namd"] < 100 {
+		t.Errorf("namd too small: %d", byName["444.namd"])
+	}
+	if byName["444.namd"] < byName["482.sphinx3"] || byName["444.namd"] < byName["470.lbm"] {
+		t.Errorf("namd must outweigh the small benchmarks: %v", byName)
+	}
+}
+
+func TestCNNShape(t *testing.T) {
+	s := CNN()
+	if len(s.Programs) != 64 {
+		t.Fatalf("CNN programs = %d, want 64", len(s.Programs))
+	}
+	counts := map[string]int{}
+	for _, p := range s.Programs {
+		counts[p.Category]++
+		for _, f := range p.Funcs() {
+			if err := f.Verify(); err != nil {
+				t.Fatalf("%s: %v", p.Name, err)
+			}
+		}
+	}
+	want := map[string]int{"conv2d.relu": 42, "avg.pool2d": 6, "max.pool2d": 6, "other": 10}
+	for c, n := range want {
+		if counts[c] != n {
+			t.Errorf("category %s = %d, want %d", c, counts[c], n)
+		}
+	}
+}
+
+func TestCNNUnrollRaisesConflictRelevant(t *testing.T) {
+	// Within conv kernels, higher unroll factors must yield more
+	// conflict-relevant instructions (the paper's pressure knob).
+	s := CNN()
+	reles := func(p *Program) int {
+		n := 0
+		for _, f := range p.Funcs() {
+			n += conflict.Analyze(f, bankfile.RV1(2)).ConflictRelevant
+		}
+		return n
+	}
+	// conv2d.relu.00 (unroll 1) vs conv2d.relu.03 (unroll 8), same k/cin.
+	var u1, u8 *Program
+	for _, p := range s.Programs {
+		switch p.Name {
+		case "CNN.conv2d.relu.00":
+			u1 = p
+		case "CNN.conv2d.relu.03":
+			u8 = p
+		}
+	}
+	if u1 == nil || u8 == nil {
+		t.Fatal("expected kernels missing")
+	}
+	if reles(u8) <= reles(u1) {
+		t.Errorf("unroll 8 (%d reles) not above unroll 1 (%d)", reles(u8), reles(u1))
+	}
+}
+
+func TestDSAOPShape(t *testing.T) {
+	s := DSAOP()
+	want := []string{"reduce", "red-ur", "shruse", "sr-ur", "dw-conv2d", "tr18987", "tr15651", "idft"}
+	if len(s.Programs) != len(want) {
+		t.Fatalf("DSA programs = %d, want %d", len(s.Programs), len(want))
+	}
+	for i, p := range s.Programs {
+		if p.Name != want[i] {
+			t.Errorf("program %d = %s, want %s", i, p.Name, want[i])
+		}
+		for _, f := range p.Funcs() {
+			if err := f.Verify(); err != nil {
+				t.Fatalf("%s: %v", p.Name, err)
+			}
+			// DSA constraint: no 3-read ops.
+			for _, b := range f.Blocks {
+				for _, in := range b.Instrs {
+					if in.Op == ir.OpFMA {
+						t.Errorf("%s uses fma; DSA kernels must use 2-input ops", p.Name)
+					}
+				}
+			}
+		}
+	}
+	// idft must be the largest kernel (Table VI ordering).
+	var idftReles, maxOther int
+	for _, p := range s.Programs {
+		n := 0
+		for _, f := range p.Funcs() {
+			n += conflict.Analyze(f, bankfile.DSA(1024)).ConflictRelevant
+		}
+		if p.Name == "idft" {
+			idftReles = n
+		} else if n > maxOther {
+			maxOther = n
+		}
+	}
+	if idftReles <= maxOther {
+		t.Errorf("idft (%d reles) must dominate the suite (max other %d)", idftReles, maxOther)
+	}
+}
+
+func TestAllProgramsExecute(t *testing.T) {
+	suites := []*Suite{SPECfp(), CNN(), DSAOP()}
+	for _, s := range suites {
+		for _, p := range s.Programs {
+			for _, f := range p.Funcs() {
+				if !p.IsHot(f.Name) {
+					continue
+				}
+				if _, err := sim.Run(f, sim.Options{MemSize: p.MemSize}); err != nil {
+					t.Errorf("%s/%s/%s does not execute: %v", s.Name, p.Name, f.Name, err)
+				}
+			}
+		}
+	}
+}
+
+func TestIsHotDefaults(t *testing.T) {
+	p := &Program{Name: "x"}
+	if !p.IsHot("anything") {
+		t.Error("nil Hot map must mean everything is hot")
+	}
+	p.Hot = map[string]bool{"a": true}
+	if p.IsHot("b") || !p.IsHot("a") {
+		t.Error("Hot map not respected")
+	}
+}
+
+func TestSuiteCategories(t *testing.T) {
+	s := CNN()
+	cats := s.Categories()
+	if len(cats) != 4 {
+		t.Errorf("categories = %v, want 4", cats)
+	}
+	for i := 1; i < len(cats); i++ {
+		if cats[i-1] >= cats[i] {
+			t.Error("categories not sorted")
+		}
+	}
+}

@@ -1,0 +1,151 @@
+package prescount_test
+
+import (
+	"strings"
+	"testing"
+
+	"prescount"
+)
+
+func TestQuickstartRoundTrip(t *testing.T) {
+	b := prescount.NewBuilder("axpy")
+	base := b.IConst(0)
+	one := b.FConst(1)
+	two := b.FConst(2)
+	b.FStore(one, base, 0)
+	b.FStore(two, base, 1)
+	x := b.FLoad(base, 0)
+	y := b.FLoad(base, 1)
+	s := b.FAdd(x, y)
+	b.FStore(s, base, 2)
+	b.Ret()
+	f := b.Func()
+
+	res, err := prescount.Compile(f, prescount.Options{
+		File:   prescount.RV2(2),
+		Method: prescount.MethodBPC,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Report.StaticConflicts != 0 {
+		t.Errorf("quickstart conflicts = %d, want 0", res.Report.StaticConflicts)
+	}
+
+	sr, err := prescount.Simulate(res.Func, prescount.SimOptions{
+		File:    prescount.RV2(2),
+		MemSize: 64,
+		KeepMem: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sr.Mem[2] != 3 {
+		t.Errorf("mem[2] = %g, want 3", sr.Mem[2])
+	}
+}
+
+func TestPublicParsePrint(t *testing.T) {
+	src := "func @tiny {\n  entry:\n    f2 = fadd f0, f1\n    ret\n}\n"
+	f, err := prescount.Parse(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := prescount.Print(f)
+	if !strings.Contains(out, "fadd f0, f1") {
+		t.Errorf("Print output missing instruction:\n%s", out)
+	}
+	r := prescount.Analyze(f, prescount.RV2(2))
+	if r.ConflictRelevant != 1 || r.StaticConflicts != 0 {
+		t.Errorf("analysis wrong: %+v", r)
+	}
+}
+
+func TestPublicSuites(t *testing.T) {
+	if got := len(prescount.SuiteSPECfp().Programs); got != 8 {
+		t.Errorf("SPECfp programs = %d", got)
+	}
+	if got := len(prescount.SuiteCNN().Programs); got != 64 {
+		t.Errorf("CNN programs = %d", got)
+	}
+	if got := len(prescount.SuiteDSAOP().Programs); got != 8 {
+		t.Errorf("DSA programs = %d", got)
+	}
+}
+
+func TestPublicModuleCompile(t *testing.T) {
+	m := prescount.NewModule("m")
+	b := prescount.NewBuilder("f1")
+	base := b.IConst(0)
+	v := b.FConst(4)
+	w := b.FConst(5)
+	b.FStore(b.FMul(v, w), base, 0)
+	b.Ret()
+	m.Add(b.Func())
+	res, err := prescount.CompileModule(m, prescount.Options{
+		File:   prescount.RV1(4),
+		Method: prescount.MethodNon,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.PerFunc) != 1 {
+		t.Errorf("PerFunc = %d", len(res.PerFunc))
+	}
+}
+
+func TestDSAFileShape(t *testing.T) {
+	file := prescount.DSA(1024)
+	if !file.HasSubgroups() || file.NumBanks != 2 || file.NumSubgroups != 4 {
+		t.Errorf("DSA file = %+v", file)
+	}
+}
+
+func TestGraphDOTKinds(t *testing.T) {
+	b := prescount.NewBuilder("g")
+	base := b.IConst(0)
+	x := b.FLoad(base, 0)
+	y := b.FLoad(base, 1)
+	s := b.FAdd(x, y)
+	b.FStore(s, base, 2)
+	b.Ret()
+	f := b.Func()
+	for _, kind := range []string{"rig", "rcg", "sdg"} {
+		doc, err := prescount.GraphDOT(f, kind)
+		if err != nil {
+			t.Fatalf("%s: %v", kind, err)
+		}
+		if !strings.Contains(doc, "{") {
+			t.Errorf("%s: malformed DOT", kind)
+		}
+	}
+	if _, err := prescount.GraphDOT(f, "bogus"); err == nil {
+		t.Error("bogus graph kind accepted")
+	}
+}
+
+func TestBRCPublicMethod(t *testing.T) {
+	src := `func @t {
+  entry:
+    f0 = fconst 1
+    f2 = fconst 2
+    %0:fp = fadd f0, f2
+    x1 = iconst 0
+    fstore %0, x1, 0
+    ret
+}`
+	f, err := prescount.Parse(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := prescount.Compile(f, prescount.Options{
+		File:   prescount.RV2(2),
+		Method: prescount.MethodBRC,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Report.Instrs == 0 {
+		t.Error("empty report")
+	}
+}
