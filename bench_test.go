@@ -185,6 +185,37 @@ func BenchmarkTable7DSACost(b *testing.B) {
 	}
 }
 
+// BenchmarkCompileModule measures the module-compilation fan-out: the
+// whole SPECfp suite as one module, serial (Workers: 1) versus the
+// GOMAXPROCS-bounded worker pool (Workers: 0). On an N-core machine the
+// parallel case should approach N× — functions are independent pipeline
+// units and the analysis cache is per-function.
+func BenchmarkCompileModule(b *testing.B) {
+	m := prescount.NewModule("specfp")
+	for _, p := range workload.SPECfp().Programs {
+		for _, f := range p.Funcs() {
+			c := f.Clone()
+			c.Name = p.Name + "." + f.Name
+			m.Add(c)
+		}
+	}
+	for _, bc := range []struct {
+		name    string
+		workers int
+	}{{"serial", 1}, {"parallel", 0}} {
+		b.Run(bc.name, func(b *testing.B) {
+			opts := core.Options{File: bankfile.RV2(2), Method: core.MethodBPC, Workers: bc.workers}
+			for i := 0; i < b.N; i++ {
+				res, err := core.CompileModule(m, opts)
+				if err != nil {
+					b.Fatal(err)
+				}
+				b.ReportMetric(float64(res.Totals.StaticConflicts), "static-conflicts")
+			}
+		})
+	}
+}
+
 // --- Ablations (DESIGN.md) ---
 
 // ablationSweep compiles the SPECfp suite (where register pressure is

@@ -5,11 +5,17 @@
 //
 //	benchtab -exp all
 //	benchtab -exp fig1,table2,table6
+//	benchtab -exp fig10 -parallel 8 -cpuprofile rv1.pprof
 //
 // Experiments: fig1, table1, fig10, table2, table3, fig11, table4, table5,
 // table6, table7, all. Output is plain text, one section per experiment,
 // in the paper's layout so measured numbers can sit next to published ones
 // (see EXPERIMENTS.md).
+//
+// -parallel N bounds the compile worker pool for the sweeps (0, the
+// default, uses runtime.GOMAXPROCS; 1 forces serial). Results are
+// identical at any setting — only wall-clock changes. -cpuprofile FILE
+// writes a pprof CPU profile of the whole run.
 package main
 
 import (
@@ -17,6 +23,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime/pprof"
 	"strings"
 	"time"
 
@@ -28,7 +35,19 @@ import (
 func main() {
 	exp := flag.String("exp", "all", "comma-separated experiments: fig1,table1,fig10,table2,table3,fig11,table4,table5,table6,table7,all")
 	jsonOut := flag.String("json", "", "also write raw sweep data as JSON to this file")
+	parallel := flag.Int("parallel", 0, "compile workers for the sweeps: 0 = GOMAXPROCS, 1 = serial")
+	cpuprofile := flag.String("cpuprofile", "", "write a pprof CPU profile to this file")
 	flag.Parse()
+	experiments.Workers = *parallel
+	if *cpuprofile != "" {
+		f, err := os.Create(*cpuprofile)
+		check(err)
+		check(pprof.StartCPUProfile(f))
+		defer func() {
+			pprof.StopCPUProfile()
+			check(f.Close())
+		}()
+	}
 	want := map[string]bool{}
 	for _, e := range strings.Split(*exp, ",") {
 		want[strings.TrimSpace(e)] = true

@@ -1,0 +1,110 @@
+// Package analysis is the pipeline's analysis pass manager: a per-function
+// cache of the expensive whole-function analyses (CFG, liveness, RCG),
+// keyed by the function's IR mutation generation (ir.Func.Generation).
+//
+// The Figure 4 pipeline used to recompute CFG and liveness up to five times
+// per function — once each in coalescing, bank assignment, allocation,
+// renumbering and conflict analysis — even though most phases leave the
+// inputs of those analyses untouched. The cache makes the reuse explicit
+// and safe:
+//
+//   - Every accessor compares the generation at which its result was
+//     computed against the function's current generation and recomputes on
+//     mismatch. Mutating builder and transform entry points bump the
+//     generation (ir.Func.MarkMutated), so a forgotten invalidation can
+//     only cost a recompute, never return stale data.
+//   - Passes that mutate instructions but provably preserve control flow
+//     (coalescing, SDG splitting, scheduling, spill-code insertion,
+//     renumbering — none of them adds blocks or edits successors) call
+//     RetainCFG afterwards to re-stamp the CFG as valid at the new
+//     generation, the moral equivalent of LLVM's setPreservesCFG.
+//
+// Dependencies between analyses are handled internally: Liveness pulls CFG,
+// RCG pulls CFG, always at the same generation as their own result.
+package analysis
+
+import (
+	"prescount/internal/cfg"
+	"prescount/internal/ir"
+	"prescount/internal/liveness"
+	"prescount/internal/rcg"
+)
+
+// Cache holds the analyses of one function. It is not safe for concurrent
+// use; in a parallel module compile each worker owns the cache of the
+// function clone it compiles.
+type Cache struct {
+	f *ir.Func
+
+	cfgGen  uint64
+	cfgInfo *cfg.Info
+
+	livGen uint64
+	liv    *liveness.Info
+
+	rcgGen   uint64
+	rcgGraph *rcg.Graph
+
+	// Computes counts actual recomputations per analysis, for tests and
+	// diagnostics: [0] CFG, [1] liveness, [2] RCG.
+	Computes [3]int
+}
+
+// New returns an empty cache for f. Nothing is computed until the first
+// accessor call.
+func New(f *ir.Func) *Cache { return &Cache{f: f} }
+
+// Func returns the function the cache analyzes.
+func (c *Cache) Func() *ir.Func { return c.f }
+
+// CFG returns the control-flow analyses of the function at its current
+// generation, recomputing only if the function mutated since the last call
+// (and the mutation was not excused via RetainCFG).
+func (c *Cache) CFG() *cfg.Info {
+	gen := c.f.Generation()
+	if c.cfgInfo == nil || c.cfgGen != gen {
+		c.cfgInfo = cfg.Compute(c.f)
+		c.cfgGen = gen
+		c.Computes[0]++
+	}
+	return c.cfgInfo
+}
+
+// Liveness returns the liveness analysis at the function's current
+// generation, recomputing (together with any stale CFG) on mismatch.
+func (c *Cache) Liveness() *liveness.Info {
+	gen := c.f.Generation()
+	if c.liv == nil || c.livGen != gen {
+		c.liv = liveness.Compute(c.f, c.CFG())
+		c.livGen = gen
+		c.Computes[1]++
+	}
+	return c.liv
+}
+
+// RCG returns the Register Conflict Graph at the function's current
+// generation, recomputing on mismatch.
+func (c *Cache) RCG() *rcg.Graph {
+	gen := c.f.Generation()
+	if c.rcgGraph == nil || c.rcgGen != gen {
+		c.rcgGraph = rcg.Build(c.f, c.CFG())
+		c.rcgGen = gen
+		c.Computes[2]++
+	}
+	return c.rcgGraph
+}
+
+// RetainCFG re-stamps the cached CFG as valid at the function's current
+// generation. The caller asserts that control flow — the block list,
+// successor edges and trip counts — is unchanged since the CFG was
+// computed; instruction-level rewrites (operand renaming, insertion,
+// removal, reordering within blocks) are exactly the mutations that
+// qualify. A no-op when no CFG has been computed yet.
+//
+// Liveness and the RCG are deliberately NOT retained: both read the
+// instruction stream and are invalidated by any mutation.
+func (c *Cache) RetainCFG() {
+	if c.cfgInfo != nil {
+		c.cfgGen = c.f.Generation()
+	}
+}

@@ -1,0 +1,98 @@
+package analysis
+
+import (
+	"testing"
+
+	"prescount/internal/ir"
+)
+
+// loopFunc builds a small two-block loop with FP work, enough for every
+// analysis to have real content.
+func loopFunc(t *testing.T) *ir.Func {
+	t.Helper()
+	b := ir.NewBuilder("f")
+	base := b.IConst(0)
+	x := b.FLoad(base, 0)
+	y := b.FLoad(base, 1)
+	b.Loop(8, 1, func(i ir.Reg) {
+		s := b.FMul(x, y)
+		b.FStore(s, base, 2)
+	})
+	b.Ret()
+	return b.Func()
+}
+
+func TestCacheHitsWithinGeneration(t *testing.T) {
+	f := loopFunc(t)
+	c := New(f)
+	cf1, lv1, g1 := c.CFG(), c.Liveness(), c.RCG()
+	cf2, lv2, g2 := c.CFG(), c.Liveness(), c.RCG()
+	if cf1 != cf2 || lv1 != lv2 || g1 != g2 {
+		t.Fatal("repeated accessors at one generation returned fresh analyses")
+	}
+	if c.Computes != [3]int{1, 1, 1} {
+		t.Fatalf("computes = %v, want one per analysis", c.Computes)
+	}
+}
+
+func TestCacheInvalidatesOnMutation(t *testing.T) {
+	f := loopFunc(t)
+	c := New(f)
+	c.CFG()
+	c.Liveness()
+	f.MarkMutated()
+	c.Liveness() // recomputes liveness and (un-retained) CFG
+	if c.Computes[0] != 2 || c.Computes[1] != 2 {
+		t.Fatalf("computes after mutation = %v, want CFG and liveness recomputed", c.Computes)
+	}
+}
+
+func TestRetainCFGSurvivesMutation(t *testing.T) {
+	f := loopFunc(t)
+	c := New(f)
+	cf := c.CFG()
+	c.Liveness()
+	f.MarkMutated() // e.g. a pass reordered instructions within blocks
+	c.RetainCFG()
+	if got := c.CFG(); got != cf {
+		t.Fatal("RetainCFG did not keep the CFG across a generation bump")
+	}
+	c.Liveness()
+	if c.Computes[0] != 1 {
+		t.Fatalf("CFG computes = %d, want 1 (retained)", c.Computes[0])
+	}
+	if c.Computes[1] != 2 {
+		t.Fatalf("liveness computes = %d, want 2 (not retainable)", c.Computes[1])
+	}
+}
+
+func TestRetainCFGBeforeComputeIsNoop(t *testing.T) {
+	f := loopFunc(t)
+	c := New(f)
+	c.RetainCFG() // nothing cached yet
+	if c.CFG() == nil {
+		t.Fatal("CFG nil after no-op retain")
+	}
+	if c.Computes[0] != 1 {
+		t.Fatalf("CFG computes = %d, want 1", c.Computes[0])
+	}
+}
+
+func TestBuilderEntryPointsBumpGeneration(t *testing.T) {
+	f := loopFunc(t)
+	g0 := f.Generation()
+	f.NewVReg(ir.ClassFP)
+	if f.Generation() == g0 {
+		t.Fatal("NewVReg did not bump the generation")
+	}
+	g1 := f.Generation()
+	f.NewBlock("later")
+	if f.Generation() == g1 {
+		t.Fatal("NewBlock did not bump the generation")
+	}
+	g2 := f.Generation()
+	f.RecomputePreds()
+	if f.Generation() == g2 {
+		t.Fatal("RecomputePreds did not bump the generation")
+	}
+}

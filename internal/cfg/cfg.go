@@ -52,8 +52,17 @@ type Loop struct {
 	TripCount int64
 }
 
+// TestHookCompute, when non-nil, observes every Compute invocation. Tests
+// use it to assert the analysis cache's hit rate (at most one Compute per
+// function and IR generation along the pipeline). It must not be set while
+// compilations run concurrently.
+var TestHookCompute func(f *ir.Func)
+
 // Compute runs all analyses over f. The function must verify.
 func Compute(f *ir.Func) *Info {
+	if TestHookCompute != nil {
+		TestHookCompute(f)
+	}
 	info := &Info{f: f}
 	info.computeRPO()
 	info.computeDominators()

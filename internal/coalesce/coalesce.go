@@ -7,7 +7,7 @@
 package coalesce
 
 import (
-	"prescount/internal/cfg"
+	"prescount/internal/analysis"
 	"prescount/internal/ir"
 	"prescount/internal/liveness"
 )
@@ -23,10 +23,16 @@ type Stats struct {
 // Run coalesces copies in f in place and returns statistics. It iterates
 // until no more copies can be removed (merging two registers can make
 // another copy coalescible).
-func Run(f *ir.Func) Stats {
+func Run(f *ir.Func) Stats { return RunCached(f, analysis.New(f)) }
+
+// RunCached is Run consuming (and maintaining) the pipeline's analysis
+// cache: each round reads the cached liveness, and mutating rounds mark
+// the function mutated while retaining the CFG — coalescing removes
+// copies and renames operands but never edits control flow.
+func RunCached(f *ir.Func, ac *analysis.Cache) Stats {
 	var st Stats
 	for round := 0; ; round++ {
-		n, cands := runOnce(f)
+		n, cands := runOnce(f, ac.Liveness())
 		if round == 0 {
 			st.Candidates = cands
 		}
@@ -34,13 +40,12 @@ func Run(f *ir.Func) Stats {
 		if n == 0 {
 			return st
 		}
+		f.MarkMutated()
+		ac.RetainCFG()
 	}
 }
 
-func runOnce(f *ir.Func) (coalesced, candidates int) {
-	cf := cfg.Compute(f)
-	lv := liveness.Compute(f, cf)
-
+func runOnce(f *ir.Func, lv *liveness.Info) (coalesced, candidates int) {
 	// alias maps a merged-away register to its representative.
 	alias := make(map[ir.Reg]ir.Reg)
 	find := func(r ir.Reg) ir.Reg {

@@ -42,8 +42,15 @@ type Report struct {
 // Analyze scans an allocated (physical-register) function under the given
 // register file.
 func Analyze(f *ir.Func, file bankfile.Config) *Report {
+	return AnalyzeWith(f, file, cfg.Compute(f))
+}
+
+// AnalyzeWith is Analyze with a caller-provided CFG — typically the
+// pipeline's analysis cache — avoiding a recompute when control flow is
+// known to be unchanged. cf must be computed over f (or retained across
+// rewrites that preserve f's block structure).
+func AnalyzeWith(f *ir.Func, file bankfile.Config, cf *cfg.Info) *Report {
 	file = file.Normalize()
-	cf := cfg.Compute(f)
 	r := &Report{}
 	for _, b := range f.Blocks {
 		cost := cf.InstrCost(b)

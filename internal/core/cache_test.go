@@ -1,0 +1,114 @@
+package core
+
+import (
+	"reflect"
+	"testing"
+
+	"prescount/internal/bankfile"
+	"prescount/internal/cfg"
+	"prescount/internal/conflict"
+	"prescount/internal/ir"
+	"prescount/internal/liveness"
+)
+
+// analysisKey identifies one analysis run: which function instance at
+// which IR mutation generation.
+type analysisKey struct {
+	f   *ir.Func
+	gen uint64
+}
+
+// TestAnalysesComputedOncePerGeneration is the analysis-cache acceptance
+// check: in a full MethodBPC compile, cfg.Compute and liveness.Compute
+// each run at most once per (function, IR generation) — and, because every
+// pipeline phase preserves control flow, cfg.Compute runs exactly once for
+// the compiled clone.
+func TestAnalysesComputedOncePerGeneration(t *testing.T) {
+	cfgRuns := map[analysisKey]int{}
+	livRuns := map[analysisKey]int{}
+	cfg.TestHookCompute = func(f *ir.Func) { cfgRuns[analysisKey{f, f.Generation()}]++ }
+	liveness.TestHookCompute = func(f *ir.Func) { livRuns[analysisKey{f, f.Generation()}]++ }
+	defer func() {
+		cfg.TestHookCompute = nil
+		liveness.TestHookCompute = nil
+	}()
+
+	f := hotConflicts(t)
+	if _, err := Compile(f, Options{File: bankfile.RV2(2), Method: MethodBPC}); err != nil {
+		t.Fatal(err)
+	}
+
+	for k, n := range cfgRuns {
+		if n > 1 {
+			t.Errorf("cfg.Compute ran %d times for %s at generation %d", n, k.f.Name, k.gen)
+		}
+	}
+	for k, n := range livRuns {
+		if n > 1 {
+			t.Errorf("liveness.Compute ran %d times for %s at generation %d", n, k.f.Name, k.gen)
+		}
+	}
+	if total := len(cfgRuns); total != 1 {
+		t.Errorf("cfg.Compute ran %d times across the compile, want exactly 1 (all phases preserve control flow)", total)
+	}
+	if len(livRuns) == 0 {
+		t.Error("liveness.Compute never observed — hook wiring broken")
+	}
+}
+
+// TestBRCSingleCFGCompute pins the former duplicated cfg.Compute in the
+// brc path (renumber + conflict analysis each recomputing): the whole brc
+// compile must also get by on one CFG computation.
+func TestBRCSingleCFGCompute(t *testing.T) {
+	runs := 0
+	cfg.TestHookCompute = func(*ir.Func) { runs++ }
+	defer func() { cfg.TestHookCompute = nil }()
+
+	f := hotConflicts(t)
+	if _, err := Compile(f, Options{File: bankfile.RV2(2), Method: MethodBRC}); err != nil {
+		t.Fatal(err)
+	}
+	if runs != 1 {
+		t.Fatalf("brc compile ran cfg.Compute %d times, want 1", runs)
+	}
+}
+
+// TestAddReportSumsEveryField walks conflict.Report by reflection, fills
+// every numeric field with a distinct value, and checks addReport
+// accumulates each one — so a new Report field can never be silently
+// dropped from module totals.
+func TestAddReportSumsEveryField(t *testing.T) {
+	src := &conflict.Report{}
+	sv := reflect.ValueOf(src).Elem()
+	for i := 0; i < sv.NumField(); i++ {
+		field := sv.Field(i)
+		switch field.Kind() {
+		case reflect.Int, reflect.Int8, reflect.Int16, reflect.Int32, reflect.Int64:
+			field.SetInt(int64(i + 1))
+		case reflect.Float32, reflect.Float64:
+			field.SetFloat(float64(i) + 0.5)
+		default:
+			t.Fatalf("conflict.Report field %s has kind %s: teach addReport and this test about it",
+				sv.Type().Field(i).Name, field.Kind())
+		}
+	}
+
+	var dst conflict.Report
+	addReport(&dst, src)
+	addReport(&dst, src)
+
+	dv := reflect.ValueOf(&dst).Elem()
+	for i := 0; i < dv.NumField(); i++ {
+		name := dv.Type().Field(i).Name
+		switch dv.Field(i).Kind() {
+		case reflect.Float32, reflect.Float64:
+			if got, want := dv.Field(i).Float(), 2*sv.Field(i).Float(); got != want {
+				t.Errorf("addReport dropped or mis-summed %s: got %v, want %v", name, got, want)
+			}
+		default:
+			if got, want := dv.Field(i).Int(), 2*sv.Field(i).Int(); got != want {
+				t.Errorf("addReport dropped or mis-summed %s: got %v, want %v", name, got, want)
+			}
+		}
+	}
+}

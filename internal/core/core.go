@@ -12,16 +12,16 @@
 package core
 
 import (
+	"context"
 	"fmt"
 
+	"prescount/internal/analysis"
 	"prescount/internal/assign"
 	"prescount/internal/bankfile"
-	"prescount/internal/cfg"
 	"prescount/internal/coalesce"
 	"prescount/internal/conflict"
 	"prescount/internal/ir"
-	"prescount/internal/liveness"
-	"prescount/internal/rcg"
+	"prescount/internal/pool"
 	"prescount/internal/regalloc"
 	"prescount/internal/renumber"
 	"prescount/internal/sched"
@@ -72,6 +72,10 @@ type Options struct {
 	VerifySemantics bool
 	// VerifyMemSize is the memory size for semantic verification.
 	VerifyMemSize int
+	// Workers bounds CompileModule's concurrency: 0 means
+	// runtime.GOMAXPROCS(0), 1 forces the serial path. Compile itself is
+	// always single-threaded; functions are independent pipeline units.
+	Workers int
 }
 
 // Result is the outcome of compiling one function.
@@ -108,32 +112,37 @@ func Compile(f *ir.Func, opts Options) (*Result, error) {
 		return nil, fmt.Errorf("core: linear scan does not implement subgroup displacement hints")
 	}
 	work := f.Clone()
+	// One analysis cache serves every phase: CFG, liveness and the RCG are
+	// computed at most once per IR mutation generation, and phases that
+	// rewrite instructions without touching control flow retain the CFG —
+	// a full compile runs cfg.Compute exactly once.
+	ac := analysis.New(work)
 	res := &Result{}
 
 	// Phase 1: register coalescing.
 	if !opts.DisableCoalesce {
-		res.Coalesce = coalesce.Run(work)
+		res.Coalesce = coalesce.RunCached(work, ac)
 	}
 
 	// Phase 2 (DSA only): SDG-based subgroup splitting. Positioned after
 	// coalescing so splitting copies are not re-coalesced (Figure 4).
 	if opts.Subgroups {
 		res.SDG = sdg.Split(work, sdg.Options{MaxGroup: opts.SDGMaxGroup})
+		ac.RetainCFG() // splitting only inserts copies and renames ranges
 	}
 
 	// Phase 3: pre-allocation scheduling.
 	if !opts.DisableSched {
 		res.Sched = sched.Run(work)
+		ac.RetainCFG() // scheduling reorders within blocks only
 	}
 
 	// Phase 4 (bpc only): RCG-based bank assignment. It reuses the live
-	// range information and does not modify the IR.
-	raOpts := regalloc.Options{Cfg: opts.File, Method: opts.Method}
+	// range information and does not modify the IR, so the liveness pulled
+	// here stays valid for Phase 5's allocator.
+	raOpts := regalloc.Options{Cfg: opts.File, Method: opts.Method, Analyses: ac}
 	if opts.Method == MethodBPC {
-		cf := cfg.Compute(work)
-		lv := liveness.Compute(work, cf)
-		g := rcg.Build(work, cf)
-		ares := assign.PresCount(work, g, lv, opts.File.Normalize(), assign.Options{
+		ares := assign.PresCount(work, ac.RCG(), ac.Liveness(), opts.File.Normalize(), assign.Options{
 			THRES:            opts.THRES,
 			DisablePressure:  opts.DisablePressure,
 			DisableFreeHints: opts.DisableFreeHints,
@@ -162,12 +171,15 @@ func Compile(f *ir.Func, opts Options) (*Result, error) {
 	res.Alloc = alloc
 
 	// Post-allocation phase (brc only): global register renumbering over
-	// the physical-register conflict graph.
+	// the physical-register conflict graph. The CFG retained through the
+	// allocator's rewrite is reused here and again by the conflict
+	// analysis below (renumbering permutes registers, never blocks).
 	if opts.Method == MethodBRC {
-		res.Renumber = renumber.Run(work, opts.File, cfg.Compute(work))
+		res.Renumber = renumber.Run(work, opts.File, ac.CFG())
+		ac.RetainCFG()
 	}
 	res.Func = work
-	res.Report = conflict.Analyze(work, opts.File)
+	res.Report = conflict.AnalyzeWith(work, opts.File, ac.CFG())
 
 	if opts.VerifySemantics {
 		if err := verifySemantics(f, work, opts); err != nil {
@@ -205,16 +217,32 @@ type ModuleResult struct {
 	Totals conflict.Report
 }
 
-// CompileModule compiles every function of m.
+// CompileModule compiles every function of m, fanning out over a worker
+// pool bounded by opts.Workers (0 = runtime.GOMAXPROCS(0), 1 = serial).
+// Compile clones its input and every pipeline stage is pure per function,
+// so functions are independent units; results are aggregated in sorted
+// name order after the pool drains, making the ModuleResult — including
+// the float summation order inside Totals — identical to a serial run
+// regardless of completion order. The first failing function wins and
+// cancels the remaining work.
 func CompileModule(m *ir.Module, opts Options) (*ModuleResult, error) {
-	out := &ModuleResult{PerFunc: map[string]*Result{}}
-	for _, f := range m.SortedFuncs() {
-		r, err := Compile(f, opts)
+	funcs := m.SortedFuncs()
+	results := make([]*Result, len(funcs))
+	err := pool.Run(context.Background(), len(funcs), opts.Workers, func(_ context.Context, i int) error {
+		r, err := Compile(funcs[i], opts)
 		if err != nil {
-			return nil, err
+			return err
 		}
-		out.PerFunc[f.Name] = r
-		addReport(&out.Totals, r.Report)
+		results[i] = r
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	out := &ModuleResult{PerFunc: make(map[string]*Result, len(funcs))}
+	for i, f := range funcs {
+		out.PerFunc[f.Name] = results[i]
+		addReport(&out.Totals, results[i].Report)
 	}
 	return out, nil
 }

@@ -1,0 +1,90 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"testing"
+
+	"prescount/internal/bankfile"
+	"prescount/internal/ir"
+	"prescount/internal/workload"
+)
+
+// specfpModule flattens the SPECfp suite into one module, prefixing
+// function names with their program so they stay unique.
+func specfpModule(tb testing.TB) *ir.Module {
+	tb.Helper()
+	m := ir.NewModule("specfp")
+	for _, p := range workload.SPECfp().Programs {
+		for _, f := range p.Funcs() {
+			c := f.Clone()
+			c.Name = p.Name + "." + f.Name
+			m.Add(c)
+		}
+	}
+	if len(m.Funcs) < 2 {
+		tb.Fatal("SPECfp module too small to exercise the worker pool")
+	}
+	return m
+}
+
+// renderModuleResult serializes every observable piece of a ModuleResult
+// into one canonical string: allocated code, conflict report, allocator
+// statistics and pre/post-pass stats per function (sorted by name), then
+// the module totals. fmt prints map fields with sorted keys, so equal
+// results render equal strings.
+func renderModuleResult(mr *ModuleResult) string {
+	names := make([]string, 0, len(mr.PerFunc))
+	for n := range mr.PerFunc {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	var sb strings.Builder
+	for _, n := range names {
+		r := mr.PerFunc[n]
+		fmt.Fprintf(&sb, "== %s\n%s", n, ir.Print(r.Func))
+		fmt.Fprintf(&sb, "report: %+v\n", *r.Report)
+		fmt.Fprintf(&sb, "alloc: %+v\n", *r.Alloc)
+		fmt.Fprintf(&sb, "stats: %+v %+v %+v forced=%d %+v\n",
+			r.Coalesce, r.SDG, r.Sched, r.BankAssignForced, r.Renumber)
+	}
+	fmt.Fprintf(&sb, "totals: %+v\n", mr.Totals)
+	return sb.String()
+}
+
+// TestCompileModuleParallelMatchesSerial proves the parallel fan-out is
+// observationally pure: compiling the SPECfp module on four workers yields
+// a byte-identical ModuleResult — code, reports, allocator stats and float
+// totals — to the serial path.
+func TestCompileModuleParallelMatchesSerial(t *testing.T) {
+	m := specfpModule(t)
+	opts := Options{File: bankfile.RV2(2), Method: MethodBPC}
+
+	opts.Workers = 1
+	serial, err := CompileModule(m, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	opts.Workers = 4
+	parallel, err := CompileModule(m, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	s, p := renderModuleResult(serial), renderModuleResult(parallel)
+	if s != p {
+		t.Fatalf("parallel CompileModule diverged from serial run:\n--- serial ---\n%.2000s\n--- parallel ---\n%.2000s", s, p)
+	}
+}
+
+// TestCompileModuleFirstErrorWins checks a failing function surfaces as an
+// error (and the module result is dropped) rather than panicking workers.
+func TestCompileModuleFirstErrorWins(t *testing.T) {
+	m := specfpModule(t)
+	// Subgroups on a subgroup-less file is rejected by Compile.
+	_, err := CompileModule(m, Options{File: bankfile.RV2(2), Method: MethodBPC, Subgroups: true, Workers: 4})
+	if err == nil {
+		t.Fatal("expected error from invalid options")
+	}
+}

@@ -18,19 +18,23 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"math"
-	"runtime"
 	"sort"
 	"strings"
-	"sync"
-	"sync/atomic"
 
 	"prescount/internal/bankfile"
 	"prescount/internal/core"
+	"prescount/internal/pool"
 	"prescount/internal/sim"
 	"prescount/internal/workload"
 )
+
+// Workers bounds the compile parallelism of RunSweep (and everything built
+// on it: RV1, RV2, the Fig. 1 / Table I scans): 0 selects
+// runtime.GOMAXPROCS(0). cmd/benchtab's -parallel flag sets it.
+var Workers int
 
 // Methods compared throughout, in the order of the paper's figure legends
 // ("non, bcr, brc and bpc").
@@ -129,9 +133,10 @@ type cellKey struct {
 
 // RunSweep compiles the suites at every (bank, method) combination of a
 // platform setting. simulate adds dynamic metrics (Platform-RV#2 style).
-// Programs compile in parallel — every pipeline stage is pure per function
-// and all generators are deterministic, so the result is identical to a
-// serial run.
+// Programs compile in parallel on the shared worker pool (internal/pool,
+// bounded by Workers) — every pipeline stage is pure per function and all
+// generators are deterministic, and cells are filled in job order after
+// the pool drains, so the result is identical to a serial run.
 func RunSweep(suites []*workload.Suite, numRegs int, banks []int, simulate bool) (*Sweep, error) {
 	sw := &Sweep{
 		Suites:  suites,
@@ -157,39 +162,20 @@ func RunSweep(suites []*workload.Suite, numRegs int, banks []int, simulate bool)
 		}
 	}
 
-	workers := runtime.GOMAXPROCS(0)
-	if workers > len(jobs) {
-		workers = len(jobs)
+	results := make([]Counts, len(jobs))
+	err := pool.Run(context.Background(), len(jobs), Workers, func(_ context.Context, i int) error {
+		c, err := CompileProgram(jobs[i].prog, jobs[i].opts, simulate, false)
+		if err != nil {
+			return err
+		}
+		results[i] = c
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
-	var (
-		mu      sync.Mutex
-		wg      sync.WaitGroup
-		firstEr error
-		next    int64
-	)
-	for w := 0; w < workers; w++ {
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			for {
-				i := int(atomic.AddInt64(&next, 1)) - 1
-				if i >= len(jobs) {
-					return
-				}
-				j := jobs[i]
-				c, err := CompileProgram(j.prog, j.opts, simulate, false)
-				mu.Lock()
-				if err != nil && firstEr == nil {
-					firstEr = err
-				}
-				sw.Cells[j.key][j.prog.Name] = c
-				mu.Unlock()
-			}
-		}()
-	}
-	wg.Wait()
-	if firstEr != nil {
-		return nil, firstEr
+	for i, j := range jobs {
+		sw.Cells[j.key][j.prog.Name] = results[i]
 	}
 	return sw, nil
 }

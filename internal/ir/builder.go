@@ -56,6 +56,7 @@ func (b *Builder) emit(in *Instr) *Instr {
 	if t := b.cur.Terminator(); t != nil {
 		panic(fmt.Sprintf("ir: emitting %s after terminator in block %s", in.Op, b.cur.Name))
 	}
+	b.f.MarkMutated()
 	b.cur.Instrs = append(b.cur.Instrs, in)
 	return in
 }

@@ -109,7 +109,22 @@ type Func struct {
 	NumFPRegs int
 	// SpillSlots is the number of spill slots the allocator created.
 	SpillSlots int
+
+	// gen is the IR mutation generation: it increments on every mutating
+	// builder or transform entry point and keys the analysis cache
+	// (internal/analysis). An analysis computed at one generation is stale
+	// once the counter moves.
+	gen uint64
 }
+
+// Generation returns the function's current IR mutation generation.
+func (f *Func) Generation() uint64 { return f.gen }
+
+// MarkMutated advances the IR mutation generation, invalidating any
+// analysis cached against an earlier generation. Transform passes call it
+// after rewriting the function in place; builder entry points that create
+// registers or blocks call it implicitly.
+func (f *Func) MarkMutated() { f.gen++ }
 
 // NewFunc returns an empty function with the given name.
 func NewFunc(name string) *Func { return &Func{Name: name} }
@@ -119,12 +134,14 @@ func (f *Func) Entry() *Block { return f.Blocks[0] }
 
 // NewVReg allocates a fresh virtual register of class c.
 func (f *Func) NewVReg(c Class) Reg {
+	f.MarkMutated()
 	f.VRegs = append(f.VRegs, VRegInfo{Class: c})
 	return VReg(len(f.VRegs) - 1)
 }
 
 // NewBlock appends a new empty block with the given label.
 func (f *Func) NewBlock(name string) *Block {
+	f.MarkMutated()
 	b := &Block{ID: len(f.Blocks), Name: name}
 	f.Blocks = append(f.Blocks, b)
 	return b
@@ -158,6 +175,7 @@ func (f *Func) NumInstrs() int {
 // block IDs in layout order. Passes that edit control flow call this before
 // handing the function to analyses.
 func (f *Func) RecomputePreds() {
+	f.MarkMutated()
 	for i, b := range f.Blocks {
 		b.ID = i
 		b.Preds = b.Preds[:0]

@@ -134,24 +134,45 @@ func (iv *Interval) String() string {
 
 // Union is a set of disjoint intervals occupying one physical register,
 // supporting overlap queries against candidate intervals. It stores member
-// segments tagged with their owner so evictions can be computed.
+// segments tagged with their owner so evictions can be computed. Owners
+// additionally carry an insertion sequence number so ConflictsWith can
+// return them in a deterministic order: callers sum float eviction costs
+// over the result, and map-iteration order would make those sums — and
+// hence whole allocations — vary between runs of the same process.
 type Union struct {
 	members map[interface{}]*Interval
+	seq     map[interface{}]uint64
+	next    uint64
 }
 
 // NewUnion returns an empty interval union.
-func NewUnion() *Union { return &Union{members: make(map[interface{}]*Interval)} }
+func NewUnion() *Union {
+	return &Union{
+		members: make(map[interface{}]*Interval),
+		seq:     make(map[interface{}]uint64),
+	}
+}
 
 // Insert adds an interval under the given owner key.
-func (u *Union) Insert(owner interface{}, iv *Interval) { u.members[owner] = iv }
+func (u *Union) Insert(owner interface{}, iv *Interval) {
+	u.members[owner] = iv
+	if _, ok := u.seq[owner]; !ok {
+		u.seq[owner] = u.next
+		u.next++
+	}
+}
 
 // Remove deletes the owner's interval.
-func (u *Union) Remove(owner interface{}) { delete(u.members, owner) }
+func (u *Union) Remove(owner interface{}) {
+	delete(u.members, owner)
+	delete(u.seq, owner)
+}
 
 // Len returns the number of member intervals.
 func (u *Union) Len() int { return len(u.members) }
 
-// ConflictsWith returns the owners whose intervals overlap iv.
+// ConflictsWith returns the owners whose intervals overlap iv, ordered by
+// insertion sequence (deterministic for deterministic callers).
 func (u *Union) ConflictsWith(iv *Interval) []interface{} {
 	var out []interface{}
 	for owner, member := range u.members {
@@ -159,6 +180,7 @@ func (u *Union) ConflictsWith(iv *Interval) []interface{} {
 			out = append(out, owner)
 		}
 	}
+	sort.Slice(out, func(i, j int) bool { return u.seq[out[i]] < u.seq[out[j]] })
 	return out
 }
 

@@ -33,9 +33,18 @@ type instrPos struct {
 	in *ir.Instr
 }
 
+// TestHookCompute, when non-nil, observes every Compute invocation. Tests
+// use it to assert the analysis cache's hit rate (at most one Compute per
+// function and IR generation along the pipeline). It must not be set while
+// compilations run concurrently.
+var TestHookCompute func(f *ir.Func)
+
 // Compute runs liveness over f, using cf (which must be computed over the
 // same function) for use-frequency weighting of spill weights.
 func Compute(f *ir.Func, cf *cfg.Info) *Info {
+	if TestHookCompute != nil {
+		TestHookCompute(f)
+	}
 	lv := &Info{F: f}
 	lv.linearize()
 	lv.dataflow()

@@ -1,0 +1,83 @@
+// Package pool provides the bounded worker pool shared by the parallel
+// module compile (internal/core) and the experiment sweeps
+// (internal/experiments): errgroup-style first-error-wins semantics with
+// context cancellation, built on the standard library only.
+package pool
+
+import (
+	"context"
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// Run executes fn(ctx, i) for every i in [0, n) on at most workers
+// goroutines. workers <= 0 selects runtime.GOMAXPROCS(0); the effective
+// count never exceeds n. Indexes are handed out in order through a shared
+// counter, so small inputs keep their cache-friendly sequencing.
+//
+// The first error returned by fn cancels the shared context and wins: Run
+// returns it after every in-flight call has drained, and indexes not yet
+// started are skipped. Cancelling the parent context has the same
+// draining behaviour and surfaces ctx.Err().
+//
+// With one worker (or one item) Run degenerates to a plain loop with no
+// goroutines, so serial baselines measure pure per-item cost.
+func Run(ctx context.Context, n, workers int, fn func(ctx context.Context, i int) error) error {
+	if n <= 0 {
+		return ctx.Err()
+	}
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > n {
+		workers = n
+	}
+	if workers == 1 {
+		for i := 0; i < n; i++ {
+			if err := ctx.Err(); err != nil {
+				return err
+			}
+			if err := fn(ctx, i); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+
+	ctx, cancel := context.WithCancel(ctx)
+	defer cancel()
+	var (
+		wg       sync.WaitGroup
+		next     int64
+		once     sync.Once
+		firstErr error
+	)
+	fail := func(err error) {
+		once.Do(func() {
+			firstErr = err
+			cancel()
+		})
+	}
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for ctx.Err() == nil {
+				i := int(atomic.AddInt64(&next, 1)) - 1
+				if i >= n {
+					return
+				}
+				if err := fn(ctx, i); err != nil {
+					fail(err)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	if firstErr != nil {
+		return firstErr
+	}
+	return ctx.Err()
+}

@@ -1,0 +1,106 @@
+package pool
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync/atomic"
+	"testing"
+)
+
+func TestRunVisitsEveryIndexOnce(t *testing.T) {
+	for _, workers := range []int{0, 1, 3, 64} {
+		const n = 100
+		var visits [n]int32
+		err := Run(context.Background(), n, workers, func(_ context.Context, i int) error {
+			atomic.AddInt32(&visits[i], 1)
+			return nil
+		})
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		for i, v := range visits {
+			if v != 1 {
+				t.Fatalf("workers=%d: index %d visited %d times", workers, i, v)
+			}
+		}
+	}
+}
+
+func TestRunBoundsConcurrency(t *testing.T) {
+	const workers, n = 4, 200
+	var cur, peak int32
+	err := Run(context.Background(), n, workers, func(_ context.Context, i int) error {
+		c := atomic.AddInt32(&cur, 1)
+		for {
+			p := atomic.LoadInt32(&peak)
+			if c <= p || atomic.CompareAndSwapInt32(&peak, p, c) {
+				break
+			}
+		}
+		atomic.AddInt32(&cur, -1)
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if peak > workers {
+		t.Fatalf("observed %d concurrent calls, bound is %d", peak, workers)
+	}
+}
+
+func TestRunFirstErrorWinsAndCancels(t *testing.T) {
+	boom := errors.New("boom")
+	var after int32
+	err := Run(context.Background(), 1000, 4, func(ctx context.Context, i int) error {
+		if i == 5 {
+			return boom
+		}
+		if ctx.Err() != nil {
+			atomic.AddInt32(&after, 1) // cancellation visible to in-flight calls
+		}
+		return nil
+	})
+	if !errors.Is(err, boom) {
+		t.Fatalf("err = %v, want %v", err, boom)
+	}
+}
+
+func TestRunSerialStopsAtFirstError(t *testing.T) {
+	var calls int32
+	err := Run(context.Background(), 10, 1, func(_ context.Context, i int) error {
+		atomic.AddInt32(&calls, 1)
+		if i == 3 {
+			return fmt.Errorf("fail at %d", i)
+		}
+		return nil
+	})
+	if err == nil {
+		t.Fatal("expected error")
+	}
+	if calls != 4 {
+		t.Fatalf("serial run made %d calls after error at index 3, want 4", calls)
+	}
+}
+
+func TestRunHonorsCanceledContext(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	var calls int32
+	err := Run(ctx, 10, 2, func(_ context.Context, i int) error {
+		atomic.AddInt32(&calls, 1)
+		return nil
+	})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+}
+
+func TestRunEmpty(t *testing.T) {
+	if err := Run(context.Background(), 0, 4, func(_ context.Context, i int) error {
+		t.Fatal("fn called for empty input")
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -50,8 +50,13 @@ func RunLinearScan(f *ir.Func, opts Options) (*Result, error) {
 		assignment: map[ir.Reg]int{},
 		spillSlot:  map[ir.Reg]int{},
 	}
-	ls.cf = cfg.Compute(f)
-	ls.lv = liveness.Compute(f, ls.cf)
+	if ac := opts.Analyses; ac != nil {
+		ls.cf = ac.CFG()
+		ls.lv = ac.Liveness()
+	} else {
+		ls.cf = cfg.Compute(f)
+		ls.lv = liveness.Compute(f, ls.cf)
+	}
 	for _, b := range f.Blocks {
 		for i, in := range b.Instrs {
 			if in.Op == ir.OpCall {
@@ -70,6 +75,10 @@ func RunLinearScan(f *ir.Func, opts Options) (*Result, error) {
 	ls.scan(ir.ClassFP)
 	ls.scan(ir.ClassGPR)
 	ls.materialize()
+	f.MarkMutated()
+	if ac := opts.Analyses; ac != nil {
+		ac.RetainCFG() // spill code and operand rewrites keep control flow
+	}
 	return ls.res, f.Verify()
 }
 

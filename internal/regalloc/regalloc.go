@@ -27,6 +27,7 @@ import (
 	"math"
 	"sort"
 
+	"prescount/internal/analysis"
 	"prescount/internal/bankfile"
 	"prescount/internal/cfg"
 	"prescount/internal/ir"
@@ -78,6 +79,12 @@ type Options struct {
 	// SubgroupGroups maps FP vregs to their SDG group id; enables
 	// Algorithm 2 subgroup displacement bookkeeping when Cfg.HasSubgroups.
 	SubgroupGroups map[ir.Reg]int
+	// Analyses, when non-nil, supplies the cached CFG and liveness of the
+	// function (internal/analysis) so the allocator reuses the analyses
+	// already computed by earlier pipeline phases instead of recomputing.
+	// After its rewrite the allocator marks the function mutated and
+	// re-stamps the CFG as retained (allocation never edits control flow).
+	Analyses *analysis.Cache
 }
 
 // Result reports the allocation outcome. After Run the function is fully
@@ -197,8 +204,13 @@ type siteKey struct {
 }
 
 func (a *allocator) run() error {
-	a.cf = cfg.Compute(a.f)
-	a.lv = liveness.Compute(a.f, a.cf)
+	if ac := a.opts.Analyses; ac != nil {
+		a.cf = ac.CFG()
+		a.lv = ac.Liveness()
+	} else {
+		a.cf = cfg.Compute(a.f)
+		a.lv = liveness.Compute(a.f, a.cf)
+	}
 	a.override = map[ir.Reg]*liveness.Interval{}
 	a.weightOverride = map[ir.Reg]float64{}
 	a.sitePseudo = map[siteKey]ir.Reg{}
@@ -246,6 +258,10 @@ func (a *allocator) run() error {
 		}
 	}
 	a.materialize()
+	a.f.MarkMutated()
+	if ac := a.opts.Analyses; ac != nil {
+		ac.RetainCFG() // spill code and operand rewrites keep control flow
+	}
 	return a.f.Verify()
 }
 

@@ -2,6 +2,7 @@ package regalloc
 
 import (
 	"math"
+	"sort"
 
 	"prescount/internal/cfg"
 	"prescount/internal/ir"
@@ -226,8 +227,16 @@ func (a *allocator) splitChildAt(r ir.Reg, slot int) ir.Reg {
 // child is initialized straight from the stack slot (or by
 // rematerializing the constant).
 func (a *allocator) materializeSplits() {
-	for _, plans := range a.splits {
-		for _, sp := range plans {
+	// Iterate parents in register order: several splits can share one
+	// preheader, and map order would make the inserted initializer
+	// sequence — and thus the output code — vary run to run.
+	parents := make([]ir.Reg, 0, len(a.splits))
+	for r := range a.splits {
+		parents = append(parents, r)
+	}
+	sort.Slice(parents, func(i, j int) bool { return parents[i] < parents[j] })
+	for _, r := range parents {
+		for _, sp := range a.splits[r] {
 			childPhys := a.physOf(sp.child)
 			var init *ir.Instr
 			switch {

@@ -195,7 +195,9 @@ func Run(f *ir.Func, file bankfile.Config, cf *cfg.Info) Stats {
 		}
 	}
 
-	// Rewrite.
+	// Rewrite. The permutation renames register operands only — control
+	// flow is untouched, so callers holding an analysis cache may retain
+	// the CFG after the mutation bump below.
 	for _, b := range f.Blocks {
 		for _, in := range b.Instrs {
 			for k, u := range in.Uses {
@@ -210,6 +212,7 @@ func Run(f *ir.Func, file bankfile.Config, cf *cfg.Info) Stats {
 			}
 		}
 	}
+	f.MarkMutated()
 	for from, to := range perm {
 		if from != to {
 			st.Renamed++

@@ -16,13 +16,18 @@ type Stats struct {
 	Reordered int
 }
 
-// Run schedules every block of f in place.
+// Run schedules every block of f in place. Reordering preserves control
+// flow, so callers holding an analysis cache may retain the CFG; liveness
+// is invalidated through the function's mutation generation.
 func Run(f *ir.Func) Stats {
 	var st Stats
 	for _, b := range f.Blocks {
 		if scheduleBlock(f, b) {
 			st.Reordered++
 		}
+	}
+	if st.Reordered > 0 {
+		f.MarkMutated()
 	}
 	return st
 }

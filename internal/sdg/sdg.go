@@ -225,6 +225,12 @@ func Split(f *ir.Func, opts Options) Stats {
 	if len(groups) > 0 {
 		st.LargestAfter = len(groups[0])
 	}
+	if st.CopiesInserted > 0 {
+		// Copies and renamed live ranges invalidate liveness and the RCG;
+		// control flow is untouched (splits never add blocks), so callers
+		// holding an analysis cache may retain the CFG.
+		f.MarkMutated()
+	}
 	return st
 }
 
