@@ -216,6 +216,34 @@ func BenchmarkCompileModule(b *testing.B) {
 	}
 }
 
+// BenchmarkAssignFunc measures one PresCount bank assignment (Algorithm 1:
+// RCG coloring with bank-pressure prioritization plus free-register
+// balancing) over a single function at increasing sizes, with the analyses
+// precomputed so the tracker's probe path dominates. This is the
+// per-function cost the sublinear pressure tracker cuts; the end-to-end
+// effect shows up in BenchmarkCompileModule.
+func BenchmarkAssignFunc(b *testing.B) {
+	file := bankfile.RV1(4)
+	for _, tc := range []struct {
+		name string
+		size int
+	}{{"small", 64}, {"medium", 512}, {"large", 4096}} {
+		f := workload.RandomSized(11, tc.size)
+		cf := cfg.Compute(f)
+		g := rcg.Build(f, cf)
+		lv := liveness.Compute(f, cf)
+		b.Run(tc.name, func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				res := assign.PresCount(f, g, lv, file, assign.Options{})
+				if len(res.BankOf)+len(res.FreeHints) == 0 {
+					b.Fatal("empty assignment")
+				}
+			}
+		})
+	}
+}
+
 // --- Ablations (DESIGN.md) ---
 
 // ablationSweep compiles the SPECfp suite (where register pressure is

@@ -16,6 +16,12 @@
 // default, uses runtime.GOMAXPROCS; 1 forces serial). Results are
 // identical at any setting — only wall-clock changes. -cpuprofile FILE
 // writes a pprof CPU profile of the whole run.
+//
+// -sizes N1,N2,... runs the compile-time scaling sweep instead of the
+// paper experiments: for each size it generates random functions with that
+// many FP instructions (the workload.RandomSized knob), compiles them under
+// bpc, and reports interval counts and wall-clock per phase-relevant size —
+// the end-to-end view of the sublinear overlap/pressure query engine.
 package main
 
 import (
@@ -24,11 +30,15 @@ import (
 	"fmt"
 	"os"
 	"runtime/pprof"
+	"strconv"
 	"strings"
 	"time"
 
+	"prescount/internal/bankfile"
+	"prescount/internal/cfg"
 	"prescount/internal/core"
 	"prescount/internal/experiments"
+	"prescount/internal/liveness"
 	"prescount/internal/workload"
 )
 
@@ -37,6 +47,7 @@ func main() {
 	jsonOut := flag.String("json", "", "also write raw sweep data as JSON to this file")
 	parallel := flag.Int("parallel", 0, "compile workers for the sweeps: 0 = GOMAXPROCS, 1 = serial")
 	cpuprofile := flag.String("cpuprofile", "", "write a pprof CPU profile to this file")
+	sizes := flag.String("sizes", "", "comma-separated workload sizes: compile random functions of each size under bpc and report timings (skips the paper experiments)")
 	flag.Parse()
 	experiments.Workers = *parallel
 	if *cpuprofile != "" {
@@ -47,6 +58,10 @@ func main() {
 			pprof.StopCPUProfile()
 			check(f.Close())
 		}()
+	}
+	if *sizes != "" {
+		runSizes(*sizes)
+		return
 	}
 	want := map[string]bool{}
 	for _, e := range strings.Split(*exp, ",") {
@@ -159,6 +174,53 @@ func main() {
 		fmt.Println()
 	}
 	fmt.Fprintf(os.Stderr, "benchtab: done in %v\n", time.Since(start))
+}
+
+// runSizes is the -sizes sweep: per requested size, generate a few random
+// functions at that size, compile each under bpc, and print a table of
+// interval counts and compile wall-clock. The single-function compile is
+// dominated by the overlap/pressure query engine once sizes reach the
+// thousands, so this sweep is the quickest way to see its scaling.
+func runSizes(spec string) {
+	const seedsPerSize = 3
+	file := bankfile.RV1(2)
+	section("Compile-time scaling sweep (random functions, bpc, 2-bank RV#1)")
+	fmt.Printf("%8s %8s %10s %10s %12s %10s\n", "size", "instrs", "intervals", "conflicts", "compile", "per-intvl")
+	for _, field := range strings.Split(spec, ",") {
+		size, err := strconv.Atoi(strings.TrimSpace(field))
+		if err != nil {
+			check(fmt.Errorf("-sizes: %w", err))
+		}
+		var instrs, intervals, conflicts int
+		var elapsed time.Duration
+		for seed := int64(0); seed < seedsPerSize; seed++ {
+			f := workload.RandomSized(seed, size)
+			lv := liveness.Compute(f, cfg.Compute(f))
+			for _, iv := range lv.Intervals {
+				if iv != nil && !iv.Empty() {
+					intervals++
+				}
+			}
+			instrs += f.NumInstrs()
+			start := time.Now()
+			res, err := core.Compile(f, core.Options{File: file, Method: core.MethodBPC})
+			check(err)
+			elapsed += time.Since(start)
+			conflicts += res.Report.StaticConflicts
+		}
+		fmt.Printf("%8d %8d %10d %10d %12v %10s\n",
+			size, instrs/seedsPerSize, intervals/seedsPerSize, conflicts/seedsPerSize,
+			(elapsed / seedsPerSize).Round(time.Microsecond),
+			fmt.Sprintf("%.1fns", float64(elapsed.Nanoseconds())/float64(maxI(intervals, 1))),
+		)
+	}
+}
+
+func maxI(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
 }
 
 // sweepJSON converts a sweep into a JSON-friendly structure keyed

@@ -104,33 +104,35 @@ func PresCount(f *ir.Func, g *rcg.Graph, lv *liveness.Info, cfg bankfile.Config,
 			calleeCap[cfg.Bank(p)]++
 		}
 	}
-	rank := func(candidates []int, iv *liveness.Interval) []int {
+	// pick returns the best bank among the candidates: the head of the old
+	// ranking orders, computed as a single allocation-free argmin scan so
+	// the probe-heavy inner loop of Algorithm 1 never sorts or copies.
+	pick := func(candidates []int, iv *liveness.Interval) int {
 		if opts.DisablePressure || iv == nil {
-			out := append([]int(nil), candidates...)
-			sort.Ints(out)
-			return out
+			min := candidates[0]
+			for _, b := range candidates[1:] {
+				if b < min {
+					min = b
+				}
+			}
+			return min
 		}
 		if crosses(iv) {
-			// Rank by remaining callee-saved slack (capacity minus
+			// Choose by remaining callee-saved slack (capacity minus
 			// crossing pressure), most slack first; ties fall back to
 			// overall pressure, then bank index.
-			out := append([]int(nil), candidates...)
-			sort.SliceStable(out, func(i, j int) bool {
-				si := calleeCap[out[i]] - crossTracker.PressureIfAdded(out[i], iv)
-				sj := calleeCap[out[j]] - crossTracker.PressureIfAdded(out[j], iv)
-				if si != sj {
-					return si > sj
+			best, bestSlack, bestP := -1, 0, 0
+			for _, b := range candidates {
+				s := calleeCap[b] - crossTracker.PressureIfAdded(b, iv)
+				p := tracker.PressureIfAdded(b, iv)
+				if best < 0 || s > bestSlack ||
+					(s == bestSlack && (p < bestP || (p == bestP && b < best))) {
+					best, bestSlack, bestP = b, s, p
 				}
-				pi := tracker.PressureIfAdded(out[i], iv)
-				pj := tracker.PressureIfAdded(out[j], iv)
-				if pi != pj {
-					return pi < pj
-				}
-				return out[i] < out[j]
-			})
-			return out
+			}
+			return best
 		}
-		return tracker.RankBanks(candidates, iv)
+		return tracker.BestBank(candidates, iv)
 	}
 
 	// Process disjoint subgraphs in descending max-cost order.
@@ -148,18 +150,17 @@ func PresCount(f *ir.Func, g *rcg.Graph, lv *liveness.Info, cfg bankfile.Config,
 				delete(unprocessed, v)
 
 				avail := availableBanks(g, res.BankOf, v, cfg.NumBanks)
-				var ordered []int
+				var bank int
 				switch {
 				case len(avail) > 0:
-					ordered = rank(avail, lv.IntervalOf(v))
+					bank = pick(avail, lv.IntervalOf(v))
 				case regPressure > thres:
-					ordered = rank(allBanks, lv.IntervalOf(v))
+					bank = pick(allBanks, lv.IntervalOf(v))
 					res.Forced = append(res.Forced, v)
 				default:
-					ordered = neighbourCostPrioritize(g, res.BankOf, v, allBanks)
+					bank = neighbourCostPrioritize(g, res.BankOf, v, allBanks)[0]
 					res.Forced = append(res.Forced, v)
 				}
-				bank := ordered[0]
 				res.BankOf[v] = bank
 				commit(bank, lv.IntervalOf(v))
 				for _, n := range g.Neighbors(v) {
@@ -187,7 +188,7 @@ func PresCount(f *ir.Func, g *rcg.Graph, lv *liveness.Info, cfg bankfile.Config,
 			if iv == nil || iv.Empty() {
 				continue
 			}
-			b := rank(allBanks, iv)[0]
+			b := pick(allBanks, iv)
 			res.FreeHints[r] = b
 			commit(b, iv)
 		}

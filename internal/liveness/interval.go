@@ -35,7 +35,9 @@ type Interval struct {
 	NumUses int
 }
 
-// Add inserts the segment [start, end), merging with neighbours.
+// Add inserts the segment [start, end), merging with neighbours. The
+// splice is done in place: inserts allocate only when the backing array is
+// full, never for an intermediate one-element slice.
 func (iv *Interval) Add(start, end int) {
 	if start >= end {
 		return
@@ -54,7 +56,16 @@ func (iv *Interval) Add(start, end int) {
 		}
 		j++
 	}
-	iv.Segments = append(iv.Segments[:i], append([]Segment{seg}, iv.Segments[j:]...)...)
+	if i == j {
+		// Pure insert: open one slot at i.
+		iv.Segments = append(iv.Segments, Segment{})
+		copy(iv.Segments[i+1:], iv.Segments[i:])
+		iv.Segments[i] = seg
+		return
+	}
+	// Merge: seg replaces [i, j); close the gap.
+	iv.Segments[i] = seg
+	iv.Segments = append(iv.Segments[:i+1], iv.Segments[j:]...)
 }
 
 // Start returns the first live slot (or 0 for an empty interval).
@@ -132,64 +143,6 @@ func (iv *Interval) String() string {
 	return sb.String()
 }
 
-// Union is a set of disjoint intervals occupying one physical register,
-// supporting overlap queries against candidate intervals. It stores member
-// segments tagged with their owner so evictions can be computed. Owners
-// additionally carry an insertion sequence number so ConflictsWith can
-// return them in a deterministic order: callers sum float eviction costs
-// over the result, and map-iteration order would make those sums — and
-// hence whole allocations — vary between runs of the same process.
-type Union struct {
-	members map[interface{}]*Interval
-	seq     map[interface{}]uint64
-	next    uint64
-}
-
-// NewUnion returns an empty interval union.
-func NewUnion() *Union {
-	return &Union{
-		members: make(map[interface{}]*Interval),
-		seq:     make(map[interface{}]uint64),
-	}
-}
-
-// Insert adds an interval under the given owner key.
-func (u *Union) Insert(owner interface{}, iv *Interval) {
-	u.members[owner] = iv
-	if _, ok := u.seq[owner]; !ok {
-		u.seq[owner] = u.next
-		u.next++
-	}
-}
-
-// Remove deletes the owner's interval.
-func (u *Union) Remove(owner interface{}) {
-	delete(u.members, owner)
-	delete(u.seq, owner)
-}
-
-// Len returns the number of member intervals.
-func (u *Union) Len() int { return len(u.members) }
-
-// ConflictsWith returns the owners whose intervals overlap iv, ordered by
-// insertion sequence (deterministic for deterministic callers).
-func (u *Union) ConflictsWith(iv *Interval) []interface{} {
-	var out []interface{}
-	for owner, member := range u.members {
-		if member.Overlaps(iv) {
-			out = append(out, owner)
-		}
-	}
-	sort.Slice(out, func(i, j int) bool { return u.seq[out[i]] < u.seq[out[j]] })
-	return out
-}
-
-// HasConflict reports whether any member overlaps iv.
-func (u *Union) HasConflict(iv *Interval) bool {
-	for _, member := range u.members {
-		if member.Overlaps(iv) {
-			return true
-		}
-	}
-	return false
-}
+// Union (union.go) is the interval-tree-backed overlap index occupying one
+// physical register; NaiveUnion (union_naive.go) is its scan-all-members
+// reference implementation.

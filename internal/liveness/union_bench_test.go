@@ -1,0 +1,81 @@
+package liveness_test
+
+import (
+	"fmt"
+	"testing"
+
+	"prescount/internal/cfg"
+	"prescount/internal/ir"
+	"prescount/internal/liveness"
+	"prescount/internal/workload"
+)
+
+// benchUnionIntervals returns a function's live FP intervals split into a
+// committed set (union members) and a probe set (the allocator's queries).
+func benchUnionIntervals(b *testing.B, size int) (members, probes []*liveness.Interval) {
+	b.Helper()
+	f := workload.RandomSized(11, size)
+	lv := liveness.Compute(f, cfg.Compute(f))
+	for idx, iv := range lv.Intervals {
+		if iv == nil || iv.Empty() || f.VRegs[idx].Class != ir.ClassFP {
+			continue
+		}
+		if idx%2 == 0 {
+			members = append(members, iv)
+		} else {
+			probes = append(probes, iv)
+		}
+	}
+	return members, probes
+}
+
+// BenchmarkUnionConflicts measures the greedy allocator's interference
+// queries at steady state: a union holding half a function's intervals
+// answering HasConflict and ConflictsWith for the other half. The
+// treap-backed Union answers from max-end-augmented subtrees; the
+// NaiveUnion scans every member.
+func BenchmarkUnionConflicts(b *testing.B) {
+	for _, size := range []int{64, 512, 4096} {
+		members, probes := benchUnionIntervals(b, size)
+		b.Run(fmt.Sprintf("n=%d/tree", len(members)), func(b *testing.B) {
+			u := liveness.NewUnion()
+			for i, iv := range members {
+				u.Insert(i, iv)
+			}
+			var buf []interface{}
+			b.ReportAllocs()
+			b.ResetTimer()
+			sink := 0
+			for i := 0; i < b.N; i++ {
+				probe := probes[i%len(probes)]
+				if u.HasConflict(probe) {
+					sink++
+				}
+				buf = u.ConflictsWithAppend(buf, probe)
+				sink += len(buf)
+			}
+			if sink < 0 {
+				b.Fatal("impossible")
+			}
+		})
+		b.Run(fmt.Sprintf("n=%d/naive", len(members)), func(b *testing.B) {
+			u := liveness.NewNaiveUnion()
+			for i, iv := range members {
+				u.Insert(i, iv)
+			}
+			b.ReportAllocs()
+			b.ResetTimer()
+			sink := 0
+			for i := 0; i < b.N; i++ {
+				probe := probes[i%len(probes)]
+				if u.HasConflict(probe) {
+					sink++
+				}
+				sink += len(u.ConflictsWith(probe))
+			}
+			if sink < 0 {
+				b.Fatal("impossible")
+			}
+		})
+	}
+}

@@ -1,0 +1,87 @@
+package liveness_test
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"prescount/internal/liveness"
+)
+
+// TestUnionMatchesNaiveRandomized drives the treap-backed Union and the
+// NaiveUnion through the same randomized insert/remove/replace stream —
+// over 1000 member intervals live at peak — and asserts every HasConflict
+// and ConflictsWith answer (including result order) matches.
+func TestUnionMatchesNaiveRandomized(t *testing.T) {
+	for seed := int64(0); seed < 3; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		tree := liveness.NewUnion()
+		naive := liveness.NewNaiveUnion()
+		mk := func() *liveness.Interval {
+			iv := &liveness.Interval{}
+			for j := 0; j < 1+rng.Intn(4); j++ {
+				s := rng.Intn(4000)
+				iv.Add(s, s+1+rng.Intn(300))
+			}
+			return iv
+		}
+		var owners []int
+		nextOwner := 0
+		for op := 0; op < 4000; op++ {
+			switch r := rng.Float64(); {
+			case r < 0.45 || len(owners) == 0:
+				iv := mk()
+				tree.Insert(nextOwner, iv)
+				naive.Insert(nextOwner, iv)
+				owners = append(owners, nextOwner)
+				nextOwner++
+			case r < 0.55:
+				// Replace an existing owner's interval (seq must survive).
+				o := owners[rng.Intn(len(owners))]
+				iv := mk()
+				tree.Insert(o, iv)
+				naive.Insert(o, iv)
+			case r < 0.65:
+				i := rng.Intn(len(owners))
+				o := owners[i]
+				tree.Remove(o)
+				naive.Remove(o)
+				owners = append(owners[:i], owners[i+1:]...)
+			default:
+				probe := mk()
+				if got, want := tree.HasConflict(probe), naive.HasConflict(probe); got != want {
+					t.Fatalf("seed %d op %d: HasConflict = %v, naive %v", seed, op, got, want)
+				}
+				got := tree.ConflictsWith(probe)
+				want := naive.ConflictsWith(probe)
+				if fmt.Sprint(got) != fmt.Sprint(want) {
+					t.Fatalf("seed %d op %d: ConflictsWith = %v, naive %v", seed, op, got, want)
+				}
+			}
+			if tree.Len() != naive.Len() {
+				t.Fatalf("seed %d op %d: Len = %d, naive %d", seed, op, tree.Len(), naive.Len())
+			}
+		}
+	}
+}
+
+// TestUnionConflictsWithAppendReuse pins the scratch-buffer variant: the
+// same backing array is reused and the results match ConflictsWith.
+func TestUnionConflictsWithAppendReuse(t *testing.T) {
+	u := liveness.NewUnion()
+	for i := 0; i < 10; i++ {
+		iv := &liveness.Interval{}
+		iv.Add(i*10, i*10+15)
+		u.Insert(i, iv)
+	}
+	var buf []interface{}
+	for s := 0; s < 80; s += 7 {
+		probe := &liveness.Interval{}
+		probe.Add(s, s+12)
+		buf = u.ConflictsWithAppend(buf, probe)
+		fresh := u.ConflictsWith(probe)
+		if fmt.Sprint(buf) != fmt.Sprint(fresh) {
+			t.Fatalf("probe [%d,%d): append %v, fresh %v", s, s+12, buf, fresh)
+		}
+	}
+}

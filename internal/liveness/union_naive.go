@@ -1,0 +1,63 @@
+package liveness
+
+import "sort"
+
+// NaiveUnion is the original Union implementation, kept as the reference
+// for the interval-tree-backed Union: members live in a map and every
+// HasConflict/ConflictsWith query linearly scans all of them. The
+// differential tests assert both implementations answer every query
+// identically; the microbenchmarks measure the gap.
+type NaiveUnion struct {
+	members map[interface{}]*Interval
+	seq     map[interface{}]uint64
+	next    uint64
+}
+
+// NewNaiveUnion returns an empty naive interval union.
+func NewNaiveUnion() *NaiveUnion {
+	return &NaiveUnion{
+		members: make(map[interface{}]*Interval),
+		seq:     make(map[interface{}]uint64),
+	}
+}
+
+// Insert adds an interval under the given owner key.
+func (u *NaiveUnion) Insert(owner interface{}, iv *Interval) {
+	u.members[owner] = iv
+	if _, ok := u.seq[owner]; !ok {
+		u.seq[owner] = u.next
+		u.next++
+	}
+}
+
+// Remove deletes the owner's interval.
+func (u *NaiveUnion) Remove(owner interface{}) {
+	delete(u.members, owner)
+	delete(u.seq, owner)
+}
+
+// Len returns the number of member intervals.
+func (u *NaiveUnion) Len() int { return len(u.members) }
+
+// ConflictsWith returns the owners whose intervals overlap iv, ordered by
+// insertion sequence.
+func (u *NaiveUnion) ConflictsWith(iv *Interval) []interface{} {
+	var out []interface{}
+	for owner, member := range u.members {
+		if member.Overlaps(iv) {
+			out = append(out, owner)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return u.seq[out[i]] < u.seq[out[j]] })
+	return out
+}
+
+// HasConflict reports whether any member overlaps iv.
+func (u *NaiveUnion) HasConflict(iv *Interval) bool {
+	for _, member := range u.members {
+		if member.Overlaps(iv) {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,105 @@
+package pressure_test
+
+import (
+	"fmt"
+	"testing"
+
+	"prescount/internal/bankfile"
+	"prescount/internal/cfg"
+	"prescount/internal/ir"
+	"prescount/internal/liveness"
+	"prescount/internal/pressure"
+	"prescount/internal/workload"
+)
+
+// benchIntervals computes the live FP intervals of a RandomSized function:
+// realistic segment shapes and slot coordinates for the probe benchmark.
+func benchIntervals(b *testing.B, size int) []*liveness.Interval {
+	b.Helper()
+	f := workload.RandomSized(7, size)
+	lv := liveness.Compute(f, cfg.Compute(f))
+	var ivs []*liveness.Interval
+	for idx, iv := range lv.Intervals {
+		if iv == nil || iv.Empty() || f.VRegs[idx].Class != ir.ClassFP {
+			continue
+		}
+		ivs = append(ivs, iv)
+	}
+	return ivs
+}
+
+// BenchmarkPressureProbe measures the Algorithm 1 inner loop at steady
+// state: a tracker loaded with a function's worth of committed intervals
+// answering PressureIfAdded probes across all banks (what RankBanks issues
+// banks × intervals times). The tree-backed Tracker answers each probe from
+// cached subtree aggregates; the NaiveTracker replays the bank's whole
+// event list.
+func BenchmarkPressureProbe(b *testing.B) {
+	file := bankfile.RV1(4)
+	for _, size := range []int{64, 512, 4096} {
+		ivs := benchIntervals(b, size)
+		b.Run(fmt.Sprintf("n=%d/tree", len(ivs)), func(b *testing.B) {
+			tr := pressure.NewTracker(file)
+			for i, iv := range ivs {
+				tr.Add(i%file.NumBanks, iv)
+			}
+			b.ReportAllocs()
+			b.ResetTimer()
+			sink := 0
+			for i := 0; i < b.N; i++ {
+				iv := ivs[i%len(ivs)]
+				for bank := 0; bank < file.NumBanks; bank++ {
+					sink += tr.PressureIfAdded(bank, iv)
+				}
+			}
+			if sink < 0 {
+				b.Fatal("impossible")
+			}
+		})
+		b.Run(fmt.Sprintf("n=%d/naive", len(ivs)), func(b *testing.B) {
+			tr := pressure.NewNaiveTracker(file)
+			for i, iv := range ivs {
+				tr.Add(i%file.NumBanks, iv)
+			}
+			b.ReportAllocs()
+			b.ResetTimer()
+			sink := 0
+			for i := 0; i < b.N; i++ {
+				iv := ivs[i%len(ivs)]
+				for bank := 0; bank < file.NumBanks; bank++ {
+					sink += tr.PressureIfAdded(bank, iv)
+				}
+			}
+			if sink < 0 {
+				b.Fatal("impossible")
+			}
+		})
+	}
+}
+
+// BenchmarkPressureAdd measures interval commits: O(log n) tree updates
+// versus the naive sorted-slice shift insert.
+func BenchmarkPressureAdd(b *testing.B) {
+	file := bankfile.RV1(4)
+	for _, size := range []int{512, 4096} {
+		ivs := benchIntervals(b, size)
+		b.Run(fmt.Sprintf("n=%d/tree", len(ivs)), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				tr := pressure.NewTracker(file)
+				for j, iv := range ivs {
+					tr.Add(j%file.NumBanks, iv)
+				}
+			}
+		})
+		b.Run(fmt.Sprintf("n=%d/naive", len(ivs)), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				tr := pressure.NewNaiveTracker(file)
+				for j, iv := range ivs {
+					tr.Add(j%file.NumBanks, iv)
+				}
+			}
+		})
+	}
+}

@@ -4,7 +4,14 @@
 // maximum live-range overlap in this bank become if I added this interval?"
 // — the PresCountPrioritize ordering key of Algorithm 1.
 //
-// The tracker also exposes the overall register pressure ratio used for the
+// The tracker is backed by one profileTree per bank (see tree.go), so
+// committing a segment costs O(log n) and the probe answers from cached
+// subtree aggregates instead of replaying the bank's whole event list. The
+// probe path performs no allocation; RankBanks reuses internal scratch.
+// NaiveTracker (naive.go) keeps the original sorted-event-list
+// implementation as the differential-testing and benchmarking reference.
+//
+// The package also exposes the overall register pressure ratio used for the
 // THRES trade-off between spill risk and conflict cost.
 package pressure
 
@@ -18,22 +25,25 @@ import (
 // Tracker tracks per-bank pressure over live intervals.
 type Tracker struct {
 	cfg bankfile.Config
-	// events per bank: +1 at segment starts, -1 at ends.
-	events [][]event
+	// trees holds the per-bank coverage profile.
+	trees []profileTree
 	// counts per bank: number of committed intervals.
 	counts []int
+	// scored is the RankBanks scratch buffer.
+	scored []bankScore
 }
 
-type event struct {
-	at    int
-	delta int
+type bankScore struct {
+	bank     int
+	pressure int
+	count    int
 }
 
 // NewTracker returns a tracker for the given register-file configuration.
 func NewTracker(cfg bankfile.Config) *Tracker {
 	return &Tracker{
 		cfg:    cfg,
-		events: make([][]event, cfg.NumBanks),
+		trees:  make([]profileTree, cfg.NumBanks),
 		counts: make([]int, cfg.NumBanks),
 	}
 }
@@ -41,29 +51,16 @@ func NewTracker(cfg bankfile.Config) *Tracker {
 // Config returns the register file configuration the tracker serves.
 func (t *Tracker) Config() bankfile.Config { return t.cfg }
 
-// Add commits an interval to the given bank. The bank's event list is kept
-// sorted incrementally: each segment contributes two events inserted at
-// their sorted position.
+// Add commits an interval to the given bank: one +1/-1 event pair per
+// segment, O(log n) each.
 func (t *Tracker) Add(bank int, iv *liveness.Interval) {
+	tr := &t.trees[bank]
 	for _, s := range iv.Segments {
-		t.insert(bank, event{s.Start, +1})
-		t.insert(bank, event{s.End, -1})
+		tr.ensure(s.End + 1)
+		tr.update(s.Start, +1)
+		tr.update(s.End, -1)
 	}
 	t.counts[bank]++
-}
-
-func (t *Tracker) insert(bank int, e event) {
-	evs := t.events[bank]
-	i := sort.Search(len(evs), func(i int) bool {
-		if evs[i].at != e.at {
-			return evs[i].at > e.at
-		}
-		return evs[i].delta >= e.delta
-	})
-	evs = append(evs, event{})
-	copy(evs[i+1:], evs[i:])
-	evs[i] = e
-	t.events[bank] = evs
 }
 
 // Count returns the number of intervals committed to the bank.
@@ -71,57 +68,26 @@ func (t *Tracker) Count(bank int) int { return t.counts[bank] }
 
 // Pressure returns the current maximum overlap of intervals in the bank:
 // the paper's "bank pressure count".
-func (t *Tracker) Pressure(bank int) int {
-	cur, max := 0, 0
-	for _, e := range t.events[bank] {
-		cur += e.delta
-		if cur > max {
-			max = cur
-		}
-	}
-	return max
-}
+func (t *Tracker) Pressure(bank int) int { return t.trees[bank].globalMax() }
 
 // PressureIfAdded returns what Pressure(bank) would become after adding iv,
-// without committing it. The bank's events are already sorted, and the
-// probe's segments are sorted by construction, so a linear merge suffices.
+// without committing it. An interval's segments are disjoint, so the probe
+// raises coverage by exactly 1 under each of them: the answer is the
+// committed pressure or one more than the peak committed coverage under the
+// probe, whichever is larger. Each segment costs two O(log n) tree queries
+// and the path allocates nothing.
 func (t *Tracker) PressureIfAdded(bank int, iv *liveness.Interval) int {
-	extra := make([]event, 0, 2*len(iv.Segments))
+	tr := &t.trees[bank]
+	if len(iv.Segments) == 0 {
+		return tr.globalMax()
+	}
+	under := 0
 	for _, s := range iv.Segments {
-		extra = append(extra, event{s.Start, +1}, event{s.End, -1})
-	}
-	sort.Slice(extra, func(i, j int) bool {
-		if extra[i].at != extra[j].at {
-			return extra[i].at < extra[j].at
-		}
-		return extra[i].delta < extra[j].delta
-	})
-	evs := t.events[bank]
-	cur, max := 0, 0
-	i, j := 0, 0
-	for i < len(evs) || j < len(extra) {
-		var e event
-		switch {
-		case i >= len(evs):
-			e = extra[j]
-			j++
-		case j >= len(extra):
-			e = evs[i]
-			i++
-		case evs[i].at < extra[j].at ||
-			(evs[i].at == extra[j].at && evs[i].delta <= extra[j].delta):
-			e = evs[i]
-			i++
-		default:
-			e = extra[j]
-			j++
-		}
-		cur += e.delta
-		if cur > max {
-			max = cur
+		if c := tr.maxCoverage(s.Start, s.End); c > under {
+			under = c
 		}
 	}
-	return max
+	return maxInt(tr.globalMax(), under+1)
 }
 
 // RankBanks orders the candidate banks by ascending pressure-if-added for
@@ -129,15 +95,17 @@ func (t *Tracker) PressureIfAdded(bank int, iv *liveness.Interval) int {
 // (deterministic). This is PresCountPrioritize of Algorithm 1: the front of
 // the returned slice is the bank adding the least to the pressure count.
 func (t *Tracker) RankBanks(candidates []int, iv *liveness.Interval) []int {
-	type scored struct {
-		bank     int
-		pressure int
-		count    int
-	}
-	out := make([]scored, 0, len(candidates))
+	return t.RankBanksInto(nil, candidates, iv)
+}
+
+// RankBanksInto is RankBanks appending into dst[:0]; the scoring scratch is
+// reused across calls, so ranking allocates only when dst lacks capacity.
+func (t *Tracker) RankBanksInto(dst []int, candidates []int, iv *liveness.Interval) []int {
+	out := t.scored[:0]
 	for _, b := range candidates {
-		out = append(out, scored{b, t.PressureIfAdded(b, iv), t.counts[b]})
+		out = append(out, bankScore{b, t.PressureIfAdded(b, iv), t.counts[b]})
 	}
+	t.scored = out
 	sort.SliceStable(out, func(i, j int) bool {
 		if out[i].pressure != out[j].pressure {
 			return out[i].pressure < out[j].pressure
@@ -147,20 +115,39 @@ func (t *Tracker) RankBanks(candidates []int, iv *liveness.Interval) []int {
 		}
 		return out[i].bank < out[j].bank
 	})
-	banks := make([]int, len(out))
-	for i, s := range out {
-		banks[i] = s.bank
+	dst = dst[:0]
+	for _, s := range out {
+		dst = append(dst, s.bank)
 	}
-	return banks
+	return dst
+}
+
+// BestBank returns RankBanks(candidates, iv)[0] without sorting or
+// allocating: a single argmin scan under the same (pressure, count, bank)
+// key. candidates must be non-empty.
+func (t *Tracker) BestBank(candidates []int, iv *liveness.Interval) int {
+	best, bestP, bestC := -1, 0, 0
+	for _, b := range candidates {
+		p := t.PressureIfAdded(b, iv)
+		c := t.counts[b]
+		if best < 0 || p < bestP || (p == bestP && (c < bestC || (c == bestC && b < best))) {
+			best, bestP, bestC = b, p, c
+		}
+	}
+	return best
 }
 
 // MinPressureBank returns the single best bank per RankBanks over all banks.
 func (t *Tracker) MinPressureBank(iv *liveness.Interval) int {
-	all := make([]int, t.cfg.NumBanks)
-	for i := range all {
-		all[i] = i
+	best, bestP, bestC := -1, 0, 0
+	for b := 0; b < t.cfg.NumBanks; b++ {
+		p := t.PressureIfAdded(b, iv)
+		c := t.counts[b]
+		if best < 0 || p < bestP || (p == bestP && c < bestC) {
+			best, bestP, bestC = b, p, c
+		}
 	}
-	return t.RankBanks(all, iv)[0]
+	return best
 }
 
 // OverallRegPressure returns the ratio of the function's maximum FP

@@ -1,0 +1,153 @@
+package pressure
+
+// profileTree is the per-bank pressure profile: an implicit segment tree
+// over the slot-coordinate domain [0, cap). Leaf p holds the net event
+// delta at coordinate p (+1 per committed segment starting there, -1 per
+// committed segment ending there), so the prefix sum P(p) = Σ_{x≤p} leaf[x]
+// is exactly the number of committed segments covering slot p (half-open
+// [Start, End) semantics: the -1 at End sits at the first slot the segment
+// no longer covers).
+//
+// Internal nodes cache two aggregates of their leaf range:
+//
+//	sum  — the range's delta sum;
+//	best — the maximum non-empty prefix sum within the range.
+//
+// best composes left-to-right (best = max(l.best, l.sum + r.best)), which
+// makes the whole-profile maximum coverage — the paper's bank pressure
+// count — available at the root in O(1), point updates O(log cap), and
+// "maximum coverage over [s, e)" answerable by one prefix-sum plus one
+// ordered range query, both O(log cap) and allocation-free. That turns the
+// PressureIfAdded probe of Algorithm 1, which RankBanks issues banks ×
+// intervals times, from a full event-list merge into a handful of tree
+// descents.
+//
+// The domain grows lazily: cap is 0 until the first update and doubles to
+// cover new coordinates, rebuilding in O(cap) (amortized O(1) per update
+// since slot indexes are bounded by the function's linearization).
+type profileTree struct {
+	cap  int   // leaf count; a power of two, 0 until first update
+	sum  []int // 1-indexed heap layout, len 2*cap; leaves at [cap, 2*cap)
+	best []int // max non-empty prefix sum of each node's range
+}
+
+// minCap is the initial leaf count of a freshly grown tree: large enough
+// for small functions to never regrow, small enough to keep per-bank cost
+// trivial.
+const minCap = 64
+
+// ensure grows the domain to cover coordinate n-1.
+func (t *profileTree) ensure(n int) {
+	if n <= t.cap {
+		return
+	}
+	c := t.cap
+	if c == 0 {
+		c = minCap
+	}
+	for c < n {
+		c *= 2
+	}
+	sum := make([]int, 2*c)
+	best := make([]int, 2*c)
+	copy(sum[c:c+t.cap], t.sum[t.cap:])
+	for i := c; i < c+t.cap; i++ {
+		best[i] = sum[i]
+	}
+	for i := c - 1; i >= 1; i-- {
+		sum[i] = sum[2*i] + sum[2*i+1]
+		best[i] = maxInt(best[2*i], sum[2*i]+best[2*i+1])
+	}
+	t.cap, t.sum, t.best = c, sum, best
+}
+
+// update adds delta to the leaf at coordinate pos and refreshes the
+// aggregates on the root path.
+func (t *profileTree) update(pos, delta int) {
+	t.ensure(pos + 1)
+	i := t.cap + pos
+	t.sum[i] += delta
+	t.best[i] = t.sum[i]
+	for i >>= 1; i >= 1; i >>= 1 {
+		l, r := 2*i, 2*i+1
+		t.sum[i] = t.sum[l] + t.sum[r]
+		t.best[i] = maxInt(t.best[l], t.sum[l]+t.best[r])
+	}
+}
+
+// globalMax returns max_p P(p): the bank's current pressure count.
+// Coverage is a count and hence never negative, so clamping at 0 matches
+// the empty profile.
+func (t *profileTree) globalMax() int {
+	if t.cap == 0 || t.best[1] < 0 {
+		return 0
+	}
+	return t.best[1]
+}
+
+// maxCoverage returns max_{p in [s, e)} P(p), the peak committed coverage
+// under a probe segment. Requires s < e; coordinates at or beyond cap carry
+// coverage equal to the total delta sum, which is 0 because every committed
+// segment contributes a matched +1/-1 pair inside the domain.
+func (t *profileTree) maxCoverage(s, e int) int {
+	if t.cap == 0 || s >= t.cap {
+		return 0
+	}
+	if e > t.cap {
+		e = t.cap
+	}
+	base := 0
+	if s > 0 {
+		base = t.prefixSum(s - 1)
+	}
+	_, b := t.rangePrefixBest(1, 0, t.cap-1, s, e-1)
+	return base + b
+}
+
+// prefixSum returns Σ leaf[0..r] for r in [0, cap).
+func (t *profileTree) prefixSum(r int) int {
+	if r >= t.cap-1 {
+		return t.sum[1]
+	}
+	lo, hi := t.cap, t.cap+r
+	s := 0
+	for lo <= hi {
+		if lo&1 == 1 {
+			s += t.sum[lo]
+			lo++
+		}
+		if hi&1 == 0 {
+			s += t.sum[hi]
+			hi--
+		}
+		lo >>= 1
+		hi >>= 1
+	}
+	return s
+}
+
+// rangePrefixBest returns (sum, best) of the leaf subrange [l, r], where
+// best is the maximum non-empty prefix sum of that subarray. Node i covers
+// leaves [lo, hi]; callers start at the root with [0, cap-1] ⊇ [l, r].
+func (t *profileTree) rangePrefixBest(i, lo, hi, l, r int) (sum, best int) {
+	if l <= lo && hi <= r {
+		return t.sum[i], t.best[i]
+	}
+	mid := (lo + hi) / 2
+	if r <= mid {
+		return t.rangePrefixBest(2*i, lo, mid, l, r)
+	}
+	if l > mid {
+		return t.rangePrefixBest(2*i+1, mid+1, hi, l, r)
+	}
+	ls, lb := t.rangePrefixBest(2*i, lo, mid, l, mid)
+	rs, rb := t.rangePrefixBest(2*i+1, mid+1, hi, mid+1, r)
+	return ls + rs, maxInt(lb, ls+rb)
+}
+
+func maxInt(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

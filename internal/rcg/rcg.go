@@ -24,6 +24,12 @@ type Graph struct {
 	// adjacency with accumulated edge weight (summed Cost_I of the
 	// instructions inducing the edge).
 	adj map[ir.Reg]map[ir.Reg]float64
+	// sorted caches each register's neighbour list in increasing order,
+	// built once at the end of Build. Neighbors (and through it the
+	// Components DFS and the assigner's availableBanks scans) hand out
+	// these slices directly instead of re-sorting the adjacency map per
+	// call; callers must not mutate them.
+	sorted map[ir.Reg][]ir.Reg
 	// Sites records, per register, the conflict-relevant instructions
 	// reading it (for diagnostics and the bcr baseline).
 	Sites map[ir.Reg][]*ir.Instr
@@ -38,13 +44,15 @@ func Build(f *ir.Func, cf *cfg.Info) *Graph {
 		adj:   make(map[ir.Reg]map[ir.Reg]float64),
 		Sites: make(map[ir.Reg][]*ir.Instr),
 	}
+	var scratch []ir.Reg // reused across instructions by appendVirtFPUses
 	for _, b := range f.Blocks {
 		cost := cf.InstrCost(b)
 		for _, in := range b.Instrs {
 			if !in.IsConflictRelevant() {
 				continue
 			}
-			fpUses := virtFPUses(f, in)
+			fpUses := appendVirtFPUses(scratch[:0], in)
+			scratch = fpUses
 			if len(fpUses) < 2 {
 				continue // fewer than two *virtual* FP reads: nothing to color
 			}
@@ -63,12 +71,21 @@ func Build(f *ir.Func, cf *cfg.Info) *Graph {
 		g.Nodes = append(g.Nodes, r)
 	}
 	sort.Slice(g.Nodes, func(i, j int) bool { return g.Nodes[i] < g.Nodes[j] })
+	g.sorted = make(map[ir.Reg][]ir.Reg, len(g.adj))
+	for r, nb := range g.adj {
+		s := make([]ir.Reg, 0, len(nb))
+		for n := range nb {
+			s = append(s, n)
+		}
+		sort.Slice(s, func(i, j int) bool { return s[i] < s[j] })
+		g.sorted[r] = s
+	}
 	return g
 }
 
-// virtFPUses returns the distinct virtual FP register reads of in.
-func virtFPUses(f *ir.Func, in *ir.Instr) []ir.Reg {
-	var out []ir.Reg
+// appendVirtFPUses appends the distinct virtual FP register reads of in to
+// out (typically a reused scratch buffer sliced to length 0).
+func appendVirtFPUses(out []ir.Reg, in *ir.Instr) []ir.Reg {
 	for i, u := range in.Uses {
 		if in.Op.UseClass(i) != ir.ClassFP || !u.IsVirt() {
 			continue
@@ -110,15 +127,9 @@ func (g *Graph) HasEdge(a, b ir.Reg) bool {
 // EdgeWeight returns the accumulated Cost_I of the edge (0 if absent).
 func (g *Graph) EdgeWeight(a, b ir.Reg) float64 { return g.adj[a][b] }
 
-// Neighbors returns the conflict neighbours of r in sorted order.
-func (g *Graph) Neighbors(r ir.Reg) []ir.Reg {
-	out := make([]ir.Reg, 0, len(g.adj[r]))
-	for n := range g.adj[r] {
-		out = append(out, n)
-	}
-	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
-	return out
-}
+// Neighbors returns the conflict neighbours of r in sorted order. The
+// returned slice is the cache built by Build and must not be mutated.
+func (g *Graph) Neighbors(r ir.Reg) []ir.Reg { return g.sorted[r] }
 
 // Degree returns the conflict degree of r.
 func (g *Graph) Degree(r ir.Reg) int { return len(g.adj[r]) }

@@ -188,6 +188,11 @@ type allocator struct {
 	// instruction for the bcr heuristic (built lazily).
 	conflictSites map[ir.Reg]*ir.Instr
 
+	// victimScratch is the reusable ConflictsWithAppend buffer of the
+	// eviction scan: assignOne probes every candidate register, so the
+	// owner list is requested O(candidates) times per interval.
+	victimScratch []interface{}
+
 	// fixedFP and fixedGPR hold per-physical-register clobber intervals
 	// from call sites: caller-saved registers are unavailable to any
 	// interval that spans a call, forcing long-lived values into the
@@ -416,7 +421,8 @@ func (a *allocator) assignOne(r ir.Reg) error {
 		if fx := a.fixedOf(c, p); fx != nil && fx.Overlaps(iv) {
 			continue // call clobbers are not evictable
 		}
-		victims := unions[p].ConflictsWith(iv)
+		a.victimScratch = unions[p].ConflictsWithAppend(a.victimScratch, iv)
+		victims := a.victimScratch
 		ok := true
 		cost := 0.0
 		var vs []ir.Reg

@@ -1,6 +1,7 @@
 package workload
 
 import (
+	"fmt"
 	"math/rand"
 
 	"prescount/internal/ir"
@@ -56,6 +57,83 @@ func Random(seed int64) *ir.Func {
 	for l := 0; l < loops; l++ {
 		b.Loop(int64(2+rng.Intn(5)), 1, func(ir.Reg) {
 			for i := 0; i < 2+rng.Intn(10); i++ {
+				emit()
+			}
+		})
+	}
+	b.FStore(fp(), base, 60)
+	b.Ret()
+	return b.Func()
+}
+
+// RandomSized generates a random, well-formed, executable function with
+// roughly size FP instructions — and therefore on the order of size live
+// intervals. It is the size knob of the overlap/pressure query-engine
+// benchmarks: Random's functions top out at a few dozen intervals, far too
+// small to separate an O(n) scan from an O(log n) tree, while RandomSized
+// scales the same instruction mix into the thousands. A size of 0 falls
+// back to Random(seed). The value-reuse window is capped so intervals keep
+// finite lengths yet many of them overlap at once.
+func RandomSized(seed int64, size int) *ir.Func {
+	if size <= 0 {
+		return Random(seed)
+	}
+	rng := rand.New(rand.NewSource(seed))
+	b := ir.NewBuilder(fmt.Sprintf("rand%d", size))
+	base := b.IConst(0)
+	initArray(b, base, 24)
+
+	var fpVals []ir.Reg
+	fp := func() ir.Reg {
+		// Fresh loads keep the interval population growing; reuse draws
+		// from a sliding window of recent values so live ranges stretch
+		// over many instructions without all reaching the function end.
+		if len(fpVals) == 0 || rng.Float64() < 0.3 {
+			v := b.FLoad(base, int64(rng.Intn(24)))
+			fpVals = append(fpVals, v)
+			return v
+		}
+		lo := 0
+		if len(fpVals) > 64 {
+			lo = len(fpVals) - 64
+		}
+		return fpVals[lo+rng.Intn(len(fpVals)-lo)]
+	}
+	emit := func() {
+		switch rng.Intn(10) {
+		case 0, 1:
+			fpVals = append(fpVals, b.FAdd(fp(), fp()))
+		case 2, 3:
+			fpVals = append(fpVals, b.FMul(fp(), fp()))
+		case 4:
+			fpVals = append(fpVals, b.FSub(fp(), fp()))
+		case 5:
+			fpVals = append(fpVals, b.FMin(fp(), fp()))
+		case 6:
+			fpVals = append(fpVals, b.FMax(fp(), fp()))
+		case 7:
+			fpVals = append(fpVals, b.FMA(fp(), fp(), fp()))
+		case 8:
+			fpVals = append(fpVals, b.FNeg(fp()))
+		case 9:
+			b.FStore(fp(), base, int64(32+rng.Intn(16)))
+		}
+	}
+	straight := size / 2
+	for i := 0; i < straight; i++ {
+		emit()
+	}
+	// The remaining budget goes into a few loops so block frequencies (and
+	// hence conflict costs) vary like real kernels.
+	remaining := size - straight
+	for remaining > 0 {
+		body := 16 + rng.Intn(48)
+		if body > remaining {
+			body = remaining
+		}
+		remaining -= body
+		b.Loop(int64(2+rng.Intn(5)), 1, func(ir.Reg) {
+			for i := 0; i < body; i++ {
 				emit()
 			}
 		})
