@@ -6,6 +6,7 @@
 //	benchtab -exp all
 //	benchtab -exp fig1,table2,table6
 //	benchtab -exp fig10 -parallel 8 -cpuprofile rv1.pprof
+//	benchtab -exp all -json BENCH_pipeline.json
 //
 // Experiments: fig1, table1, fig10, table2, table3, fig11, table4, table5,
 // table6, table7, all. Output is plain text, one section per experiment,
@@ -13,9 +14,16 @@
 // (see EXPERIMENTS.md).
 //
 // -parallel N bounds the compile worker pool for the sweeps (0, the
-// default, uses runtime.GOMAXPROCS; 1 forces serial). Results are
-// identical at any setting — only wall-clock changes. -cpuprofile FILE
-// writes a pprof CPU profile of the whole run.
+// default, uses runtime.GOMAXPROCS; 1 forces serial). -cache off disables
+// the content-addressed compile cache (internal/compilecache) the sweeps
+// share per experiment. Results are identical at any -parallel or -cache
+// setting — only wall-clock changes. -cpuprofile FILE writes a pprof CPU
+// profile of the whole run.
+//
+// -json FILE writes the machine-readable perf trajectory
+// (BENCH_pipeline.json): per-stage wall times and allocation counts, the
+// compile-cache hit rates of every sweep-backed stage, and the raw
+// per-program sweep counts of RV#1/RV#2 when those experiments ran.
 //
 // -sizes N1,N2,... runs the compile-time scaling sweep instead of the
 // paper experiments: for each size it generates random functions with that
@@ -29,6 +37,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
 	"runtime/pprof"
 	"strconv"
 	"strings"
@@ -36,20 +45,92 @@ import (
 
 	"prescount/internal/bankfile"
 	"prescount/internal/cfg"
+	"prescount/internal/compilecache"
 	"prescount/internal/core"
 	"prescount/internal/experiments"
 	"prescount/internal/liveness"
 	"prescount/internal/workload"
 )
 
+// stageRecord is one perf-trajectory entry of the -json output.
+type stageRecord struct {
+	// Name is the experiment stage ("rv1", "table6", ...).
+	Name string `json:"name"`
+	// WallNS is the stage wall time in nanoseconds; Wall is human-readable.
+	WallNS int64  `json:"wall_ns"`
+	Wall   string `json:"wall"`
+	// Mallocs counts heap allocations performed during the stage.
+	Mallocs uint64 `json:"mallocs"`
+	// Compiles counts core.Compile invocations (cache hits included); only
+	// present for sweep-backed stages, where it equals FullHits+FullMisses.
+	Compiles int64 `json:"compiles,omitempty"`
+	// AllocsPerCompile is Mallocs / Compiles.
+	AllocsPerCompile float64 `json:"allocs_per_compile,omitempty"`
+	// Cache is the stage's compile-cache counter snapshot with the derived
+	// hit rates (absent when the stage ran uncached or compiles nothing).
+	Cache         *compilecache.Stats `json:"cache,omitempty"`
+	FullHitRate   float64             `json:"full_hit_rate,omitempty"`
+	PrefixHitRate float64             `json:"prefix_hit_rate,omitempty"`
+}
+
+// perfLog accumulates the -json perf trajectory.
+type perfLog struct {
+	Schema string        `json:"schema"`
+	Stages []stageRecord `json:"stages"`
+	// Sweeps holds the raw per-program counts keyed "bank-method" ->
+	// program, per platform sweep that ran.
+	Sweeps map[string]map[string]map[string]experiments.Counts `json:"sweeps,omitempty"`
+}
+
+// stage runs fn, timing it and counting its heap allocations.
+func (p *perfLog) stage(name string, fn func()) {
+	var before, after runtime.MemStats
+	runtime.ReadMemStats(&before)
+	start := time.Now()
+	fn()
+	wall := time.Since(start)
+	runtime.ReadMemStats(&after)
+	p.Stages = append(p.Stages, stageRecord{
+		Name:    name,
+		WallNS:  wall.Nanoseconds(),
+		Wall:    wall.Round(time.Microsecond).String(),
+		Mallocs: after.Mallocs - before.Mallocs,
+	})
+}
+
+// attachCache annotates the most recent stage with a sweep's cache stats.
+func (p *perfLog) attachCache(st compilecache.Stats) {
+	if len(p.Stages) == 0 {
+		return
+	}
+	rec := &p.Stages[len(p.Stages)-1]
+	rec.Compiles = st.FullHits + st.FullMisses
+	if rec.Compiles > 0 {
+		rec.AllocsPerCompile = float64(rec.Mallocs) / float64(rec.Compiles)
+		snap := st
+		rec.Cache = &snap
+		rec.FullHitRate = st.FullHitRate()
+		rec.PrefixHitRate = st.PrefixHitRate()
+	}
+}
+
 func main() {
 	exp := flag.String("exp", "all", "comma-separated experiments: fig1,table1,fig10,table2,table3,fig11,table4,table5,table6,table7,all")
-	jsonOut := flag.String("json", "", "also write raw sweep data as JSON to this file")
+	jsonOut := flag.String("json", "", "write the machine-readable perf trajectory (BENCH_pipeline.json) to this file")
 	parallel := flag.Int("parallel", 0, "compile workers for the sweeps: 0 = GOMAXPROCS, 1 = serial")
+	cacheMode := flag.String("cache", "on", "compile cache: on | off (off recompiles every (bank, method) point from scratch)")
 	cpuprofile := flag.String("cpuprofile", "", "write a pprof CPU profile to this file")
 	sizes := flag.String("sizes", "", "comma-separated workload sizes: compile random functions of each size under bpc and report timings (skips the paper experiments)")
 	flag.Parse()
 	experiments.Workers = *parallel
+	switch *cacheMode {
+	case "on":
+		experiments.DisableCache = false
+	case "off":
+		experiments.DisableCache = true
+	default:
+		check(fmt.Errorf("-cache: want on or off, got %q", *cacheMode))
+	}
 	if *cpuprofile != "" {
 		f, err := os.Create(*cpuprofile)
 		check(err)
@@ -69,32 +150,35 @@ func main() {
 	}
 	all := want["all"]
 	run := func(name string) bool { return all || want[name] }
+	perf := &perfLog{Schema: "prescount-bench/1"}
 
 	start := time.Now()
 	if run("fig1") {
 		section("Figure 1 — prevalence of bank conflicts (non, interleaved files)")
-		r, err := experiments.Fig1(workload.SPECfp(), true)
-		check(err)
-		fmt.Println("SPECfp (function-level units):")
-		fmt.Println(r)
-		r, err = experiments.Fig1(workload.CNN(), false)
-		check(err)
-		fmt.Println("CNN-KERNEL (kernel-level units):")
-		fmt.Println(r)
+		perf.stage("fig1", func() {
+			r, err := experiments.Fig1(workload.SPECfp(), true)
+			check(err)
+			fmt.Println("SPECfp (function-level units):")
+			fmt.Println(r)
+			r, err = experiments.Fig1(workload.CNN(), false)
+			check(err)
+			fmt.Println("CNN-KERNEL (kernel-level units):")
+			fmt.Println(r)
+		})
 	}
 	if run("table1") {
 		section("Table I — suite characteristics")
-		rows, err := experiments.Table1()
-		check(err)
-		fmt.Println(experiments.Table1String(rows))
+		perf.stage("table1", func() {
+			rows, err := experiments.Table1()
+			check(err)
+			fmt.Println(experiments.Table1String(rows))
+		})
 	}
 
 	var rv1 *experiments.Sweep
 	needRV1 := run("fig10") || run("table2") || run("table3")
 	if needRV1 {
-		var err error
-		rv1, err = experiments.RV1()
-		check(err)
+		rv1 = runSweepStage(perf, "rv1", experiments.RV1)
 	}
 	if run("fig10") {
 		section("Figure 10 — Platform-RV#1 static conflicts (1024 regs)")
@@ -112,9 +196,7 @@ func main() {
 	var rv2 *experiments.Sweep
 	needRV2 := run("fig11") || run("table4") || run("table5")
 	if needRV2 {
-		var err error
-		rv2, err = experiments.RV2()
-		check(err)
+		rv2 = runSweepStage(perf, "rv2", experiments.RV2)
 	}
 	if run("fig11") {
 		section("Figure 11 — Platform-RV#2 dynamic conflicts (32 regs)")
@@ -133,29 +215,19 @@ func main() {
 
 	if run("table6") {
 		section("Table VI — Platform-DSA conflict ratios (dynamic)")
-		rows, err := experiments.Table6()
-		check(err)
-		fmt.Println(experiments.Table6String(rows))
+		perf.stage("table6", func() {
+			rows, err := experiments.Table6()
+			check(err)
+			fmt.Println(experiments.Table6String(rows))
+		})
 	}
 	if run("table7") {
 		section("Table VII — Platform-DSA spills, copies and cycles (VLIW model)")
-		rows, err := experiments.Table7()
-		check(err)
-		fmt.Println(experiments.Table7String(rows))
-	}
-
-	if *jsonOut != "" {
-		dump := map[string]interface{}{}
-		if rv1 != nil {
-			dump["rv1"] = sweepJSON(rv1)
-		}
-		if rv2 != nil {
-			dump["rv2"] = sweepJSON(rv2)
-		}
-		data, err := json.MarshalIndent(dump, "", "  ")
-		check(err)
-		check(os.WriteFile(*jsonOut, data, 0o644))
-		fmt.Fprintf(os.Stderr, "benchtab: wrote %s\n", *jsonOut)
+		perf.stage("table7", func() {
+			rows, err := experiments.Table7()
+			check(err)
+			fmt.Println(experiments.Table7String(rows))
+		})
 	}
 
 	// Headline numbers (abstract): geomean conflict reduction of bpc over
@@ -163,9 +235,7 @@ func main() {
 	if run("headline") || all {
 		section("Headline — bpc vs bcr geomean reduction (RV#1, per suite)")
 		if rv1 == nil {
-			var err error
-			rv1, err = experiments.RV1()
-			check(err)
+			rv1 = runSweepStage(perf, "rv1", experiments.RV1)
 		}
 		for _, bank := range rv1.Banks {
 			g := rv1.GeomeanReduction(bank, core.MethodBPC, core.MethodBCR, experiments.StaticMetric)
@@ -173,7 +243,39 @@ func main() {
 		}
 		fmt.Println()
 	}
+
+	if *jsonOut != "" {
+		if rv1 != nil || rv2 != nil {
+			perf.Sweeps = map[string]map[string]map[string]experiments.Counts{}
+			if rv1 != nil {
+				perf.Sweeps["rv1"] = sweepJSON(rv1)
+			}
+			if rv2 != nil {
+				perf.Sweeps["rv2"] = sweepJSON(rv2)
+			}
+		}
+		data, err := json.MarshalIndent(perf, "", "  ")
+		check(err)
+		check(os.WriteFile(*jsonOut, data, 0o644))
+		fmt.Fprintf(os.Stderr, "benchtab: wrote %s\n", *jsonOut)
+	}
 	fmt.Fprintf(os.Stderr, "benchtab: done in %v\n", time.Since(start))
+}
+
+// runSweepStage runs one platform sweep as a timed perf stage and prints
+// its compile-cache footer.
+func runSweepStage(perf *perfLog, name string, sweep func() (*experiments.Sweep, error)) *experiments.Sweep {
+	var sw *experiments.Sweep
+	perf.stage(name, func() {
+		var err error
+		sw, err = sweep()
+		check(err)
+	})
+	perf.attachCache(sw.CacheStats)
+	if line := sw.CacheStatsString(); line != "" {
+		fmt.Printf("[%s] %s\n\n", name, line)
+	}
+	return sw
 }
 
 // runSizes is the -sizes sweep: per requested size, generate a few random

@@ -12,6 +12,9 @@
 //	-dump          print the allocated MIR
 //	-run           simulate the allocated code and report dynamic metrics
 //	-vliw          use the dual-issue VLIW cycle model when simulating
+//	-cache M       on | off: share a compile cache across the input
+//	               functions, so repeated kernel bodies (common in
+//	               machine-generated MIR) compile once (default on)
 //
 // With no file arguments, prescountc reads one function from stdin.
 package main
@@ -23,6 +26,7 @@ import (
 	"os"
 
 	"prescount"
+	"prescount/internal/compilecache"
 )
 
 func main() {
@@ -35,6 +39,7 @@ func main() {
 	run := flag.Bool("run", false, "simulate the allocated code")
 	vliw := flag.Bool("vliw", false, "VLIW dual-issue cycle model")
 	outPath := flag.String("o", "", "write the allocated MIR of all inputs to this file")
+	cacheMode := flag.String("cache", "on", "compile cache across input functions: on | off")
 	flag.Parse()
 
 	var m prescount.Method
@@ -57,6 +62,15 @@ func main() {
 		ReadPorts:    1,
 	}
 	opts := prescount.Options{File: file, Method: m, Subgroups: *subgroups > 1}
+	switch *cacheMode {
+	case "on":
+		// One cache across every input function: content-identical bodies
+		// under different names dedup to a single compile.
+		opts.Cache = compilecache.New()
+	case "off":
+	default:
+		fail(fmt.Errorf("-cache: want on or off, got %q", *cacheMode))
+	}
 
 	sources := map[string]string{}
 	if flag.NArg() == 0 {

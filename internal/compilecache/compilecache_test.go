@@ -1,0 +1,147 @@
+package compilecache
+
+import (
+	"errors"
+	"sync"
+	"sync/atomic"
+	"testing"
+
+	"prescount/internal/ir"
+)
+
+func key(b byte, digest uint64) Key {
+	var fp ir.Fingerprint
+	fp[0] = b
+	return Key{Fingerprint: fp, Digest: digest}
+}
+
+func TestFullDedup(t *testing.T) {
+	c := New()
+	var computes int32
+	compute := func() (any, int64, error) {
+		atomic.AddInt32(&computes, 1)
+		return "result", 100, nil
+	}
+	v1, hit1, err1 := c.Full(key(1, 7), compute)
+	v2, hit2, err2 := c.Full(key(1, 7), compute)
+	if err1 != nil || err2 != nil {
+		t.Fatal(err1, err2)
+	}
+	if hit1 || !hit2 {
+		t.Fatalf("hit flags = %v, %v; want false, true", hit1, hit2)
+	}
+	if v1 != v2 {
+		t.Fatalf("values differ: %v vs %v", v1, v2)
+	}
+	if computes != 1 {
+		t.Fatalf("compute ran %d times, want 1", computes)
+	}
+	s := c.Stats()
+	if s.FullHits != 1 || s.FullMisses != 1 || s.BytesRetained != 100 || s.FullEntries != 1 {
+		t.Fatalf("stats = %+v", s)
+	}
+}
+
+func TestDigestSeparatesEntries(t *testing.T) {
+	c := New()
+	mk := func(v string) func() (any, int64, error) {
+		return func() (any, int64, error) { return v, 1, nil }
+	}
+	a, _, _ := c.Full(key(1, 1), mk("a"))
+	b, _, _ := c.Full(key(1, 2), mk("b")) // same fingerprint, different digest
+	d, _, _ := c.Full(key(2, 1), mk("d")) // different fingerprint, same digest
+	if a != "a" || b != "b" || d != "d" {
+		t.Fatalf("entries collided: %v %v %v", a, b, d)
+	}
+	if s := c.Stats(); s.FullEntries != 3 || s.FullMisses != 3 {
+		t.Fatalf("stats = %+v", s)
+	}
+}
+
+func TestLayersAreIndependent(t *testing.T) {
+	c := New()
+	full, _, _ := c.Full(key(1, 1), func() (any, int64, error) { return "full", 1, nil })
+	pre, hit, _ := c.Prefix(key(1, 1), func() (any, int64, error) { return "prefix", 1, nil })
+	if hit {
+		t.Fatal("prefix lookup hit a full-layer entry")
+	}
+	if full != "full" || pre != "prefix" {
+		t.Fatalf("layer values crossed: %v %v", full, pre)
+	}
+	s := c.Stats()
+	if s.FullEntries != 1 || s.PrefixEntries != 1 || s.PrefixMisses != 1 {
+		t.Fatalf("stats = %+v", s)
+	}
+}
+
+func TestErrorRetained(t *testing.T) {
+	c := New()
+	boom := errors.New("boom")
+	var computes int32
+	for i := 0; i < 3; i++ {
+		_, _, err := c.Full(key(9, 9), func() (any, int64, error) {
+			atomic.AddInt32(&computes, 1)
+			return nil, 0, boom
+		})
+		if err != boom {
+			t.Fatalf("call %d: err = %v, want boom", i, err)
+		}
+	}
+	if computes != 1 {
+		t.Fatalf("failing compute ran %d times, want 1 (deterministic pipeline)", computes)
+	}
+}
+
+// TestSingleflight: concurrent lookups of one key run compute once and all
+// observe the same value (run under -race in CI).
+func TestSingleflight(t *testing.T) {
+	c := New()
+	var computes int32
+	release := make(chan struct{})
+	const n = 16
+	var wg sync.WaitGroup
+	vals := make([]any, n)
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			v, _, err := c.Prefix(key(3, 3), func() (any, int64, error) {
+				atomic.AddInt32(&computes, 1)
+				<-release // hold every other goroutine in the wait path
+				return "snapshot", 64, nil
+			})
+			if err != nil {
+				t.Error(err)
+			}
+			vals[i] = v
+		}(i)
+	}
+	close(release)
+	wg.Wait()
+	if computes != 1 {
+		t.Fatalf("compute ran %d times under contention, want 1", computes)
+	}
+	for i, v := range vals {
+		if v != "snapshot" {
+			t.Fatalf("goroutine %d saw %v", i, v)
+		}
+	}
+	s := c.Stats()
+	if s.PrefixHits != n-1 || s.PrefixMisses != 1 || s.BytesRetained != 64 {
+		t.Fatalf("stats = %+v", s)
+	}
+}
+
+func TestHitRates(t *testing.T) {
+	var s Stats
+	if s.FullHitRate() != 0 || s.PrefixHitRate() != 0 {
+		t.Fatal("empty stats must report zero hit rates")
+	}
+	s = Stats{FullHits: 3, FullMisses: 1, PrefixHits: 1, PrefixMisses: 3}
+	if got := s.FullHitRate(); got != 0.75 {
+		t.Fatalf("FullHitRate = %v", got)
+	}
+	if got := s.PrefixHitRate(); got != 0.25 {
+		t.Fatalf("PrefixHitRate = %v", got)
+	}
+}

@@ -19,6 +19,7 @@ import (
 	"prescount/internal/assign"
 	"prescount/internal/bankfile"
 	"prescount/internal/coalesce"
+	"prescount/internal/compilecache"
 	"prescount/internal/conflict"
 	"prescount/internal/ir"
 	"prescount/internal/pool"
@@ -76,6 +77,15 @@ type Options struct {
 	// runtime.GOMAXPROCS(0), 1 forces the serial path. Compile itself is
 	// always single-threaded; functions are independent pipeline units.
 	Workers int
+	// Cache, when non-nil, memoizes compilation (internal/compilecache):
+	// identical (function fingerprint, options) compiles return a shared
+	// immutable Result, and the method-independent pipeline prefix
+	// (coalescing → SDG splitting → scheduling) is reused across compiles
+	// that differ only in suffix options (File, Method, THRES, ablations).
+	// Cached Results are shared across callers and must not be mutated.
+	// Ignored when VerifySemantics is set (verification must actually run).
+	// Cache, Workers and the Verify* fields never enter the cache key.
+	Cache *compilecache.Cache
 }
 
 // Result is the outcome of compiling one function.
@@ -101,6 +111,14 @@ type Result struct {
 
 // Compile runs the full pipeline over a copy of f and returns the allocated
 // function plus statistics. The input function is not modified.
+//
+// With opts.Cache set, the compile is memoized: a repeat of an identical
+// (function, options) pair returns the shared cached Result, and compiles
+// that share the function and prefix options but differ in suffix options
+// clone the cached post-scheduling snapshot instead of re-running the
+// prefix. Both paths produce byte-identical results to an uncached run
+// (pinned by TestCompileCachedMatchesUncached and the sweep byte-identity
+// test in internal/experiments).
 func Compile(f *ir.Func, opts Options) (*Result, error) {
 	if err := f.Verify(); err != nil {
 		return nil, fmt.Errorf("core: input: %w", err)
@@ -111,6 +129,10 @@ func Compile(f *ir.Func, opts Options) (*Result, error) {
 	if opts.LinearScan && opts.Subgroups {
 		return nil, fmt.Errorf("core: linear scan does not implement subgroup displacement hints")
 	}
+	if opts.Cache != nil && !opts.VerifySemantics {
+		return compileCached(f, opts)
+	}
+
 	work := f.Clone()
 	// One analysis cache serves every phase: CFG, liveness and the RCG are
 	// computed at most once per IR mutation generation, and phases that
@@ -118,25 +140,45 @@ func Compile(f *ir.Func, opts Options) (*Result, error) {
 	// a full compile runs cfg.Compute exactly once.
 	ac := analysis.New(work)
 	res := &Result{}
+	runPrefix(work, ac, opts, res)
+	if err := runSuffix(work, ac, opts, res); err != nil {
+		return nil, err
+	}
+	if opts.VerifySemantics {
+		if err := verifySemantics(f, work, opts); err != nil {
+			return nil, err
+		}
+	}
+	return res, nil
+}
 
+// runPrefix executes the method-independent prefix of the Figure-4 pipeline
+// in place on work: register coalescing, SDG-based subgroup splitting (DSA
+// only; positioned after coalescing so splitting copies are not
+// re-coalesced) and pre-allocation scheduling. Only the options covered by
+// PrefixDigest influence it.
+func runPrefix(work *ir.Func, ac *analysis.Cache, opts Options, res *Result) {
 	// Phase 1: register coalescing.
 	if !opts.DisableCoalesce {
 		res.Coalesce = coalesce.RunCached(work, ac)
 	}
-
-	// Phase 2 (DSA only): SDG-based subgroup splitting. Positioned after
-	// coalescing so splitting copies are not re-coalesced (Figure 4).
+	// Phase 2 (DSA only): SDG-based subgroup splitting.
 	if opts.Subgroups {
 		res.SDG = sdg.Split(work, sdg.Options{MaxGroup: opts.SDGMaxGroup})
 		ac.RetainCFG() // splitting only inserts copies and renames ranges
 	}
-
 	// Phase 3: pre-allocation scheduling.
 	if !opts.DisableSched {
 		res.Sched = sched.Run(work)
 		ac.RetainCFG() // scheduling reorders within blocks only
 	}
+}
 
+// runSuffix executes the bank-aware tail of the pipeline on the
+// post-scheduling function: RCG-based bank assignment (bpc), enhanced
+// register allocation, post-allocation renumbering (brc) and the conflict
+// analysis. It fills the remaining fields of res.
+func runSuffix(work *ir.Func, ac *analysis.Cache, opts Options, res *Result) error {
 	// Phase 4 (bpc only): RCG-based bank assignment. It reuses the live
 	// range information and does not modify the IR, so the liveness pulled
 	// here stays valid for Phase 5's allocator.
@@ -166,7 +208,7 @@ func Compile(f *ir.Func, opts Options) (*Result, error) {
 	}
 	alloc, err := run(work, raOpts)
 	if err != nil {
-		return nil, fmt.Errorf("core: %s: %w", f.Name, err)
+		return fmt.Errorf("core: %s: %w", work.Name, err)
 	}
 	res.Alloc = alloc
 
@@ -180,11 +222,90 @@ func Compile(f *ir.Func, opts Options) (*Result, error) {
 	}
 	res.Func = work
 	res.Report = conflict.AnalyzeWith(work, opts.File, ac.CFG())
+	return nil
+}
 
-	if opts.VerifySemantics {
-		if err := verifySemantics(f, work, opts); err != nil {
-			return nil, err
+// prefixSnapshot is the immutable post-scheduling state stored in the
+// cache's prefix layer: the transformed function plus the prefix phases'
+// statistics. The function is never handed out directly — every consumer
+// clones it — so the snapshot stays pristine.
+type prefixSnapshot struct {
+	fn       *ir.Func
+	coalesce coalesce.Stats
+	sdg      sdg.Stats
+	sched    sched.Stats
+}
+
+// funcBytes estimates the memory retained by a cached function, for the
+// cache's BytesRetained accounting: per-instruction struct plus operand
+// slices, block headers and the vreg table. An estimate is fine — the
+// statistic exists to show cache growth, not to bound it.
+func funcBytes(f *ir.Func) int64 {
+	n := int64(0)
+	for _, b := range f.Blocks {
+		n += 96 // Block header, name, slice headers
+		for _, in := range b.Instrs {
+			n += 64 + 8*int64(len(in.Defs)+len(in.Uses))
 		}
+	}
+	return n + 8*int64(len(f.VRegs))
+}
+
+// compileCached is the memoized compile path. Layer 1 dedups identical
+// (fingerprint, full options) compiles; layer 2 memoizes the pipeline
+// prefix under (fingerprint, prefix options).
+func compileCached(f *ir.Func, opts Options) (*Result, error) {
+	fp := f.Fingerprint()
+	fullKey := compilecache.Key{Fingerprint: fp, Digest: opts.FullDigest()}
+	v, hit, err := opts.Cache.Full(fullKey, func() (any, int64, error) {
+		res, err := compileViaPrefix(f, fp, opts)
+		if err != nil {
+			return nil, 0, err
+		}
+		return res, funcBytes(res.Func), nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	res := v.(*Result)
+	if hit && res.Func.Name != f.Name {
+		// The cached result was produced for a structurally identical
+		// function under another symbol name (fingerprints elide names).
+		// Rematerialize the function under the caller's name; everything
+		// else (reports, stats) is name-independent and stays shared.
+		cp := *res
+		fn := res.Func.Clone()
+		fn.Name = f.Name
+		cp.Func = fn
+		res = &cp
+	}
+	return res, nil
+}
+
+// compileViaPrefix compiles f reusing (or populating) the prefix layer of
+// the cache.
+func compileViaPrefix(f *ir.Func, fp ir.Fingerprint, opts Options) (*Result, error) {
+	prefixKey := compilecache.Key{Fingerprint: fp, Digest: opts.PrefixDigest()}
+	v, _, err := opts.Cache.Prefix(prefixKey, func() (any, int64, error) {
+		work := f.Clone()
+		ac := analysis.New(work)
+		var pres Result
+		runPrefix(work, ac, opts, &pres)
+		return &prefixSnapshot{fn: work, coalesce: pres.Coalesce, sdg: pres.SDG, sched: pres.Sched},
+			funcBytes(work), nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	snap := v.(*prefixSnapshot)
+	work := snap.fn.Clone()
+	// The snapshot may carry another symbol name; the clone is private to
+	// this compile, so renaming is safe and keeps diagnostics and the
+	// materialized Result.Func correct.
+	work.Name = f.Name
+	res := &Result{Coalesce: snap.coalesce, SDG: snap.sdg, Sched: snap.sched}
+	if err := runSuffix(work, analysis.New(work), opts, res); err != nil {
+		return nil, err
 	}
 	return res, nil
 }

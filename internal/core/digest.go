@@ -1,0 +1,72 @@
+package core
+
+import (
+	"hash/fnv"
+	"math"
+)
+
+// The compile cache keys every entry by (function fingerprint, options
+// digest). The digest is split by pipeline reach (see DESIGN.md, "Compile
+// cache"):
+//
+//   - Prefix phases (coalescing → SDG splitting → scheduling) read only
+//     DisableCoalesce, Subgroups, SDGMaxGroup and DisableSched. Two option
+//     sets agreeing on those four fields produce identical post-scheduling
+//     functions, whatever their File, Method or suffix ablations — that is
+//     what lets one prefix snapshot serve a whole (bank × method) sweep.
+//   - Suffix phases (bank assignment → allocation → renumbering → conflict
+//     analysis) additionally read File, Method, THRES, DisablePressure,
+//     DisableFreeHints and LinearScan.
+//
+// Cache, Workers, VerifySemantics and VerifyMemSize never affect the
+// compiled output and are deliberately excluded from both digests
+// (VerifySemantics bypasses the cache entirely; see Compile).
+
+// PrefixDigest returns the digest of the options that reach the
+// method-independent pipeline prefix.
+func (o Options) PrefixDigest() uint64 {
+	h := fnv.New64a()
+	writeBool(h, o.DisableCoalesce)
+	writeBool(h, o.Subgroups)
+	writeU64(h, uint64(int64(o.SDGMaxGroup)))
+	writeBool(h, o.DisableSched)
+	return h.Sum64()
+}
+
+// FullDigest returns the digest of every option that can influence the
+// compiled Result: the prefix fields plus the suffix-only ones. The File is
+// normalized first so zero-default and explicit-default configurations
+// (NumSubgroups/ReadPorts 0 vs 1) address the same entry.
+func (o Options) FullDigest() uint64 {
+	file := o.File.Normalize()
+	h := fnv.New64a()
+	writeU64(h, o.PrefixDigest())
+	writeU64(h, uint64(int64(file.NumRegs)))
+	writeU64(h, uint64(int64(file.NumBanks)))
+	writeU64(h, uint64(int64(file.NumSubgroups)))
+	writeU64(h, uint64(int64(file.ReadPorts)))
+	writeU64(h, uint64(int64(o.Method)))
+	writeU64(h, math.Float64bits(o.THRES))
+	writeBool(h, o.DisablePressure)
+	writeBool(h, o.DisableFreeHints)
+	writeBool(h, o.LinearScan)
+	return h.Sum64()
+}
+
+type byteWriter interface{ Write(p []byte) (int, error) }
+
+func writeBool(h byteWriter, b bool) {
+	v := byte(0)
+	if b {
+		v = 1
+	}
+	h.Write([]byte{v})
+}
+
+func writeU64(h byteWriter, v uint64) {
+	var buf [8]byte
+	for i := range buf {
+		buf[i] = byte(v >> (8 * i))
+	}
+	h.Write(buf[:])
+}

@@ -1,0 +1,164 @@
+package experiments
+
+import (
+	"encoding/json"
+	"fmt"
+	"reflect"
+	"testing"
+
+	"prescount/internal/ir"
+	"prescount/internal/workload"
+)
+
+// sweepBytes marshals every cell of the sweep in deterministic order — the
+// byte-level view the cache-on/cache-off comparison is pinned against
+// (Counts contains float64 fields, so even an ULP of drift fails).
+func sweepBytes(t *testing.T, sw *Sweep) []byte {
+	t.Helper()
+	dump := map[string]map[string]Counts{}
+	for _, bank := range sw.Banks {
+		for _, m := range Methods {
+			dump[fmt.Sprintf("%d-%s", bank, m)] = sw.Get(bank, m)
+		}
+	}
+	data, err := json.Marshal(dump)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return data
+}
+
+func runSweepWithCache(t *testing.T, disabled, simulate bool) *Sweep {
+	t.Helper()
+	old := DisableCache
+	DisableCache = disabled
+	defer func() { DisableCache = old }()
+	sw, err := RunSweep(miniSuite(), 32, []int{2, 4}, simulate)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return sw
+}
+
+// TestSweepCacheByteIdentity is the correctness pin of the compile cache:
+// a sweep with the cache enabled produces byte-identical per-program counts
+// to a cache-off run, for both static-only and simulated sweeps. CI runs it
+// under -race, which also exercises the cache's singleflight path via the
+// parallel worker pool.
+func TestSweepCacheByteIdentity(t *testing.T) {
+	for _, simulate := range []bool{false, true} {
+		name := "static"
+		if simulate {
+			name = "simulated"
+		}
+		t.Run(name, func(t *testing.T) {
+			on := runSweepWithCache(t, false, simulate)
+			off := runSweepWithCache(t, true, simulate)
+			if !reflect.DeepEqual(on.Cells, off.Cells) {
+				t.Error("sweep cells differ between cache on and off")
+			}
+			if got, want := sweepBytes(t, on), sweepBytes(t, off); string(got) != string(want) {
+				t.Errorf("serialized sweeps differ:\ncache-on:  %.200s\ncache-off: %.200s", got, want)
+			}
+			// The cache must actually have engaged on the cached run...
+			st := on.CacheStats
+			if st.FullMisses == 0 || st.PrefixHits == 0 {
+				t.Errorf("cache never engaged: %+v", st)
+			}
+			// ...and every method/bank beyond the first reuses the prefix:
+			// 2 banks × 4 methods per function → at most 1 miss per 8 uses.
+			if st.PrefixHits < 7*st.PrefixMisses {
+				t.Errorf("prefix reuse below sweep shape: %+v", st)
+			}
+			// The cache-off run must report no stats at all.
+			if off.CacheStats.FullHits+off.CacheStats.FullMisses != 0 {
+				t.Errorf("cache-off sweep recorded stats: %+v", off.CacheStats)
+			}
+		})
+	}
+}
+
+// TestSweepCacheRepeatedKernels: a suite that repeats one kernel under many
+// program names dedups to one compile per (bank, method) point.
+func TestSweepCacheRepeatedKernels(t *testing.T) {
+	suite := repeatedKernelSuite(8)
+	old := DisableCache
+	DisableCache = false
+	defer func() { DisableCache = old }()
+	sw, err := RunSweep([]*workload.Suite{suite}, 32, []int{2, 4}, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := sw.CacheStats
+	// 8 programs × 2 banks × 4 methods = 64 compiles; only 8 distinct
+	// (bank, method) points exist for the single kernel body.
+	if st.FullMisses != 8 {
+		t.Errorf("FullMisses = %d, want 8 (one per bank×method)", st.FullMisses)
+	}
+	if st.FullHits != 56 {
+		t.Errorf("FullHits = %d, want 56", st.FullHits)
+	}
+	if st.PrefixMisses != 1 {
+		t.Errorf("PrefixMisses = %d, want a single prefix for the kernel", st.PrefixMisses)
+	}
+	// All programs of a cell are content-identical, so their counts agree.
+	cell := sw.Get(2, Methods[0])
+	first := cell[suite.Programs[0].Name]
+	for _, p := range suite.Programs[1:] {
+		if cell[p.Name] != first {
+			t.Errorf("program %s diverged from its identical twin: %+v vs %+v", p.Name, cell[p.Name], first)
+		}
+	}
+}
+
+// repeatedKernelSuite builds a suite of n programs that all contain the
+// same kernel body under distinct program and function names — the
+// repeated-kernel shape of the paper's CNN-KERNEL/DSA-OP suites, and the
+// workload BenchmarkRunSweep measures the cache against.
+func repeatedKernelSuite(n int) *workload.Suite {
+	base := workload.RandomSized(17, 220)
+	s := &workload.Suite{Name: "REPEAT"}
+	for i := 0; i < n; i++ {
+		f := base.Clone()
+		f.Name = fmt.Sprintf("kernel_%02d", i)
+		m := ir.NewModule(fmt.Sprintf("m%02d", i))
+		m.Add(f)
+		s.Programs = append(s.Programs, &workload.Program{
+			Name:     fmt.Sprintf("prog%02d", i),
+			Category: "repeat",
+			Modules:  []*ir.Module{m},
+		})
+	}
+	return s
+}
+
+// BenchmarkRunSweep measures the end-to-end sweep speedup of the compile
+// cache on a repeated-kernel suite (acceptance target: cached ≥ 2×
+// uncached). Run serially (Workers=1) so the ratio reflects work saved,
+// not scheduling noise.
+func BenchmarkRunSweep(b *testing.B) {
+	suite := repeatedKernelSuite(12)
+	banks := []int{2, 4, 8}
+	for _, mode := range []struct {
+		name    string
+		disable bool
+	}{{"cached", false}, {"uncached", true}} {
+		b.Run(mode.name, func(b *testing.B) {
+			oldCache, oldWorkers := DisableCache, Workers
+			DisableCache, Workers = mode.disable, 1
+			defer func() { DisableCache, Workers = oldCache, oldWorkers }()
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				sw, err := RunSweep([]*workload.Suite{suite}, 32, banks, false)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if i == 0 && !mode.disable {
+					st := sw.CacheStats
+					b.ReportMetric(st.FullHitRate()*100, "full-hit-%")
+					b.ReportMetric(st.PrefixHitRate()*100, "prefix-hit-%")
+				}
+			}
+		})
+	}
+}

@@ -32,14 +32,17 @@ type Table6Row struct {
 func Table6() ([]Table6Row, error) {
 	suite := workload.DSAOP()
 	banks := []int{2, 4, 8, 16}
+	cache := newCache()
 	var rows []Table6Row
 	for _, p := range suite.Programs {
 		row := Table6Row{Name: p.Name, RatioNon: map[int]float64{}}
-		// Baseline and hardware points: N-banked, no subgroups, non.
+		// Baseline and hardware points: N-banked, no subgroups, non. The
+		// shared cache runs each kernel's pipeline prefix once for the four
+		// bank counts.
 		counts := map[int]int64{}
 		for _, bank := range banks {
 			file := bankfile.Config{NumRegs: DSARegs, NumBanks: bank, NumSubgroups: 1, ReadPorts: 1}
-			c, err := CompileProgram(p, core.Options{File: file, Method: core.MethodNon}, true, false)
+			c, err := CompileProgram(p, core.Options{File: file, Method: core.MethodNon, Cache: cache}, true, false)
 			if err != nil {
 				return nil, err
 			}
@@ -51,6 +54,7 @@ func Table6() ([]Table6Row, error) {
 			File:      bankfile.DSA(DSARegs),
 			Method:    core.MethodBPC,
 			Subgroups: true,
+			Cache:     cache,
 		}, true, false)
 		if err != nil {
 			return nil, err
@@ -121,6 +125,7 @@ type Table7Row struct {
 // Table7 runs the Platform-DSA cost experiment with the VLIW cycle model.
 func Table7() ([]Table7Row, error) {
 	suite := workload.DSAOP()
+	cache := newCache()
 	var rows []Table7Row
 	for _, p := range suite.Programs {
 		row := Table7Row{Name: p.Name}
@@ -128,6 +133,7 @@ func Table7() ([]Table7Row, error) {
 			File:      bankfile.DSA(DSARegs),
 			Method:    core.MethodBPC,
 			Subgroups: true,
+			Cache:     cache,
 		}, true, true)
 		if err != nil {
 			return nil, err
@@ -137,7 +143,7 @@ func Table7() ([]Table7Row, error) {
 		row.CyclesBPC = cbpc.Cycles
 		for _, bank := range []int{2, 4} {
 			file := bankfile.Config{NumRegs: DSARegs, NumBanks: bank, NumSubgroups: 1, ReadPorts: 1}
-			c, err := CompileProgram(p, core.Options{File: file, Method: core.MethodNon}, true, true)
+			c, err := CompileProgram(p, core.Options{File: file, Method: core.MethodNon, Cache: cache}, true, true)
 			if err != nil {
 				return nil, err
 			}

@@ -25,6 +25,7 @@ import (
 	"strings"
 
 	"prescount/internal/bankfile"
+	"prescount/internal/compilecache"
 	"prescount/internal/core"
 	"prescount/internal/pool"
 	"prescount/internal/sim"
@@ -36,9 +37,28 @@ import (
 // runtime.GOMAXPROCS(0). cmd/benchtab's -parallel flag sets it.
 var Workers int
 
+// DisableCache turns off the per-sweep compile cache (cmd/benchtab's
+// -cache=off escape hatch). Results are identical either way — the cache
+// only skips recomputation of content-identical compiles and of the
+// method-independent pipeline prefix (see internal/compilecache); this
+// switch exists to measure the uncached baseline and to bisect should the
+// byte-identity guarantee ever be in doubt.
+var DisableCache bool
+
 // Methods compared throughout, in the order of the paper's figure legends
 // ("non, bcr, brc and bpc").
 var Methods = []core.Method{core.MethodNon, core.MethodBCR, core.MethodBRC, core.MethodBPC}
+
+// newCache returns a fresh compile cache for one experiment run, or nil
+// (uncached compiles) when DisableCache is set. Each experiment owns its
+// cache: entries pin post-scheduling snapshots and full results, so scoping
+// the cache to one run bounds retention to that run's working set.
+func newCache() *compilecache.Cache {
+	if DisableCache {
+		return nil
+	}
+	return compilecache.New()
+}
 
 // Counts aggregates the metrics of one program under one configuration.
 type Counts struct {
@@ -124,6 +144,9 @@ type Sweep struct {
 	Cells map[cellKey]map[string]Counts
 	// NumRegs is the file size of the platform setting.
 	NumRegs int
+	// CacheStats reports the compile cache's effectiveness over the sweep
+	// (zero value when the cache was disabled).
+	CacheStats compilecache.Stats
 }
 
 type cellKey struct {
@@ -137,6 +160,15 @@ type cellKey struct {
 // bounded by Workers) — every pipeline stage is pure per function and all
 // generators are deterministic, and cells are filled in job order after
 // the pool drains, so the result is identical to a serial run.
+//
+// One compile cache (internal/compilecache) is shared across every job of
+// the sweep unless DisableCache is set: the method-independent pipeline
+// prefix of each function runs once instead of once per (bank, method)
+// point, and content-identical functions — the suites repeat kernels
+// heavily — compile once per point instead of once per occurrence. The
+// per-program Counts are byte-identical either way (the cache returns
+// shared immutable results of the very compiles it skipped; pinned by
+// TestSweepCacheByteIdentity).
 func RunSweep(suites []*workload.Suite, numRegs int, banks []int, simulate bool) (*Sweep, error) {
 	sw := &Sweep{
 		Suites:  suites,
@@ -144,6 +176,7 @@ func RunSweep(suites []*workload.Suite, numRegs int, banks []int, simulate bool)
 		Cells:   map[cellKey]map[string]Counts{},
 		NumRegs: numRegs,
 	}
+	cache := newCache()
 	type job struct {
 		key  cellKey
 		prog *workload.Program
@@ -156,7 +189,7 @@ func RunSweep(suites []*workload.Suite, numRegs int, banks []int, simulate bool)
 			sw.Cells[cellKey{bank, m}] = map[string]Counts{}
 			for _, s := range suites {
 				for _, p := range s.Programs {
-					jobs = append(jobs, job{cellKey{bank, m}, p, core.Options{File: file, Method: m}})
+					jobs = append(jobs, job{cellKey{bank, m}, p, core.Options{File: file, Method: m, Cache: cache}})
 				}
 			}
 		}
@@ -177,12 +210,29 @@ func RunSweep(suites []*workload.Suite, numRegs int, banks []int, simulate bool)
 	for i, j := range jobs {
 		sw.Cells[j.key][j.prog.Name] = results[i]
 	}
+	if cache != nil {
+		sw.CacheStats = cache.Stats()
+	}
 	return sw, nil
 }
 
 // Get returns the per-program counts of one cell.
 func (sw *Sweep) Get(bank int, m core.Method) map[string]Counts {
 	return sw.Cells[cellKey{bank, m}]
+}
+
+// CacheStatsString renders the sweep's compile-cache effectiveness as one
+// line, e.g. for benchtab's per-sweep footer. Empty when the cache was
+// disabled.
+func (sw *Sweep) CacheStatsString() string {
+	s := sw.CacheStats
+	if s.FullHits+s.FullMisses == 0 {
+		return ""
+	}
+	return fmt.Sprintf("compile cache: full %d/%d hits (%.1f%%), prefix %d/%d reuses (%.1f%%), ~%d KiB retained",
+		s.FullHits, s.FullHits+s.FullMisses, 100*s.FullHitRate(),
+		s.PrefixHits, s.PrefixHits+s.PrefixMisses, 100*s.PrefixHitRate(),
+		s.BytesRetained/1024)
 }
 
 // Total sums a metric over every program of a cell.

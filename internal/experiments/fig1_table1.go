@@ -72,7 +72,9 @@ func Fig1(s *workload.Suite, functionLevel bool) (*Fig1Result, error) {
 	}
 
 	// For each interleaving, compile with the default method and count the
-	// units that still conflict.
+	// units that still conflict. One cache serves all four interleavings
+	// (the pipeline prefix is bank-independent).
+	cache := newCache()
 	for _, bank := range banks {
 		file := bankfile.RV1(bank)
 		conflicting := 0
@@ -85,7 +87,7 @@ func Fig1(s *workload.Suite, functionLevel bool) (*Fig1Result, error) {
 				if u.fn != "" && f.Name != u.fn {
 					continue
 				}
-				cr, err := core.Compile(f, core.Options{File: file, Method: core.MethodNon})
+				cr, err := core.Compile(f, core.Options{File: file, Method: core.MethodNon, Cache: cache})
 				if err != nil {
 					return nil, err
 				}
@@ -141,6 +143,7 @@ type Table1Row struct {
 // Table1 computes suite characteristics.
 func Table1() ([]Table1Row, error) {
 	var rows []Table1Row
+	cache := newCache()
 
 	spec := workload.SPECfp()
 	for _, p := range spec.Programs {
@@ -150,7 +153,7 @@ func Table1() ([]Table1Row, error) {
 			dst  *float64
 		}{{32, &row.Sp32}, {1024, &row.Sp1k}} {
 			file := bankfile.Config{NumRegs: cfgCase.regs, NumBanks: 2, NumSubgroups: 1, ReadPorts: 1}
-			c, err := CompileProgram(p, core.Options{File: file, Method: core.MethodNon}, false, false)
+			c, err := CompileProgram(p, core.Options{File: file, Method: core.MethodNon, Cache: cache}, false, false)
 			if err != nil {
 				return nil, err
 			}
@@ -176,12 +179,12 @@ func Table1() ([]Table1Row, error) {
 			mods += len(p.Modules)
 			fns += p.NumFuncs()
 			c32, err := CompileProgram(p, core.Options{
-				File: bankfile.Config{NumRegs: 32, NumBanks: 2, NumSubgroups: 1, ReadPorts: 1}, Method: core.MethodNon,
+				File: bankfile.Config{NumRegs: 32, NumBanks: 2, NumSubgroups: 1, ReadPorts: 1}, Method: core.MethodNon, Cache: cache,
 			}, false, false)
 			if err != nil {
 				return nil, err
 			}
-			c1k, err := CompileProgram(p, core.Options{File: bankfile.RV1(2), Method: core.MethodNon}, false, false)
+			c1k, err := CompileProgram(p, core.Options{File: bankfile.RV1(2), Method: core.MethodNon, Cache: cache}, false, false)
 			if err != nil {
 				return nil, err
 			}

@@ -1,0 +1,157 @@
+package ir_test
+
+import (
+	"sync"
+	"testing"
+
+	"prescount/internal/ir"
+	"prescount/internal/workload"
+)
+
+// buildTwoBlock returns a small two-block function for mutation tests.
+func buildTwoBlock(name string) *ir.Func {
+	b := ir.NewBuilder(name)
+	base := b.IConst(0)
+	x := b.FConst(1.5)
+	y := b.FConst(2.5)
+	z := b.FAdd(x, y)
+	b.FStore(z, base, 0)
+	exit := b.Block("exit")
+	b.Br(exit)
+	b.SetBlock(exit)
+	b.Ret()
+	return b.Func()
+}
+
+// TestFingerprintCollisionSanity: distinct random functions hash
+// differently. workload.RandomSized is the generator the scaling sweeps
+// use, so these are exactly the shapes the compile cache will key on.
+func TestFingerprintCollisionSanity(t *testing.T) {
+	seen := map[ir.Fingerprint]int64{}
+	for seed := int64(0); seed < 3; seed++ {
+		for _, size := range []int{20, 100, 400} {
+			f := workload.RandomSized(seed, size)
+			fp := f.Fingerprint()
+			if prev, dup := seen[fp]; dup {
+				t.Fatalf("fingerprint collision: seed=%d size=%d collides with seed/size key %d", seed, size, prev)
+			}
+			seen[fp] = seed*1000 + int64(size)
+		}
+	}
+}
+
+// TestFingerprintIgnoresName: the fingerprint is a content address, so the
+// symbol name must not participate (repeated kernels appear under distinct
+// names across programs).
+func TestFingerprintIgnoresName(t *testing.T) {
+	a := buildTwoBlock("alpha")
+	b := buildTwoBlock("beta")
+	if a.Fingerprint() != b.Fingerprint() {
+		t.Fatalf("fingerprint depends on function name: %v vs %v", a.Fingerprint(), b.Fingerprint())
+	}
+}
+
+// TestFingerprintCloneStability: Clone must preserve the fingerprint —
+// the compile cache clones prefix snapshots and expects the clone to stand
+// in for the original.
+func TestFingerprintCloneStability(t *testing.T) {
+	for seed := int64(0); seed < 3; seed++ {
+		f := workload.RandomSized(seed, 120)
+		want := f.Fingerprint()
+		c := f.Clone()
+		if got := c.Fingerprint(); got != want {
+			t.Fatalf("seed %d: clone fingerprint %v != original %v", seed, got, want)
+		}
+		// And the clone's cache is independent: mutating the clone must not
+		// disturb the original.
+		c.NewVReg(ir.ClassFP)
+		if got := f.Fingerprint(); got != want {
+			t.Fatalf("seed %d: original fingerprint changed after clone mutation", seed)
+		}
+	}
+}
+
+// TestFingerprintInvalidation exercises every mutating ir.Func entry point
+// and checks the cached fingerprint is invalidated (the recomputed value
+// reflects the new structure, or — for structure-neutral mutations like
+// RecomputePreds — stays equal to a fresh function's hash).
+func TestFingerprintInvalidation(t *testing.T) {
+	t.Run("NewVReg", func(t *testing.T) {
+		f := buildTwoBlock("f")
+		before := f.Fingerprint()
+		f.NewVReg(ir.ClassFP)
+		if f.Fingerprint() == before {
+			t.Fatal("fingerprint not invalidated by NewVReg")
+		}
+	})
+	t.Run("NewBlock", func(t *testing.T) {
+		f := buildTwoBlock("f")
+		before := f.Fingerprint()
+		nb := f.NewBlock("extra")
+		nb.Instrs = append(nb.Instrs, &ir.Instr{Op: ir.OpRet})
+		if f.Fingerprint() == before {
+			t.Fatal("fingerprint not invalidated by NewBlock")
+		}
+	})
+	t.Run("MarkMutated", func(t *testing.T) {
+		f := buildTwoBlock("f")
+		before := f.Fingerprint()
+		// Transform-style in-place rewrite: edit an immediate, then mark.
+		f.Entry().Instrs[0].Imm++
+		f.MarkMutated()
+		if f.Fingerprint() == before {
+			t.Fatal("fingerprint not recomputed after MarkMutated rewrite")
+		}
+	})
+	t.Run("RecomputePreds", func(t *testing.T) {
+		f := buildTwoBlock("f")
+		before := f.Fingerprint()
+		f.RecomputePreds()
+		// Structure unchanged: the recomputed hash must match, proving the
+		// cache re-derives rather than serving a generation-stale entry.
+		if f.Fingerprint() != before {
+			t.Fatal("structure-neutral RecomputePreds changed the fingerprint")
+		}
+	})
+	t.Run("TripCount", func(t *testing.T) {
+		f := buildTwoBlock("f")
+		before := f.Fingerprint()
+		f.Entry().TripCount = 7
+		f.MarkMutated()
+		if f.Fingerprint() == before {
+			t.Fatal("fingerprint ignores trip counts (they weight conflict costs)")
+		}
+	})
+	t.Run("SpillSlots", func(t *testing.T) {
+		f := buildTwoBlock("f")
+		before := f.Fingerprint()
+		f.SpillSlots = 3
+		f.MarkMutated()
+		if f.Fingerprint() == before {
+			t.Fatal("fingerprint ignores SpillSlots (it seeds spill numbering)")
+		}
+	})
+}
+
+// TestFingerprintConcurrent: parallel sweep workers fingerprint the same
+// shared input function; the cached computation must be race-free (run
+// under -race in CI) and agree across goroutines.
+func TestFingerprintConcurrent(t *testing.T) {
+	f := workload.RandomSized(1, 300)
+	want := f.Clone().Fingerprint()
+	var wg sync.WaitGroup
+	got := make([]ir.Fingerprint, 16)
+	for i := range got {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			got[i] = f.Fingerprint()
+		}(i)
+	}
+	wg.Wait()
+	for i, fp := range got {
+		if fp != want {
+			t.Fatalf("goroutine %d: fingerprint %v != %v", i, fp, want)
+		}
+	}
+}

@@ -3,6 +3,7 @@ package ir
 import (
 	"fmt"
 	"sort"
+	"sync/atomic"
 )
 
 // Instr is a single machine instruction. Defs and Uses hold register
@@ -115,6 +116,11 @@ type Func struct {
 	// (internal/analysis). An analysis computed at one generation is stale
 	// once the counter moves.
 	gen uint64
+
+	// fpCache holds the (generation, fingerprint) pair of the last
+	// Fingerprint call (see fingerprint.go). Atomic because sweeps
+	// fingerprint a shared input function from concurrent compile workers.
+	fpCache atomic.Pointer[fpState]
 }
 
 // Generation returns the function's current IR mutation generation.

@@ -1,0 +1,117 @@
+package regalloc
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+
+	"prescount/internal/ir"
+)
+
+// TestWorkQueueOrder: the hand-rolled heap pops in strict (weight desc,
+// register asc) order, the same total order the container/heap
+// implementation honored.
+func TestWorkQueueOrder(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	for trial := 0; trial < 50; trial++ {
+		n := 1 + rng.Intn(200)
+		q := newWorkQueue(n)
+		type item struct {
+			r ir.Reg
+			w float64
+		}
+		var want []item
+		for i := 0; i < n; i++ {
+			it := item{ir.VReg(i), float64(rng.Intn(8))}
+			want = append(want, it)
+			q.push(it.r, it.w)
+		}
+		sort.Slice(want, func(i, j int) bool {
+			if want[i].w != want[j].w {
+				return want[i].w > want[j].w
+			}
+			return want[i].r < want[j].r
+		})
+		for i, it := range want {
+			if got := q.pop(); got != it.r {
+				t.Fatalf("trial %d: pop %d = %v, want %v", trial, i, got, it.r)
+			}
+		}
+		if q.Len() != 0 {
+			t.Fatalf("trial %d: %d items left", trial, q.Len())
+		}
+		q.release()
+	}
+}
+
+// TestWorkQueueInterleavedPushPop mimics the allocator's eviction pattern:
+// pops interleaved with re-pushes must always yield the current maximum.
+func TestWorkQueueInterleavedPushPop(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	q := newWorkQueue(0)
+	defer q.release()
+	ref := map[ir.Reg]float64{}
+	next := 0
+	for step := 0; step < 2000; step++ {
+		if len(ref) == 0 || rng.Intn(3) != 0 {
+			r := ir.VReg(next)
+			next++
+			w := float64(rng.Intn(16))
+			ref[r] = w
+			q.push(r, w)
+			continue
+		}
+		var best ir.Reg
+		bestW := -1.0
+		found := false
+		for r, w := range ref {
+			if !found || w > bestW || (w == bestW && r < best) {
+				best, bestW, found = r, w, true
+			}
+		}
+		if got := q.pop(); got != best {
+			t.Fatalf("step %d: pop = %v (w=%v), want %v (w=%v)", step, got, ref[got], best, bestW)
+		}
+		delete(ref, best)
+	}
+}
+
+// TestWorkQueueReuseAllocs (satellite): with the slice preallocated to the
+// vreg count and recycled through the pool, a full push/drain cycle of a
+// warm queue performs zero heap allocations.
+func TestWorkQueueReuseAllocs(t *testing.T) {
+	const n = 128
+	// Warm the pool so the measured runs reuse a grown slice.
+	newWorkQueue(n).release()
+	allocs := testing.AllocsPerRun(100, func() {
+		q := newWorkQueue(n)
+		for i := 0; i < n; i++ {
+			q.push(ir.VReg(i), float64(i%9))
+		}
+		for q.Len() > 0 {
+			q.pop()
+		}
+		q.release()
+	})
+	if allocs > 0 {
+		t.Errorf("warm queue cycle allocates %.1f times per run, want 0", allocs)
+	}
+}
+
+// BenchmarkWorkQueue measures the steady-state enqueue/drain cost (the old
+// container/heap path paid one interface allocation per push).
+func BenchmarkWorkQueue(b *testing.B) {
+	const n = 256
+	newWorkQueue(n).release()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		q := newWorkQueue(n)
+		for j := 0; j < n; j++ {
+			q.push(ir.VReg(j), float64(j%11))
+		}
+		for q.Len() > 0 {
+			q.pop()
+		}
+		q.release()
+	}
+}

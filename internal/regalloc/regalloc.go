@@ -22,10 +22,10 @@
 package regalloc
 
 import (
-	"container/heap"
 	"fmt"
 	"math"
 	"sort"
+	"sync"
 
 	"prescount/internal/analysis"
 	"prescount/internal/bankfile"
@@ -237,7 +237,7 @@ func (a *allocator) run() error {
 	}
 	a.buildFixedClobbers()
 
-	a.queue = newWorkQueue()
+	a.queue = newWorkQueue(len(a.f.VRegs))
 	for idx := range a.f.VRegs {
 		r := ir.VReg(idx)
 		iv := a.intervalOf(r)
@@ -262,6 +262,8 @@ func (a *allocator) run() error {
 			return err
 		}
 	}
+	a.queue.release()
+	a.queue = nil
 	a.materialize()
 	a.f.MarkMutated()
 	if ac := a.opts.Analyses; ac != nil {
@@ -488,7 +490,13 @@ func (a *allocator) evict(r ir.Reg, c ir.Class, p int) {
 	a.queue.push(r, a.priorityOf(r))
 }
 
-// workQueue is a max-heap over (weight, then smaller register first).
+// workQueue is a max-heap over (weight, then smaller register first). It is
+// hand-rolled rather than built on container/heap: the stdlib interface
+// boxes every queueItem into an interface{} on Push, which costs one heap
+// allocation per enqueue on the allocator's hottest control path. The sift
+// procedures mirror container/heap's exactly, so the pop order — already
+// fully determined by the strict (weight desc, register asc) total order —
+// is unchanged.
 type workQueue struct{ items []queueItem }
 
 type queueItem struct {
@@ -496,27 +504,81 @@ type queueItem struct {
 	w float64
 }
 
-func newWorkQueue() *workQueue { return &workQueue{} }
+// queuePool recycles the backing slice across Run invocations: the queue
+// drains completely every allocation, so steady-state module compiles reuse
+// one grown slice per worker instead of reallocating per function.
+var queuePool = sync.Pool{New: func() any { return new(workQueue) }}
+
+// newWorkQueue returns a pooled queue with capacity for at least n items
+// (pass len(f.VRegs): every live vreg is pushed once up front, and eviction
+// re-pushes never outnumber the vregs in flight).
+func newWorkQueue(n int) *workQueue {
+	q := queuePool.Get().(*workQueue)
+	if cap(q.items) < n {
+		q.items = make([]queueItem, 0, n)
+	} else {
+		q.items = q.items[:0]
+	}
+	return q
+}
+
+// release returns the queue (and its grown slice) to the pool.
+func (q *workQueue) release() {
+	q.items = q.items[:0]
+	queuePool.Put(q)
+}
 
 func (q *workQueue) Len() int { return len(q.items) }
-func (q *workQueue) Less(i, j int) bool {
+func (q *workQueue) less(i, j int) bool {
 	if q.items[i].w != q.items[j].w {
 		return q.items[i].w > q.items[j].w
 	}
 	return q.items[i].r < q.items[j].r
 }
-func (q *workQueue) Swap(i, j int) { q.items[i], q.items[j] = q.items[j], q.items[i] }
-func (q *workQueue) Push(x interface{}) {
-	q.items = append(q.items, x.(queueItem))
-}
-func (q *workQueue) Pop() interface{} {
-	it := q.items[len(q.items)-1]
-	q.items = q.items[:len(q.items)-1]
-	return it
+
+func (q *workQueue) push(r ir.Reg, w float64) {
+	q.items = append(q.items, queueItem{r, w})
+	q.up(len(q.items) - 1)
 }
 
-func (q *workQueue) push(r ir.Reg, w float64) { heap.Push(q, queueItem{r, w}) }
-func (q *workQueue) pop() ir.Reg              { return heap.Pop(q).(queueItem).r }
+func (q *workQueue) pop() ir.Reg {
+	n := len(q.items) - 1
+	q.items[0], q.items[n] = q.items[n], q.items[0]
+	q.down(0, n)
+	it := q.items[n]
+	q.items = q.items[:n]
+	return it.r
+}
+
+func (q *workQueue) up(j int) {
+	for {
+		i := (j - 1) / 2 // parent
+		if i == j || !q.less(j, i) {
+			break
+		}
+		q.items[i], q.items[j] = q.items[j], q.items[i]
+		j = i
+	}
+}
+
+func (q *workQueue) down(i0, n int) {
+	i := i0
+	for {
+		j1 := 2*i + 1
+		if j1 >= n || j1 < 0 {
+			break
+		}
+		j := j1
+		if j2 := j1 + 1; j2 < n && q.less(j2, j1) {
+			j = j2
+		}
+		if !q.less(j, i) {
+			break
+		}
+		q.items[i], q.items[j] = q.items[j], q.items[i]
+		i = j
+	}
+}
 
 // sortedRegs returns 0..n-1; kept as a helper for candidate building.
 func sortedRegs(n int) []int {
