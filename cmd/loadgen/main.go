@@ -1,0 +1,143 @@
+// Command loadgen replays internal/workload kernels against a prescountd
+// instance at a target concurrency and reports throughput and latency
+// percentiles, emitting the BENCH_serve.json perf-trajectory artifact.
+//
+// Usage:
+//
+//	loadgen [flags]
+//
+//	-url U       target daemon base URL; empty spawns an in-process
+//	             prescountd on a loopback port (self-contained benchmark)
+//	-c N         concurrent clients (default 64)
+//	-n N         total requests (default 2048)
+//	-kernels N   distinct kernels in the replay corpus (default 16)
+//	-method M    allocation method (default bpc)
+//	-simulate    also execute each allocated kernel server-side
+//	-saturate    additionally run a saturation pass against a deliberately
+//	             tiny in-process daemon (inflight=2, queue=4) to demonstrate
+//	             429-instead-of-collapse (self-spawn mode only)
+//	-json FILE   write the trajectory artifact (default BENCH_serve.json;
+//	             "" disables)
+//
+// The artifact records, per run: request counts by outcome, throughput,
+// p50/p90/p99 latency, gauge highwater marks scraped from /statz mid-run,
+// and the daemon's final cache statistics.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"net/http/httptest"
+	"os"
+
+	"prescount/internal/server"
+)
+
+// runRecord labels one loadgen pass in the artifact.
+type runRecord struct {
+	Name string `json:"name"`
+	*server.LoadgenResult
+}
+
+// artifact is the BENCH_serve.json schema.
+type artifact struct {
+	Schema string      `json:"schema"`
+	Runs   []runRecord `json:"runs"`
+}
+
+func main() {
+	url := flag.String("url", "", "daemon base URL (empty = spawn in-process)")
+	c := flag.Int("c", 64, "concurrent clients")
+	n := flag.Int("n", 2048, "total requests")
+	kernels := flag.Int("kernels", 16, "distinct kernels in the corpus")
+	method := flag.String("method", "bpc", "allocation method")
+	simulate := flag.Bool("simulate", false, "execute allocated kernels server-side")
+	saturate := flag.Bool("saturate", false, "also run the tiny-daemon saturation pass")
+	jsonOut := flag.String("json", "BENCH_serve.json", "trajectory artifact path (\"\" disables)")
+	flag.Parse()
+
+	art := artifact{Schema: "prescount-serve/1"}
+
+	target := *url
+	var shutdown func()
+	if target == "" {
+		target, shutdown = spawn(server.Config{CacheMaxBytes: 256 << 20})
+		fmt.Fprintf(os.Stderr, "loadgen: spawned in-process prescountd at %s\n", target)
+	}
+	res, err := server.RunLoadgen(server.LoadgenConfig{
+		URL:         target,
+		Concurrency: *c,
+		Requests:    *n,
+		Kernels:     *kernels,
+		Method:      *method,
+		Simulate:    *simulate,
+		RetryOn429:  true,
+	})
+	check(err)
+	if shutdown != nil {
+		shutdown()
+	}
+	report("sustained", res)
+	art.Runs = append(art.Runs, runRecord{Name: "sustained", LoadgenResult: res})
+
+	if *saturate {
+		if *url != "" {
+			check(fmt.Errorf("-saturate requires self-spawn mode (omit -url)"))
+		}
+		// A deliberately tiny daemon with a tiny cache: the point is 429s
+		// and cache eviction instead of unbounded queueing and growth.
+		target, shutdown := spawn(server.Config{
+			MaxInFlight:   2,
+			MaxQueue:      4,
+			CacheMaxBytes: 64 << 10,
+		})
+		sres, err := server.RunLoadgen(server.LoadgenConfig{
+			URL:         target,
+			Concurrency: *c,
+			Requests:    *n / 2,
+			Kernels:     *kernels,
+			Method:      *method,
+			RetryOn429:  false, // count the 429s, don't wait them out
+		})
+		shutdown()
+		check(err)
+		report("saturation", sres)
+		art.Runs = append(art.Runs, runRecord{Name: "saturation", LoadgenResult: sres})
+	}
+
+	if *jsonOut != "" {
+		data, err := json.MarshalIndent(art, "", "  ")
+		check(err)
+		check(os.WriteFile(*jsonOut, data, 0o644))
+		fmt.Fprintf(os.Stderr, "loadgen: wrote %s\n", *jsonOut)
+	}
+}
+
+// spawn starts an in-process daemon on a loopback listener and returns its
+// base URL plus a shutdown function.
+func spawn(cfg server.Config) (string, func()) {
+	srv := server.New(cfg)
+	ts := httptest.NewServer(srv.Handler())
+	return ts.URL, ts.Close
+}
+
+func report(name string, r *server.LoadgenResult) {
+	fmt.Printf("%s: %d requests in %.2fs (%d clients): %d ok, %d retried-429, %d rejected-429, %d 504, %d 4xx, %d 5xx\n",
+		name, r.Sent, r.DurationS, r.Config.Concurrency, r.OK, r.Retries, r.Rejected429, r.Deadline504, r.Errors4xx, r.Errors5xx)
+	fmt.Printf("  throughput %.1f req/s; latency p50=%.2fms p90=%.2fms p99=%.2fms max=%.2fms\n",
+		r.ThroughputRPS, r.Latency.P50MS, r.Latency.P90MS, r.Latency.P99MS, r.Latency.MaxMS)
+	if r.Statz != nil {
+		fmt.Printf("  server: cache full=%.3f prefix=%.3f bytes=%d evictions=%d; max inflight seen %d, max queued seen %d\n",
+			r.Statz.Cache.FullHitRate, r.Statz.Cache.PrefixHitRate,
+			r.Statz.Cache.BytesRetained, r.Statz.Cache.Evictions,
+			r.MaxInFlightSeen, r.MaxQueuedSeen)
+	}
+}
+
+func check(err error) {
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "loadgen:", err)
+		os.Exit(1)
+	}
+}

@@ -17,6 +17,8 @@
 //	               machine-generated MIR) compile once (default on)
 //
 // With no file arguments, prescountc reads one function from stdin.
+// Inputs are processed in command-line order, so reports and the -o module
+// are stable across runs.
 package main
 
 import (
@@ -30,17 +32,35 @@ import (
 )
 
 func main() {
-	regs := flag.Int("regs", 32, "FP register file size")
-	banks := flag.Int("banks", 2, "number of register banks")
-	subgroups := flag.Int("subgroups", 1, "subgroups per bank (>1 enables the DSA pipeline)")
-	method := flag.String("method", "bpc", "allocation method: non | bcr | brc | bpc")
-	dump := flag.Bool("dump", false, "print the allocated MIR")
-	dot := flag.String("dot", "", "emit a Graphviz document of the pre-allocation analyses: rig | rcg | sdg")
-	run := flag.Bool("run", false, "simulate the allocated code")
-	vliw := flag.Bool("vliw", false, "VLIW dual-issue cycle model")
-	outPath := flag.String("o", "", "write the allocated MIR of all inputs to this file")
-	cacheMode := flag.String("cache", "on", "compile cache across input functions: on | off")
-	flag.Parse()
+	if err := run(os.Args[1:], os.Stdin, os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "prescountc:", err)
+		os.Exit(1)
+	}
+}
+
+// input is one named MIR source, in command-line order.
+type input struct {
+	name, src string
+}
+
+// run is the testable body of the command: it parses flags from args,
+// reads sources (argv order; stdin when no files), compiles and writes the
+// per-function reports to stdout.
+func run(args []string, stdin io.Reader, stdout io.Writer) error {
+	fs := flag.NewFlagSet("prescountc", flag.ContinueOnError)
+	regs := fs.Int("regs", 32, "FP register file size")
+	banks := fs.Int("banks", 2, "number of register banks")
+	subgroups := fs.Int("subgroups", 1, "subgroups per bank (>1 enables the DSA pipeline)")
+	method := fs.String("method", "bpc", "allocation method: non | bcr | brc | bpc")
+	dump := fs.Bool("dump", false, "print the allocated MIR")
+	dot := fs.String("dot", "", "emit a Graphviz document of the pre-allocation analyses: rig | rcg | sdg")
+	runSim := fs.Bool("run", false, "simulate the allocated code")
+	vliw := fs.Bool("vliw", false, "VLIW dual-issue cycle model")
+	outPath := fs.String("o", "", "write the allocated MIR of all inputs to this file")
+	cacheMode := fs.String("cache", "on", "compile cache across input functions: on | off")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
 
 	var m prescount.Method
 	switch *method {
@@ -53,7 +73,7 @@ func main() {
 	case "brc":
 		m = prescount.MethodBRC
 	default:
-		fail(fmt.Errorf("unknown method %q", *method))
+		return fmt.Errorf("unknown method %q", *method)
 	}
 	file := prescount.RegisterFile{
 		NumRegs:      *regs,
@@ -69,77 +89,89 @@ func main() {
 		opts.Cache = compilecache.New()
 	case "off":
 	default:
-		fail(fmt.Errorf("-cache: want on or off, got %q", *cacheMode))
+		return fmt.Errorf("-cache: want on or off, got %q", *cacheMode)
 	}
 
-	sources := map[string]string{}
-	if flag.NArg() == 0 {
-		data, err := io.ReadAll(os.Stdin)
-		fail(err)
-		sources["<stdin>"] = string(data)
+	// Inputs keep their argv order: per-file report order and the -o
+	// output module must not vary run to run.
+	var sources []input
+	if fs.NArg() == 0 {
+		data, err := io.ReadAll(stdin)
+		if err != nil {
+			return err
+		}
+		sources = append(sources, input{"<stdin>", string(data)})
 	}
-	for _, path := range flag.Args() {
+	for _, path := range fs.Args() {
 		data, err := os.ReadFile(path)
-		fail(err)
-		sources[path] = string(data)
+		if err != nil {
+			return err
+		}
+		sources = append(sources, input{path, string(data)})
 	}
 
 	outMod := prescount.NewModule("allocated")
-	for name, src := range sources {
-		mod, err := prescount.ParseModule(src)
-		fail(err)
+	for _, in := range sources {
+		mod, err := prescount.ParseModule(in.src)
+		if err != nil {
+			return err
+		}
 		if len(mod.Funcs) == 0 {
 			// Try a bare function.
-			f, ferr := prescount.Parse(src)
-			fail(ferr)
+			f, ferr := prescount.Parse(in.src)
+			if ferr != nil {
+				return ferr
+			}
 			mod.Add(f)
 		}
 		for _, f := range mod.SortedFuncs() {
 			if *dot != "" {
 				doc, err := prescount.GraphDOT(f, *dot)
-				fail(err)
-				fmt.Print(doc)
+				if err != nil {
+					return err
+				}
+				fmt.Fprint(stdout, doc)
 				continue
 			}
 			res, err := prescount.Compile(f, opts)
-			fail(err)
+			if err != nil {
+				return err
+			}
 			r := res.Report
-			fmt.Printf("%s/%s: file=%v method=%v\n", name, f.Name, file, m)
-			fmt.Printf("  instrs=%d conflict-relevant=%d static-conflicts=%d weighted=%.0f\n",
+			fmt.Fprintf(stdout, "%s/%s: file=%v method=%v\n", in.name, f.Name, file, m)
+			fmt.Fprintf(stdout, "  instrs=%d conflict-relevant=%d static-conflicts=%d weighted=%.0f\n",
 				r.Instrs, r.ConflictRelevant, r.StaticConflicts, r.WeightedConflicts)
-			fmt.Printf("  spills=%d+%d copies=%d subgroup-violations=%d\n",
+			fmt.Fprintf(stdout, "  spills=%d+%d copies=%d subgroup-violations=%d\n",
 				r.SpillStores, r.SpillReloads, r.Copies, r.SubgroupViolations)
 			if *dump {
-				fmt.Print(prescount.Print(res.Func))
+				fmt.Fprint(stdout, prescount.Print(res.Func))
 			}
 			if *outPath != "" {
 				outMod.Add(res.Func)
 			}
-			if *run {
+			if *runSim {
 				sr, err := prescount.Simulate(res.Func, prescount.SimOptions{
 					File: file,
 					VLIW: *vliw,
 				})
-				fail(err)
-				fmt.Printf("  executed=%d cycles=%d dynamic-conflicts=%d\n",
+				if err != nil {
+					return err
+				}
+				fmt.Fprintf(stdout, "  executed=%d cycles=%d dynamic-conflicts=%d\n",
 					sr.Steps, sr.Cycles, sr.DynamicConflicts)
 			}
 		}
 	}
-	writeOut(*outPath, outMod)
+	return writeOut(*outPath, outMod)
 }
 
-func writeOut(path string, mod *prescount.Module) {
+func writeOut(path string, mod *prescount.Module) error {
 	if path == "" || len(mod.Funcs) == 0 {
-		return
+		return nil
 	}
-	fail(os.WriteFile(path, []byte(prescount.PrintModule(mod)), 0o644))
+	if err := os.WriteFile(path, []byte(prescount.PrintModule(mod)), 0o644); err != nil {
+		return err
+	}
 	fmt.Fprintf(os.Stderr, "prescountc: wrote %s\n", path)
-}
-
-func fail(err error) {
-	if err != nil {
-		fmt.Fprintln(os.Stderr, "prescountc:", err)
-		os.Exit(1)
-	}
+	return nil
 }

@@ -1,0 +1,51 @@
+package prescount_test
+
+import (
+	"testing"
+
+	"prescount"
+)
+
+// FuzzParseCompile is the daemon's untrusted-input robustness harness: any
+// byte string fed through ParseModule (with the bare-function fallback the
+// server and prescountc use) and on into Compile must either return an
+// error or succeed — it must never panic or hang, because a single bad
+// request must not kill prescountd. Semantic correctness is pinned
+// elsewhere; this target only hunts crashes.
+func FuzzParseCompile(f *testing.F) {
+	seeds := []string{
+		"",
+		"func @f {\n entry:\n  ret\n}",
+		"func @f {\n entry:\n  %0:fp = fconst 1\n  %1:fp = fadd %0, %0\n  ret\n}",
+		"module m\nfunc @a {\n entry:\n  x1 = iconst 0\n  %0:fp = fload x1, 0\n  fstore %0, x1, 1\n  ret\n}\nfunc @b {\n entry:\n  ret\n}",
+		"func @loop {\n entry:\n  x1 = iconst 0\n  x2 = iconst 8\n  br body\n body: !trip=8\n  %0:fp = fload x1, 0\n  %1:fp = fmul %0, %0\n  fstore %1, x1, 8\n  x1 = iaddi x1, 1\n  x3 = icmplt x1, x2\n  condbr x3, body, done\n done:\n  ret\n}",
+		"func @f {\n entry:\n  %-1:fp = fconst 1\n  ret\n}",
+		"func @f {\n entry:\n  f2147483000 = fconst 1\n  ret\n}",
+		"func @f {\n entry:\n  %999999999 = fmov %0\n  ret\n}",
+		"func @f {\n entry:\n  call\n  ret\n}",
+		"func @f {\n entry:\n  %0:fp = fma %1, %2, %3\n  ret\n}",
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	opts := prescount.Options{File: prescount.RV2(2), Method: prescount.MethodBPC}
+	f.Fuzz(func(t *testing.T, src string) {
+		m, err := prescount.ParseModule(src)
+		if err != nil {
+			return
+		}
+		if len(m.Funcs) == 0 {
+			fn, ferr := prescount.Parse(src)
+			if ferr != nil {
+				return
+			}
+			m.Add(fn)
+		}
+		for _, fn := range m.SortedFuncs() {
+			res, cerr := prescount.Compile(fn, opts)
+			if cerr == nil && res.Report == nil {
+				t.Fatalf("Compile(%s) returned no report and no error", fn.Name)
+			}
+		}
+	})
+}

@@ -17,9 +17,20 @@
 // cycle). Lookups have singleflight semantics: concurrent requests for the
 // same key run the compute function once and share the outcome, so a
 // parallel sweep does not burn workers producing identical entries.
+//
+// A cache created by New retains entries forever — the right policy for a
+// CLI sweep, where the working set is the sweep itself and byte-identity
+// across cache-on/cache-off runs is pinned by tests. A cache created by
+// NewLimited additionally enforces a byte cap with LRU eviction across both
+// layers, the policy a long-running server needs: BytesRetained never
+// exceeds the cap after a lookup completes, and evicted keys simply
+// recompute (the pipeline is deterministic, so recomputed entries are
+// byte-identical to the evicted ones).
 package compilecache
 
 import (
+	"context"
+	"errors"
 	"sync"
 
 	"prescount/internal/ir"
@@ -46,8 +57,12 @@ type Stats struct {
 	// compile (the snapshot is cloned instead).
 	PrefixHits, PrefixMisses int64
 	// BytesRetained estimates the memory pinned by cached entries, as
-	// reported by the compute callbacks.
+	// reported by the compute callbacks. On a NewLimited cache it never
+	// exceeds the cap once in-flight computes have settled.
 	BytesRetained int64
+	// Evictions counts entries dropped by the LRU byte cap (0 on an
+	// unlimited cache).
+	Evictions int64
 	// FullEntries / PrefixEntries count live entries per layer.
 	FullEntries, PrefixEntries int
 }
@@ -66,23 +81,35 @@ func rate(hits, misses int64) float64 {
 }
 
 // entry is one singleflight slot: ready closes once val/bytes/err are set.
+// Completed entries with retained bytes are linked into the LRU list
+// (prev/next non-nil); in-flight and error entries are never linked.
 type entry struct {
 	ready chan struct{}
 	val   any
 	bytes int64
 	err   error
+
+	layer      layer
+	key        Key
+	prev, next *entry // LRU links; nil when unlinked
 }
 
 // Cache holds the two content-addressed layers. The zero value is not
-// usable; call New.
+// usable; call New or NewLimited.
 type Cache struct {
 	mu     sync.Mutex
 	full   map[Key]*entry
 	prefix map[Key]*entry
 
-	hits   [2]int64 // [layerFull], [layerPrefix]
-	misses [2]int64
-	bytes  int64
+	hits      [2]int64 // [layerFull], [layerPrefix]
+	misses    [2]int64
+	bytes     int64
+	evictions int64
+
+	// maxBytes caps bytes via LRU eviction; 0 means unlimited.
+	maxBytes int64
+	// lruHead/lruTail delimit the recency list, most recent at head.
+	lruHead, lruTail *entry
 }
 
 type layer int
@@ -92,17 +119,35 @@ const (
 	layerPrefix
 )
 
-// New returns an empty cache.
+// New returns an empty cache with no byte cap: entries are retained for the
+// cache's lifetime, preserving byte-identity of repeated sweeps.
 func New() *Cache {
 	return &Cache{full: map[Key]*entry{}, prefix: map[Key]*entry{}}
 }
+
+// NewLimited returns an empty cache that evicts least-recently-used entries
+// (across both layers) whenever the retained-bytes estimate exceeds
+// maxBytes. maxBytes <= 0 means unlimited (identical to New).
+func NewLimited(maxBytes int64) *Cache {
+	c := New()
+	if maxBytes > 0 {
+		c.maxBytes = maxBytes
+	}
+	return c
+}
+
+// MaxBytes returns the configured byte cap (0 = unlimited).
+func (c *Cache) MaxBytes() int64 { return c.maxBytes }
 
 // Full looks up (or computes) the full compile result for k. compute runs
 // at most once per key across all goroutines; it returns the value to
 // retain plus an estimate of its retained bytes. The second return reports
 // whether the value came from the cache (true) or this call's compute
-// (false). Errors are retained too: the pipeline is deterministic, so a
-// failing key fails identically on every recompute.
+// (false). Deterministic errors are retained too: the pipeline is
+// deterministic, so a failing key fails identically on every recompute.
+// Context cancellation errors are the exception — they depend on the
+// caller's deadline, not the key, so the entry is dropped and the next
+// lookup recomputes.
 func (c *Cache) Full(k Key, compute func() (any, int64, error)) (any, bool, error) {
 	return c.do(layerFull, k, compute)
 }
@@ -118,26 +163,114 @@ func (c *Cache) do(l layer, k Key, compute func() (any, int64, error)) (any, boo
 	if l == layerPrefix {
 		m = c.prefix
 	}
-	c.mu.Lock()
-	if e, ok := m[k]; ok {
-		c.hits[l]++
-		c.mu.Unlock()
-		<-e.ready
-		return e.val, true, e.err
-	}
-	e := &entry{ready: make(chan struct{})}
-	m[k] = e
-	c.misses[l]++
-	c.mu.Unlock()
-
-	e.val, e.bytes, e.err = compute()
-	close(e.ready)
-	if e.bytes != 0 {
+	for {
 		c.mu.Lock()
-		c.bytes += e.bytes
+		if e, ok := m[k]; ok {
+			c.hits[l]++
+			c.moveToFront(e)
+			c.mu.Unlock()
+			<-e.ready
+			if isContextErr(e.err) {
+				// The computing goroutine's deadline expired mid-flight and
+				// the entry was dropped; retry with this caller's compute
+				// (which fails fast if its own context is also dead).
+				continue
+			}
+			return e.val, true, e.err
+		}
+		e := &entry{ready: make(chan struct{}), layer: l, key: k}
+		m[k] = e
+		c.misses[l]++
 		c.mu.Unlock()
+
+		e.val, e.bytes, e.err = compute()
+		c.settle(m, e)
+		close(e.ready)
+		return e.val, false, e.err
 	}
-	return e.val, false, e.err
+}
+
+// settle finalizes a computed entry: context-cancellation errors are
+// forgotten (the next lookup recomputes under a live deadline), successful
+// values are charged to the byte budget and linked into the LRU list, and
+// the cap is enforced.
+func (c *Cache) settle(m map[Key]*entry, e *entry) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if isContextErr(e.err) {
+		// Only remove the entry if it is still ours — a concurrent retry
+		// cannot have replaced it before ready closes, but be safe.
+		if m[e.key] == e {
+			delete(m, e.key)
+		}
+		return
+	}
+	if e.bytes != 0 {
+		c.bytes += e.bytes
+		c.linkFront(e)
+		c.evict()
+	}
+}
+
+// evict drops LRU-tail entries until the byte budget fits the cap. Only
+// linked (completed, byte-carrying) entries are ever evicted; in-flight
+// singleflight slots and retained error entries are not in the list.
+func (c *Cache) evict() {
+	if c.maxBytes <= 0 {
+		return
+	}
+	for c.bytes > c.maxBytes && c.lruTail != nil {
+		e := c.lruTail
+		c.unlink(e)
+		m := c.full
+		if e.layer == layerPrefix {
+			m = c.prefix
+		}
+		if m[e.key] == e {
+			delete(m, e.key)
+		}
+		c.bytes -= e.bytes
+		c.evictions++
+	}
+}
+
+func (c *Cache) linkFront(e *entry) {
+	e.prev, e.next = nil, c.lruHead
+	if c.lruHead != nil {
+		c.lruHead.prev = e
+	}
+	c.lruHead = e
+	if c.lruTail == nil {
+		c.lruTail = e
+	}
+}
+
+func (c *Cache) moveToFront(e *entry) {
+	if c.maxBytes <= 0 || c.lruHead == e || (e.prev == nil && e.next == nil && c.lruTail != e) {
+		// Unlimited cache, already at front, or not linked (in-flight or
+		// error entry) — nothing to reorder.
+		return
+	}
+	c.unlink(e)
+	c.linkFront(e)
+}
+
+func (c *Cache) unlink(e *entry) {
+	if e.prev != nil {
+		e.prev.next = e.next
+	} else if c.lruHead == e {
+		c.lruHead = e.next
+	}
+	if e.next != nil {
+		e.next.prev = e.prev
+	} else if c.lruTail == e {
+		c.lruTail = e.prev
+	}
+	e.prev, e.next = nil, nil
+}
+
+func isContextErr(err error) bool {
+	return err != nil && (errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded))
 }
 
 // Stats returns a consistent snapshot of the counters. Lookups still in
@@ -151,6 +284,7 @@ func (c *Cache) Stats() Stats {
 		PrefixHits:    c.hits[layerPrefix],
 		PrefixMisses:  c.misses[layerPrefix],
 		BytesRetained: c.bytes,
+		Evictions:     c.evictions,
 		FullEntries:   len(c.full),
 		PrefixEntries: len(c.prefix),
 	}

@@ -1,0 +1,164 @@
+package compilecache
+
+import (
+	"context"
+	"fmt"
+	"sync"
+	"testing"
+
+	"prescount/internal/ir"
+)
+
+func lkey(i int) Key {
+	var fp ir.Fingerprint
+	fp[0] = byte(i)
+	fp[1] = byte(i >> 8)
+	return Key{Fingerprint: fp, Digest: uint64(i)}
+}
+
+// TestLimitedCapHonored fills a capped cache well past its budget and
+// checks BytesRetained never exceeds the cap at any observation point.
+func TestLimitedCapHonored(t *testing.T) {
+	const cap = 1000
+	c := NewLimited(cap)
+	for i := 0; i < 100; i++ {
+		_, _, err := c.Full(lkey(i), func() (any, int64, error) { return i, 100, nil })
+		if err != nil {
+			t.Fatal(err)
+		}
+		if s := c.Stats(); s.BytesRetained > cap {
+			t.Fatalf("after %d inserts: BytesRetained=%d > cap %d", i+1, s.BytesRetained, cap)
+		}
+	}
+	s := c.Stats()
+	if s.Evictions == 0 {
+		t.Fatal("100 inserts of 100 bytes under a 1000-byte cap evicted nothing")
+	}
+	if s.FullEntries > 10 {
+		t.Fatalf("cap admits at most 10 entries, have %d", s.FullEntries)
+	}
+}
+
+// TestLimitedLRUOrder pins the recency policy: touching an old key saves it
+// from eviction; the untouched one goes first.
+func TestLimitedLRUOrder(t *testing.T) {
+	c := NewLimited(300)
+	for i := 0; i < 3; i++ {
+		c.Full(lkey(i), func() (any, int64, error) { return i, 100, nil })
+	}
+	// Touch key 0 so key 1 is now least recent.
+	if _, hit, _ := c.Full(lkey(0), func() (any, int64, error) { return -1, 100, nil }); !hit {
+		t.Fatal("key 0 should still be cached")
+	}
+	c.Full(lkey(3), func() (any, int64, error) { return 3, 100, nil })
+	if _, hit, _ := c.Full(lkey(1), func() (any, int64, error) { return 1, 100, nil }); hit {
+		t.Fatal("key 1 was least recently used and should have been evicted")
+	}
+	if _, hit, _ := c.Full(lkey(0), func() (any, int64, error) { return -1, 100, nil }); !hit {
+		t.Fatal("key 0 was recently touched and should have survived")
+	}
+}
+
+// TestLimitedOversizeEntry inserts a single entry larger than the cap: the
+// caller still gets its value, but the cache does not retain it.
+func TestLimitedOversizeEntry(t *testing.T) {
+	c := NewLimited(50)
+	v, hit, err := c.Full(lkey(1), func() (any, int64, error) { return "big", 500, nil })
+	if err != nil || hit || v != "big" {
+		t.Fatalf("got (%v, %v, %v)", v, hit, err)
+	}
+	if s := c.Stats(); s.BytesRetained != 0 || s.FullEntries != 0 {
+		t.Fatalf("oversize entry retained: %+v", s)
+	}
+}
+
+// TestLimitedConcurrentMixedTraffic hammers a capped cache from many
+// goroutines with overlapping full and prefix keys and checks the cap and
+// recompute correctness (values are derived deterministically from the
+// key, so a recomputed entry must equal the evicted one).
+func TestLimitedConcurrentMixedTraffic(t *testing.T) {
+	const cap = 2000
+	c := NewLimited(cap)
+	var wg sync.WaitGroup
+	errs := make(chan error, 64)
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 400; i++ {
+				k := lkey((g + i) % 60)
+				want := fmt.Sprintf("val-%d", (g+i)%60)
+				layer := c.Full
+				if i%2 == 1 {
+					layer = c.Prefix
+				}
+				v, _, err := layer(k, func() (any, int64, error) { return want, 100, nil })
+				if err != nil {
+					errs <- err
+					return
+				}
+				if v.(string) != want {
+					errs <- fmt.Errorf("key %d: got %q want %q", (g+i)%60, v, want)
+					return
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+	if s := c.Stats(); s.BytesRetained > cap {
+		t.Fatalf("BytesRetained=%d > cap %d after concurrent traffic", s.BytesRetained, cap)
+	} else if s.Evictions == 0 {
+		t.Fatal("no evictions under 60 live keys x 100 bytes with a 2000-byte cap")
+	}
+}
+
+// TestEvictedKeyRecomputes pins the recompute path: once evicted, a key
+// misses and the new compute's value is returned and retained again.
+func TestEvictedKeyRecomputes(t *testing.T) {
+	c := NewLimited(100)
+	c.Full(lkey(1), func() (any, int64, error) { return "first", 100, nil })
+	c.Full(lkey(2), func() (any, int64, error) { return "evictor", 100, nil })
+	calls := 0
+	v, hit, err := c.Full(lkey(1), func() (any, int64, error) { calls++; return "first", 100, nil })
+	if err != nil || hit || v != "first" || calls != 1 {
+		t.Fatalf("recompute after eviction: v=%v hit=%v err=%v calls=%d", v, hit, err, calls)
+	}
+}
+
+// TestContextErrorNotRetained pins the daemon-cancellation contract at the
+// cache layer: a compute failing with a context error is forgotten, while
+// deterministic errors stay retained.
+func TestContextErrorNotRetained(t *testing.T) {
+	c := New()
+	if _, _, err := c.Full(lkey(1), func() (any, int64, error) { return nil, 0, context.DeadlineExceeded }); err != context.DeadlineExceeded {
+		t.Fatalf("got %v", err)
+	}
+	calls := 0
+	v, hit, err := c.Full(lkey(1), func() (any, int64, error) { calls++; return "ok", 10, nil })
+	if err != nil || hit || v != "ok" || calls != 1 {
+		t.Fatalf("context error was retained: v=%v hit=%v err=%v calls=%d", v, hit, err, calls)
+	}
+
+	detErr := fmt.Errorf("bad input")
+	c.Full(lkey(2), func() (any, int64, error) { return nil, 0, detErr })
+	_, hit, err = c.Full(lkey(2), func() (any, int64, error) { t.Fatal("recompute of deterministic error"); return nil, 0, nil })
+	if !hit || err != detErr {
+		t.Fatalf("deterministic error not retained: hit=%v err=%v", hit, err)
+	}
+}
+
+// TestUnlimitedNeverEvicts pins the CLI/sweep default: New() retains
+// everything regardless of volume.
+func TestUnlimitedNeverEvicts(t *testing.T) {
+	c := New()
+	for i := 0; i < 200; i++ {
+		c.Full(lkey(i), func() (any, int64, error) { return i, 1 << 20, nil })
+	}
+	if s := c.Stats(); s.Evictions != 0 || s.FullEntries != 200 {
+		t.Fatalf("unlimited cache evicted: %+v", s)
+	}
+}

@@ -120,6 +120,21 @@ type Result struct {
 // (pinned by TestCompileCachedMatchesUncached and the sweep byte-identity
 // test in internal/experiments).
 func Compile(f *ir.Func, opts Options) (*Result, error) {
+	return CompileContext(context.Background(), f, opts)
+}
+
+// CompileContext is Compile under a context: cancellation (or deadline
+// expiry) is checked at every phase boundary of the pipeline, so a compile
+// whose caller has gone away stops burning CPU within one phase. The
+// returned error wraps ctx.Err(), so errors.Is(err,
+// context.DeadlineExceeded) / context.Canceled discriminates cancellation
+// from compile failures. Cancelled compiles are never retained by
+// opts.Cache — a later lookup of the same key recomputes under its own
+// context.
+func CompileContext(ctx context.Context, f *ir.Func, opts Options) (*Result, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, fmt.Errorf("core: %s: %w", f.Name, err)
+	}
 	if err := f.Verify(); err != nil {
 		return nil, fmt.Errorf("core: input: %w", err)
 	}
@@ -130,7 +145,7 @@ func Compile(f *ir.Func, opts Options) (*Result, error) {
 		return nil, fmt.Errorf("core: linear scan does not implement subgroup displacement hints")
 	}
 	if opts.Cache != nil && !opts.VerifySemantics {
-		return compileCached(f, opts)
+		return compileCached(ctx, f, opts)
 	}
 
 	work := f.Clone()
@@ -140,8 +155,10 @@ func Compile(f *ir.Func, opts Options) (*Result, error) {
 	// a full compile runs cfg.Compute exactly once.
 	ac := analysis.New(work)
 	res := &Result{}
-	runPrefix(work, ac, opts, res)
-	if err := runSuffix(work, ac, opts, res); err != nil {
+	if err := runPrefix(ctx, work, ac, opts, res); err != nil {
+		return nil, err
+	}
+	if err := runSuffix(ctx, work, ac, opts, res); err != nil {
 		return nil, err
 	}
 	if opts.VerifySemantics {
@@ -152,38 +169,60 @@ func Compile(f *ir.Func, opts Options) (*Result, error) {
 	return res, nil
 }
 
+// phaseCheck is the per-phase cancellation point: it returns a wrapped
+// ctx.Err() naming the function and the phase about to run.
+func phaseCheck(ctx context.Context, f *ir.Func, phase string) error {
+	if err := ctx.Err(); err != nil {
+		return fmt.Errorf("core: %s: cancelled before %s: %w", f.Name, phase, err)
+	}
+	return nil
+}
+
 // runPrefix executes the method-independent prefix of the Figure-4 pipeline
 // in place on work: register coalescing, SDG-based subgroup splitting (DSA
 // only; positioned after coalescing so splitting copies are not
 // re-coalesced) and pre-allocation scheduling. Only the options covered by
 // PrefixDigest influence it.
-func runPrefix(work *ir.Func, ac *analysis.Cache, opts Options, res *Result) {
+func runPrefix(ctx context.Context, work *ir.Func, ac *analysis.Cache, opts Options, res *Result) error {
 	// Phase 1: register coalescing.
 	if !opts.DisableCoalesce {
+		if err := phaseCheck(ctx, work, "coalesce"); err != nil {
+			return err
+		}
 		res.Coalesce = coalesce.RunCached(work, ac)
 	}
 	// Phase 2 (DSA only): SDG-based subgroup splitting.
 	if opts.Subgroups {
+		if err := phaseCheck(ctx, work, "sdg-split"); err != nil {
+			return err
+		}
 		res.SDG = sdg.Split(work, sdg.Options{MaxGroup: opts.SDGMaxGroup})
 		ac.RetainCFG() // splitting only inserts copies and renames ranges
 	}
 	// Phase 3: pre-allocation scheduling.
 	if !opts.DisableSched {
+		if err := phaseCheck(ctx, work, "sched"); err != nil {
+			return err
+		}
 		res.Sched = sched.Run(work)
 		ac.RetainCFG() // scheduling reorders within blocks only
 	}
+	return nil
 }
 
 // runSuffix executes the bank-aware tail of the pipeline on the
 // post-scheduling function: RCG-based bank assignment (bpc), enhanced
 // register allocation, post-allocation renumbering (brc) and the conflict
 // analysis. It fills the remaining fields of res.
-func runSuffix(work *ir.Func, ac *analysis.Cache, opts Options, res *Result) error {
+func runSuffix(ctx context.Context, work *ir.Func, ac *analysis.Cache, opts Options, res *Result) error {
 	// Phase 4 (bpc only): RCG-based bank assignment. It reuses the live
 	// range information and does not modify the IR, so the liveness pulled
 	// here stays valid for Phase 5's allocator.
 	raOpts := regalloc.Options{Cfg: opts.File, Method: opts.Method, Analyses: ac}
 	if opts.Method == MethodBPC {
+		if err := phaseCheck(ctx, work, "bank-assign"); err != nil {
+			return err
+		}
 		ares := assign.PresCount(work, ac.RCG(), ac.Liveness(), opts.File.Normalize(), assign.Options{
 			THRES:            opts.THRES,
 			DisablePressure:  opts.DisablePressure,
@@ -199,6 +238,9 @@ func runSuffix(work *ir.Func, ac *analysis.Cache, opts Options, res *Result) err
 
 	// Phase 5: enhanced register allocation. The brc baseline allocates
 	// bank-obliviously and fixes conflicts afterwards by renumbering.
+	if err := phaseCheck(ctx, work, "regalloc"); err != nil {
+		return err
+	}
 	if raOpts.Method == MethodBRC {
 		raOpts.Method = MethodNon
 	}
@@ -217,8 +259,14 @@ func runSuffix(work *ir.Func, ac *analysis.Cache, opts Options, res *Result) err
 	// allocator's rewrite is reused here and again by the conflict
 	// analysis below (renumbering permutes registers, never blocks).
 	if opts.Method == MethodBRC {
+		if err := phaseCheck(ctx, work, "renumber"); err != nil {
+			return err
+		}
 		res.Renumber = renumber.Run(work, opts.File, ac.CFG())
 		ac.RetainCFG()
+	}
+	if err := phaseCheck(ctx, work, "conflict-analysis"); err != nil {
+		return err
 	}
 	res.Func = work
 	res.Report = conflict.AnalyzeWith(work, opts.File, ac.CFG())
@@ -254,11 +302,11 @@ func funcBytes(f *ir.Func) int64 {
 // compileCached is the memoized compile path. Layer 1 dedups identical
 // (fingerprint, full options) compiles; layer 2 memoizes the pipeline
 // prefix under (fingerprint, prefix options).
-func compileCached(f *ir.Func, opts Options) (*Result, error) {
+func compileCached(ctx context.Context, f *ir.Func, opts Options) (*Result, error) {
 	fp := f.Fingerprint()
 	fullKey := compilecache.Key{Fingerprint: fp, Digest: opts.FullDigest()}
 	v, hit, err := opts.Cache.Full(fullKey, func() (any, int64, error) {
-		res, err := compileViaPrefix(f, fp, opts)
+		res, err := compileViaPrefix(ctx, f, fp, opts)
 		if err != nil {
 			return nil, 0, err
 		}
@@ -284,13 +332,15 @@ func compileCached(f *ir.Func, opts Options) (*Result, error) {
 
 // compileViaPrefix compiles f reusing (or populating) the prefix layer of
 // the cache.
-func compileViaPrefix(f *ir.Func, fp ir.Fingerprint, opts Options) (*Result, error) {
+func compileViaPrefix(ctx context.Context, f *ir.Func, fp ir.Fingerprint, opts Options) (*Result, error) {
 	prefixKey := compilecache.Key{Fingerprint: fp, Digest: opts.PrefixDigest()}
 	v, _, err := opts.Cache.Prefix(prefixKey, func() (any, int64, error) {
 		work := f.Clone()
 		ac := analysis.New(work)
 		var pres Result
-		runPrefix(work, ac, opts, &pres)
+		if err := runPrefix(ctx, work, ac, opts, &pres); err != nil {
+			return nil, 0, err
+		}
 		return &prefixSnapshot{fn: work, coalesce: pres.Coalesce, sdg: pres.SDG, sched: pres.Sched},
 			funcBytes(work), nil
 	})
@@ -304,7 +354,7 @@ func compileViaPrefix(f *ir.Func, fp ir.Fingerprint, opts Options) (*Result, err
 	// materialized Result.Func correct.
 	work.Name = f.Name
 	res := &Result{Coalesce: snap.coalesce, SDG: snap.sdg, Sched: snap.sched}
-	if err := runSuffix(work, analysis.New(work), opts, res); err != nil {
+	if err := runSuffix(ctx, work, analysis.New(work), opts, res); err != nil {
 		return nil, err
 	}
 	return res, nil
@@ -347,10 +397,18 @@ type ModuleResult struct {
 // regardless of completion order. The first failing function wins and
 // cancels the remaining work.
 func CompileModule(m *ir.Module, opts Options) (*ModuleResult, error) {
+	return CompileModuleContext(context.Background(), m, opts)
+}
+
+// CompileModuleContext is CompileModule under a context: cancelling ctx
+// cancels queued functions immediately and in-flight compiles at their next
+// phase boundary, and the first ctx.Err() wins as with any other compile
+// failure.
+func CompileModuleContext(ctx context.Context, m *ir.Module, opts Options) (*ModuleResult, error) {
 	funcs := m.SortedFuncs()
 	results := make([]*Result, len(funcs))
-	err := pool.Run(context.Background(), len(funcs), opts.Workers, func(_ context.Context, i int) error {
-		r, err := Compile(funcs[i], opts)
+	err := pool.Run(ctx, len(funcs), opts.Workers, func(ctx context.Context, i int) error {
+		r, err := CompileContext(ctx, funcs[i], opts)
 		if err != nil {
 			return err
 		}

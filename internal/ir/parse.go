@@ -62,6 +62,18 @@ func ParseModule(src string) (*Module, error) {
 	return m, nil
 }
 
+// Parser-side operand bounds. The Reg encoding itself admits indices up to
+// 2^30, but untrusted textual input (the daemon's request path) must not be
+// able to grow the vreg table without limit or reach the encoding helpers'
+// panics — a bad request returns an error, never kills the process.
+const (
+	// maxParseVReg bounds virtual register indices in parsed source.
+	maxParseVReg = 1 << 20
+	// maxParseFPR bounds physical FP register indices in parsed source
+	// (the largest paper configuration is 1024 registers).
+	maxParseFPR = 1 << 20
+)
+
 type parser struct {
 	sc   *bufio.Scanner
 	line int
@@ -286,6 +298,9 @@ func (p *parser) parseDefReg(s string, want Class) (Reg, error) {
 		if err != nil {
 			return NoReg, fmt.Errorf("bad virtual register %q: %v", s, err)
 		}
+		if idx < 0 || idx > maxParseVReg {
+			return NoReg, fmt.Errorf("virtual register index %d out of range [0, %d]", idx, maxParseVReg)
+		}
 		for len(p.f.VRegs) <= idx {
 			p.f.VRegs = append(p.f.VRegs, VRegInfo{Class: ClassNone})
 		}
@@ -308,6 +323,9 @@ func (p *parser) parseReg(s string) (Reg, error) {
 		if err != nil {
 			return NoReg, fmt.Errorf("bad virtual register %q: %v", s, err)
 		}
+		if idx < 0 || idx > maxParseVReg {
+			return NoReg, fmt.Errorf("virtual register index %d out of range [0, %d]", idx, maxParseVReg)
+		}
 		for len(p.f.VRegs) <= idx {
 			p.f.VRegs = append(p.f.VRegs, VRegInfo{Class: ClassNone})
 		}
@@ -320,7 +338,7 @@ func (p *parser) parseReg(s string) (Reg, error) {
 		return XReg(idx), nil
 	case strings.HasPrefix(s, "f"):
 		idx, err := strconv.Atoi(s[1:])
-		if err != nil || idx < 0 {
+		if err != nil || idx < 0 || idx > maxParseFPR {
 			return NoReg, fmt.Errorf("bad FP register %q", s)
 		}
 		return FReg(idx), nil
