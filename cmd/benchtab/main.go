@@ -18,7 +18,10 @@
 // the content-addressed compile cache (internal/compilecache) the sweeps
 // share per experiment. Results are identical at any -parallel or -cache
 // setting — only wall-clock changes. -cpuprofile FILE writes a pprof CPU
-// profile of the whole run.
+// profile of the whole run. -verify-each runs every experiment compile
+// under the phase-boundary verifier (internal/verify): tables are
+// unchanged — the verifier only observes — but wall-clock grows by the
+// verifier overhead and verified compiles bypass the compile cache.
 //
 // -json FILE writes the machine-readable perf trajectory
 // (BENCH_pipeline.json): per-stage wall times and allocation counts, the
@@ -121,8 +124,10 @@ func main() {
 	cacheMode := flag.String("cache", "on", "compile cache: on | off (off recompiles every (bank, method) point from scratch)")
 	cpuprofile := flag.String("cpuprofile", "", "write a pprof CPU profile to this file")
 	sizes := flag.String("sizes", "", "comma-separated workload sizes: compile random functions of each size under bpc and report timings (skips the paper experiments)")
+	verifyEach := flag.Bool("verify-each", false, "run every experiment compile under the phase-boundary verifier (tables are unchanged; wall-clock grows by the verifier overhead)")
 	flag.Parse()
 	experiments.Workers = *parallel
+	experiments.VerifyEach = *verifyEach
 	switch *cacheMode {
 	case "on":
 		experiments.DisableCache = false
@@ -282,19 +287,22 @@ func runSweepStage(perf *perfLog, name string, sweep func() (*experiments.Sweep,
 // functions at that size, compile each under bpc, and print a table of
 // interval counts and compile wall-clock. The single-function compile is
 // dominated by the overlap/pressure query engine once sizes reach the
-// thousands, so this sweep is the quickest way to see its scaling.
+// thousands, so this sweep is the quickest way to see its scaling. Each
+// function is compiled twice — plain and under the phase-boundary verifier —
+// and the verify-ovh column reports the relative cost of -verify-each; the
+// plain compile is the baseline the zero-cost contract is measured against.
 func runSizes(spec string) {
 	const seedsPerSize = 3
 	file := bankfile.RV1(2)
 	section("Compile-time scaling sweep (random functions, bpc, 2-bank RV#1)")
-	fmt.Printf("%8s %8s %10s %10s %12s %10s\n", "size", "instrs", "intervals", "conflicts", "compile", "per-intvl")
+	fmt.Printf("%8s %8s %10s %10s %12s %10s %10s\n", "size", "instrs", "intervals", "conflicts", "compile", "per-intvl", "verify-ovh")
 	for _, field := range strings.Split(spec, ",") {
 		size, err := strconv.Atoi(strings.TrimSpace(field))
 		if err != nil {
 			check(fmt.Errorf("-sizes: %w", err))
 		}
 		var instrs, intervals, conflicts int
-		var elapsed time.Duration
+		var elapsed, verified time.Duration
 		for seed := int64(0); seed < seedsPerSize; seed++ {
 			f := workload.RandomSized(seed, size)
 			lv := liveness.Compute(f, cfg.Compute(f))
@@ -309,13 +317,25 @@ func runSizes(spec string) {
 			check(err)
 			elapsed += time.Since(start)
 			conflicts += res.Report.StaticConflicts
+			start = time.Now()
+			_, err = core.Compile(f, core.Options{File: file, Method: core.MethodBPC, VerifyEach: true})
+			check(err)
+			verified += time.Since(start)
 		}
-		fmt.Printf("%8d %8d %10d %10d %12v %10s\n",
+		fmt.Printf("%8d %8d %10d %10d %12v %10s %9.1f%%\n",
 			size, instrs/seedsPerSize, intervals/seedsPerSize, conflicts/seedsPerSize,
 			(elapsed / seedsPerSize).Round(time.Microsecond),
 			fmt.Sprintf("%.1fns", float64(elapsed.Nanoseconds())/float64(maxI(intervals, 1))),
+			100*(float64(verified)/float64(maxI64(elapsed, 1))-1),
 		)
 	}
+}
+
+func maxI64(a time.Duration, b int64) int64 {
+	if int64(a) > b {
+		return int64(a)
+	}
+	return b
 }
 
 func maxI(a, b int) int {

@@ -15,6 +15,10 @@
 //	-cache M       on | off: share a compile cache across the input
 //	               functions, so repeated kernel bodies (common in
 //	               machine-generated MIR) compile once (default on)
+//	-verify-each   run the phase-boundary verifier between pipeline stages;
+//	               a rule violation aborts the compile with a diagnostic
+//	               naming the rule, function, block and instruction (note:
+//	               verified compiles bypass the compile cache)
 //
 // With no file arguments, prescountc reads one function from stdin.
 // Inputs are processed in command-line order, so reports and the -o module
@@ -58,6 +62,7 @@ func run(args []string, stdin io.Reader, stdout io.Writer) error {
 	vliw := fs.Bool("vliw", false, "VLIW dual-issue cycle model")
 	outPath := fs.String("o", "", "write the allocated MIR of all inputs to this file")
 	cacheMode := fs.String("cache", "on", "compile cache across input functions: on | off")
+	verifyEach := fs.Bool("verify-each", false, "run the phase-boundary verifier between pipeline stages")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -81,7 +86,7 @@ func run(args []string, stdin io.Reader, stdout io.Writer) error {
 		NumSubgroups: *subgroups,
 		ReadPorts:    1,
 	}
-	opts := prescount.Options{File: file, Method: m, Subgroups: *subgroups > 1}
+	opts := prescount.Options{File: file, Method: m, Subgroups: *subgroups > 1, VerifyEach: *verifyEach}
 	switch *cacheMode {
 	case "on":
 		// One cache across every input function: content-identical bodies

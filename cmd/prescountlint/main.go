@@ -1,0 +1,224 @@
+// Command prescountlint runs this repository's custom static analyzers
+// (mapiter, phaseorder) in two modes:
+//
+//   - vettool mode, driven by the go command:
+//
+//     go vet -vettool=$(pwd)/prescountlint ./...
+//
+//     cmd/go probes the tool with -V=full, then invokes it once per package
+//     as `prescountlint <objdir>/vet.cfg` with a JSON config describing the
+//     package's files, import map and export data. Diagnostics go to stderr
+//     in file:line:col form and the exit status is 2 when any were reported,
+//     matching the unitchecker protocol.
+//
+//   - standalone mode, for direct use and for the analyzer self-scan test:
+//
+//     prescountlint ./...
+//
+//     loads the named package patterns via `go list -export -deps -json`
+//     and analyzes each matched package.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"path/filepath"
+	"runtime"
+	"strings"
+
+	"prescount/tools/lint/analysis"
+	"prescount/tools/lint/load"
+	"prescount/tools/lint/mapiter"
+	"prescount/tools/lint/phaseorder"
+)
+
+// version is the string reported to the go command's -V=full probe. The
+// probe requires `<name> version <semver>` with a non-"devel" version.
+const version = "1.0.0"
+
+// analyzers is the check suite this tool runs.
+var analyzers = []*analysis.Analyzer{mapiter.Analyzer, phaseorder.Analyzer}
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+// run dispatches between the go-command handshake, unitchecker mode and
+// standalone mode, returning the process exit code.
+func run(args []string, stdout, stderr io.Writer) int {
+	// cmd/go probes `tool -V=full` before trusting the tool, and asks for
+	// `tool -flags` when the user passes analyzer flags.
+	if len(args) == 1 {
+		switch args[0] {
+		case "-V=full", "-V":
+			fmt.Fprintf(stdout, "prescountlint version %s\n", version)
+			return 0
+		case "-flags":
+			fmt.Fprintln(stdout, "[]")
+			return 0
+		case "help", "-h", "--help", "-help":
+			usage(stdout)
+			return 0
+		}
+	}
+	if len(args) == 1 && strings.HasSuffix(args[0], ".cfg") {
+		return unitcheck(args[0], stderr)
+	}
+	if len(args) == 0 {
+		usage(stderr)
+		return 1
+	}
+	return standalone(args, stdout, stderr)
+}
+
+func usage(w io.Writer) {
+	fmt.Fprintln(w, "usage: prescountlint package...   (standalone)")
+	fmt.Fprintln(w, "       go vet -vettool=$(pwd)/prescountlint ./...")
+	fmt.Fprintln(w)
+	for _, a := range analyzers {
+		fmt.Fprintf(w, "%s: %s\n", a.Name, a.Doc)
+	}
+}
+
+// vetConfig mirrors the JSON config cmd/go writes for vet tools (see
+// cmd/go/internal/work.vetConfig). Only the fields this tool consumes are
+// declared; unknown fields are ignored by encoding/json.
+type vetConfig struct {
+	ID         string
+	Compiler   string
+	Dir        string
+	ImportPath string
+	GoFiles    []string
+	ImportMap  map[string]string
+	PackageFile
+	GoVersion                 string
+	VetxOnly                  bool
+	VetxOutput                string
+	SucceedOnTypecheckFailure bool
+}
+
+// PackageFile maps dependency package paths to their export data files.
+// It is embedded so the field keeps cmd/go's exact JSON name.
+type PackageFile struct {
+	PackageFile map[string]string
+}
+
+// unitcheck analyzes the single package described by a cmd/go vet.cfg file.
+func unitcheck(cfgPath string, stderr io.Writer) int {
+	data, err := os.ReadFile(cfgPath)
+	if err != nil {
+		fmt.Fprintf(stderr, "prescountlint: %v\n", err)
+		return 1
+	}
+	var cfg vetConfig
+	if err := json.Unmarshal(data, &cfg); err != nil {
+		fmt.Fprintf(stderr, "prescountlint: parsing %s: %v\n", cfgPath, err)
+		return 1
+	}
+	// The go command caches vet results keyed on the facts file; an empty
+	// one is valid (these analyzers export no facts) and keeps vet caching
+	// alive. Write it before analysis so every exit path leaves it behind.
+	if cfg.VetxOutput != "" {
+		if err := os.WriteFile(cfg.VetxOutput, nil, 0o666); err != nil {
+			fmt.Fprintf(stderr, "prescountlint: %v\n", err)
+			return 1
+		}
+	}
+	if cfg.VetxOnly {
+		return 0 // dependency pass: facts only, no diagnostics wanted
+	}
+
+	fset := token.NewFileSet()
+	var files []*ast.File
+	for _, name := range cfg.GoFiles {
+		if !filepath.IsAbs(name) {
+			name = filepath.Join(cfg.Dir, name)
+		}
+		f, err := parser.ParseFile(fset, name, nil, parser.ParseComments|parser.SkipObjectResolution)
+		if err != nil {
+			fmt.Fprintf(stderr, "prescountlint: %v\n", err)
+			return 1
+		}
+		files = append(files, f)
+	}
+
+	lookup := func(path string) (io.ReadCloser, error) {
+		if mapped, ok := cfg.ImportMap[path]; ok {
+			path = mapped
+		}
+		file, ok := cfg.PackageFile.PackageFile[path]
+		if !ok {
+			return nil, fmt.Errorf("no export data for %q", path)
+		}
+		return os.Open(file)
+	}
+	info := load.NewInfo()
+	conf := types.Config{
+		Importer:  importer.ForCompiler(fset, cfg.Compiler, lookup),
+		Sizes:     types.SizesFor(cfg.Compiler, runtime.GOARCH),
+		GoVersion: cfg.GoVersion,
+		Error:     func(error) {},
+	}
+	path := cfg.ImportPath
+	if i := strings.Index(path, " "); i >= 0 {
+		path = path[:i] // strip " [pkg.test]" variant suffix
+	}
+	pkg, err := conf.Check(path, fset, files, info)
+	if err != nil {
+		if cfg.SucceedOnTypecheckFailure {
+			return 0 // the compiler will report the error with better context
+		}
+		fmt.Fprintf(stderr, "prescountlint: typechecking %s: %v\n", cfg.ImportPath, err)
+		return 1
+	}
+
+	diags, err := analysis.Run(analyzers, fset, files, pkg, info)
+	if err != nil {
+		fmt.Fprintf(stderr, "prescountlint: %v\n", err)
+		return 1
+	}
+	for _, d := range diags {
+		fmt.Fprintf(stderr, "%s: %s\n", fset.Position(d.Pos), d.Message)
+	}
+	if len(diags) > 0 {
+		return 2
+	}
+	return 0
+}
+
+// standalone loads package patterns itself and analyzes every matched
+// package, printing diagnostics to stdout.
+func standalone(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("prescountlint", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	tests := fs.Bool("tests", false, "also analyze test files")
+	if err := fs.Parse(args); err != nil {
+		return 1
+	}
+	pkgs, err := load.Packages(".", fs.Args(), *tests)
+	if err != nil {
+		fmt.Fprintf(stderr, "prescountlint: %v\n", err)
+		return 1
+	}
+	exit := 0
+	for _, p := range pkgs {
+		diags, err := analysis.Run(analyzers, p.Fset, p.Files, p.Pkg, p.Info)
+		if err != nil {
+			fmt.Fprintf(stderr, "prescountlint: %s: %v\n", p.ImportPath, err)
+			return 1
+		}
+		for _, d := range diags {
+			fmt.Fprintf(stdout, "%s: %s\n", p.Fset.Position(d.Pos), d.Message)
+			exit = 2
+		}
+	}
+	return exit
+}

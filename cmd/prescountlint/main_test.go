@@ -1,0 +1,61 @@
+package main
+
+import (
+	"bytes"
+	"os/exec"
+	"path/filepath"
+	"regexp"
+	"testing"
+)
+
+// TestVersionHandshake pins the -V=full reply cmd/go's vettool probe
+// requires: `<name> version <ver>` with a non-"devel" version.
+func TestVersionHandshake(t *testing.T) {
+	var out, errb bytes.Buffer
+	if code := run([]string{"-V=full"}, &out, &errb); code != 0 {
+		t.Fatalf("-V=full exited %d, stderr: %s", code, errb.String())
+	}
+	if !regexp.MustCompile(`^prescountlint version \d+\.\d+\.\d+\n$`).MatchString(out.String()) {
+		t.Fatalf("-V=full output %q does not match `prescountlint version <semver>`", out.String())
+	}
+}
+
+// TestFlagsProbe pins the -flags reply (no analyzer flags → empty JSON list).
+func TestFlagsProbe(t *testing.T) {
+	var out, errb bytes.Buffer
+	if code := run([]string{"-flags"}, &out, &errb); code != 0 {
+		t.Fatalf("-flags exited %d", code)
+	}
+	if out.String() != "[]\n" {
+		t.Fatalf("-flags output %q, want %q", out.String(), "[]\n")
+	}
+}
+
+// TestStandaloneSelfScan is the repo's own cleanliness gate: both analyzers
+// must report nothing across every package. A finding here is either a real
+// determinism hazard in the pipeline or a recognizer gap — both block.
+func TestStandaloneSelfScan(t *testing.T) {
+	var out, errb bytes.Buffer
+	code := run([]string{"prescount/..."}, &out, &errb)
+	if code != 0 {
+		t.Fatalf("self-scan exited %d\nstdout:\n%s\nstderr:\n%s", code, out.String(), errb.String())
+	}
+	if out.Len() > 0 {
+		t.Fatalf("self-scan findings:\n%s", out.String())
+	}
+}
+
+// TestVettoolEndToEnd drives the real cmd/go protocol: build the tool, hand
+// it to `go vet -vettool`, and check a deterministic-output package passes.
+func TestVettoolEndToEnd(t *testing.T) {
+	tool := filepath.Join(t.TempDir(), "prescountlint")
+	build := exec.Command("go", "build", "-o", tool, "prescount/cmd/prescountlint")
+	if out, err := build.CombinedOutput(); err != nil {
+		t.Fatalf("building tool: %v\n%s", err, out)
+	}
+	vet := exec.Command("go", "vet", "-vettool="+tool,
+		"prescount/internal/sched", "prescount/internal/regalloc")
+	if out, err := vet.CombinedOutput(); err != nil {
+		t.Fatalf("go vet -vettool: %v\n%s", err, out)
+	}
+}

@@ -1,6 +1,7 @@
 package prescount_test
 
 import (
+	"errors"
 	"testing"
 
 	"prescount"
@@ -10,8 +11,11 @@ import (
 // byte string fed through ParseModule (with the bare-function fallback the
 // server and prescountc use) and on into Compile must either return an
 // error or succeed — it must never panic or hang, because a single bad
-// request must not kill prescountd. Semantic correctness is pinned
-// elsewhere; this target only hunts crashes.
+// request must not kill prescountd. The compile runs under the
+// phase-boundary verifier (Options.VerifyEach) as a second oracle: on an
+// input that passed well-formedness, a rule diagnostic is a pipeline bug,
+// not an input problem, and fails the target. Semantic correctness is
+// pinned elsewhere.
 func FuzzParseCompile(f *testing.F) {
 	seeds := []string{
 		"",
@@ -28,7 +32,7 @@ func FuzzParseCompile(f *testing.F) {
 	for _, s := range seeds {
 		f.Add(s)
 	}
-	opts := prescount.Options{File: prescount.RV2(2), Method: prescount.MethodBPC}
+	opts := prescount.Options{File: prescount.RV2(2), Method: prescount.MethodBPC, VerifyEach: true}
 	f.Fuzz(func(t *testing.T, src string) {
 		m, err := prescount.ParseModule(src)
 		if err != nil {
@@ -42,8 +46,16 @@ func FuzzParseCompile(f *testing.F) {
 			m.Add(fn)
 		}
 		for _, fn := range m.SortedFuncs() {
+			wellFormed := fn.Verify() == nil
 			res, cerr := prescount.Compile(fn, opts)
-			if cerr == nil && res.Report == nil {
+			if cerr != nil {
+				var d *prescount.Diag
+				if wellFormed && errors.As(cerr, &d) {
+					t.Fatalf("verifier rule %s fired compiling well-formed %s: %v", d.Rule, fn.Name, cerr)
+				}
+				continue // malformed input or resource exhaustion: fine
+			}
+			if res.Report == nil {
 				t.Fatalf("Compile(%s) returned no report and no error", fn.Name)
 			}
 		}

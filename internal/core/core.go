@@ -28,6 +28,7 @@ import (
 	"prescount/internal/sched"
 	"prescount/internal/sdg"
 	"prescount/internal/sim"
+	"prescount/internal/verify"
 )
 
 // Method aliases the allocator's method selector (non / bcr / bpc).
@@ -73,6 +74,17 @@ type Options struct {
 	VerifySemantics bool
 	// VerifyMemSize is the memory size for semantic verification.
 	VerifyMemSize int
+	// VerifyEach runs the phase-boundary static verifier (internal/verify)
+	// between every pipeline stage: structural well-formedness and
+	// def-before-use/trip-count deltas after each prefix phase, scheduling
+	// dependence preservation, liveness-cache agreement and bank-constraint
+	// satisfaction before/after allocation, allocation soundness, and a
+	// from-scratch reproduction of the conflict report. Failures surface as
+	// *ir.Diag errors naming the violated rule. Off by default: the
+	// verifier clones, recomputes analyses and scans quadratically, so it
+	// is strictly zero-cost when disabled. Like VerifySemantics it bypasses
+	// opts.Cache (checks must actually run) and never enters a cache key.
+	VerifyEach bool
 	// Workers bounds CompileModule's concurrency: 0 means
 	// runtime.GOMAXPROCS(0), 1 forces the serial path. Compile itself is
 	// always single-threaded; functions are independent pipeline units.
@@ -144,7 +156,7 @@ func CompileContext(ctx context.Context, f *ir.Func, opts Options) (*Result, err
 	if opts.LinearScan && opts.Subgroups {
 		return nil, fmt.Errorf("core: linear scan does not implement subgroup displacement hints")
 	}
-	if opts.Cache != nil && !opts.VerifySemantics {
+	if opts.Cache != nil && !opts.VerifySemantics && !opts.VerifyEach {
 		return compileCached(ctx, f, opts)
 	}
 
@@ -178,34 +190,86 @@ func phaseCheck(ctx context.Context, f *ir.Func, phase string) error {
 	return nil
 }
 
+// verifyErr wraps a phase-boundary verifier failure with the function and
+// phase it fired after; the underlying *ir.Diag (rule ID, location) stays
+// recoverable through errors.As.
+func verifyErr(f *ir.Func, phase string, err error) error {
+	if err == nil {
+		return nil
+	}
+	return fmt.Errorf("core: %s: verify after %s: %w", f.Name, phase, err)
+}
+
 // runPrefix executes the method-independent prefix of the Figure-4 pipeline
 // in place on work: register coalescing, SDG-based subgroup splitting (DSA
 // only; positioned after coalescing so splitting copies are not
 // re-coalesced) and pre-allocation scheduling. Only the options covered by
 // PrefixDigest influence it.
 func runPrefix(ctx context.Context, work *ir.Func, ac *analysis.Cache, opts Options, res *Result) error {
+	// Under VerifyEach, every phase is bracketed by a snapshot and a delta
+	// check: structural well-formedness, trip-count preservation and
+	// no-new-undefined-reads after each phase, plus the dependence-order
+	// audit for the scheduler. snap stays nil when disabled — the verifier
+	// must cost nothing on the production path.
+	var snap *verify.Snapshot
 	// Phase 1: register coalescing.
 	if !opts.DisableCoalesce {
 		if err := phaseCheck(ctx, work, "coalesce"); err != nil {
 			return err
 		}
+		if opts.VerifyEach {
+			snap = verify.Capture(work)
+		}
 		res.Coalesce = coalesce.RunCached(work, ac)
+		if opts.VerifyEach {
+			if err := verifyErr(work, "coalesce", verify.WellFormed(work)); err != nil {
+				return err
+			}
+			if err := verifyErr(work, "coalesce", snap.CheckDelta(work, "coalesce")); err != nil {
+				return err
+			}
+		}
 	}
 	// Phase 2 (DSA only): SDG-based subgroup splitting.
 	if opts.Subgroups {
 		if err := phaseCheck(ctx, work, "sdg-split"); err != nil {
 			return err
 		}
+		if opts.VerifyEach {
+			snap = verify.Capture(work)
+		}
 		res.SDG = sdg.Split(work, sdg.Options{MaxGroup: opts.SDGMaxGroup})
 		ac.RetainCFG() // splitting only inserts copies and renames ranges
+		if opts.VerifyEach {
+			if err := verifyErr(work, "sdg-split", verify.WellFormed(work)); err != nil {
+				return err
+			}
+			if err := verifyErr(work, "sdg-split", snap.CheckDelta(work, "sdg-split")); err != nil {
+				return err
+			}
+		}
 	}
 	// Phase 3: pre-allocation scheduling.
 	if !opts.DisableSched {
 		if err := phaseCheck(ctx, work, "sched"); err != nil {
 			return err
 		}
+		if opts.VerifyEach {
+			snap = verify.Capture(work)
+		}
 		res.Sched = sched.Run(work)
 		ac.RetainCFG() // scheduling reorders within blocks only
+		if opts.VerifyEach {
+			if err := verifyErr(work, "sched", verify.WellFormed(work)); err != nil {
+				return err
+			}
+			if err := verifyErr(work, "sched", snap.CheckDelta(work, "sched")); err != nil {
+				return err
+			}
+			if err := verifyErr(work, "sched", snap.CheckSched(work)); err != nil {
+				return err
+			}
+		}
 	}
 	return nil
 }
@@ -228,6 +292,11 @@ func runSuffix(ctx context.Context, work *ir.Func, ac *analysis.Cache, opts Opti
 			DisablePressure:  opts.DisablePressure,
 			DisableFreeHints: opts.DisableFreeHints,
 		})
+		if opts.VerifyEach {
+			if err := verifyErr(work, "bank-assign", verify.CheckBankAssignment(work, ac.RCG(), ares, opts.File)); err != nil {
+				return err
+			}
+		}
 		raOpts.BankOf = ares.BankOf
 		raOpts.FreeHints = ares.FreeHints
 		res.BankAssignForced = len(ares.Forced)
@@ -244,6 +313,19 @@ func runSuffix(ctx context.Context, work *ir.Func, ac *analysis.Cache, opts Opti
 	if raOpts.Method == MethodBRC {
 		raOpts.Method = MethodNon
 	}
+	var preEntry map[ir.Reg]bool
+	if opts.VerifyEach {
+		// The allocator is the main consumer of the cached liveness: audit
+		// the cache against a from-scratch recompute before handing it over,
+		// record the allocation for the soundness checks, and capture the
+		// pre-allocation entry-live-in set so a dropped reload is
+		// distinguishable from an input the program reads undefined.
+		if err := verifyErr(work, "liveness-cache", verify.CheckLiveness(work, ac)); err != nil {
+			return err
+		}
+		raOpts.Record = true
+		preEntry = verify.EntryLive(work)
+	}
 	run := regalloc.Run
 	if opts.LinearScan {
 		run = regalloc.RunLinearScan
@@ -253,6 +335,14 @@ func runSuffix(ctx context.Context, work *ir.Func, ac *analysis.Cache, opts Opti
 		return fmt.Errorf("core: %s: %w", work.Name, err)
 	}
 	res.Alloc = alloc
+	if opts.VerifyEach {
+		if err := verifyErr(work, "regalloc", verify.WellFormed(work)); err != nil {
+			return err
+		}
+		if err := verifyErr(work, "regalloc", verify.CheckAllocation(work, opts.File, alloc, preEntry)); err != nil {
+			return err
+		}
+	}
 
 	// Post-allocation phase (brc only): global register renumbering over
 	// the physical-register conflict graph. The CFG retained through the
@@ -264,12 +354,28 @@ func runSuffix(ctx context.Context, work *ir.Func, ac *analysis.Cache, opts Opti
 		}
 		res.Renumber = renumber.Run(work, opts.File, ac.CFG())
 		ac.RetainCFG()
+		if opts.VerifyEach {
+			// Renumbering permutes physical registers, so the recorded
+			// assignments no longer describe the code; re-check structure
+			// and file bounds only.
+			if err := verifyErr(work, "renumber", verify.WellFormed(work)); err != nil {
+				return err
+			}
+			if err := verifyErr(work, "renumber", verify.CheckPhysBounds(work, opts.File)); err != nil {
+				return err
+			}
+		}
 	}
 	if err := phaseCheck(ctx, work, "conflict-analysis"); err != nil {
 		return err
 	}
 	res.Func = work
 	res.Report = conflict.AnalyzeWith(work, opts.File, ac.CFG())
+	if opts.VerifyEach {
+		if err := verifyErr(work, "conflict-analysis", verify.CheckReport(work, opts.File, res.Report)); err != nil {
+			return err
+		}
+	}
 	return nil
 }
 

@@ -9,7 +9,7 @@ import (
 
 // hotConflicts builds a function with many conflict-relevant instructions
 // inside a loop, plus array initialization so simulation is meaningful.
-func hotConflicts(t *testing.T) *ir.Func {
+func hotConflicts(t testing.TB) *ir.Func {
 	t.Helper()
 	bd := ir.NewBuilder("hot")
 	base := bd.IConst(0)

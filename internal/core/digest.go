@@ -18,9 +18,10 @@ import (
 //     analysis) additionally read File, Method, THRES, DisablePressure,
 //     DisableFreeHints and LinearScan.
 //
-// Cache, Workers, VerifySemantics and VerifyMemSize never affect the
-// compiled output and are deliberately excluded from both digests
-// (VerifySemantics bypasses the cache entirely; see Compile).
+// Cache, Workers, VerifySemantics, VerifyMemSize and VerifyEach never
+// affect the compiled output and are deliberately excluded from both
+// digests (VerifySemantics and VerifyEach bypass the cache entirely — the
+// verification must actually run; see Compile).
 
 // PrefixDigest returns the digest of the options that reach the
 // method-independent pipeline prefix.

@@ -28,6 +28,7 @@ func TestPipelineSemanticsQuick(t *testing.T) {
 		for _, opts := range configs {
 			opts.VerifySemantics = true
 			opts.VerifyMemSize = 1 << 10
+			opts.VerifyEach = true // phase-boundary verifier as a second oracle
 			if _, err := Compile(f, opts); err != nil {
 				t.Logf("seed %d, config %+v: %v", seed, opts, err)
 				return false

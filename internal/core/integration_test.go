@@ -44,6 +44,9 @@ func TestWorkloadSemanticsPreserved(t *testing.T) {
 				t.Fatalf("%s/%s reference run: %v", p.Name, f.Name, err)
 			}
 			for _, c := range cases {
+				// The whole corpus compiles under the phase-boundary
+				// verifier; a rule firing on any workload fails the suite.
+				c.opts.VerifyEach = true
 				res, err := Compile(f, c.opts)
 				if err != nil {
 					t.Fatalf("%s/%s %s: %v", p.Name, f.Name, c.name, err)

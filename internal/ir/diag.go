@@ -1,0 +1,64 @@
+package ir
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Rule IDs emitted by ir.Func.Verify. The remaining verifier rules
+// (liveness agreement, bank constraints, allocation soundness, scheduling
+// dependence preservation) live in internal/verify, which shares this
+// diagnostic type.
+const (
+	// RuleWellFormed covers structural invariants: operand counts and
+	// classes, terminator placement, successor counts, register index
+	// bounds, non-empty blocks.
+	RuleWellFormed = "V001-wellformed"
+	// RuleLoopMeta covers loop trip-count metadata validity.
+	RuleLoopMeta = "V003-loop-metadata"
+)
+
+// Diag is a structured verifier diagnostic: a named rule plus the location
+// it fires at. It is the shared diagnostic currency of ir.Func.Verify and
+// the phase-boundary verifier (internal/verify) — callers that need the
+// rule ID or the precise location use errors.As to recover it from the
+// error chain.
+type Diag struct {
+	// Rule is the named rule ID, e.g. "V030-physreg-overlap".
+	Rule string
+	// Func is the function the diagnostic points at.
+	Func string
+	// Block is the block label; empty for function-level diagnostics.
+	Block string
+	// Instr is the instruction index within Block; -1 when the diagnostic
+	// is not tied to a single instruction.
+	Instr int
+	// Msg is the human-readable description of the violation.
+	Msg string
+}
+
+// Diagf constructs a diagnostic with a formatted message. Pass instr=-1
+// for block- or function-level diagnostics and block="" for
+// function-level ones.
+func Diagf(rule, fn, block string, instr int, format string, args ...any) *Diag {
+	return &Diag{Rule: rule, Func: fn, Block: block, Instr: instr, Msg: fmt.Sprintf(format, args...)}
+}
+
+// Error renders the diagnostic as "RULE: func/block#idx: message", with the
+// block and instruction parts omitted when absent.
+func (d *Diag) Error() string {
+	var b strings.Builder
+	b.WriteString(d.Rule)
+	b.WriteString(": ")
+	b.WriteString(d.Func)
+	if d.Block != "" {
+		b.WriteByte('/')
+		b.WriteString(d.Block)
+	}
+	if d.Instr >= 0 {
+		fmt.Fprintf(&b, "#%d", d.Instr)
+	}
+	b.WriteString(": ")
+	b.WriteString(d.Msg)
+	return b.String()
+}

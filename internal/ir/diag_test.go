@@ -1,0 +1,73 @@
+package ir
+
+import (
+	"errors"
+	"strings"
+	"testing"
+)
+
+func TestDiagErrorFormat(t *testing.T) {
+	d := Diagf(RuleWellFormed, "f", "loop", 3, "bad %s", "operand")
+	want := "V001-wellformed: f/loop#3: bad operand"
+	if d.Error() != want {
+		t.Errorf("Error() = %q, want %q", d.Error(), want)
+	}
+	// Block- and function-level diagnostics omit the absent parts.
+	if got := Diagf(RuleLoopMeta, "f", "loop", -1, "m").Error(); got != "V003-loop-metadata: f/loop: m" {
+		t.Errorf("block-level Error() = %q", got)
+	}
+	if got := Diagf(RuleWellFormed, "f", "", -1, "m").Error(); got != "V001-wellformed: f: m" {
+		t.Errorf("func-level Error() = %q", got)
+	}
+}
+
+func TestVerifyReturnsDiag(t *testing.T) {
+	f := NewFunc("bad")
+	f.NewBlock("entry") // empty block
+	err := f.Verify()
+	var d *Diag
+	if !errors.As(err, &d) {
+		t.Fatalf("Verify error %T is not a *Diag", err)
+	}
+	if d.Rule != RuleWellFormed || d.Func != "bad" || d.Block != "entry" {
+		t.Errorf("diag = %+v, want V001 at bad/entry", d)
+	}
+	if !strings.Contains(err.Error(), "empty block") {
+		t.Errorf("message lost the 'empty block' phrasing: %q", err)
+	}
+}
+
+func TestVerifyTripCountMetadata(t *testing.T) {
+	t.Run("negative trip", func(t *testing.T) {
+		f := buildSAXPY(8)
+		f.Blocks[1].TripCount = -4
+		err := f.Verify()
+		var d *Diag
+		if !errors.As(err, &d) || d.Rule != RuleLoopMeta {
+			t.Fatalf("want %s diag, got %v", RuleLoopMeta, err)
+		}
+	})
+	t.Run("trip on non-header", func(t *testing.T) {
+		f := buildSAXPY(8)
+		// The exit block has predecessors but no back edge: a trip count
+		// there is stale or misattached metadata.
+		f.Blocks[2].TripCount = 9
+		err := f.Verify()
+		var d *Diag
+		if !errors.As(err, &d) || d.Rule != RuleLoopMeta {
+			t.Fatalf("want %s diag, got %v", RuleLoopMeta, err)
+		}
+	})
+	t.Run("valid header trip accepted", func(t *testing.T) {
+		f := buildSAXPY(8)
+		if err := f.Verify(); err != nil {
+			t.Fatalf("Verify: %v", err)
+		}
+	})
+	t.Run("parser rejects negative trip", func(t *testing.T) {
+		src := "func @f {\n entry:\n  br body\n body: !trip=-3\n  condbr x1, body, done\n done:\n  ret\n}"
+		if _, err := Parse(src); err == nil {
+			t.Fatal("Parse accepted a negative trip count")
+		}
+	})
+}

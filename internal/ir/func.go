@@ -223,46 +223,71 @@ func (f *Func) Clone() *Func {
 
 // Verify checks structural invariants: operand counts and classes match
 // opcode signatures, terminators appear exactly at block ends, successor
-// counts match terminators, and virtual register indexes are in range.
+// counts match terminators, virtual register indexes are in range, and
+// loop trip-count metadata is valid. Failures are *Diag values carrying
+// the rule ID and the function/block/instruction location.
 func (f *Func) Verify() error {
 	if len(f.Blocks) == 0 {
-		return fmt.Errorf("ir: function %s has no blocks", f.Name)
+		return Diagf(RuleWellFormed, f.Name, "", -1, "function has no blocks")
 	}
 	for _, b := range f.Blocks {
+		if b.TripCount < 0 {
+			return Diagf(RuleLoopMeta, f.Name, b.Name, -1,
+				"negative loop trip count %d", b.TripCount)
+		}
+		if b.TripCount != 0 && len(b.Preds) > 0 && !hasBackedge(b) {
+			return Diagf(RuleLoopMeta, f.Name, b.Name, -1,
+				"trip count %d on a block with predecessors but no back edge (not a loop header)",
+				b.TripCount)
+		}
 		if len(b.Instrs) == 0 {
-			return fmt.Errorf("ir: %s/%s: empty block", f.Name, b.Name)
+			return Diagf(RuleWellFormed, f.Name, b.Name, -1, "empty block")
 		}
 		for i, in := range b.Instrs {
 			isLast := i == len(b.Instrs)-1
 			if in.Op.IsTerminator() != isLast {
-				return fmt.Errorf("ir: %s/%s: terminator %s at position %d/%d",
-					f.Name, b.Name, in.Op, i, len(b.Instrs))
+				return Diagf(RuleWellFormed, f.Name, b.Name, i,
+					"terminator %s at position %d/%d", in.Op, i, len(b.Instrs))
 			}
 			if len(in.Defs) != in.Op.NumDefs() {
-				return fmt.Errorf("ir: %s/%s: %s has %d defs, want %d",
-					f.Name, b.Name, in.Op, len(in.Defs), in.Op.NumDefs())
+				return Diagf(RuleWellFormed, f.Name, b.Name, i,
+					"%s has %d defs, want %d", in.Op, len(in.Defs), in.Op.NumDefs())
 			}
 			if len(in.Uses) != in.Op.NumUses() {
-				return fmt.Errorf("ir: %s/%s: %s has %d uses, want %d",
-					f.Name, b.Name, in.Op, len(in.Uses), in.Op.NumUses())
+				return Diagf(RuleWellFormed, f.Name, b.Name, i,
+					"%s has %d uses, want %d", in.Op, len(in.Uses), in.Op.NumUses())
 			}
 			for _, d := range in.Defs {
 				if err := f.checkOperand(d, in.Op.DefClass()); err != nil {
-					return fmt.Errorf("ir: %s/%s: %s def: %v", f.Name, b.Name, in.Op, err)
+					return Diagf(RuleWellFormed, f.Name, b.Name, i, "%s def: %v", in.Op, err)
 				}
 			}
 			for j, u := range in.Uses {
 				if err := f.checkOperand(u, in.Op.UseClass(j)); err != nil {
-					return fmt.Errorf("ir: %s/%s: %s use %d: %v", f.Name, b.Name, in.Op, j, err)
+					return Diagf(RuleWellFormed, f.Name, b.Name, i, "%s use %d: %v", in.Op, j, err)
 				}
 			}
 			if isLast && len(b.Succs) != in.Op.NumSuccs() {
-				return fmt.Errorf("ir: %s/%s: %s has %d successors, want %d",
-					f.Name, b.Name, in.Op, len(b.Succs), in.Op.NumSuccs())
+				return Diagf(RuleWellFormed, f.Name, b.Name, i,
+					"%s has %d successors, want %d", in.Op, len(b.Succs), in.Op.NumSuccs())
 			}
 		}
 	}
 	return nil
+}
+
+// hasBackedge reports whether any predecessor of b appears at or after b in
+// layout order — the shape of every loop header the builders, the parser
+// (labels appear before their back branches) and the loop-splitting
+// transform produce. A block carrying a trip count must look like a loop
+// header under this layout test.
+func hasBackedge(b *Block) bool {
+	for _, p := range b.Preds {
+		if p.ID >= b.ID {
+			return true
+		}
+	}
+	return false
 }
 
 func (f *Func) checkOperand(r Reg, want Class) error {

@@ -139,9 +139,12 @@ func (p *parser) parseFunc() (*Func, error) {
 			p.succNames[cur] = succs
 		}
 	}
-	// Resolve successors.
-	for b, names := range p.succNames {
-		for _, n := range names {
+	// Resolve successors in layout order. p.succNames is keyed by block;
+	// ranging over the map directly would pick which "unknown successor"
+	// error wins nondeterministically — the bug class the mapiter lint
+	// flags — so walk the block list and look each block up instead.
+	for _, b := range p.f.Blocks {
+		for _, n := range p.succNames[b] {
 			s, ok := p.blocks[n]
 			if !ok {
 				return nil, fmt.Errorf("unknown successor block %q", n)

@@ -85,6 +85,22 @@ type Options struct {
 	// After its rewrite the allocator marks the function mutated and
 	// re-stamps the CFG as retained (allocation never edits control flow).
 	Analyses *analysis.Cache
+	// Record, when set, fills Result.Assignments, Result.SpillSlotOf and
+	// Result.EntryLiveIn so the phase-boundary verifier (internal/verify)
+	// can audit the allocation against independently recomputed liveness.
+	// Off by default: recording allocates on the hot path.
+	Record bool
+}
+
+// Assignment records one virtual register's final physical placement,
+// captured under Options.Record. Reg may be an allocator-created spill
+// pseudo or split child; Interval is the live interval the allocator
+// actually used for it (synthesized for pseudos).
+type Assignment struct {
+	Reg      ir.Reg
+	Class    ir.Class
+	Phys     int // index within the class's register file
+	Interval *liveness.Interval
 }
 
 // Result reports the allocation outcome. After Run the function is fully
@@ -111,6 +127,20 @@ type Result struct {
 	AssignedBank map[ir.Reg]int
 	// GroupDispl maps SDG group id to its chosen subgroup displacement.
 	GroupDispl map[int]int
+
+	// Assignments lists every placed virtual register with the interval
+	// the allocator used. Filled only under Options.Record.
+	Assignments []Assignment
+	// SpillSlotOf maps each stack-spilled register to its slot
+	// (rematerialized registers are absent). Filled only under
+	// Options.Record.
+	SpillSlotOf map[ir.Reg]int
+	// EntryLiveIn lists virtual registers live into the entry block before
+	// rewriting: values the function consumes without defining (legal in
+	// this IR; they read as zero/garbage). The verifier uses it to tell a
+	// dropped reload from a legitimately undefined input. Filled only
+	// under Options.Record.
+	EntryLiveIn []ir.Reg
 }
 
 // numGPRFile is the GPR file size used for the scalar class.
@@ -264,6 +294,10 @@ func (a *allocator) run() error {
 	}
 	a.queue.release()
 	a.queue = nil
+	if a.opts.Record {
+		record(a.res, a.f, a.lv, func(r ir.Reg) (int, bool) { p, ok := a.assignment[r]; return p, ok },
+			a.intervalOf, a.spillSlot)
+	}
 	a.materialize()
 	a.f.MarkMutated()
 	if ac := a.opts.Analyses; ac != nil {
@@ -577,6 +611,31 @@ func (q *workQueue) down(i0, n int) {
 		}
 		q.items[i], q.items[j] = q.items[j], q.items[i]
 		i = j
+	}
+}
+
+// record captures the final pre-rewrite allocation state into res, walking
+// the vreg table in index order so the recorded lists are deterministic.
+// physOf reports a register's placement; intervalOf the interval the
+// allocator used for it (overrides included).
+func record(res *Result, f *ir.Func, lv *liveness.Info,
+	physOf func(ir.Reg) (int, bool), intervalOf func(ir.Reg) *liveness.Interval,
+	spillSlot map[ir.Reg]int) {
+	entry := f.Entry()
+	res.SpillSlotOf = make(map[ir.Reg]int, len(spillSlot))
+	for idx := range f.VRegs {
+		r := ir.VReg(idx)
+		if p, ok := physOf(r); ok {
+			res.Assignments = append(res.Assignments, Assignment{
+				Reg: r, Class: f.VRegs[idx].Class, Phys: p, Interval: intervalOf(r),
+			})
+		}
+		if s, ok := spillSlot[r]; ok {
+			res.SpillSlotOf[r] = s
+		}
+		if lv.LiveIn[entry.ID][r] {
+			res.EntryLiveIn = append(res.EntryLiveIn, r)
+		}
 	}
 }
 

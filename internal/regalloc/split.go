@@ -129,10 +129,15 @@ func (a *allocator) pickSplitLoop(r ir.Reg, iv *liveness.Interval) *cfg.Loop {
 }
 
 // loopRange returns the slot range covering every block of the loop.
+// l.Blocks is a set; iterate the function's block list so the walk is in
+// layout order rather than map order.
 func (a *allocator) loopRange(l *cfg.Loop) (int, int) {
 	ls, le := math.MaxInt32, 0
-	for id := range l.Blocks {
-		s, e := a.lv.BlockRange(a.f.Blocks[id])
+	for _, b := range a.f.Blocks {
+		if !l.Blocks[b.ID] {
+			continue
+		}
+		s, e := a.lv.BlockRange(b)
 		if s < ls {
 			ls = s
 		}
@@ -154,10 +159,11 @@ func (a *allocator) splitSuitable(r ir.Reg, iv *liveness.Interval, l *cfg.Loop, 
 		return false
 	}
 	usesIn := 0
-	for id := range l.Blocks {
-		b := a.f.Blocks[id]
-		for i, in := range b.Instrs {
-			_ = i
+	for _, b := range a.f.Blocks {
+		if !l.Blocks[b.ID] {
+			continue
+		}
+		for _, in := range b.Instrs {
 			if in.Op == ir.OpCall {
 				return false // child would need a callee-saved register anyway
 			}

@@ -7,6 +7,8 @@
 package sched
 
 import (
+	"sort"
+
 	"prescount/internal/ir"
 )
 
@@ -169,7 +171,16 @@ func scheduleBlock(f *ir.Func, b *ir.Block) bool {
 				remainingUses[u]--
 			}
 		}
+		// Release successors in index order, not map order: the selection
+		// scan above breaks score ties on instruction index, so the result
+		// is already order-independent, but a deterministic ready list keeps
+		// the scan's tie-break path (and any future heuristic) reproducible.
+		released := make([]int, 0, len(succs[best]))
 		for s := range succs[best] {
+			released = append(released, s)
+		}
+		sort.Ints(released)
+		for _, s := range released {
 			indeg[s]--
 			if indeg[s] == 0 {
 				ready = append(ready, s)
@@ -193,6 +204,38 @@ func scheduleBlock(f *ir.Func, b *ir.Block) bool {
 	}
 	b.Instrs = append(newBody, term)
 	return true
+}
+
+// MustPrecede reports whether an instruction pair (a textually before b in
+// the same block) is ordered by a dependence the scheduler must preserve: a
+// register RAW/WAW/WAR pair, a potentially aliasing memory pair, or a call
+// barrier. Exported for the phase-boundary verifier (internal/verify),
+// which audits scheduler output against the scheduler's own dependence
+// rules.
+func MustPrecede(a, b *ir.Instr) bool {
+	if a.Op == ir.OpCall || b.Op == ir.OpCall {
+		return true // calls are full scheduling barriers
+	}
+	for _, d := range a.Defs {
+		for _, u := range b.Uses {
+			if u == d {
+				return true // RAW
+			}
+		}
+		for _, d2 := range b.Defs {
+			if d2 == d {
+				return true // WAW
+			}
+		}
+	}
+	for _, u := range a.Uses {
+		for _, d := range b.Defs {
+			if d == u {
+				return true // WAR
+			}
+		}
+	}
+	return isMem(a.Op) && isMem(b.Op) && mayAlias(a, b)
 }
 
 func isMem(op ir.Op) bool {

@@ -175,6 +175,10 @@ type CompileRequest struct {
 	THRES float64 `json:"thres,omitempty"`
 	// LinearScan swaps in the linear-scan allocator.
 	LinearScan bool `json:"linear_scan,omitempty"`
+	// Verify runs the phase-boundary verifier between pipeline stages; a
+	// rule violation fails the compile with a diagnostic naming the rule.
+	// Verified compiles bypass the shared compile cache.
+	Verify bool `json:"verify,omitempty"`
 	// Simulate executes the allocated code and attaches dynamic metrics.
 	Simulate bool `json:"simulate,omitempty"`
 	// VLIW selects the dual-issue cycle model for simulation.
@@ -494,6 +498,7 @@ func optionsFromQuery(req *CompileRequest, r *http.Request) error {
 		intq("regs", &req.Regs), intq("banks", &req.Banks), intq("subgroups", &req.Subgroups),
 		boolq("simulate", &req.Simulate), boolq("vliw", &req.VLIW),
 		boolq("emit_mir", &req.EmitMIR), boolq("linear_scan", &req.LinearScan),
+		boolq("verify", &req.Verify),
 	} {
 		if e != nil {
 			return e
@@ -557,6 +562,7 @@ func (s *Server) compileOptions(req *CompileRequest) (core.Options, error) {
 		Subgroups:  subgroups > 1,
 		THRES:      req.THRES,
 		LinearScan: req.LinearScan,
+		VerifyEach: req.Verify,
 		Workers:    s.cfg.Workers,
 		Cache:      s.cache,
 	}, nil

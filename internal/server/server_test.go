@@ -509,3 +509,44 @@ func TestContextPlumbing(t *testing.T) {
 		t.Fatalf("status %d, want 504 for pre-cancelled request; body %s", w.Code, w.Body)
 	}
 }
+
+// TestCompileWithVerify runs a request under the phase-boundary verifier:
+// the output must match an unverified compile byte for byte, and the
+// verified compile must bypass the shared cache (the verification has to
+// actually run, so a cached result would be a lie).
+func TestCompileWithVerify(t *testing.T) {
+	s, ts := newTestServer(t, Config{})
+	_, plain := postJSON(t, ts.URL+"/v1/compile", CompileRequest{MIR: kernelMIR, EmitMIR: true})
+	resp, verified := postJSON(t, ts.URL+"/v1/compile", CompileRequest{MIR: kernelMIR, EmitMIR: true, Verify: true})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d, body %s", resp.StatusCode, verified)
+	}
+	var a, b CompileResponse
+	if err := json.Unmarshal(plain, &a); err != nil {
+		t.Fatal(err)
+	}
+	if err := json.Unmarshal(verified, &b); err != nil {
+		t.Fatal(err)
+	}
+	if a.MIR != b.MIR || a.Report != b.Report {
+		t.Fatalf("verified compile differs from plain compile:\n%s\nvs\n%s", verified, plain)
+	}
+	// The first (unverified) request populated the cache; the verified one
+	// must not have hit it.
+	if hits := s.Cache().Stats().FullHits; hits != 0 {
+		t.Errorf("verified compile hit the cache %d times; want bypass", hits)
+	}
+}
+
+// TestCompileVerifyQueryParam covers the raw-MIR envelope's verify flag.
+func TestCompileVerifyQueryParam(t *testing.T) {
+	_, ts := newTestServer(t, Config{})
+	resp, err := http.Post(ts.URL+"/v1/compile?verify=true", "text/plain", strings.NewReader(kernelMIR))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d", resp.StatusCode)
+	}
+}

@@ -1,0 +1,293 @@
+package verify
+
+import (
+	"prescount/internal/assign"
+	"prescount/internal/bankfile"
+	"prescount/internal/conflict"
+	"prescount/internal/ir"
+	"prescount/internal/rcg"
+	"prescount/internal/regalloc"
+)
+
+// CheckBankAssignment audits a PresCount bank assignment against the RCG
+// (rule V020): every node must hold a bank within the file, and an edge
+// whose endpoints share a bank is only legal when Algorithm 1 explicitly
+// forced one of them (the uncolorable-node path). A same-bank edge with no
+// forced endpoint means the assigner violated a constraint it claims to
+// have satisfied — the cost model's conflict accounting is then wrong.
+func CheckBankAssignment(f *ir.Func, g *rcg.Graph, res *assign.Result, file bankfile.Config) error {
+	checks.Add(1)
+	file = file.Normalize()
+	for _, r := range g.Nodes {
+		bank, ok := res.BankOf[r]
+		if !ok {
+			return ir.Diagf(RuleBank, f.Name, "", -1,
+				"RCG node %v received no bank assignment", r)
+		}
+		if bank < 0 || bank >= file.NumBanks {
+			return ir.Diagf(RuleBank, f.Name, "", -1,
+				"RCG node %v assigned bank %d, file has %d banks", r, bank, file.NumBanks)
+		}
+	}
+	forced := make(map[ir.Reg]bool, len(res.Forced))
+	for _, r := range res.Forced {
+		forced[r] = true
+	}
+	for _, e := range assign.Validate(g, res.BankOf) {
+		if !forced[e[0]] && !forced[e[1]] {
+			return ir.Diagf(RuleBank, f.Name, "", -1,
+				"RCG edge %v-%v colored into one bank %d with neither endpoint forced",
+				e[0], e[1], res.BankOf[e[0]])
+		}
+	}
+	return nil
+}
+
+// CheckReport re-derives the conflict analysis of the allocated function
+// from scratch — fresh CFG, no shared caches — and asserts the pipeline's
+// reported counts are reproducible (rule V021).
+func CheckReport(f *ir.Func, file bankfile.Config, got *conflict.Report) error {
+	checks.Add(1)
+	fresh := conflict.Analyze(f, file)
+	if *fresh != *got {
+		return ir.Diagf(RuleConflicts, f.Name, "", -1,
+			"reported conflict analysis %+v not reproducible from scratch: %+v", *got, *fresh)
+	}
+	return nil
+}
+
+// CheckAllocation audits the allocator's output (rules V030–V034) on the
+// rewritten function. alloc must have been produced with
+// regalloc.Options.Record so assignments and spill slots are visible;
+// preEntry is the entry-live-in set of the function *before* allocation
+// (verify.EntryLive), used to distinguish a dropped reload from an input
+// the program legitimately reads undefined. A nil preEntry is synthesized
+// from alloc.EntryLiveIn.
+func CheckAllocation(f *ir.Func, file bankfile.Config, alloc *regalloc.Result, preEntry map[ir.Reg]bool) error {
+	checks.Add(1)
+	file = file.Normalize()
+	if err := checkNoVRegs(f); err != nil {
+		return err
+	}
+	if err := checkClassLegal(f, file, alloc); err != nil {
+		return err
+	}
+	if err := checkOverlap(f, alloc); err != nil {
+		return err
+	}
+	if err := checkSpillPairing(f, alloc); err != nil {
+		return err
+	}
+	return checkPhysDefined(f, alloc, preEntry)
+}
+
+// checkNoVRegs (V031): allocation must rewrite or spill every virtual
+// register; none may survive into the final code.
+func checkNoVRegs(f *ir.Func) error {
+	for _, b := range f.Blocks {
+		for i, in := range b.Instrs {
+			for _, d := range in.Defs {
+				if d.IsVirt() {
+					return ir.Diagf(RuleVRegRemains, f.Name, b.Name, i,
+						"virtual register %v survived allocation (def of %s)", d, in.Op)
+				}
+			}
+			for _, u := range in.Uses {
+				if u.IsVirt() {
+					return ir.Diagf(RuleVRegRemains, f.Name, b.Name, i,
+						"virtual register %v survived allocation (use of %s)", u, in.Op)
+				}
+			}
+		}
+	}
+	return nil
+}
+
+// checkClassLegal (V033): recorded assignments stay inside their class's
+// register file, and no FP operand in the final code indexes past the file.
+func checkClassLegal(f *ir.Func, file bankfile.Config, alloc *regalloc.Result) error {
+	for _, a := range alloc.Assignments {
+		limit := file.NumRegs
+		if a.Class == ir.ClassGPR {
+			limit = ir.NumGPR
+		}
+		if a.Phys < 0 || a.Phys >= limit {
+			return ir.Diagf(RuleClassLegal, f.Name, "", -1,
+				"register %v assigned %v register %d, file holds %d", a.Reg, a.Class, a.Phys, limit)
+		}
+		if a.Reg.IsVirt() && a.Reg.VirtIndex() < len(f.VRegs) && f.VRegs[a.Reg.VirtIndex()].Class != a.Class {
+			return ir.Diagf(RuleClassLegal, f.Name, "", -1,
+				"register %v of class %v recorded with class %v assignment",
+				a.Reg, f.VRegs[a.Reg.VirtIndex()].Class, a.Class)
+		}
+	}
+	return physBoundsScan(f, file)
+}
+
+// CheckPhysBounds runs rule V033's code scan alone: every FP operand of
+// the final code must index inside the register file. It is the
+// post-renumber checkpoint — renumbering permutes physical registers, so
+// the allocator's recorded assignments no longer describe the code and
+// only the scan remains meaningful.
+func CheckPhysBounds(f *ir.Func, file bankfile.Config) error {
+	checks.Add(1)
+	return physBoundsScan(f, file.Normalize())
+}
+
+func physBoundsScan(f *ir.Func, file bankfile.Config) error {
+	for _, b := range f.Blocks {
+		for i, in := range b.Instrs {
+			for _, r := range in.Defs {
+				if r.IsFPR() && r.FPRIndex() >= file.NumRegs {
+					return ir.Diagf(RuleClassLegal, f.Name, b.Name, i,
+						"FP register %v outside the %d-register file", r, file.NumRegs)
+				}
+			}
+			for _, r := range in.Uses {
+				if r.IsFPR() && r.FPRIndex() >= file.NumRegs {
+					return ir.Diagf(RuleClassLegal, f.Name, b.Name, i,
+						"FP register %v outside the %d-register file", r, file.NumRegs)
+				}
+			}
+		}
+	}
+	return nil
+}
+
+// checkOverlap (V030): no two recorded assignments of the same class may
+// share a physical register while their live intervals overlap.
+func checkOverlap(f *ir.Func, alloc *regalloc.Result) error {
+	type slot struct {
+		c ir.Class
+		p int
+	}
+	byPhys := map[slot][]regalloc.Assignment{}
+	for _, a := range alloc.Assignments {
+		if a.Interval == nil {
+			continue
+		}
+		k := slot{a.Class, a.Phys}
+		for _, prev := range byPhys[k] {
+			if prev.Interval.Overlaps(a.Interval) {
+				return ir.Diagf(RulePhysOverlap, f.Name, "", -1,
+					"registers %v and %v share %v register %d with overlapping live ranges %v / %v",
+					prev.Reg, a.Reg, a.Class, a.Phys, prev.Interval.Segments, a.Interval.Segments)
+			}
+		}
+		byPhys[k] = append(byPhys[k], a)
+	}
+	return nil
+}
+
+// checkSpillPairing (V032): spill slots must be in range and private to one
+// spilled register, and every reload must be backed by a store to its slot
+// — unless the spilled value was live into entry undefined, in which case
+// the program never stored it either.
+func checkSpillPairing(f *ir.Func, alloc *regalloc.Result) error {
+	owners := map[int]ir.Reg{}
+	entryLive := make(map[ir.Reg]bool, len(alloc.EntryLiveIn))
+	for _, r := range alloc.EntryLiveIn {
+		entryLive[r] = true
+	}
+	for idx := 0; idx < len(f.VRegs); idx++ {
+		r := ir.VReg(idx)
+		s, ok := alloc.SpillSlotOf[r]
+		if !ok {
+			continue
+		}
+		if prev, dup := owners[s]; dup {
+			return ir.Diagf(RuleSpillPair, f.Name, "", -1,
+				"spill slot %d shared by registers %v and %v", s, prev, r)
+		}
+		owners[s] = r
+	}
+
+	stores := map[int64]int{}
+	reloads := map[int64]int{}
+	type site struct {
+		block string
+		instr int
+	}
+	firstReload := map[int64]site{}
+	nStores, nReloads := 0, 0
+	for _, b := range f.Blocks {
+		for i, in := range b.Instrs {
+			switch in.Op {
+			case ir.OpFSpill, ir.OpISpill:
+				stores[in.Imm]++
+				nStores++
+			case ir.OpFReload, ir.OpIReload:
+				reloads[in.Imm]++
+				nReloads++
+				if _, ok := firstReload[in.Imm]; !ok {
+					firstReload[in.Imm] = site{b.Name, i}
+				}
+			default:
+				continue
+			}
+			if in.Imm < 0 || in.Imm >= int64(f.SpillSlots) {
+				return ir.Diagf(RuleSpillPair, f.Name, b.Name, i,
+					"%s addresses slot %d, function has %d spill slots", in.Op, in.Imm, f.SpillSlots)
+			}
+		}
+	}
+	if alloc.SpillStores != nStores || alloc.SpillReloads != nReloads {
+		return ir.Diagf(RuleSpillPair, f.Name, "", -1,
+			"allocator reports %d stores / %d reloads, code contains %d / %d",
+			alloc.SpillStores, alloc.SpillReloads, nStores, nReloads)
+	}
+	for slot := int64(0); slot < int64(f.SpillSlots); slot++ {
+		if reloads[slot] == 0 || stores[slot] > 0 {
+			continue
+		}
+		if owner, ok := owners[int(slot)]; ok && entryLive[owner] {
+			continue // the value was never defined; no store is correct
+		}
+		at := firstReload[slot]
+		return ir.Diagf(RuleSpillPair, f.Name, at.block, at.instr,
+			"reload from slot %d, but no store to it anywhere", slot)
+	}
+	return nil
+}
+
+// checkPhysDefined (V034): every physical register live into the entry
+// block of the allocated code must trace back to a value the original
+// function read undefined (a legitimate input); anything else is a read of
+// a register the allocator forgot to initialize — the dropped-reload
+// signature.
+func checkPhysDefined(f *ir.Func, alloc *regalloc.Result, preEntry map[ir.Reg]bool) error {
+	if preEntry == nil {
+		preEntry = make(map[ir.Reg]bool, len(alloc.EntryLiveIn))
+		for _, r := range alloc.EntryLiveIn {
+			preEntry[r] = true
+		}
+	}
+	allowed := map[ir.Reg]bool{}
+	for r := range preEntry {
+		if r.IsPhys() {
+			allowed[r] = true
+		}
+	}
+	for _, a := range alloc.Assignments {
+		if !preEntry[a.Reg] {
+			continue
+		}
+		if a.Class == ir.ClassFP {
+			allowed[ir.FReg(a.Phys)] = true
+		} else {
+			allowed[ir.XReg(a.Phys)] = true
+		}
+	}
+	bad := ir.NoReg
+	for r := range EntryLive(f) {
+		if !allowed[r] && (bad == ir.NoReg || r < bad) {
+			bad = r // smallest witness, deterministic
+		}
+	}
+	if bad != ir.NoReg {
+		blk, idx := firstUse(f, bad)
+		return ir.Diagf(RulePhysUndef, f.Name, blk, idx,
+			"physical register %v is read with no reaching definition (dropped reload or initializer?)", bad)
+	}
+	return nil
+}

@@ -1,0 +1,97 @@
+package verify
+
+import (
+	"prescount/internal/analysis"
+	"prescount/internal/cfg"
+	"prescount/internal/ir"
+	"prescount/internal/liveness"
+)
+
+// CheckLiveness recomputes liveness for f from scratch and asserts the
+// cached analysis agrees (rule V010): same per-block live-in/out sets and,
+// for every virtual register, the same interval segments and spill weight.
+// A disagreement means a phase mutated the IR without advancing the
+// mutation generation (a stale internal/analysis cache) or retained a CFG
+// across a control-flow change — exactly the bug class generation-keyed
+// caching can hide.
+func CheckLiveness(f *ir.Func, ac *analysis.Cache) error {
+	checks.Add(1)
+	cached := ac.Liveness()
+	fresh := liveness.Compute(f, cfg.Compute(f))
+
+	if len(cached.Intervals) != len(fresh.Intervals) {
+		return ir.Diagf(RuleLiveness, f.Name, "", -1,
+			"cached liveness covers %d vregs, recompute covers %d (stale analysis cache?)",
+			len(cached.Intervals), len(fresh.Intervals))
+	}
+	for idx := range fresh.Intervals {
+		r := ir.VReg(idx)
+		cIV, fIV := cached.Intervals[idx], fresh.Intervals[idx]
+		if (cIV == nil) != (fIV == nil) {
+			return ir.Diagf(RuleLiveness, f.Name, "", -1,
+				"register %v: cached liveness %s an interval, recompute disagrees (stale analysis cache?)",
+				r, presence(cIV != nil))
+		}
+		if cIV == nil {
+			continue
+		}
+		if !segmentsEqual(cIV, fIV) {
+			return ir.Diagf(RuleLiveness, f.Name, "", -1,
+				"register %v: cached interval %v != recomputed %v (stale analysis cache?)",
+				r, cIV.Segments, fIV.Segments)
+		}
+		if cIV.Weight != fIV.Weight || cIV.NumUses != fIV.NumUses {
+			return ir.Diagf(RuleLiveness, f.Name, "", -1,
+				"register %v: cached weight %g/%d uses != recomputed %g/%d (stale analysis cache?)",
+				r, cIV.Weight, cIV.NumUses, fIV.Weight, fIV.NumUses)
+		}
+	}
+	for _, b := range f.Blocks {
+		if d := setDiff(cached.LiveIn[b.ID], fresh.LiveIn[b.ID]); d != ir.NoReg {
+			return ir.Diagf(RuleLiveness, f.Name, b.Name, -1,
+				"register %v: cached and recomputed live-in disagree (stale analysis cache?)", d)
+		}
+		if d := setDiff(cached.LiveOut[b.ID], fresh.LiveOut[b.ID]); d != ir.NoReg {
+			return ir.Diagf(RuleLiveness, f.Name, b.Name, -1,
+				"register %v: cached and recomputed live-out disagree (stale analysis cache?)", d)
+		}
+	}
+	return nil
+}
+
+func presence(has bool) string {
+	if has {
+		return "has"
+	}
+	return "lacks"
+}
+
+func segmentsEqual(a, b *liveness.Interval) bool {
+	if len(a.Segments) != len(b.Segments) {
+		return false
+	}
+	for i, s := range a.Segments {
+		if s != b.Segments[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// setDiff returns a register present in exactly one of the sets, or NoReg
+// when the sets are equal. The witness is the smallest such register, so
+// the diagnostic is deterministic.
+func setDiff(a, b map[ir.Reg]bool) ir.Reg {
+	best := ir.NoReg
+	for r := range a {
+		if !b[r] && (best == ir.NoReg || r < best) {
+			best = r
+		}
+	}
+	for r := range b {
+		if !a[r] && (best == ir.NoReg || r < best) {
+			best = r
+		}
+	}
+	return best
+}

@@ -1,0 +1,517 @@
+// Mutation-kill suite: every rule of the verifier is exercised by seeding
+// the exact corruption it exists to catch — a dropped reload, two
+// live-overlapping values aliased onto one physical register, a violated
+// bank edge, a reordered dependent pair, a stale liveness cache — and
+// asserting the intended rule ID fires. A verifier check that no mutation
+// can kill is dead weight; this file is the evidence none of them are.
+package verify_test
+
+import (
+	"errors"
+	"testing"
+
+	"prescount/internal/analysis"
+	"prescount/internal/assign"
+	"prescount/internal/bankfile"
+	"prescount/internal/coalesce"
+	"prescount/internal/conflict"
+	"prescount/internal/ir"
+	"prescount/internal/regalloc"
+	"prescount/internal/sched"
+	"prescount/internal/verify"
+)
+
+// hot builds a loop-heavy kernel with ample FP pressure: many simultaneous
+// live ranges, conflict-relevant instructions and (under a small register
+// file) spill code — the raw material every corruption below needs.
+func hot(t *testing.T) *ir.Func {
+	t.Helper()
+	bd := ir.NewBuilder("hot")
+	base := bd.IConst(0)
+	for i := 0; i < 16; i++ {
+		c := bd.FConst(float64(i + 1))
+		bd.FStore(c, base, int64(i))
+	}
+	bd.Loop(32, 1, func(i ir.Reg) {
+		var vals []ir.Reg
+		for k := 0; k < 8; k++ {
+			vals = append(vals, bd.FLoad(base, int64(k)))
+		}
+		var partial []ir.Reg
+		for k := 0; k+1 < len(vals); k += 2 {
+			partial = append(partial, bd.FMul(vals[k], vals[k+1]))
+		}
+		for len(partial) > 1 {
+			var next []ir.Reg
+			for k := 0; k+1 < len(partial); k += 2 {
+				next = append(next, bd.FAdd(partial[k], partial[k+1]))
+			}
+			if len(partial)%2 == 1 {
+				next = append(next, partial[len(partial)-1])
+			}
+			partial = next
+		}
+		s := bd.FMA(vals[0], vals[2], partial[0])
+		bd.FStore(s, base, 20)
+	})
+	bd.Ret()
+	f := bd.Func()
+	if err := f.Verify(); err != nil {
+		t.Fatal(err)
+	}
+	return f
+}
+
+// wantRule asserts err carries an *ir.Diag naming the given rule.
+func wantRule(t *testing.T, err error, rule string) {
+	t.Helper()
+	if err == nil {
+		t.Fatalf("corruption not caught, want rule %s", rule)
+	}
+	var d *ir.Diag
+	if !errors.As(err, &d) {
+		t.Fatalf("error %v is not an *ir.Diag, want rule %s", err, rule)
+	}
+	if d.Rule != rule {
+		t.Fatalf("rule %s fired, want %s (err: %v)", d.Rule, rule, err)
+	}
+}
+
+// prefixed runs the pipeline prefix (coalesce + sched) on a clone of hot,
+// returning the function and its analysis cache.
+func prefixed(t *testing.T) (*ir.Func, *analysis.Cache) {
+	t.Helper()
+	work := hot(t).Clone()
+	ac := analysis.New(work)
+	coalesce.RunCached(work, ac)
+	sched.Run(work)
+	ac.RetainCFG()
+	return work, ac
+}
+
+// allocated runs the prefix plus register allocation with recording on,
+// and sanity-checks that the uncorrupted state passes every rule.
+func allocated(t *testing.T, file bankfile.Config) (*ir.Func, *regalloc.Result, map[ir.Reg]bool) {
+	t.Helper()
+	work, ac := prefixed(t)
+	pre := verify.EntryLive(work)
+	alloc, err := regalloc.Run(work, regalloc.Options{
+		Cfg: file, Method: regalloc.MethodNon, Analyses: ac, Record: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := verify.CheckAllocation(work, file, alloc, pre); err != nil {
+		t.Fatalf("clean allocation rejected: %v", err)
+	}
+	return work, alloc, pre
+}
+
+// firstFPUse locates an instruction with an FP-class register use.
+func firstFPUse(t *testing.T, f *ir.Func) (*ir.Instr, int) {
+	t.Helper()
+	for _, b := range f.Blocks {
+		for _, in := range b.Instrs {
+			for i := range in.Uses {
+				if in.Op.UseClass(i) == ir.ClassFP {
+					return in, i
+				}
+			}
+		}
+	}
+	t.Fatal("no FP use in function")
+	return nil, 0
+}
+
+// TestMutationKill seeds one corruption per rule and asserts the matching
+// rule ID fires.
+func TestMutationKill(t *testing.T) {
+	small := bankfile.Config{NumRegs: 4, NumBanks: 2, NumSubgroups: 1, ReadPorts: 1}
+	cases := []struct {
+		name string
+		rule string
+		run  func(t *testing.T) error
+	}{
+		{
+			// Structural damage: strip the entry block's terminator.
+			name: "drop-terminator",
+			rule: verify.RuleWellFormed,
+			run: func(t *testing.T) error {
+				f := hot(t).Clone()
+				b := f.Entry()
+				b.Instrs = b.Instrs[:len(b.Instrs)-1]
+				return verify.WellFormed(f)
+			},
+		},
+		{
+			// A "phase" rewrites a use to a register nothing defines.
+			name: "introduce-undefined-read",
+			rule: verify.RuleDefBeforeUse,
+			run: func(t *testing.T) error {
+				work, _ := prefixed(t)
+				snap := verify.Capture(work)
+				in, i := firstFPUse(t, work)
+				in.Uses[i] = work.NewVReg(ir.ClassFP)
+				return snap.CheckDelta(work, "mutant")
+			},
+		},
+		{
+			// A "phase" silently rewrites loop trip metadata.
+			name: "change-trip-count",
+			rule: verify.RuleLoopMeta,
+			run: func(t *testing.T) error {
+				work, _ := prefixed(t)
+				snap := verify.Capture(work)
+				for _, b := range work.Blocks {
+					if b.TripCount > 0 {
+						b.TripCount *= 2
+						return snap.CheckDelta(work, "mutant")
+					}
+				}
+				t.Fatal("no loop header with a trip count")
+				return nil
+			},
+		},
+		{
+			// A "phase" grows the block structure behind the snapshot's back.
+			name: "add-block",
+			rule: verify.RuleLoopMeta,
+			run: func(t *testing.T) error {
+				work, _ := prefixed(t)
+				snap := verify.Capture(work)
+				work.NewBlock("bogus")
+				return snap.CheckDelta(work, "mutant")
+			},
+		},
+		{
+			// Mutate the IR without MarkMutated: the cached liveness is now
+			// stale — the generation-keyed cache cannot see the change.
+			name: "stale-liveness-cache",
+			rule: verify.RuleLiveness,
+			run: func(t *testing.T) error {
+				work, ac := prefixed(t)
+				ac.Liveness() // populate the cache at the current generation
+				in, i := firstFPUse(t, work)
+				// Redirect the use to a different FP vreg, bypassing the
+				// generation bump a real transform would perform.
+				for idx := 0; idx < len(work.VRegs); idx++ {
+					r := ir.VReg(idx)
+					if work.VRegs[idx].Class == ir.ClassFP && r != in.Uses[i] {
+						in.Uses[i] = r
+						return verify.CheckLiveness(work, ac)
+					}
+				}
+				t.Fatal("no second FP vreg")
+				return nil
+			},
+		},
+		{
+			// Color both endpoints of an RCG edge into one bank with no
+			// forced-node excuse.
+			name: "violate-bank-edge",
+			rule: verify.RuleBank,
+			run: func(t *testing.T) error {
+				work, ac := prefixed(t)
+				file := bankfile.RV2(4)
+				g := ac.RCG()
+				ares := assign.PresCount(work, g, ac.Liveness(), file, assign.Options{})
+				if err := verify.CheckBankAssignment(work, g, ares, file); err != nil {
+					t.Fatalf("clean assignment rejected: %v", err)
+				}
+				for _, r := range g.Nodes {
+					if ns := g.Neighbors(r); len(ns) > 0 {
+						ares.BankOf[ns[0]] = ares.BankOf[r]
+						ares.Forced = nil
+						return verify.CheckBankAssignment(work, g, ares, file)
+					}
+				}
+				t.Fatal("RCG has no edges")
+				return nil
+			},
+		},
+		{
+			// Hand a node a bank the register file does not have.
+			name: "bank-out-of-range",
+			rule: verify.RuleBank,
+			run: func(t *testing.T) error {
+				work, ac := prefixed(t)
+				file := bankfile.RV2(4)
+				g := ac.RCG()
+				ares := assign.PresCount(work, g, ac.Liveness(), file, assign.Options{})
+				if len(g.Nodes) == 0 {
+					t.Fatal("RCG has no nodes")
+				}
+				ares.BankOf[g.Nodes[0]] = file.NumBanks + 3
+				return verify.CheckBankAssignment(work, g, ares, file)
+			},
+		},
+		{
+			// Tamper with the reported conflict counts.
+			name: "skew-conflict-report",
+			rule: verify.RuleConflicts,
+			run: func(t *testing.T) error {
+				work, _, _ := allocated(t, bankfile.RV2(2))
+				file := bankfile.RV2(2)
+				rep := *conflict.Analyze(work, file)
+				rep.StaticConflicts++
+				return verify.CheckReport(work, file, &rep)
+			},
+		},
+		{
+			// Alias two live-overlapping values onto one physical register.
+			name: "alias-overlapping-intervals",
+			rule: verify.RulePhysOverlap,
+			run: func(t *testing.T) error {
+				work, alloc, pre := allocated(t, bankfile.RV2(2))
+				as := alloc.Assignments
+				for i := range as {
+					for j := i + 1; j < len(as); j++ {
+						if as[i].Class != as[j].Class || as[i].Phys == as[j].Phys ||
+							as[i].Interval == nil || as[j].Interval == nil ||
+							!as[i].Interval.Overlaps(as[j].Interval) {
+							continue
+						}
+						as[j].Phys = as[i].Phys
+						return verify.CheckAllocation(work, bankfile.RV2(2), alloc, pre)
+					}
+				}
+				t.Fatal("no overlapping pair of assignments")
+				return nil
+			},
+		},
+		{
+			// Let a virtual register leak into the final code.
+			name: "leak-vreg",
+			rule: verify.RuleVRegRemains,
+			run: func(t *testing.T) error {
+				work, alloc, pre := allocated(t, bankfile.RV2(2))
+				for _, b := range work.Blocks {
+					for _, in := range b.Instrs {
+						if len(in.Defs) > 0 {
+							in.Defs[0] = ir.VReg(0)
+							return verify.CheckAllocation(work, bankfile.RV2(2), alloc, pre)
+						}
+					}
+				}
+				t.Fatal("no defining instruction")
+				return nil
+			},
+		},
+		{
+			// Misreport the spill traffic statistics.
+			name: "skew-spill-counts",
+			rule: verify.RuleSpillPair,
+			run: func(t *testing.T) error {
+				work, alloc, pre := allocated(t, small)
+				if alloc.SpillStores == 0 {
+					t.Fatal("tiny file produced no spills; corruption is vacuous")
+				}
+				alloc.SpillStores++
+				return verify.CheckAllocation(work, small, alloc, pre)
+			},
+		},
+		{
+			// Delete every store backing some reloaded spill slot.
+			name: "drop-spill-store",
+			rule: verify.RuleSpillPair,
+			run: func(t *testing.T) error {
+				work, alloc, pre := allocated(t, small)
+				reloads := map[int64]bool{}
+				for _, b := range work.Blocks {
+					for _, in := range b.Instrs {
+						if in.Op == ir.OpFReload || in.Op == ir.OpIReload {
+							reloads[in.Imm] = true
+						}
+					}
+				}
+				var slot int64 = -1
+				for _, b := range work.Blocks {
+					for _, in := range b.Instrs {
+						if (in.Op == ir.OpFSpill || in.Op == ir.OpISpill) && reloads[in.Imm] {
+							slot = in.Imm
+						}
+					}
+				}
+				if slot < 0 {
+					t.Fatal("no reloaded spill slot")
+				}
+				for _, b := range work.Blocks {
+					kept := b.Instrs[:0]
+					for _, in := range b.Instrs {
+						if (in.Op == ir.OpFSpill || in.Op == ir.OpISpill) && in.Imm == slot {
+							alloc.SpillStores-- // a buggy allocator never counted it
+							continue
+						}
+						kept = append(kept, in)
+					}
+					b.Instrs = kept
+				}
+				return verify.CheckAllocation(work, small, alloc, pre)
+			},
+		},
+		{
+			// Make two spilled registers share one slot.
+			name: "share-spill-slot",
+			rule: verify.RuleSpillPair,
+			run: func(t *testing.T) error {
+				work, alloc, pre := allocated(t, small)
+				var regs []ir.Reg
+				for idx := 0; idx < len(work.VRegs) && len(regs) < 2; idx++ {
+					if _, ok := alloc.SpillSlotOf[ir.VReg(idx)]; ok {
+						regs = append(regs, ir.VReg(idx))
+					}
+				}
+				if len(regs) < 2 {
+					t.Fatal("fewer than two spilled registers")
+				}
+				alloc.SpillSlotOf[regs[1]] = alloc.SpillSlotOf[regs[0]]
+				return verify.CheckAllocation(work, small, alloc, pre)
+			},
+		},
+		{
+			// Point a spill at a slot past the function's frame.
+			name: "spill-slot-out-of-range",
+			rule: verify.RuleSpillPair,
+			run: func(t *testing.T) error {
+				work, alloc, pre := allocated(t, small)
+				for _, b := range work.Blocks {
+					for _, in := range b.Instrs {
+						if in.Op == ir.OpFSpill || in.Op == ir.OpISpill {
+							in.Imm = int64(work.SpillSlots)
+							return verify.CheckAllocation(work, small, alloc, pre)
+						}
+					}
+				}
+				t.Fatal("no spill store")
+				return nil
+			},
+		},
+		{
+			// Record an assignment outside the class's register file.
+			name: "assignment-out-of-file",
+			rule: verify.RuleClassLegal,
+			run: func(t *testing.T) error {
+				work, alloc, pre := allocated(t, bankfile.RV2(2))
+				for i := range alloc.Assignments {
+					if alloc.Assignments[i].Class == ir.ClassFP {
+						alloc.Assignments[i].Phys = 32 + 7
+						return verify.CheckAllocation(work, bankfile.RV2(2), alloc, pre)
+					}
+				}
+				t.Fatal("no FP assignment")
+				return nil
+			},
+		},
+		{
+			// Emit code indexing an FP register past the file (the
+			// post-renumber checkpoint's code scan).
+			name: "code-reg-out-of-file",
+			rule: verify.RuleClassLegal,
+			run: func(t *testing.T) error {
+				work, _, _ := allocated(t, bankfile.RV2(2))
+				for _, b := range work.Blocks {
+					for _, in := range b.Instrs {
+						if len(in.Defs) > 0 && in.Defs[0].IsFPR() {
+							in.Defs[0] = ir.FReg(32 + 2)
+							return verify.CheckPhysBounds(work, bankfile.RV2(2))
+						}
+					}
+				}
+				t.Fatal("no FP def")
+				return nil
+			},
+		},
+		{
+			// A register is read with no reaching definition (the
+			// dropped-reload signature, minimal form).
+			name: "read-undefined-phys",
+			rule: verify.RulePhysUndef,
+			run: func(t *testing.T) error {
+				f := ir.NewFunc("synthetic")
+				b := f.NewBlock("entry")
+				b.Instrs = append(b.Instrs,
+					&ir.Instr{Op: ir.OpFAdd, Defs: []ir.Reg{ir.FReg(0)}, Uses: []ir.Reg{ir.FReg(1), ir.FReg(1)}},
+					&ir.Instr{Op: ir.OpRet})
+				f.RecomputePreds()
+				return verify.CheckAllocation(f, bankfile.RV2(2), &regalloc.Result{}, map[ir.Reg]bool{})
+			},
+		},
+		{
+			// Reorder a dependent pair behind the scheduler's back.
+			name: "reorder-dependent-pair",
+			rule: verify.RuleSchedDeps,
+			run: func(t *testing.T) error {
+				work := hot(t).Clone()
+				ac := analysis.New(work)
+				coalesce.RunCached(work, ac)
+				snap := verify.Capture(work)
+				sched.Run(work)
+				if err := snap.CheckSched(work); err != nil {
+					t.Fatalf("clean schedule rejected: %v", err)
+				}
+				for _, b := range work.Blocks {
+					for i := 0; i < len(b.Instrs)-1; i++ {
+						for j := i + 1; j < len(b.Instrs)-1; j++ {
+							if sched.MustPrecede(b.Instrs[i], b.Instrs[j]) {
+								b.Instrs[i], b.Instrs[j] = b.Instrs[j], b.Instrs[i]
+								return snap.CheckSched(work)
+							}
+						}
+					}
+				}
+				t.Fatal("no dependent pair to reorder")
+				return nil
+			},
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			wantRule(t, tc.run(t), tc.rule)
+		})
+	}
+}
+
+// TestDroppedReloadCaught deletes real reload instructions from spilled
+// allocated code — the exact bug V032/V034 exist for — and asserts at least
+// one such deletion is caught. (A deletion deep inside a block can be
+// masked by an unrelated earlier definition of the same physical register;
+// the suite requires the corruption class to be killable, not every
+// instance.)
+func TestDroppedReloadCaught(t *testing.T) {
+	small := bankfile.Config{NumRegs: 4, NumBanks: 2, NumSubgroups: 1, ReadPorts: 1}
+	work, alloc, _ := allocated(t, small)
+	if alloc.SpillReloads == 0 {
+		t.Fatal("tiny file produced no reloads; test is vacuous")
+	}
+	type site struct{ blk, idx int }
+	var sites []site
+	for bi, b := range work.Blocks {
+		for i, in := range b.Instrs {
+			if in.Op == ir.OpFReload || in.Op == ir.OpIReload {
+				sites = append(sites, site{bi, i})
+			}
+		}
+	}
+	caught := 0
+	for _, s := range sites {
+		// Allocation is deterministic, so a fresh run is an identical copy.
+		mut, mutAlloc, mutPre := allocated(t, small)
+		b := mut.Blocks[s.blk]
+		b.Instrs = append(b.Instrs[:s.idx:s.idx], b.Instrs[s.idx+1:]...)
+		mutAlloc.SpillReloads-- // the buggy allocator never counted it
+		if err := verify.CheckAllocation(mut, small, mutAlloc, mutPre); err != nil {
+			var d *ir.Diag
+			if !errors.As(err, &d) {
+				t.Fatalf("non-Diag error: %v", err)
+			}
+			if d.Rule != verify.RulePhysUndef && d.Rule != verify.RuleSpillPair {
+				t.Fatalf("reload deletion fired %s, want %s or %s", d.Rule, verify.RulePhysUndef, verify.RuleSpillPair)
+			}
+			caught++
+		}
+	}
+	if caught == 0 {
+		t.Fatalf("none of %d reload deletions caught", len(sites))
+	}
+	t.Logf("%d/%d reload deletions caught", caught, len(sites))
+}

@@ -103,6 +103,12 @@ type ModuleResult = core.ModuleResult
 // ConflictReport is the static conflict analysis of allocated code.
 type ConflictReport = conflict.Report
 
+// Diag is a structural or phase-boundary verifier diagnostic: the violated
+// rule ID plus the function/block/instruction it points at. Compile errors
+// produced under Options.VerifyEach (and input well-formedness failures)
+// carry one, recoverable with errors.As.
+type Diag = ir.Diag
+
 // SimOptions configures a simulation run.
 type SimOptions = sim.Options
 

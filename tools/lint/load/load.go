@@ -1,0 +1,161 @@
+// Package load type-checks Go packages for the standalone mode of
+// prescountlint (and its self-scan test) without golang.org/x/tools: it
+// shells out to `go list -export -deps -json` for the package graph and
+// export data, then parses and type-checks each target package with the
+// standard library's go/parser, go/types and gc importer.
+package load
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"runtime"
+	"strings"
+)
+
+// Package is one type-checked target package.
+type Package struct {
+	// ImportPath is the canonical package path (test variants carry the
+	// " [pkg.test]" suffix go list uses).
+	ImportPath string
+	// Fset maps positions of Files.
+	Fset *token.FileSet
+	// Files are the parsed sources.
+	Files []*ast.File
+	// Pkg is the type-checked package.
+	Pkg *types.Package
+	// Info is the type information of Files.
+	Info *types.Info
+}
+
+// listPackage is the subset of `go list -json` output the loader reads.
+type listPackage struct {
+	Dir        string
+	ImportPath string
+	Name       string
+	Export     string
+	GoFiles    []string
+	CgoFiles   []string
+	DepOnly    bool
+	Standard   bool
+	ImportMap  map[string]string
+	Error      *struct{ Err string }
+}
+
+// Packages loads, parses and type-checks the packages matching patterns.
+// With tests set, in-package and external test variants are included. The
+// returned slice holds only matched (non-dependency) packages with Go
+// sources, in go list order.
+func Packages(dir string, patterns []string, tests bool) ([]*Package, error) {
+	args := []string{"list", "-e", "-export", "-deps", "-json"}
+	if tests {
+		args = append(args, "-test")
+	}
+	args = append(args, patterns...)
+	cmd := exec.Command("go", args...)
+	cmd.Dir = dir
+	var out, errb bytes.Buffer
+	cmd.Stdout = &out
+	cmd.Stderr = &errb
+	if err := cmd.Run(); err != nil {
+		return nil, fmt.Errorf("go list: %v\n%s", err, errb.String())
+	}
+
+	var pkgs []*listPackage
+	exports := map[string]string{}
+	dec := json.NewDecoder(&out)
+	for {
+		var p listPackage
+		if err := dec.Decode(&p); err == io.EOF {
+			break
+		} else if err != nil {
+			return nil, fmt.Errorf("go list output: %v", err)
+		}
+		if p.Export != "" {
+			exports[p.ImportPath] = p.Export
+		}
+		pkgs = append(pkgs, &p)
+	}
+
+	var loaded []*Package
+	for _, p := range pkgs {
+		if p.DepOnly || p.Error != nil || len(p.GoFiles)+len(p.CgoFiles) == 0 {
+			continue
+		}
+		if strings.HasSuffix(p.ImportPath, ".test") {
+			continue // synthesized test main packages
+		}
+		lp, err := check(p, exports)
+		if err != nil {
+			return nil, fmt.Errorf("%s: %w", p.ImportPath, err)
+		}
+		loaded = append(loaded, lp)
+	}
+	return loaded, nil
+}
+
+// check parses and type-checks one package against the export data of its
+// dependencies.
+func check(p *listPackage, exports map[string]string) (*Package, error) {
+	fset := token.NewFileSet()
+	var files []*ast.File
+	for _, name := range append(append([]string{}, p.GoFiles...), p.CgoFiles...) {
+		path := name
+		if !filepath.IsAbs(path) {
+			path = filepath.Join(p.Dir, name)
+		}
+		f, err := parser.ParseFile(fset, path, nil, parser.ParseComments|parser.SkipObjectResolution)
+		if err != nil {
+			return nil, err
+		}
+		files = append(files, f)
+	}
+	lookup := func(path string) (io.ReadCloser, error) {
+		if mapped, ok := p.ImportMap[path]; ok {
+			path = mapped
+		}
+		file, ok := exports[path]
+		if !ok {
+			return nil, fmt.Errorf("no export data for %q", path)
+		}
+		return os.Open(file)
+	}
+	info := NewInfo()
+	conf := types.Config{
+		Importer: importer.ForCompiler(fset, "gc", lookup),
+		Sizes:    types.SizesFor("gc", runtime.GOARCH),
+		Error:    func(error) {}, // collect the first error via Check's return
+	}
+	// The " [pkg.test]" suffix is go list bookkeeping, not a package path.
+	path := p.ImportPath
+	if i := strings.Index(path, " "); i >= 0 {
+		path = path[:i]
+	}
+	pkg, err := conf.Check(path, fset, files, info)
+	if err != nil {
+		return nil, err
+	}
+	return &Package{ImportPath: p.ImportPath, Fset: fset, Files: files, Pkg: pkg, Info: info}, nil
+}
+
+// NewInfo returns a types.Info with every map analyzers consult allocated.
+func NewInfo() *types.Info {
+	return &types.Info{
+		Types:      map[ast.Expr]types.TypeAndValue{},
+		Defs:       map[*ast.Ident]types.Object{},
+		Uses:       map[*ast.Ident]types.Object{},
+		Implicits:  map[ast.Node]types.Object{},
+		Selections: map[*ast.SelectorExpr]*types.Selection{},
+		Scopes:     map[ast.Node]*types.Scope{},
+		Instances:  map[*ast.Ident]types.Instance{},
+	}
+}

@@ -1,0 +1,557 @@
+// Package mapiter flags range-over-map loops in packages whose output must
+// be deterministic. Go randomizes map iteration order on purpose; inside
+// the compiler pipeline a map-ordered loop is a reproducibility bug waiting
+// to surface as run-to-run output jitter — the exact class fixed three
+// times already (eviction-cost summation in the allocator, loop-split
+// materialization order, parser successor resolution).
+//
+// Not every map range is a bug: iteration order is immaterial when the loop
+// is a commutative reduction or its results are re-sorted. The analyzer
+// recognizes four benign shapes and flags everything else:
+//
+//   - sorted feed: every write appends to slices that the enclosing
+//     function later passes to a sort call;
+//   - commutative fold: the body only accumulates into integer or boolean
+//     lvalues with order-independent operators (+= on integers, |=, &=, ^=,
+//     ++/--, x = x || e, constant assignment), optionally behind guards
+//     (if/else branches and continue included — which iterations contribute
+//     is key-determined, not order-determined).
+//     Float accumulation is NOT benign — float addition does not associate,
+//     and a float += fold over a map was precisely the PR-1 bug;
+//   - per-key writes: every statement writes through an index that mentions
+//     a loop variable (m2[k] = v, seen[v] = true, delete(m2, k)) — distinct
+//     keys commute;
+//   - keyed extremum: a local reduction whose comparisons tie-break on the
+//     loop key with < or > (argmin/argmax à la assign.MaxCostDegree), which
+//     makes the selected element order-independent.
+//
+// A return or break that exits the loop makes the surviving iteration
+// order-dependent and disqualifies every shape above. Test files are exempt:
+// determinism is a property of production code.
+package mapiter
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+
+	"prescount/tools/lint/analysis"
+)
+
+// Analyzer is the mapiter check.
+var Analyzer = &analysis.Analyzer{
+	Name: "mapiter",
+	Doc:  "flag range-over-map in deterministic-output packages unless the loop is order-independent",
+	Run:  run,
+}
+
+// DeterministicPkgs lists the import paths whose outputs feed
+// byte-reproducible artifacts (compiled functions, cache keys, printed IR).
+// Test variants of these packages carry a different ImportPath and are
+// deliberately not matched: determinism is a property of production code.
+var DeterministicPkgs = map[string]bool{
+	"prescount/internal/ir":           true,
+	"prescount/internal/assign":       true,
+	"prescount/internal/regalloc":     true,
+	"prescount/internal/coalesce":     true,
+	"prescount/internal/sched":        true,
+	"prescount/internal/core":         true,
+	"prescount/internal/compilecache": true,
+}
+
+func run(pass *analysis.Pass) error {
+	if !DeterministicPkgs[pass.Pkg.Path()] {
+		return nil
+	}
+	for _, file := range pass.Files {
+		// Determinism is a property of production code: test files assert on
+		// outputs, they don't produce them, and they may range maps freely.
+		if name := pass.Fset.Position(file.Pos()).Filename; strings.HasSuffix(name, "_test.go") {
+			continue
+		}
+		// Function bodies, innermost-last, for the sorted-feed recognizer.
+		var bodies []*ast.BlockStmt
+		ast.Inspect(file, func(n ast.Node) bool {
+			switch fn := n.(type) {
+			case *ast.FuncDecl:
+				if fn.Body != nil {
+					bodies = append(bodies, fn.Body)
+				}
+			case *ast.FuncLit:
+				bodies = append(bodies, fn.Body)
+			}
+			return true
+		})
+		ast.Inspect(file, func(n ast.Node) bool {
+			rs, ok := n.(*ast.RangeStmt)
+			if !ok {
+				return true
+			}
+			t := pass.TypesInfo.TypeOf(rs.X)
+			if t == nil {
+				return true
+			}
+			if _, isMap := t.Underlying().(*types.Map); !isMap {
+				return true
+			}
+			c := &checker{pass: pass, rs: rs, vars: loopVars(rs)}
+			if c.benign(enclosing(bodies, rs)) {
+				return true
+			}
+			pass.Reportf(rs.For,
+				"range over map in deterministic-output package %s: iteration order is randomized; sort the keys or restructure into an order-independent form",
+				pass.Pkg.Path())
+			return true
+		})
+	}
+	return nil
+}
+
+// enclosing returns the innermost function body containing rs.
+func enclosing(bodies []*ast.BlockStmt, rs *ast.RangeStmt) *ast.BlockStmt {
+	var best *ast.BlockStmt
+	for _, b := range bodies {
+		if b.Pos() <= rs.Pos() && rs.End() <= b.End() {
+			if best == nil || (best.Pos() <= b.Pos() && b.End() <= best.End()) {
+				best = b
+			}
+		}
+	}
+	return best
+}
+
+// loopVars returns the names bound by the range clause.
+func loopVars(rs *ast.RangeStmt) map[string]bool {
+	vars := map[string]bool{}
+	for _, e := range []ast.Expr{rs.Key, rs.Value} {
+		if id, ok := e.(*ast.Ident); ok && id.Name != "_" {
+			vars[id.Name] = true
+		}
+	}
+	return vars
+}
+
+type checker struct {
+	pass *analysis.Pass
+	rs   *ast.RangeStmt
+	vars map[string]bool // loop variable names
+}
+
+func (c *checker) benign(fnBody *ast.BlockStmt) bool {
+	if c.exitsEarly() {
+		// A return/break decided by map order selects an arbitrary
+		// iteration; no recognizer can excuse that.
+		return false
+	}
+	return c.commutativeFold(c.rs.Body.List) ||
+		c.perKeyWrites(c.rs.Body.List) ||
+		c.keyedExtremum() ||
+		c.sortedFeed(fnBody)
+}
+
+// exitsEarly reports whether the loop body can terminate the loop mid-way:
+// a return, a goto, or a break binding to this loop (nested function
+// literals are opaque and don't count).
+func (c *checker) exitsEarly() bool {
+	found := false
+	var depth int // nesting of for/switch/select that capture break
+	var walk func(n ast.Node) bool
+	walk = func(n ast.Node) bool {
+		switch s := n.(type) {
+		case *ast.FuncLit:
+			return false
+		case *ast.ReturnStmt, *ast.GoStmt:
+			_ = s
+			found = true
+			return false
+		case *ast.BranchStmt:
+			if s.Tok == token.GOTO {
+				found = true
+			}
+			if s.Tok == token.BREAK && s.Label == nil && depth == 0 {
+				found = true
+			}
+			return false
+		case *ast.ForStmt, *ast.RangeStmt, *ast.SwitchStmt, *ast.TypeSwitchStmt, *ast.SelectStmt:
+			depth++
+			for _, child := range children(n) {
+				ast.Inspect(child, walk)
+			}
+			depth--
+			return false
+		}
+		return true
+	}
+	for _, st := range c.rs.Body.List {
+		ast.Inspect(st, walk)
+	}
+	return found
+}
+
+// children returns the immediate child nodes of a statement, so nested
+// break-capturing constructs can be walked with adjusted depth.
+func children(n ast.Node) []ast.Node {
+	var out []ast.Node
+	first := true
+	ast.Inspect(n, func(m ast.Node) bool {
+		if first {
+			first = false
+			return true
+		}
+		if m != nil {
+			out = append(out, m)
+		}
+		return false
+	})
+	return out
+}
+
+// commutativeFold accepts bodies that only accumulate with order-independent
+// operators into non-float lvalues, optionally behind if guards.
+func (c *checker) commutativeFold(stmts []ast.Stmt) bool {
+	ops := 0
+	var stmtOK func(s ast.Stmt) bool
+	stmtOK = func(s ast.Stmt) bool {
+		switch st := s.(type) {
+		case *ast.IncDecStmt:
+			ops++
+			return !c.isFloat(st.X)
+		case *ast.AssignStmt:
+			if len(st.Lhs) != 1 || len(st.Rhs) != 1 {
+				return false
+			}
+			switch st.Tok {
+			case token.ADD_ASSIGN:
+				// Integer addition commutes and associates; float addition
+				// associates only in testimony. (PR-1's nondeterminism was a
+				// float += over map-ordered eviction candidates.)
+				ops++
+				return !c.isFloat(st.Lhs[0])
+			case token.OR_ASSIGN, token.AND_ASSIGN, token.XOR_ASSIGN:
+				ops++
+				return true
+			case token.ASSIGN:
+				// x = x || e and x = x && e are boolean folds; x = <constant>
+				// is idempotent.
+				if bin, ok := st.Rhs[0].(*ast.BinaryExpr); ok &&
+					(bin.Op == token.LOR || bin.Op == token.LAND) &&
+					sameIdent(st.Lhs[0], bin.X) {
+					ops++
+					return true
+				}
+				if c.isConstant(st.Rhs[0]) && isPlainIdent(st.Lhs[0]) {
+					ops++
+					return true
+				}
+				return false
+			default:
+				return false
+			}
+		case *ast.IfStmt:
+			// Guards (including if/else: each branch folds a different
+			// accumulator) and continue-skips don't break commutativity —
+			// which iterations contribute is key-determined, not
+			// order-determined.
+			if st.Init != nil {
+				return false
+			}
+			for _, s2 := range st.Body.List {
+				if !stmtOK(s2) {
+					return false
+				}
+			}
+			switch el := st.Else.(type) {
+			case nil:
+				return true
+			case *ast.BlockStmt:
+				for _, s2 := range el.List {
+					if !stmtOK(s2) {
+						return false
+					}
+				}
+				return true
+			case *ast.IfStmt:
+				return stmtOK(el)
+			}
+			return false
+		case *ast.SwitchStmt:
+			// A switch is just an n-way guard; an unlabeled break inside it
+			// binds to the switch, not the loop.
+			if st.Init != nil {
+				return false
+			}
+			for _, cl := range st.Body.List {
+				cc, ok := cl.(*ast.CaseClause)
+				if !ok {
+					return false
+				}
+				for _, s2 := range cc.Body {
+					if br, ok := s2.(*ast.BranchStmt); ok && br.Label == nil &&
+						(br.Tok == token.BREAK || br.Tok == token.FALLTHROUGH) {
+						continue
+					}
+					if !stmtOK(s2) {
+						return false
+					}
+				}
+			}
+			return true
+		case *ast.BranchStmt:
+			return st.Tok == token.CONTINUE && st.Label == nil
+		case *ast.EmptyStmt:
+			return true
+		}
+		return false
+	}
+	for _, s := range stmts {
+		if !stmtOK(s) {
+			return false
+		}
+	}
+	return ops > 0
+}
+
+// perKeyWrites accepts bodies whose every effect writes through an index
+// mentioning a loop variable: distinct keys commute.
+func (c *checker) perKeyWrites(stmts []ast.Stmt) bool {
+	writes := 0
+	var stmtOK func(s ast.Stmt) bool
+	stmtOK = func(s ast.Stmt) bool {
+		switch st := s.(type) {
+		case *ast.AssignStmt:
+			for _, lhs := range st.Lhs {
+				ix, ok := lhs.(*ast.IndexExpr)
+				if !ok || !c.mentionsLoopVar(ix.Index) {
+					return false
+				}
+			}
+			writes++
+			return true
+		case *ast.ExprStmt:
+			// delete(m, k) with a loop-var key.
+			call, ok := st.X.(*ast.CallExpr)
+			if !ok {
+				return false
+			}
+			fn, ok := call.Fun.(*ast.Ident)
+			if !ok || fn.Name != "delete" || len(call.Args) != 2 {
+				return false
+			}
+			if !c.mentionsLoopVar(call.Args[1]) {
+				return false
+			}
+			writes++
+			return true
+		case *ast.IfStmt:
+			if st.Init != nil || st.Else != nil {
+				return false
+			}
+			for _, s2 := range st.Body.List {
+				if !stmtOK(s2) {
+					return false
+				}
+			}
+			return true
+		case *ast.EmptyStmt:
+			return true
+		case *ast.BranchStmt:
+			return st.Tok == token.CONTINUE && st.Label == nil
+		}
+		return false
+	}
+	for _, s := range stmts {
+		if !stmtOK(s) {
+			return false
+		}
+	}
+	return writes > 0
+}
+
+// keyedExtremum accepts local argmin/argmax reductions: every assignment
+// targets a plain local identifier (no external state), and some comparison
+// tie-breaks on a loop variable against another identifier — a total order
+// over keys, so the winner is independent of iteration order.
+func (c *checker) keyedExtremum() bool {
+	tieBreak := false
+	pure := true
+	for _, st := range c.rs.Body.List {
+		ast.Inspect(st, func(n ast.Node) bool {
+			switch e := n.(type) {
+			case *ast.FuncLit:
+				pure = false
+				return false
+			case *ast.AssignStmt:
+				for _, lhs := range e.Lhs {
+					if !isPlainIdent(lhs) {
+						pure = false
+					}
+				}
+			case *ast.IncDecStmt:
+				if !isPlainIdent(e.X) {
+					pure = false
+				}
+			case *ast.CallExpr:
+				// Calls may write anywhere; only allow known-pure shapes
+				// (method/field reads are fine, e.g. g.Degree(r)).
+			case *ast.BinaryExpr:
+				if e.Op == token.LSS || e.Op == token.GTR {
+					x, xo := e.X.(*ast.Ident)
+					y, yo := e.Y.(*ast.Ident)
+					if xo && yo && (c.vars[x.Name] != c.vars[y.Name]) {
+						tieBreak = true
+					}
+				}
+			}
+			return true
+		})
+	}
+	return pure && tieBreak
+}
+
+// sortedFeed accepts bodies that only append into slices, each of which is
+// later handed to a sort call in the enclosing function.
+func (c *checker) sortedFeed(fnBody *ast.BlockStmt) bool {
+	if fnBody == nil {
+		return false
+	}
+	targets := map[string]bool{}
+	var stmtOK func(s ast.Stmt) bool
+	stmtOK = func(s ast.Stmt) bool {
+		switch st := s.(type) {
+		case *ast.AssignStmt:
+			if len(st.Lhs) != 1 || len(st.Rhs) != 1 {
+				return false
+			}
+			id, ok := st.Lhs[0].(*ast.Ident)
+			if !ok {
+				return false
+			}
+			call, ok := st.Rhs[0].(*ast.CallExpr)
+			if !ok {
+				return false
+			}
+			fn, ok := call.Fun.(*ast.Ident)
+			if !ok || fn.Name != "append" || len(call.Args) < 1 {
+				return false
+			}
+			if arg, ok := call.Args[0].(*ast.Ident); !ok || arg.Name != id.Name {
+				return false
+			}
+			targets[id.Name] = true
+			return true
+		case *ast.IfStmt:
+			if st.Init != nil || st.Else != nil {
+				return false
+			}
+			for _, s2 := range st.Body.List {
+				if !stmtOK(s2) {
+					return false
+				}
+			}
+			return true
+		case *ast.EmptyStmt:
+			return true
+		case *ast.BranchStmt:
+			return st.Tok == token.CONTINUE && st.Label == nil
+		}
+		return false
+	}
+	for _, s := range c.rs.Body.List {
+		if !stmtOK(s) {
+			return false
+		}
+	}
+	if len(targets) == 0 {
+		return false
+	}
+	// Every appended slice must reach a sort call after the loop.
+	sorted := map[string]bool{}
+	ast.Inspect(fnBody, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok || call.Pos() < c.rs.End() {
+			return true
+		}
+		sel, ok := call.Fun.(*ast.SelectorExpr)
+		if !ok {
+			return true
+		}
+		pkg, ok := sel.X.(*ast.Ident)
+		if !ok || !c.isSortPkg(pkg) || !sortFuncs[sel.Sel.Name] {
+			return true
+		}
+		for _, arg := range call.Args {
+			if id, ok := arg.(*ast.Ident); ok && targets[id.Name] {
+				sorted[id.Name] = true
+			}
+		}
+		return true
+	})
+	for name := range targets {
+		if !sorted[name] {
+			return false
+		}
+	}
+	return true
+}
+
+var sortFuncs = map[string]bool{
+	"Slice": true, "SliceStable": true, "Sort": true, "Stable": true,
+	"Strings": true, "Ints": true, "Float64s": true,
+}
+
+// isSortPkg reports whether id names the standard sort (or slices) package.
+func (c *checker) isSortPkg(id *ast.Ident) bool {
+	if obj, ok := c.pass.TypesInfo.Uses[id]; ok {
+		if pn, ok := obj.(*types.PkgName); ok {
+			p := pn.Imported().Path()
+			return p == "sort" || p == "slices"
+		}
+		return false
+	}
+	return id.Name == "sort" || id.Name == "slices"
+}
+
+func (c *checker) mentionsLoopVar(e ast.Expr) bool {
+	found := false
+	ast.Inspect(e, func(n ast.Node) bool {
+		if id, ok := n.(*ast.Ident); ok && c.vars[id.Name] {
+			found = true
+		}
+		return true
+	})
+	return found
+}
+
+func (c *checker) isFloat(e ast.Expr) bool {
+	t := c.pass.TypesInfo.TypeOf(e)
+	if t == nil {
+		return false
+	}
+	b, ok := t.Underlying().(*types.Basic)
+	return ok && b.Info()&types.IsFloat != 0
+}
+
+func (c *checker) isConstant(e ast.Expr) bool {
+	if tv, ok := c.pass.TypesInfo.Types[e]; ok && tv.Value != nil {
+		return true
+	}
+	switch v := e.(type) {
+	case *ast.BasicLit:
+		return true
+	case *ast.Ident:
+		return v.Name == "true" || v.Name == "false" || v.Name == "nil"
+	}
+	return false
+}
+
+func sameIdent(a, b ast.Expr) bool {
+	x, ok1 := a.(*ast.Ident)
+	y, ok2 := b.(*ast.Ident)
+	return ok1 && ok2 && x.Name == y.Name
+}
+
+func isPlainIdent(e ast.Expr) bool {
+	_, ok := e.(*ast.Ident)
+	return ok
+}

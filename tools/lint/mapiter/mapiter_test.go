@@ -1,0 +1,243 @@
+package mapiter_test
+
+import (
+	"testing"
+
+	"prescount/tools/lint/linttest"
+	"prescount/tools/lint/mapiter"
+)
+
+// irPkg makes mapiter treat the fixture as deterministic-output code.
+const irPkg = "prescount/internal/ir"
+
+// TestMapIter drives the analyzer over fixture sources: each seeded
+// violation must produce exactly the expected findings, and each benign
+// shape must produce none. The violating fixtures are the CI self-test the
+// issue calls for — if the analyzer regresses into silence, these fail.
+func TestMapIter(t *testing.T) {
+	cases := []struct {
+		name string
+		pkg  string // import path; default irPkg
+		file string // file name; default fixture.go
+		src  string
+		want int // findings
+	}{
+		{
+			// The PR-1 bug class: float accumulation over map order.
+			name: "float-fold-flagged",
+			src: `package ir
+func total(m map[int]float64) float64 {
+	var s float64
+	for _, v := range m {
+		s += v
+	}
+	return s
+}`,
+			want: 1,
+		},
+		{
+			name: "int-fold-benign",
+			src: `package ir
+func count(m map[int]int) int {
+	n := 0
+	for _, v := range m {
+		n += v
+	}
+	return n
+}`,
+			want: 0,
+		},
+		{
+			name: "guarded-fold-with-continue-and-else-benign",
+			src: `package ir
+func deltas(m map[int]int, live map[int]int) (int, int) {
+	fp, gpr := 0, 0
+	for k, n := range m {
+		if live[k] != n {
+			continue
+		}
+		if k%2 == 0 {
+			fp--
+		} else {
+			gpr--
+		}
+	}
+	return fp, gpr
+}`,
+			want: 0,
+		},
+		{
+			name: "bool-or-fold-benign",
+			src: `package ir
+func any(m map[int]bool) bool {
+	found := false
+	for _, v := range m {
+		found = found || v
+	}
+	return found
+}`,
+			want: 0,
+		},
+		{
+			name: "per-key-writes-benign",
+			src: `package ir
+func invert(m map[int]string) map[string]int {
+	out := map[string]int{}
+	for k, v := range m {
+		out[v] = k
+	}
+	return out
+}`,
+			want: 0,
+		},
+		{
+			name: "delete-per-key-benign",
+			src: `package ir
+func prune(m map[int]int) {
+	for k, v := range m {
+		if v == 0 {
+			delete(m, k)
+		}
+	}
+}`,
+			want: 0,
+		},
+		{
+			name: "keyed-extremum-benign",
+			src: `package ir
+func argmax(m map[int]int) int {
+	best, bestv := -1, -1
+	for r, v := range m {
+		better := v > bestv || (v == bestv && r < best)
+		if better {
+			best, bestv = r, v
+		}
+	}
+	return best
+}`,
+			want: 0,
+		},
+		{
+			name: "sorted-feed-benign",
+			src: `package ir
+import "sort"
+func keys(m map[string]bool) []string {
+	var out []string
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}`,
+			want: 0,
+		},
+		{
+			name: "unsorted-feed-flagged",
+			src: `package ir
+func keys(m map[string]bool) []string {
+	var out []string
+	for k := range m {
+		out = append(out, k)
+	}
+	return out
+}`,
+			want: 1,
+		},
+		{
+			// Order decides which key wins the early return.
+			name: "early-return-flagged",
+			src: `package ir
+func pick(m map[int]bool) int {
+	for k := range m {
+		if m[k] {
+			return k
+		}
+	}
+	return -1
+}`,
+			want: 1,
+		},
+		{
+			// An unlabeled break inside a nested switch binds to the switch,
+			// not the range: the fold is still complete and benign.
+			name: "break-in-nested-switch-benign",
+			src: `package ir
+func tally(m map[int]int) int {
+	n := 0
+	for _, v := range m {
+		switch {
+		case v > 0:
+			n += v
+			break
+		}
+	}
+	return n
+}`,
+			want: 0,
+		},
+		{
+			// Arbitrary side effects in map order: no recognizer applies.
+			name: "append-without-sort-then-call-flagged",
+			src: `package ir
+func emit(m map[int]int, out func(...any)) {
+	for k, v := range m {
+		out(k, v)
+	}
+}`,
+			want: 1,
+		},
+		{
+			name: "non-deterministic-package-ignored",
+			pkg:  "prescount/internal/sdg",
+			src: `package sdg
+func total(m map[int]float64) float64 {
+	var s float64
+	for _, v := range m {
+		s += v
+	}
+	return s
+}`,
+			want: 0,
+		},
+		{
+			name: "test-file-exempt",
+			file: "fixture_test.go",
+			src: `package ir
+func total(m map[int]float64) float64 {
+	var s float64
+	for _, v := range m {
+		s += v
+	}
+	return s
+}`,
+			want: 0,
+		},
+		{
+			name: "range-over-slice-ignored",
+			src: `package ir
+func total(xs []float64) float64 {
+	var s float64
+	for _, v := range xs {
+		s += v
+	}
+	return s
+}`,
+			want: 0,
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			pkg, file := tc.pkg, tc.file
+			if pkg == "" {
+				pkg = irPkg
+			}
+			if file == "" {
+				file = "fixture.go"
+			}
+			diags := linttest.Check(t, mapiter.Analyzer, pkg, file, tc.src)
+			if len(diags) != tc.want {
+				t.Fatalf("got %d findings, want %d: %v", len(diags), tc.want, diags)
+			}
+		})
+	}
+}
