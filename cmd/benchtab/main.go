@@ -64,6 +64,18 @@ type stageRecord struct {
 	Wall   string `json:"wall"`
 	// Mallocs counts heap allocations performed during the stage.
 	Mallocs uint64 `json:"mallocs"`
+	// AllocBytes is the total heap bytes allocated during the stage
+	// (runtime TotalAlloc delta); HeapLiveBytes is the live heap at stage
+	// end. Together with the GC fields they make the JSON sensitive to the
+	// zero-allocation compile path regressing: a pass that reverts to
+	// per-compile maps shows up as alloc-byte and gc-cycle growth long
+	// before wall time moves.
+	AllocBytes    uint64 `json:"alloc_bytes"`
+	HeapLiveBytes uint64 `json:"heap_live_bytes"`
+	// GCCycles and GCPauseNS count collections that ran during the stage
+	// and their cumulative stop-the-world pause.
+	GCCycles  uint32 `json:"gc_cycles"`
+	GCPauseNS uint64 `json:"gc_pause_ns"`
 	// Compiles counts core.Compile invocations (cache hits included); only
 	// present for sweep-backed stages, where it equals FullHits+FullMisses.
 	Compiles int64 `json:"compiles,omitempty"`
@@ -85,7 +97,8 @@ type perfLog struct {
 	Sweeps map[string]map[string]map[string]experiments.Counts `json:"sweeps,omitempty"`
 }
 
-// stage runs fn, timing it and counting its heap allocations.
+// stage runs fn, timing it and recording its heap-allocation and GC
+// activity.
 func (p *perfLog) stage(name string, fn func()) {
 	var before, after runtime.MemStats
 	runtime.ReadMemStats(&before)
@@ -94,10 +107,14 @@ func (p *perfLog) stage(name string, fn func()) {
 	wall := time.Since(start)
 	runtime.ReadMemStats(&after)
 	p.Stages = append(p.Stages, stageRecord{
-		Name:    name,
-		WallNS:  wall.Nanoseconds(),
-		Wall:    wall.Round(time.Microsecond).String(),
-		Mallocs: after.Mallocs - before.Mallocs,
+		Name:          name,
+		WallNS:        wall.Nanoseconds(),
+		Wall:          wall.Round(time.Microsecond).String(),
+		Mallocs:       after.Mallocs - before.Mallocs,
+		AllocBytes:    after.TotalAlloc - before.TotalAlloc,
+		HeapLiveBytes: after.HeapAlloc,
+		GCCycles:      after.NumGC - before.NumGC,
+		GCPauseNS:     after.PauseTotalNs - before.PauseTotalNs,
 	})
 }
 
@@ -155,7 +172,7 @@ func main() {
 	}
 	all := want["all"]
 	run := func(name string) bool { return all || want[name] }
-	perf := &perfLog{Schema: "prescount-bench/1"}
+	perf := &perfLog{Schema: "prescount-bench/2"}
 
 	start := time.Now()
 	if run("fig1") {
@@ -295,7 +312,7 @@ func runSizes(spec string) {
 	const seedsPerSize = 3
 	file := bankfile.RV1(2)
 	section("Compile-time scaling sweep (random functions, bpc, 2-bank RV#1)")
-	fmt.Printf("%8s %8s %10s %10s %12s %10s %10s\n", "size", "instrs", "intervals", "conflicts", "compile", "per-intvl", "verify-ovh")
+	fmt.Printf("%8s %8s %10s %10s %12s %10s %10s %12s\n", "size", "instrs", "intervals", "conflicts", "compile", "per-intvl", "verify-ovh", "allocs/comp")
 	for _, field := range strings.Split(spec, ",") {
 		size, err := strconv.Atoi(strings.TrimSpace(field))
 		if err != nil {
@@ -303,6 +320,7 @@ func runSizes(spec string) {
 		}
 		var instrs, intervals, conflicts int
 		var elapsed, verified time.Duration
+		var mallocs uint64
 		for seed := int64(0); seed < seedsPerSize; seed++ {
 			f := workload.RandomSized(seed, size)
 			lv := liveness.Compute(f, cfg.Compute(f))
@@ -312,21 +330,26 @@ func runSizes(spec string) {
 				}
 			}
 			instrs += f.NumInstrs()
+			var before, after runtime.MemStats
+			runtime.ReadMemStats(&before)
 			start := time.Now()
 			res, err := core.Compile(f, core.Options{File: file, Method: core.MethodBPC})
 			check(err)
 			elapsed += time.Since(start)
+			runtime.ReadMemStats(&after)
+			mallocs += after.Mallocs - before.Mallocs
 			conflicts += res.Report.StaticConflicts
 			start = time.Now()
 			_, err = core.Compile(f, core.Options{File: file, Method: core.MethodBPC, VerifyEach: true})
 			check(err)
 			verified += time.Since(start)
 		}
-		fmt.Printf("%8d %8d %10d %10d %12v %10s %9.1f%%\n",
+		fmt.Printf("%8d %8d %10d %10d %12v %10s %9.1f%% %12d\n",
 			size, instrs/seedsPerSize, intervals/seedsPerSize, conflicts/seedsPerSize,
 			(elapsed / seedsPerSize).Round(time.Microsecond),
 			fmt.Sprintf("%.1fns", float64(elapsed.Nanoseconds())/float64(maxI(intervals, 1))),
 			100*(float64(verified)/float64(maxI64(elapsed, 1))-1),
+			mallocs/seedsPerSize,
 		)
 	}
 }

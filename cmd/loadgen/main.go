@@ -86,19 +86,25 @@ func main() {
 			check(fmt.Errorf("-saturate requires self-spawn mode (omit -url)"))
 		}
 		// A deliberately tiny daemon with a tiny cache: the point is 429s
-		// and cache eviction instead of unbounded queueing and growth.
+		// and cache eviction instead of unbounded queueing and growth. One
+		// compile slot, a two-deep queue, and 2000-instruction kernels —
+		// with the zero-allocation compile path a small cold compile
+		// finishes inside a single scheduler quantum, so only long compiles
+		// reliably overlap the fleet's arrivals and overrun admission
+		// control on a single-CPU runner.
 		target, shutdown := spawn(server.Config{
-			MaxInFlight:   2,
-			MaxQueue:      4,
+			MaxInFlight:   1,
+			MaxQueue:      2,
 			CacheMaxBytes: 64 << 10,
 		})
 		sres, err := server.RunLoadgen(server.LoadgenConfig{
-			URL:         target,
-			Concurrency: *c,
-			Requests:    *n / 2,
-			Kernels:     *kernels,
-			Method:      *method,
-			RetryOn429:  false, // count the 429s, don't wait them out
+			URL:          target,
+			Concurrency:  *c,
+			Requests:     *n / 4,
+			Kernels:      *kernels,
+			KernelInstrs: 2000,
+			Method:       *method,
+			RetryOn429:   false, // count the 429s, don't wait them out
 		})
 		shutdown()
 		check(err)

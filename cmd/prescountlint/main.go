@@ -1,5 +1,5 @@
 // Command prescountlint runs this repository's custom static analyzers
-// (mapiter, phaseorder) in two modes:
+// (mapiter, phaseorder, regset) in two modes:
 //
 //   - vettool mode, driven by the go command:
 //
@@ -38,6 +38,7 @@ import (
 	"prescount/tools/lint/load"
 	"prescount/tools/lint/mapiter"
 	"prescount/tools/lint/phaseorder"
+	"prescount/tools/lint/regset"
 )
 
 // version is the string reported to the go command's -V=full probe. The
@@ -45,7 +46,7 @@ import (
 const version = "1.0.0"
 
 // analyzers is the check suite this tool runs.
-var analyzers = []*analysis.Analyzer{mapiter.Analyzer, phaseorder.Analyzer}
+var analyzers = []*analysis.Analyzer{mapiter.Analyzer, phaseorder.Analyzer, regset.Analyzer}
 
 func main() {
 	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))

@@ -28,13 +28,15 @@ import (
 	"prescount/internal/ir"
 	"prescount/internal/liveness"
 	"prescount/internal/rcg"
+	"prescount/internal/scratch"
 )
 
 // Cache holds the analyses of one function. It is not safe for concurrent
 // use; in a parallel module compile each worker owns the cache of the
 // function clone it compiles.
 type Cache struct {
-	f *ir.Func
+	f  *ir.Func
+	ar *scratch.Arena
 
 	cfgGen  uint64
 	cfgInfo *cfg.Info
@@ -53,6 +55,13 @@ type Cache struct {
 // New returns an empty cache for f. Nothing is computed until the first
 // accessor call.
 func New(f *ir.Func) *Cache { return &Cache{f: f} }
+
+// NewWithArena is New with a compile-scoped scratch arena: liveness draws
+// its bitset words from ar instead of the heap. The caller owns ar's
+// lifetime and must not release it while any analysis obtained from the
+// cache is still in use — in practice core holds the arena for exactly one
+// compile and every analysis dies with that compile.
+func NewWithArena(f *ir.Func, ar *scratch.Arena) *Cache { return &Cache{f: f, ar: ar} }
 
 // Func returns the function the cache analyzes.
 func (c *Cache) Func() *ir.Func { return c.f }
@@ -75,7 +84,7 @@ func (c *Cache) CFG() *cfg.Info {
 func (c *Cache) Liveness() *liveness.Info {
 	gen := c.f.Generation()
 	if c.liv == nil || c.livGen != gen {
-		c.liv = liveness.Compute(c.f, c.CFG())
+		c.liv = liveness.ComputeArena(c.f, c.CFG(), c.ar)
 		c.livGen = gen
 		c.Computes[1]++
 	}

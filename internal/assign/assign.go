@@ -15,8 +15,6 @@
 package assign
 
 import (
-	"sort"
-
 	"prescount/internal/bankfile"
 	"prescount/internal/ir"
 	"prescount/internal/liveness"
@@ -61,7 +59,7 @@ func PresCount(f *ir.Func, g *rcg.Graph, lv *liveness.Info, cfg bankfile.Config,
 		thres = DefaultTHRES
 	}
 	res := &Result{
-		BankOf:    make(map[ir.Reg]int),
+		BankOf:    make(map[ir.Reg]int, len(g.Nodes)),
 		FreeHints: make(map[ir.Reg]int),
 	}
 	tracker := pressure.NewTracker(cfg)
@@ -135,37 +133,52 @@ func PresCount(f *ir.Func, g *rcg.Graph, lv *liveness.Info, cfg bankfile.Config,
 		return tracker.BestBank(candidates, iv)
 	}
 
-	// Process disjoint subgraphs in descending max-cost order.
+	// Process disjoint subgraphs in descending max-cost order. The
+	// unprocessed/worklist sets are dense bitsets with explicit counters,
+	// reused across components; both argmax selections order by a strict
+	// total key, so the switch from map iteration changes nothing.
+	var unprocessed, worklist ir.RegSet
+	usedBuf := make([]bool, cfg.NumBanks)
+	availBuf := make([]int, 0, cfg.NumBanks)
+	costBuf := make([]float64, cfg.NumBanks)
 	for _, comp := range g.Components() {
-		unprocessed := make(map[ir.Reg]bool, len(comp))
+		unprocessed.Clear()
 		for _, r := range comp {
-			unprocessed[r] = true
+			unprocessed.Add(r)
 		}
-		for len(unprocessed) > 0 {
-			seed := maxConflictCost(g, unprocessed)
-			worklist := map[ir.Reg]bool{seed: true}
-			for len(worklist) > 0 {
-				v := maxCostDegree(g, worklist)
-				delete(worklist, v)
-				delete(unprocessed, v)
+		nUnproc := len(comp)
+		for nUnproc > 0 {
+			seed := maxConflictCost(g, &unprocessed)
+			worklist.Clear()
+			worklist.Add(seed)
+			nWork := 1
+			for nWork > 0 {
+				v := maxCostDegree(g, &worklist)
+				worklist.Remove(v)
+				nWork--
+				if unprocessed.Has(v) {
+					unprocessed.Remove(v)
+					nUnproc--
+				}
 
-				avail := availableBanks(g, res.BankOf, v, cfg.NumBanks)
+				availBuf = availableBanks(g, res.BankOf, v, cfg.NumBanks, usedBuf, availBuf)
 				var bank int
 				switch {
-				case len(avail) > 0:
-					bank = pick(avail, lv.IntervalOf(v))
+				case len(availBuf) > 0:
+					bank = pick(availBuf, lv.IntervalOf(v))
 				case regPressure > thres:
 					bank = pick(allBanks, lv.IntervalOf(v))
 					res.Forced = append(res.Forced, v)
 				default:
-					bank = neighbourCostPrioritize(g, res.BankOf, v, allBanks)[0]
+					bank = neighbourCostBest(g, res.BankOf, v, allBanks, costBuf)
 					res.Forced = append(res.Forced, v)
 				}
 				res.BankOf[v] = bank
 				commit(bank, lv.IntervalOf(v))
 				for _, n := range g.Neighbors(v) {
-					if _, colored := res.BankOf[n]; !colored && unprocessed[n] {
-						worklist[n] = true
+					if _, colored := res.BankOf[n]; !colored && unprocessed.Has(n) && !worklist.Has(n) {
+						worklist.Add(n)
+						nWork++
 					}
 				}
 			}
@@ -212,28 +225,28 @@ func callSites(f *ir.Func, lv *liveness.Info) []int {
 
 // maxConflictCost returns the register with the largest Cost_R among the
 // set, breaking ties by smaller register for determinism.
-func maxConflictCost(g *rcg.Graph, set map[ir.Reg]bool) ir.Reg {
+func maxConflictCost(g *rcg.Graph, set *ir.RegSet) ir.Reg {
 	var best ir.Reg
 	bestCost := -1.0
 	first := true
-	for r := range set {
+	set.ForEach(func(r ir.Reg) {
 		c := g.Cost[r]
 		if first || c > bestCost || (c == bestCost && r < best) {
 			best, bestCost, first = r, c, false
 		}
-	}
+	})
 	return best
 }
 
 // maxCostDegree returns the worklist entry with the highest conflict cost,
 // then highest degree, then smallest register (Algorithm 1's
 // MaxCostDegree).
-func maxCostDegree(g *rcg.Graph, set map[ir.Reg]bool) ir.Reg {
+func maxCostDegree(g *rcg.Graph, set *ir.RegSet) ir.Reg {
 	var best ir.Reg
 	bestCost := -1.0
 	bestDeg := -1
 	first := true
-	for r := range set {
+	set.ForEach(func(r ir.Reg) {
 		c, d := g.Cost[r], g.Degree(r)
 		better := first || c > bestCost ||
 			(c == bestCost && d > bestDeg) ||
@@ -241,20 +254,21 @@ func maxCostDegree(g *rcg.Graph, set map[ir.Reg]bool) ir.Reg {
 		if better {
 			best, bestCost, bestDeg, first = r, c, d, false
 		}
-	}
+	})
 	return best
 }
 
 // availableBanks returns ALLCOLORS minus the banks of v's colored
-// neighbours.
-func availableBanks(g *rcg.Graph, bankOf map[ir.Reg]int, v ir.Reg, numBanks int) []int {
-	used := make([]bool, numBanks)
+// neighbours, appending into avail[:0]; used is the caller's reusable
+// per-bank scratch (length numBanks).
+func availableBanks(g *rcg.Graph, bankOf map[ir.Reg]int, v ir.Reg, numBanks int, used []bool, avail []int) []int {
+	clear(used)
 	for _, n := range g.Neighbors(v) {
 		if b, ok := bankOf[n]; ok {
 			used[b] = true
 		}
 	}
-	var avail []int
+	avail = avail[:0]
 	for b := 0; b < numBanks; b++ {
 		if !used[b] {
 			avail = append(avail, b)
@@ -263,24 +277,25 @@ func availableBanks(g *rcg.Graph, bankOf map[ir.Reg]int, v ir.Reg, numBanks int)
 	return avail
 }
 
-// neighbourCostPrioritize orders banks by ascending accumulated Cost_R of
-// v's same-colored neighbours: the low-register-pressure branch of
-// Algorithm 1, which minimizes the conflict penalty kept in the code.
-func neighbourCostPrioritize(g *rcg.Graph, bankOf map[ir.Reg]int, v ir.Reg, banks []int) []int {
-	cost := make(map[int]float64, len(banks))
+// neighbourCostBest returns the bank minimizing the accumulated Cost_R of
+// v's same-colored neighbours, ties to the smaller bank: the
+// low-register-pressure branch of Algorithm 1, which minimizes the conflict
+// penalty kept in the code. cost is the caller's reusable per-bank scratch.
+// Equivalent to taking the head of the full ascending (cost, bank) ordering.
+func neighbourCostBest(g *rcg.Graph, bankOf map[ir.Reg]int, v ir.Reg, banks []int, cost []float64) int {
+	clear(cost)
 	for _, n := range g.Neighbors(v) {
 		if b, ok := bankOf[n]; ok {
 			cost[b] += g.Cost[n]
 		}
 	}
-	out := append([]int(nil), banks...)
-	sort.SliceStable(out, func(i, j int) bool {
-		if cost[out[i]] != cost[out[j]] {
-			return cost[out[i]] < cost[out[j]]
+	best := banks[0]
+	for _, b := range banks[1:] {
+		if cost[b] < cost[best] || (cost[b] == cost[best] && b < best) {
+			best = b
 		}
-		return out[i] < out[j]
-	})
-	return out
+	}
+	return best
 }
 
 // Validate checks an assignment against the RCG: it returns the edges whose

@@ -112,14 +112,14 @@ func solveComponent(g *rcg.Graph, comp []ir.Reg, numBanks int) (map[ir.Reg]int, 
 	// Order nodes by descending degree within the component for tighter
 	// early bounds.
 	nodes := append([]ir.Reg(nil), comp...)
-	inComp := map[ir.Reg]bool{}
+	var inComp ir.RegSet
 	for _, r := range comp {
-		inComp[r] = true
+		inComp.Add(r)
 	}
 	deg := func(r ir.Reg) int {
 		d := 0
 		for _, n := range g.Neighbors(r) {
-			if inComp[n] {
+			if inComp.Has(n) {
 				d++
 			}
 		}

@@ -91,22 +91,57 @@ func Penalty(in *ir.Instr, file bankfile.Config) int {
 	}
 	// Count distinct registers per bank: the same register read twice
 	// (x*x) is a single port access the hardware fans out, not a conflict.
-	perBank := map[int]int{}
-	seen := map[ir.Reg]bool{}
+	// Instructions read at most a handful of operands, so the dedup and the
+	// per-bank counting run as nested scans over in.Uses instead of two
+	// maps — Penalty is called for every instruction of every compiled
+	// function and must not allocate.
+	pen := 0
 	for i, u := range in.Uses {
-		if in.Op.UseClass(i) != ir.ClassFP || !u.IsFPR() || seen[u] {
+		if in.Op.UseClass(i) != ir.ClassFP || !u.IsFPR() || !firstFPRead(in, i, u) {
 			continue
 		}
-		seen[u] = true
-		perBank[file.Bank(u.FPRIndex())]++
-	}
-	pen := 0
-	for _, n := range perBank {
-		if n > file.ReadPorts {
-			pen += n - file.ReadPorts
+		b := file.Bank(u.FPRIndex())
+		// Attribute the bank's count to its first distinct register.
+		firstOfBank := true
+		for j := 0; j < i; j++ {
+			v := in.Uses[j]
+			if in.Op.UseClass(j) != ir.ClassFP || !v.IsFPR() || !firstFPRead(in, j, v) {
+				continue
+			}
+			if file.Bank(v.FPRIndex()) == b {
+				firstOfBank = false
+				break
+			}
+		}
+		if !firstOfBank {
+			continue
+		}
+		cnt := 1
+		for j := i + 1; j < len(in.Uses); j++ {
+			v := in.Uses[j]
+			if in.Op.UseClass(j) != ir.ClassFP || !v.IsFPR() || !firstFPRead(in, j, v) {
+				continue
+			}
+			if file.Bank(v.FPRIndex()) == b {
+				cnt++
+			}
+		}
+		if cnt > file.ReadPorts {
+			pen += cnt - file.ReadPorts
 		}
 	}
 	return pen
+}
+
+// firstFPRead reports whether use slot i is the first FP read of register u
+// in the instruction (later reads of the same register reuse the port).
+func firstFPRead(in *ir.Instr, i int, u ir.Reg) bool {
+	for j := 0; j < i; j++ {
+		if in.Uses[j] == u && in.Op.UseClass(j) == ir.ClassFP {
+			return false
+		}
+	}
+	return true
 }
 
 // violatesSubgroup reports whether a vector ALU instruction's FP operands

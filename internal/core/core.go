@@ -26,6 +26,7 @@ import (
 	"prescount/internal/regalloc"
 	"prescount/internal/renumber"
 	"prescount/internal/sched"
+	"prescount/internal/scratch"
 	"prescount/internal/sdg"
 	"prescount/internal/sim"
 	"prescount/internal/verify"
@@ -164,8 +165,12 @@ func CompileContext(ctx context.Context, f *ir.Func, opts Options) (*Result, err
 	// One analysis cache serves every phase: CFG, liveness and the RCG are
 	// computed at most once per IR mutation generation, and phases that
 	// rewrite instructions without touching control flow retain the CFG —
-	// a full compile runs cfg.Compute exactly once.
-	ac := analysis.New(work)
+	// a full compile runs cfg.Compute exactly once. The scratch arena backs
+	// the liveness bitsets for exactly this compile; Put resets it and
+	// recycles the slab for the worker's next compile.
+	ar := scratch.Get()
+	defer scratch.Put(ar)
+	ac := analysis.NewWithArena(work, ar)
 	res := &Result{}
 	if err := runPrefix(ctx, work, ac, opts, res); err != nil {
 		return nil, err
@@ -442,7 +447,11 @@ func compileViaPrefix(ctx context.Context, f *ir.Func, fp ir.Fingerprint, opts O
 	prefixKey := compilecache.Key{Fingerprint: fp, Digest: opts.PrefixDigest()}
 	v, _, err := opts.Cache.Prefix(prefixKey, func() (any, int64, error) {
 		work := f.Clone()
-		ac := analysis.New(work)
+		// The snapshot retains work (fresh heap from Clone) but none of its
+		// analyses, so the arena can be released at closure end.
+		ar := scratch.Get()
+		defer scratch.Put(ar)
+		ac := analysis.NewWithArena(work, ar)
 		var pres Result
 		if err := runPrefix(ctx, work, ac, opts, &pres); err != nil {
 			return nil, 0, err
@@ -460,7 +469,9 @@ func compileViaPrefix(ctx context.Context, f *ir.Func, fp ir.Fingerprint, opts O
 	// materialized Result.Func correct.
 	work.Name = f.Name
 	res := &Result{Coalesce: snap.coalesce, SDG: snap.sdg, Sched: snap.sched}
-	if err := runSuffix(ctx, work, analysis.New(work), opts, res); err != nil {
+	ar := scratch.Get()
+	defer scratch.Put(ar)
+	if err := runSuffix(ctx, work, analysis.NewWithArena(work, ar), opts, res); err != nil {
 		return nil, err
 	}
 	return res, nil

@@ -35,8 +35,12 @@ func (in *Instr) Def() Reg {
 
 // FPUses returns the FP-class register uses of the instruction in operand
 // order. These are the reads that can collide within a register bank.
-func (in *Instr) FPUses() []Reg {
-	var out []Reg
+func (in *Instr) FPUses() []Reg { return in.AppendFPUses(nil) }
+
+// AppendFPUses appends the FP-class register uses of the instruction, in
+// operand order, to out and returns the extended slice. Hot callers pass a
+// reused buffer (out[:0]) so the per-instruction scan does not allocate.
+func (in *Instr) AppendFPUses(out []Reg) []Reg {
 	for i, u := range in.Uses {
 		if in.Op.UseClass(i) == ClassFP {
 			out = append(out, u)
@@ -195,27 +199,82 @@ func (f *Func) RecomputePreds() {
 
 // Clone returns a deep copy of the function (blocks, instructions and the
 // vreg table). Succ/Pred links are remapped to the cloned blocks.
+//
+// The copy is built out of a handful of bulk slabs — one []Block, one
+// []Instr, one operand []Reg, shared []*Instr and []*Block backing — instead
+// of one allocation per instruction. Every sub-slice is cut with a
+// three-index expression so its capacity ends at its own region: a later
+// append (InsertBefore on a block, spill-code growth of an operand list)
+// reallocates that slice instead of overwriting a neighbour's slab region.
+// Clones feed the compile cache and escape compiles by design, so the slabs
+// are always fresh heap, never scratch-arena memory.
 func (f *Func) Clone() *Func {
 	nf := &Func{
 		Name:       f.Name,
 		VRegs:      append([]VRegInfo(nil), f.VRegs...),
 		NumFPRegs:  f.NumFPRegs,
 		SpillSlots: f.SpillSlots,
+		gen:        f.gen + 1,
 	}
-	idx := make(map[*Block]*Block, len(f.Blocks))
+	nInstrs, nOps, nEdges := 0, 0, 0
 	for _, b := range f.Blocks {
-		nb := nf.NewBlock(b.Name)
-		nb.TripCount = b.TripCount
+		nInstrs += len(b.Instrs)
+		nEdges += len(b.Succs)
 		for _, in := range b.Instrs {
-			nb.Instrs = append(nb.Instrs, in.Clone())
+			nOps += len(in.Defs) + len(in.Uses)
 		}
+	}
+	blockSlab := make([]Block, len(f.Blocks))
+	instrSlab := make([]Instr, nInstrs)
+	ptrSlab := make([]*Instr, nInstrs)
+	opSlab := make([]Reg, nOps)
+	edgeSlab := make([]*Block, 2*nEdges) // succs + preds
+	nf.Blocks = make([]*Block, len(f.Blocks))
+	idx := make(map[*Block]*Block, len(f.Blocks))
+	io, oo, eo := 0, 0, 0
+	for i, b := range f.Blocks {
+		nb := &blockSlab[i]
+		nb.ID = i
+		nb.Name = b.Name
+		nb.TripCount = b.TripCount
+		nb.Instrs = ptrSlab[io : io : io+len(b.Instrs)]
+		for _, in := range b.Instrs {
+			cp := &instrSlab[io]
+			cp.Op, cp.Imm, cp.FImm = in.Op, in.Imm, in.FImm
+			cp.Defs = opSlab[oo : oo : oo+len(in.Defs)]
+			cp.Defs = append(cp.Defs, in.Defs...)
+			oo += len(in.Defs)
+			cp.Uses = opSlab[oo : oo : oo+len(in.Uses)]
+			cp.Uses = append(cp.Uses, in.Uses...)
+			oo += len(in.Uses)
+			nb.Instrs = append(nb.Instrs, cp)
+			io++
+		}
+		nf.Blocks[i] = nb
 		idx[b] = nb
 	}
 	for _, b := range f.Blocks {
 		nb := idx[b]
+		nb.Succs = edgeSlab[eo : eo : eo+len(b.Succs)]
 		for _, s := range b.Succs {
 			nb.Succs = append(nb.Succs, idx[s])
 		}
+		eo += len(b.Succs)
+	}
+	// Fill Preds from the remaining slab region with exact capacities, then
+	// let RecomputePreds populate them (it appends into the zero-length
+	// cap'd sub-slices without reallocating).
+	npreds := make(map[*Block]int, len(f.Blocks))
+	for _, b := range f.Blocks {
+		for _, s := range b.Succs {
+			npreds[s]++
+		}
+	}
+	for _, b := range f.Blocks {
+		nb := idx[b]
+		n := npreds[b]
+		nb.Preds = edgeSlab[eo : eo : eo+n]
+		eo += n
 	}
 	nf.RecomputePreds()
 	return nf

@@ -1,0 +1,135 @@
+package ir
+
+import "math/bits"
+
+// RegSet is a dense bitset over virtual registers: bit i of the backing
+// words corresponds to the register VReg(i) (the VirtIndex order). It is
+// the allocation-free replacement for map[ir.Reg]bool sets in the hot
+// analyses — virtual register indexes are dense by construction, so a set
+// of them is one machine word per 64 registers, membership is a shift and
+// a mask, and set union/difference in the liveness fixpoint become
+// word-parallel loops. Physical registers are not representable; callers
+// that mix classes keep their own side structure.
+//
+// The zero value is an empty set that grows on Add. Sets backed by a
+// scratch arena (see internal/scratch) are created with RegSetFromWords
+// and must not outlive the arena's compile.
+type RegSet struct {
+	words []uint64
+}
+
+// NewRegSet returns an empty set with capacity for indexes [0, n).
+func NewRegSet(n int) RegSet {
+	return RegSet{words: make([]uint64, (n+63)/64)}
+}
+
+// RegSetFromWords wraps caller-provided (zeroed) backing words, typically
+// handed out by a scratch arena. The set can index up to 64*len(words)
+// registers and still grows (onto fresh heap) past that.
+func RegSetFromWords(words []uint64) RegSet { return RegSet{words: words} }
+
+// Has reports whether the set contains r. Registers beyond the backing
+// capacity are absent, so Has never allocates and is safe on the zero
+// value. r must be virtual.
+func (s RegSet) Has(r Reg) bool {
+	i := r.VirtIndex()
+	w := i >> 6
+	return w < len(s.words) && s.words[w]&(1<<(uint(i)&63)) != 0
+}
+
+// Add inserts r, growing the backing words if needed. r must be virtual.
+func (s *RegSet) Add(r Reg) {
+	i := r.VirtIndex()
+	w := i >> 6
+	if w >= len(s.words) {
+		grown := make([]uint64, w+1)
+		copy(grown, s.words)
+		s.words = grown
+	}
+	s.words[w] |= 1 << (uint(i) & 63)
+}
+
+// Remove deletes r from the set. r must be virtual.
+func (s *RegSet) Remove(r Reg) {
+	i := r.VirtIndex()
+	w := i >> 6
+	if w < len(s.words) {
+		s.words[w] &^= 1 << (uint(i) & 63)
+	}
+}
+
+// Len returns the number of members.
+func (s RegSet) Len() int {
+	n := 0
+	for _, w := range s.words {
+		n += bits.OnesCount64(w)
+	}
+	return n
+}
+
+// Empty reports whether the set has no members.
+func (s RegSet) Empty() bool {
+	for _, w := range s.words {
+		if w != 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// Clear removes every member, keeping the backing words.
+func (s *RegSet) Clear() {
+	for i := range s.words {
+		s.words[i] = 0
+	}
+}
+
+// ForEach calls fn for every member in increasing VirtIndex order — a
+// deterministic iteration, unlike ranging over the map sets this type
+// replaces.
+func (s RegSet) ForEach(fn func(Reg)) {
+	for wi, w := range s.words {
+		for w != 0 {
+			b := bits.TrailingZeros64(w)
+			fn(VReg(wi<<6 + b))
+			w &= w - 1
+		}
+	}
+}
+
+// UnionWith adds every member of o and reports whether the set changed.
+// o must not have more backing words than s (liveness sizes every set to
+// the same vreg capacity, so the fixpoint never grows mid-iteration).
+func (s *RegSet) UnionWith(o RegSet) bool {
+	changed := false
+	for i, w := range o.words {
+		if w&^s.words[i] != 0 {
+			s.words[i] |= w
+			changed = true
+		}
+	}
+	return changed
+}
+
+// Equal reports whether the two sets have the same members.
+func (s RegSet) Equal(o RegSet) bool {
+	a, b := s.words, o.words
+	if len(a) < len(b) {
+		a, b = b, a
+	}
+	for i, w := range b {
+		if w != a[i] {
+			return false
+		}
+	}
+	for _, w := range a[len(b):] {
+		if w != 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// Words exposes the backing words (bit i of word w is VReg(64*w+i)); the
+// liveness fixpoint and the verifier's set diff operate on words directly.
+func (s RegSet) Words() []uint64 { return s.words }

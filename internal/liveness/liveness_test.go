@@ -151,8 +151,8 @@ func TestUnionConflicts(t *testing.T) {
 	a.Add(0, 10)
 	b := &Interval{}
 	b.Add(20, 30)
-	u.Insert("a", a)
-	u.Insert("b", b)
+	u.Insert(ir.VReg(0), a)
+	u.Insert(ir.VReg(1), b)
 
 	probe := &Interval{}
 	probe.Add(5, 25)
@@ -160,7 +160,7 @@ func TestUnionConflicts(t *testing.T) {
 	if len(owners) != 2 {
 		t.Fatalf("conflicts = %v, want both", owners)
 	}
-	u.Remove("a")
+	u.Remove(ir.VReg(0))
 	if u.Len() != 1 {
 		t.Errorf("Len = %d after Remove, want 1", u.Len())
 	}
@@ -222,7 +222,7 @@ func TestLoopCarriedLiveness(t *testing.T) {
 	lv, _ := compute(t, f)
 
 	loop := f.Blocks[1]
-	if !lv.LiveIn[loop.ID][acc] || !lv.LiveOut[loop.ID][acc] {
+	if !lv.LiveIn[loop.ID].Has(acc) || !lv.LiveOut[loop.ID].Has(acc) {
 		t.Error("accumulator must be live-in and live-out of the loop")
 	}
 	iv := lv.IntervalOf(acc)
@@ -384,7 +384,7 @@ func TestInterfereAcrossBlocks(t *testing.T) {
 	}
 	// long is live-through block b even though unused there.
 	blkB := f.Blocks[2]
-	if !lv.LiveIn[blkB.ID][long] || !lv.LiveOut[blkB.ID][long] {
+	if !lv.LiveIn[blkB.ID].Has(long) || !lv.LiveOut[blkB.ID].Has(long) {
 		t.Error("long must be live-through the empty arm")
 	}
 }

@@ -1,6 +1,10 @@
 package liveness
 
-import "sort"
+import (
+	"sort"
+
+	"prescount/internal/ir"
+)
 
 // Union is a set of disjoint intervals occupying one physical register,
 // supporting overlap queries against candidate intervals. It stores member
@@ -25,39 +29,87 @@ import "sort"
 // indexes its segments); the allocator only inserts settled intervals.
 type Union struct {
 	root    *unionNode
-	members map[interface{}]*Interval
-	seq     map[interface{}]uint64
+	members map[ir.Reg]*Interval
+	seq     map[ir.Reg]uint64
 	// segIDs holds, per owner, the tree node ids of its segments (aligned
 	// with the interval's Segments) so Remove can delete by exact key.
-	segIDs map[interface{}][]uint64
+	segIDs map[ir.Reg][]uint64
 	next   uint64 // insertion sequence counter
 	nextID uint64 // tree node id counter
 	// hits is the query scratch buffer.
 	hits []*unionNode
+
+	// node storage: a chunked arena reused across Reset cycles. Nodes
+	// deleted mid-lifetime are simply abandoned until the next Reset (the
+	// arena grows to the peak live-node count and stays there). Chunks are
+	// append-only, so outstanding node pointers never move.
+	chunks [][]unionNode
+	ci, ni int // current chunk index / next free slot in it
+}
+
+// newNode returns a zeroed node from the arena, growing it on demand.
+func (u *Union) newNode() *unionNode {
+	for u.ci < len(u.chunks) && u.ni == len(u.chunks[u.ci]) {
+		u.ci++
+		u.ni = 0
+	}
+	if u.ci == len(u.chunks) {
+		size := 16 << len(u.chunks) // 16, 32, 64, ...
+		if size > 4096 {
+			size = 4096
+		}
+		u.chunks = append(u.chunks, make([]unionNode, size))
+		u.ni = 0
+	}
+	n := &u.chunks[u.ci][u.ni]
+	u.ni++
+	return n
 }
 
 type unionNode struct {
 	left, right *unionNode
 	start, end  int
 	maxEnd      int
-	owner       interface{}
+	owner       ir.Reg
 	id          uint64
 	prio        uint64
 }
 
-// NewUnion returns an empty interval union.
+// NewUnion returns an empty interval union. The zero Union value is also
+// ready to use (maps are initialized lazily on first Insert), which lets
+// the allocator keep one []Union value slab per register file instead of
+// one heap object plus three maps per physical register.
 func NewUnion() *Union {
 	return &Union{
-		members: make(map[interface{}]*Interval),
-		seq:     make(map[interface{}]uint64),
-		segIDs:  make(map[interface{}][]uint64),
+		members: make(map[ir.Reg]*Interval),
+		seq:     make(map[ir.Reg]uint64),
+		segIDs:  make(map[ir.Reg][]uint64),
 	}
+}
+
+// Reset empties the union for reuse, keeping the map storage (and its
+// buckets) but dropping the tree. Pooled owners/intervals from the previous
+// use are cleared so nothing is retained across compiles.
+func (u *Union) Reset() {
+	u.root = nil
+	clear(u.members)
+	clear(u.seq)
+	clear(u.segIDs)
+	u.next = 0
+	u.nextID = 0
+	u.hits = u.hits[:0]
+	u.ci, u.ni = 0, 0
 }
 
 // Insert adds an interval under the given owner key, replacing any interval
 // the owner already holds (the original sequence number is kept, as before:
 // replacement does not reorder eviction candidates).
-func (u *Union) Insert(owner interface{}, iv *Interval) {
+func (u *Union) Insert(owner ir.Reg, iv *Interval) {
+	if u.members == nil {
+		u.members = make(map[ir.Reg]*Interval)
+		u.seq = make(map[ir.Reg]uint64)
+		u.segIDs = make(map[ir.Reg][]uint64)
+	}
 	if _, ok := u.members[owner]; ok {
 		u.removeSegments(owner)
 	}
@@ -70,7 +122,8 @@ func (u *Union) Insert(owner interface{}, iv *Interval) {
 	for _, s := range iv.Segments {
 		id := u.nextID
 		u.nextID++
-		n := &unionNode{start: s.Start, end: s.End, maxEnd: s.End, owner: owner, id: id, prio: splitmix64(id)}
+		n := u.newNode()
+		*n = unionNode{start: s.Start, end: s.End, maxEnd: s.End, owner: owner, id: id, prio: splitmix64(id)}
 		u.root = treapInsert(u.root, n)
 		ids = append(ids, id)
 	}
@@ -78,7 +131,7 @@ func (u *Union) Insert(owner interface{}, iv *Interval) {
 }
 
 // Remove deletes the owner's interval.
-func (u *Union) Remove(owner interface{}) {
+func (u *Union) Remove(owner ir.Reg) {
 	if _, ok := u.members[owner]; !ok {
 		return
 	}
@@ -88,7 +141,7 @@ func (u *Union) Remove(owner interface{}) {
 	delete(u.segIDs, owner)
 }
 
-func (u *Union) removeSegments(owner interface{}) {
+func (u *Union) removeSegments(owner ir.Reg) {
 	iv := u.members[owner]
 	ids := u.segIDs[owner]
 	for i, s := range iv.Segments {
@@ -111,13 +164,13 @@ func (u *Union) HasConflict(iv *Interval) bool {
 
 // ConflictsWith returns the owners whose intervals overlap iv, ordered by
 // insertion sequence (deterministic for deterministic callers).
-func (u *Union) ConflictsWith(iv *Interval) []interface{} {
+func (u *Union) ConflictsWith(iv *Interval) []ir.Reg {
 	return u.ConflictsWithAppend(nil, iv)
 }
 
 // ConflictsWithAppend is ConflictsWith appending into dst[:0], so hot
 // callers can reuse one result buffer across queries.
-func (u *Union) ConflictsWithAppend(dst []interface{}, iv *Interval) []interface{} {
+func (u *Union) ConflictsWithAppend(dst []ir.Reg, iv *Interval) []ir.Reg {
 	u.hits = u.hits[:0]
 	for _, s := range iv.Segments {
 		u.hits = collectOverlaps(u.root, s.Start, s.End, u.hits)

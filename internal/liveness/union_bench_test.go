@@ -40,9 +40,9 @@ func BenchmarkUnionConflicts(b *testing.B) {
 		b.Run(fmt.Sprintf("n=%d/tree", len(members)), func(b *testing.B) {
 			u := liveness.NewUnion()
 			for i, iv := range members {
-				u.Insert(i, iv)
+				u.Insert(ir.VReg(i), iv)
 			}
-			var buf []interface{}
+			var buf []ir.Reg
 			b.ReportAllocs()
 			b.ResetTimer()
 			sink := 0
@@ -61,7 +61,7 @@ func BenchmarkUnionConflicts(b *testing.B) {
 		b.Run(fmt.Sprintf("n=%d/naive", len(members)), func(b *testing.B) {
 			u := liveness.NewNaiveUnion()
 			for i, iv := range members {
-				u.Insert(i, iv)
+				u.Insert(ir.VReg(i), iv)
 			}
 			b.ReportAllocs()
 			b.ResetTimer()

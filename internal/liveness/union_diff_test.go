@@ -5,6 +5,7 @@ import (
 	"math/rand"
 	"testing"
 
+	"prescount/internal/ir"
 	"prescount/internal/liveness"
 )
 
@@ -31,21 +32,21 @@ func TestUnionMatchesNaiveRandomized(t *testing.T) {
 			switch r := rng.Float64(); {
 			case r < 0.45 || len(owners) == 0:
 				iv := mk()
-				tree.Insert(nextOwner, iv)
-				naive.Insert(nextOwner, iv)
+				tree.Insert(ir.VReg(nextOwner), iv)
+				naive.Insert(ir.VReg(nextOwner), iv)
 				owners = append(owners, nextOwner)
 				nextOwner++
 			case r < 0.55:
 				// Replace an existing owner's interval (seq must survive).
 				o := owners[rng.Intn(len(owners))]
 				iv := mk()
-				tree.Insert(o, iv)
-				naive.Insert(o, iv)
+				tree.Insert(ir.VReg(o), iv)
+				naive.Insert(ir.VReg(o), iv)
 			case r < 0.65:
 				i := rng.Intn(len(owners))
 				o := owners[i]
-				tree.Remove(o)
-				naive.Remove(o)
+				tree.Remove(ir.VReg(o))
+				naive.Remove(ir.VReg(o))
 				owners = append(owners[:i], owners[i+1:]...)
 			default:
 				probe := mk()
@@ -72,9 +73,9 @@ func TestUnionConflictsWithAppendReuse(t *testing.T) {
 	for i := 0; i < 10; i++ {
 		iv := &liveness.Interval{}
 		iv.Add(i*10, i*10+15)
-		u.Insert(i, iv)
+		u.Insert(ir.VReg(i), iv)
 	}
-	var buf []interface{}
+	var buf []ir.Reg
 	for s := 0; s < 80; s += 7 {
 		probe := &liveness.Interval{}
 		probe.Add(s, s+12)

@@ -1,6 +1,10 @@
 package liveness
 
-import "sort"
+import (
+	"sort"
+
+	"prescount/internal/ir"
+)
 
 // NaiveUnion is the original Union implementation, kept as the reference
 // for the interval-tree-backed Union: members live in a map and every
@@ -8,21 +12,21 @@ import "sort"
 // differential tests assert both implementations answer every query
 // identically; the microbenchmarks measure the gap.
 type NaiveUnion struct {
-	members map[interface{}]*Interval
-	seq     map[interface{}]uint64
+	members map[ir.Reg]*Interval
+	seq     map[ir.Reg]uint64
 	next    uint64
 }
 
 // NewNaiveUnion returns an empty naive interval union.
 func NewNaiveUnion() *NaiveUnion {
 	return &NaiveUnion{
-		members: make(map[interface{}]*Interval),
-		seq:     make(map[interface{}]uint64),
+		members: make(map[ir.Reg]*Interval),
+		seq:     make(map[ir.Reg]uint64),
 	}
 }
 
 // Insert adds an interval under the given owner key.
-func (u *NaiveUnion) Insert(owner interface{}, iv *Interval) {
+func (u *NaiveUnion) Insert(owner ir.Reg, iv *Interval) {
 	u.members[owner] = iv
 	if _, ok := u.seq[owner]; !ok {
 		u.seq[owner] = u.next
@@ -31,7 +35,7 @@ func (u *NaiveUnion) Insert(owner interface{}, iv *Interval) {
 }
 
 // Remove deletes the owner's interval.
-func (u *NaiveUnion) Remove(owner interface{}) {
+func (u *NaiveUnion) Remove(owner ir.Reg) {
 	delete(u.members, owner)
 	delete(u.seq, owner)
 }
@@ -41,8 +45,8 @@ func (u *NaiveUnion) Len() int { return len(u.members) }
 
 // ConflictsWith returns the owners whose intervals overlap iv, ordered by
 // insertion sequence.
-func (u *NaiveUnion) ConflictsWith(iv *Interval) []interface{} {
-	var out []interface{}
+func (u *NaiveUnion) ConflictsWith(iv *Interval) []ir.Reg {
+	var out []ir.Reg
 	for owner, member := range u.members {
 		if member.Overlaps(iv) {
 			out = append(out, owner)

@@ -11,12 +11,12 @@ import (
 )
 
 // freshSortNeighbors replicates the pre-cache Neighbors: allocate and sort
-// the adjacency map on every call. Kept only as the benchmark baseline.
+// a fresh copy of the adjacency on every call. Kept only as the benchmark
+// baseline.
 func (g *Graph) freshSortNeighbors(r ir.Reg) []ir.Reg {
-	out := make([]ir.Reg, 0, len(g.adj[r]))
-	for n := range g.adj[r] {
-		out = append(out, n)
-	}
+	nb := g.Neighbors(r)
+	out := make([]ir.Reg, len(nb))
+	copy(out, nb)
 	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
 	return out
 }

@@ -8,31 +8,47 @@
 package rcg
 
 import (
+	"slices"
 	"sort"
 
 	"prescount/internal/cfg"
 	"prescount/internal/ir"
 )
 
-// Graph is the annotated register conflict graph.
+// Graph is the annotated register conflict graph. Internally it is stored
+// flat — one packed-pair edge map plus slab-backed adjacency and site lists
+// — so building it costs a handful of bulk allocations instead of one map
+// and many small slices per node.
 type Graph struct {
 	// Nodes lists conflicting registers in increasing dense-index order.
 	Nodes []ir.Reg
 	// Cost maps register to Cost_R (Equation 2): the summed Cost_I of all
 	// conflict-relevant instructions reading it.
 	Cost map[ir.Reg]float64
-	// adjacency with accumulated edge weight (summed Cost_I of the
-	// instructions inducing the edge).
-	adj map[ir.Reg]map[ir.Reg]float64
-	// sorted caches each register's neighbour list in increasing order,
-	// built once at the end of Build. Neighbors (and through it the
-	// Components DFS and the assigner's availableBanks scans) hand out
-	// these slices directly instead of re-sorting the adjacency map per
-	// call; callers must not mutate them.
-	sorted map[ir.Reg][]ir.Reg
 	// Sites records, per register, the conflict-relevant instructions
-	// reading it (for diagnostics and the bcr baseline).
+	// reading it (for diagnostics and the bcr baseline). The slices share
+	// one backing slab; callers must not mutate them.
 	Sites map[ir.Reg][]*ir.Instr
+
+	// idx maps a register to its dense node index (first-sight order during
+	// Build; only used internally, adjacency is exposed sorted).
+	idx map[ir.Reg]int32
+	// edgeW holds the accumulated Cost_I per undirected edge, keyed by the
+	// packed (min, max) register pair.
+	edgeW map[uint64]float64
+	// nbOff/nbSlab are the CSR-style adjacency: node i's neighbours are
+	// nbSlab[nbOff[i]:nbOff[i+1]], sorted increasing. Built once at the end
+	// of Build; Neighbors hands out these slices directly and callers must
+	// not mutate them.
+	nbOff  []int32
+	nbSlab []ir.Reg
+}
+
+func packEdge(a, b ir.Reg) uint64 {
+	if a > b {
+		a, b = b, a
+	}
+	return uint64(a)<<32 | uint64(b)
 }
 
 // Build constructs the RCG of f using the cost model from cf.
@@ -41,10 +57,11 @@ type Graph struct {
 func Build(f *ir.Func, cf *cfg.Info) *Graph {
 	g := &Graph{
 		Cost:  make(map[ir.Reg]float64),
-		adj:   make(map[ir.Reg]map[ir.Reg]float64),
-		Sites: make(map[ir.Reg][]*ir.Instr),
+		idx:   make(map[ir.Reg]int32),
+		edgeW: make(map[uint64]float64),
 	}
 	var scratch []ir.Reg // reused across instructions by appendVirtFPUses
+	nSites := 0
 	for _, b := range f.Blocks {
 		cost := cf.InstrCost(b)
 		for _, in := range b.Instrs {
@@ -57,29 +74,95 @@ func Build(f *ir.Func, cf *cfg.Info) *Graph {
 				continue // fewer than two *virtual* FP reads: nothing to color
 			}
 			for _, r := range fpUses {
+				if _, ok := g.idx[r]; !ok {
+					g.idx[r] = int32(len(g.Nodes))
+					g.Nodes = append(g.Nodes, r)
+				}
 				g.Cost[r] += cost
-				g.Sites[r] = append(g.Sites[r], in)
 			}
+			nSites += len(fpUses)
 			for i := 0; i < len(fpUses); i++ {
 				for j := i + 1; j < len(fpUses); j++ {
-					g.addEdge(fpUses[i], fpUses[j], cost)
+					if fpUses[i] != fpUses[j] {
+						g.edgeW[packEdge(fpUses[i], fpUses[j])] += cost
+					}
 				}
 			}
 		}
 	}
-	for r := range g.Cost {
-		g.Nodes = append(g.Nodes, r)
+	n := len(g.Nodes)
+
+	// Adjacency: count degrees, prefix-sum into offsets, fill from the edge
+	// map (iteration order is irrelevant — every list is sorted afterwards),
+	// all in two slab allocations.
+	g.nbOff = make([]int32, n+1)
+	for e := range g.edgeW {
+		g.nbOff[g.idx[ir.Reg(e>>32)]+1]++
+		g.nbOff[g.idx[ir.Reg(e&0xffffffff)]+1]++
 	}
-	sort.Slice(g.Nodes, func(i, j int) bool { return g.Nodes[i] < g.Nodes[j] })
-	g.sorted = make(map[ir.Reg][]ir.Reg, len(g.adj))
-	for r, nb := range g.adj {
-		s := make([]ir.Reg, 0, len(nb))
-		for n := range nb {
-			s = append(s, n)
+	for i := 0; i < n; i++ {
+		g.nbOff[i+1] += g.nbOff[i]
+	}
+	g.nbSlab = make([]ir.Reg, g.nbOff[n])
+	cursor := make([]int32, n)
+	for e := range g.edgeW {
+		a, b := ir.Reg(e>>32), ir.Reg(e&0xffffffff)
+		ia, ib := g.idx[a], g.idx[b]
+		g.nbSlab[g.nbOff[ia]+cursor[ia]] = b
+		cursor[ia]++
+		g.nbSlab[g.nbOff[ib]+cursor[ib]] = a
+		cursor[ib]++
+	}
+	for i := 0; i < n; i++ {
+		slices.Sort(g.nbSlab[g.nbOff[i]:g.nbOff[i+1]])
+	}
+
+	// Site lists: counted fill into one shared slab, same block/instruction
+	// order as the accumulation pass.
+	siteCnt := make([]int32, n+1)
+	siteSlab := make([]*ir.Instr, nSites)
+	g.Sites = make(map[ir.Reg][]*ir.Instr, n)
+	for _, b := range f.Blocks {
+		for _, in := range b.Instrs {
+			if !in.IsConflictRelevant() {
+				continue
+			}
+			fpUses := appendVirtFPUses(scratch[:0], in)
+			scratch = fpUses
+			if len(fpUses) < 2 {
+				continue
+			}
+			for _, r := range fpUses {
+				siteCnt[g.idx[r]+1]++
+			}
 		}
-		sort.Slice(s, func(i, j int) bool { return s[i] < s[j] })
-		g.sorted[r] = s
 	}
+	for i := 0; i < n; i++ {
+		siteCnt[i+1] += siteCnt[i]
+	}
+	fill := make([]int32, n)
+	for _, b := range f.Blocks {
+		for _, in := range b.Instrs {
+			if !in.IsConflictRelevant() {
+				continue
+			}
+			fpUses := appendVirtFPUses(scratch[:0], in)
+			scratch = fpUses
+			if len(fpUses) < 2 {
+				continue
+			}
+			for _, r := range fpUses {
+				i := g.idx[r]
+				siteSlab[siteCnt[i]+fill[i]] = in
+				fill[i]++
+			}
+		}
+	}
+	for r, i := range g.idx {
+		g.Sites[r] = siteSlab[siteCnt[i]:siteCnt[i+1]:siteCnt[i+1]]
+	}
+
+	slices.Sort(g.Nodes)
 	return g
 }
 
@@ -104,71 +187,62 @@ func appendVirtFPUses(out []ir.Reg, in *ir.Instr) []ir.Reg {
 	return out
 }
 
-func (g *Graph) addEdge(a, b ir.Reg, w float64) {
-	if a == b {
-		return
-	}
-	if g.adj[a] == nil {
-		g.adj[a] = make(map[ir.Reg]float64)
-	}
-	if g.adj[b] == nil {
-		g.adj[b] = make(map[ir.Reg]float64)
-	}
-	g.adj[a][b] += w
-	g.adj[b][a] += w
-}
-
 // HasEdge reports whether a and b conflict.
 func (g *Graph) HasEdge(a, b ir.Reg) bool {
-	_, ok := g.adj[a][b]
+	_, ok := g.edgeW[packEdge(a, b)]
 	return ok
 }
 
 // EdgeWeight returns the accumulated Cost_I of the edge (0 if absent).
-func (g *Graph) EdgeWeight(a, b ir.Reg) float64 { return g.adj[a][b] }
+func (g *Graph) EdgeWeight(a, b ir.Reg) float64 { return g.edgeW[packEdge(a, b)] }
 
 // Neighbors returns the conflict neighbours of r in sorted order. The
-// returned slice is the cache built by Build and must not be mutated.
-func (g *Graph) Neighbors(r ir.Reg) []ir.Reg { return g.sorted[r] }
+// returned slice is the slab built by Build and must not be mutated.
+func (g *Graph) Neighbors(r ir.Reg) []ir.Reg {
+	i, ok := g.idx[r]
+	if !ok {
+		return nil
+	}
+	return g.nbSlab[g.nbOff[i]:g.nbOff[i+1]]
+}
 
 // Degree returns the conflict degree of r.
-func (g *Graph) Degree(r ir.Reg) int { return len(g.adj[r]) }
+func (g *Graph) Degree(r ir.Reg) int { return len(g.Neighbors(r)) }
 
 // NumEdges returns the number of undirected conflict edges.
-func (g *Graph) NumEdges() int {
-	n := 0
-	for _, nb := range g.adj {
-		n += len(nb)
-	}
-	return n / 2
-}
+func (g *Graph) NumEdges() int { return len(g.edgeW) }
 
 // Components returns the connected components of the RCG, each sorted by
 // register, with components ordered by decreasing maximum Cost_R (ties by
 // smallest register) — the processing order of Algorithm 1 ("we process
 // each subgraph in descending order of conflict cost").
 func (g *Graph) Components() [][]ir.Reg {
-	seen := make(map[ir.Reg]bool, len(g.Nodes))
+	n := len(g.Nodes)
+	seen := make([]bool, n)
+	// Every node lands in exactly one component: cut them all from one slab.
+	slab := make([]ir.Reg, 0, n)
 	var comps [][]ir.Reg
+	var stack []ir.Reg
 	for _, start := range g.Nodes {
-		if seen[start] {
+		if seen[g.idx[start]] {
 			continue
 		}
-		var comp []ir.Reg
-		stack := []ir.Reg{start}
-		seen[start] = true
+		from := len(slab)
+		stack = append(stack[:0], start)
+		seen[g.idx[start]] = true
 		for len(stack) > 0 {
 			r := stack[len(stack)-1]
 			stack = stack[:len(stack)-1]
-			comp = append(comp, r)
-			for _, n := range g.Neighbors(r) {
-				if !seen[n] {
-					seen[n] = true
-					stack = append(stack, n)
+			slab = append(slab, r)
+			for _, nb := range g.Neighbors(r) {
+				if i := g.idx[nb]; !seen[i] {
+					seen[i] = true
+					stack = append(stack, nb)
 				}
 			}
 		}
-		sort.Slice(comp, func(i, j int) bool { return comp[i] < comp[j] })
+		comp := slab[from:len(slab):len(slab)]
+		slices.Sort(comp)
 		comps = append(comps, comp)
 	}
 	maxCost := func(comp []ir.Reg) float64 {

@@ -11,6 +11,19 @@ import (
 // allocOrderCache memoizes the FP allocation orders per file size.
 var allocOrderCache sync.Map // int -> []int
 
+// gprOrder memoizes the ascending GPR candidate order: candidates() asks
+// for it once per assignOne, and it never changes. The slice is shared:
+// callers must not modify it.
+var (
+	gprOrderOnce sync.Once
+	gprOrderRegs []int
+)
+
+func gprOrder() []int {
+	gprOrderOnce.Do(func() { gprOrderRegs = sortedRegs(numGPRFile) })
+	return gprOrderRegs
+}
+
 // allocOrder returns the default allocation order of the FP file: a fixed,
 // deterministic permutation of the register indexes.
 //
@@ -40,7 +53,7 @@ func allocOrder(numRegs int) []int {
 // free assignment and for eviction.
 func (a *allocator) candidates(r ir.Reg, c ir.Class) []int {
 	if c == ir.ClassGPR {
-		return sortedRegs(numGPRFile)
+		return gprOrder()
 	}
 	switch a.opts.Method {
 	case MethodBPC:
@@ -77,8 +90,14 @@ func (a *allocator) bpcCandidates(r ir.Reg) []int {
 	if cfg.HasSubgroups() {
 		displ = a.subgroupDispl(r)
 	}
-	seen := make([]bool, cfg.NumRegs)
-	out := make([]int, 0, cfg.NumRegs)
+	if cap(a.candSeen) < cfg.NumRegs {
+		a.candSeen = make([]bool, cfg.NumRegs)
+	} else {
+		a.candSeen = a.candSeen[:cfg.NumRegs]
+		clear(a.candSeen)
+	}
+	seen := a.candSeen
+	out := a.candOut[:0]
 	add := func(regs []int) {
 		for _, p := range regs {
 			if !seen[p] {
@@ -95,6 +114,7 @@ func (a *allocator) bpcCandidates(r ir.Reg) []int {
 	// the per-instruction avoidance of the bcr heuristic, so a broken bank
 	// assignment still dodges the hottest conflict partner.
 	add(a.bcrCandidates(r))
+	a.candOut = out
 	return out
 }
 
@@ -154,7 +174,13 @@ func (a *allocator) bcrCandidates(r ir.Reg) []int {
 		r = parent
 	}
 	site := a.hottestConflictSite(r)
-	avoid := make([]bool, cfg.NumBanks)
+	if cap(a.bcrAvoid) < cfg.NumBanks {
+		a.bcrAvoid = make([]bool, cfg.NumBanks)
+	} else {
+		a.bcrAvoid = a.bcrAvoid[:cfg.NumBanks]
+		clear(a.bcrAvoid)
+	}
+	avoid := a.bcrAvoid
 	any := false
 	if site != nil {
 		for i, u := range site.Uses {
@@ -171,8 +197,8 @@ func (a *allocator) bcrCandidates(r ir.Reg) []int {
 	if !any {
 		return all
 	}
-	good := make([]int, 0, cfg.NumRegs)
-	bad := make([]int, 0, cfg.NumRegs)
+	good := a.bcrGood[:0]
+	bad := a.bcrBad[:0]
 	for _, p := range all {
 		if avoid[cfg.Bank(p)] {
 			bad = append(bad, p)
@@ -180,7 +206,9 @@ func (a *allocator) bcrCandidates(r ir.Reg) []int {
 			good = append(good, p)
 		}
 	}
-	return append(good, bad...)
+	good = append(good, bad...)
+	a.bcrGood, a.bcrBad = good, bad
+	return good
 }
 
 // hottestConflictSite returns the conflict-relevant instruction reading r

@@ -146,27 +146,28 @@ type Result struct {
 // numGPRFile is the GPR file size used for the scalar class.
 const numGPRFile = ir.NumGPR
 
+// allocPool recycles allocator state — maps, union slabs, scratch buffers —
+// across Run invocations. release() clears every per-compile reference
+// before returning the allocator, so the pool never retains IR from a
+// previous function; steady-state module compiles and sweeps then run the
+// allocator nearly allocation-free apart from the Result itself.
+var allocPool = sync.Pool{New: func() any { return new(allocator) }}
+
 // Run allocates f onto physical registers in place and returns statistics.
 func Run(f *ir.Func, opts Options) (*Result, error) {
 	opts.Cfg = opts.Cfg.Normalize()
 	if err := opts.Cfg.Validate(); err != nil {
 		return nil, err
 	}
-	a := &allocator{
-		f:    f,
-		opts: opts,
-		res: &Result{
-			AssignedBank: map[ir.Reg]int{},
-			GroupDispl:   map[int]int{},
-		},
-		assignment: map[ir.Reg]int{},
-		spillSlot:  map[ir.Reg]int{},
-		usage:      make([]int, opts.Cfg.NumSubgroups),
-	}
-	if err := a.run(); err != nil {
+	a := allocPool.Get().(*allocator)
+	a.init(f, opts)
+	err := a.run()
+	res := a.res
+	a.release()
+	if err != nil {
 		return nil, err
 	}
-	return a.res, nil
+	return res, nil
 }
 
 type allocator struct {
@@ -178,9 +179,11 @@ type allocator struct {
 	lv *liveness.Info
 
 	// unions[class][phys] is the interval union occupying one physical
-	// register of the class.
-	fpUnions  []*liveness.Union
-	gprUnions []*liveness.Union
+	// register of the class. Value slabs rather than pointer slices: the
+	// zero Union is ready to use, so sizing the slab is one allocation
+	// instead of one object plus three maps per physical register.
+	fpUnions  []liveness.Union
+	gprUnions []liveness.Union
 
 	// assignment maps vreg -> physical index within its class file.
 	assignment map[ir.Reg]int
@@ -194,7 +197,7 @@ type allocator struct {
 	// sitePseudo maps (instr, spilled vreg, isDef) -> pseudo vreg.
 	sitePseudo map[siteKey]ir.Reg
 	// spilled marks vregs already spilled (cannot spill twice).
-	spilled map[ir.Reg]bool
+	spilled ir.RegSet
 	// remat maps rematerializable spilled vregs to their constant-producing
 	// definition.
 	remat map[ir.Reg]*ir.Instr
@@ -209,7 +212,7 @@ type allocator struct {
 	// splits records committed loop splits per parent register; splitDone
 	// limits each register to a single split.
 	splits    map[ir.Reg][]splitPlan
-	splitDone map[ir.Reg]bool
+	splitDone ir.RegSet
 
 	// subgroup bookkeeping (Algorithm 2).
 	usage []int // per-subgroup accumulated usage
@@ -221,7 +224,26 @@ type allocator struct {
 	// victimScratch is the reusable ConflictsWithAppend buffer of the
 	// eviction scan: assignOne probes every candidate register, so the
 	// owner list is requested O(candidates) times per interval.
-	victimScratch []interface{}
+	victimScratch []ir.Reg
+	// vsScratch collects the current candidate's victims and swaps with
+	// bestVictims when a new best is found, keeping the eviction scan
+	// allocation-free.
+	vsScratch, bestVictims []ir.Reg
+
+	// Candidate-building scratch (hints.go). bpcCandidates nests a
+	// bcrCandidates call, so the two get distinct buffers; calleeBuf and
+	// callerBuf serve assignOne's CSR-aware reordering.
+	candSeen             []bool
+	candOut              []int
+	bcrAvoid             []bool
+	bcrGood, bcrBad      []int
+	calleeBuf, callerBuf []int
+
+	// callSlots and clobber are the fixed-clobber scratch: every
+	// caller-saved register of both classes shares the one clobber
+	// interval (their contents are identical by construction).
+	callSlots []int
+	clobber   liveness.Interval
 
 	// fixedFP and fixedGPR hold per-physical-register clobber intervals
 	// from call sites: caller-saved registers are unavailable to any
@@ -238,6 +260,87 @@ type siteKey struct {
 	isDef bool
 }
 
+// init prepares a pooled allocator for one run: a fresh Result (it escapes
+// to the caller), lazily created maps (cleared again on release), and
+// right-sized union slabs.
+func (a *allocator) init(f *ir.Func, opts Options) {
+	a.f = f
+	a.opts = opts
+	a.res = &Result{
+		// Presized: nearly every FP vreg lands here, and the entries go in
+		// one at a time on the hot place() path.
+		AssignedBank: make(map[ir.Reg]int, len(f.VRegs)),
+		GroupDispl:   map[int]int{},
+	}
+	if a.assignment == nil {
+		a.assignment = map[ir.Reg]int{}
+		a.spillSlot = map[ir.Reg]int{}
+		a.override = map[ir.Reg]*liveness.Interval{}
+		a.weightOverride = map[ir.Reg]float64{}
+		a.sitePseudo = map[siteKey]ir.Reg{}
+		a.remat = map[ir.Reg]*ir.Instr{}
+		a.pseudoParent = map[ir.Reg]ir.Reg{}
+		a.spanMembers = map[ir.Reg][]*ir.Instr{}
+		a.firstReload = map[siteKey]bool{}
+		a.splits = map[ir.Reg][]splitPlan{}
+	}
+	a.usage = resizeZeroed(a.usage, opts.Cfg.NumSubgroups)
+	if cap(a.fpUnions) < opts.Cfg.NumRegs {
+		a.fpUnions = make([]liveness.Union, opts.Cfg.NumRegs)
+	} else {
+		a.fpUnions = a.fpUnions[:opts.Cfg.NumRegs]
+	}
+	if cap(a.gprUnions) < numGPRFile {
+		a.gprUnions = make([]liveness.Union, numGPRFile)
+	} else {
+		a.gprUnions = a.gprUnions[:numGPRFile]
+	}
+}
+
+// release clears every per-compile reference — the pool must retain no IR or
+// intervals from the finished function — and returns the allocator.
+func (a *allocator) release() {
+	clear(a.assignment)
+	clear(a.spillSlot)
+	clear(a.override)
+	clear(a.weightOverride)
+	clear(a.sitePseudo)
+	clear(a.remat)
+	clear(a.pseudoParent)
+	clear(a.spanMembers)
+	clear(a.firstReload)
+	clear(a.splits)
+	a.spilled.Clear()
+	a.splitDone.Clear()
+	a.conflictSites = nil
+	for i := range a.fpUnions {
+		a.fpUnions[i].Reset()
+	}
+	for i := range a.gprUnions {
+		a.gprUnions[i].Reset()
+	}
+	a.clobber = liveness.Interval{Segments: a.clobber.Segments[:0]}
+	a.victimScratch = a.victimScratch[:0]
+	if a.queue != nil {
+		a.queue.release()
+		a.queue = nil
+	}
+	a.f, a.res, a.cf, a.lv = nil, nil, nil, nil
+	a.opts = Options{}
+	allocPool.Put(a)
+}
+
+// resizeZeroed returns s with length n and every element zero, reusing the
+// backing array when it is large enough.
+func resizeZeroed[T int | bool | *liveness.Interval](s []T, n int) []T {
+	if cap(s) < n {
+		return make([]T, n)
+	}
+	s = s[:n]
+	clear(s)
+	return s
+}
+
 func (a *allocator) run() error {
 	if ac := a.opts.Analyses; ac != nil {
 		a.cf = ac.CFG()
@@ -245,25 +348,6 @@ func (a *allocator) run() error {
 	} else {
 		a.cf = cfg.Compute(a.f)
 		a.lv = liveness.Compute(a.f, a.cf)
-	}
-	a.override = map[ir.Reg]*liveness.Interval{}
-	a.weightOverride = map[ir.Reg]float64{}
-	a.sitePseudo = map[siteKey]ir.Reg{}
-	a.spilled = map[ir.Reg]bool{}
-	a.remat = map[ir.Reg]*ir.Instr{}
-	a.pseudoParent = map[ir.Reg]ir.Reg{}
-	a.spanMembers = map[ir.Reg][]*ir.Instr{}
-	a.firstReload = map[siteKey]bool{}
-	a.splits = map[ir.Reg][]splitPlan{}
-	a.splitDone = map[ir.Reg]bool{}
-
-	a.fpUnions = make([]*liveness.Union, a.opts.Cfg.NumRegs)
-	for i := range a.fpUnions {
-		a.fpUnions[i] = liveness.NewUnion()
-	}
-	a.gprUnions = make([]*liveness.Union, numGPRFile)
-	for i := range a.gprUnions {
-		a.gprUnions[i] = liveness.NewUnion()
 	}
 	a.buildFixedClobbers()
 
@@ -307,36 +391,36 @@ func (a *allocator) run() error {
 }
 
 // buildFixedClobbers records, for every caller-saved physical register, a
-// one-slot clobber interval at each call site.
+// clobber interval with one slot per call site. The contents are identical
+// for every such register of both classes, and nothing ever mutates or
+// inserts them into a union, so they all share the allocator's single
+// reusable clobber interval.
 func (a *allocator) buildFixedClobbers() {
-	a.fixedFP = make([]*liveness.Interval, a.opts.Cfg.NumRegs)
-	a.fixedGPR = make([]*liveness.Interval, numGPRFile)
-	var callSlots []int
+	a.fixedFP = resizeZeroed(a.fixedFP, a.opts.Cfg.NumRegs)
+	a.fixedGPR = resizeZeroed(a.fixedGPR, numGPRFile)
+	a.callSlots = a.callSlots[:0]
 	for _, b := range a.f.Blocks {
 		for i, in := range b.Instrs {
 			if in.Op == ir.OpCall {
-				callSlots = append(callSlots, a.lv.ReadSlot(b, i))
+				a.callSlots = append(a.callSlots, a.lv.ReadSlot(b, i))
 			}
 		}
 	}
-	if len(callSlots) == 0 {
+	if len(a.callSlots) == 0 {
 		return
 	}
-	mk := func() *liveness.Interval {
-		iv := &liveness.Interval{}
-		for _, s := range callSlots {
-			iv.Add(s, s+1)
-		}
-		return iv
+	iv := &a.clobber
+	for _, s := range a.callSlots {
+		iv.Add(s, s+1)
 	}
 	for p := 0; p < a.opts.Cfg.NumRegs; p++ {
 		if ir.CallerSavedFPR(p, a.opts.Cfg.NumRegs) {
-			a.fixedFP[p] = mk()
+			a.fixedFP[p] = iv
 		}
 	}
 	for p := 0; p < numGPRFile; p++ {
 		if ir.CallerSavedGPR(p) {
-			a.fixedGPR[p] = mk()
+			a.fixedGPR[p] = iv
 		}
 	}
 }
@@ -368,7 +452,7 @@ func (a *allocator) spansCall(c ir.Class, iv *liveness.Interval) bool {
 
 func (a *allocator) classOf(r ir.Reg) ir.Class { return a.f.VRegs[r.VirtIndex()].Class }
 
-func (a *allocator) unions(c ir.Class) []*liveness.Union {
+func (a *allocator) unions(c ir.Class) []liveness.Union {
 	if c == ir.ClassFP {
 		return a.fpUnions
 	}
@@ -423,8 +507,8 @@ func (a *allocator) assignOne(r ir.Reg) error {
 	// callee-saved registers, so try those first (stable within each
 	// group) instead of burning through doomed caller-saved candidates.
 	if a.spansCall(c, iv) {
-		callee := make([]int, 0, len(cands))
-		caller := make([]int, 0, len(cands))
+		callee := a.calleeBuf[:0]
+		caller := a.callerBuf[:0]
 		for _, p := range cands {
 			if a.fixedOf(c, p) != nil {
 				caller = append(caller, p)
@@ -432,7 +516,9 @@ func (a *allocator) assignOne(r ir.Reg) error {
 				callee = append(callee, p)
 			}
 		}
-		cands = append(callee, caller...)
+		callee = append(callee, caller...)
+		a.calleeBuf, a.callerBuf = callee, caller
+		cands = callee
 	}
 
 	// Stage 1: first free candidate (callee-saved availability included:
@@ -452,18 +538,16 @@ func (a *allocator) assignOne(r ir.Reg) error {
 	w := a.weightOf(r)
 	bestP := -1
 	bestCost := math.Inf(1)
-	var bestVictims []ir.Reg
+	a.bestVictims = a.bestVictims[:0]
 	for _, p := range cands {
 		if fx := a.fixedOf(c, p); fx != nil && fx.Overlaps(iv) {
 			continue // call clobbers are not evictable
 		}
 		a.victimScratch = unions[p].ConflictsWithAppend(a.victimScratch, iv)
-		victims := a.victimScratch
 		ok := true
 		cost := 0.0
-		var vs []ir.Reg
-		for _, v := range victims {
-			vr := v.(ir.Reg)
+		vs := a.vsScratch[:0]
+		for _, vr := range a.victimScratch {
 			vw := a.weightOf(vr)
 			if vw >= w {
 				ok = false
@@ -472,12 +556,14 @@ func (a *allocator) assignOne(r ir.Reg) error {
 			cost += vw
 			vs = append(vs, vr)
 		}
+		a.vsScratch = vs
 		if ok && cost < bestCost {
-			bestP, bestCost, bestVictims = p, cost, vs
+			bestP, bestCost = p, cost
+			a.vsScratch, a.bestVictims = a.bestVictims, a.vsScratch
 		}
 	}
 	if bestP >= 0 {
-		for _, v := range bestVictims {
+		for _, v := range a.bestVictims {
 			a.evict(v, c, bestP)
 		}
 		a.place(r, c, bestP)
@@ -633,7 +719,7 @@ func record(res *Result, f *ir.Func, lv *liveness.Info,
 		if s, ok := spillSlot[r]; ok {
 			res.SpillSlotOf[r] = s
 		}
-		if lv.LiveIn[entry.ID][r] {
+		if lv.LiveIn[entry.ID].Has(r) {
 			res.EntryLiveIn = append(res.EntryLiveIn, r)
 		}
 	}

@@ -25,7 +25,7 @@ import (
 // of stack-spilled: the constant is re-emitted at every use and no spill
 // slot or store is needed (the classic cheap-to-recompute optimization).
 func (a *allocator) spill(r ir.Reg, c ir.Class) {
-	a.spilled[r] = true
+	a.spilled.Add(r)
 	a.res.SpilledVRegs++
 	if def := a.rematSource(r); def != nil {
 		a.remat[r] = def
@@ -198,7 +198,7 @@ func (a *allocator) materialize() {
 					in.Uses[k] = encode(child)
 					continue
 				}
-				if !a.spilled[u] {
+				if !a.spilled.Has(u) {
 					in.Uses[k] = encode(u)
 					continue
 				}
@@ -236,7 +236,7 @@ func (a *allocator) materialize() {
 				if !d.IsVirt() {
 					continue
 				}
-				if !a.spilled[d] {
+				if !a.spilled.Has(d) {
 					in.Defs[k] = encode(d)
 					continue
 				}

@@ -31,7 +31,7 @@ func (a *allocator) trySplitAroundLoop(r ir.Reg, c ir.Class) bool {
 	if _, isChild := a.pseudoParent[r]; isChild {
 		return false // split/spill products are never re-split
 	}
-	if a.splitDone[r] {
+	if a.splitDone.Has(r) {
 		return false // one split per register keeps ranges disjoint
 	}
 	iv := a.intervalOf(r)
@@ -89,7 +89,7 @@ func (a *allocator) trySplitAroundLoop(r ir.Reg, c ir.Class) bool {
 	reduced.Weight = iv.Weight
 	reduced.NumUses = iv.NumUses
 	a.override[r] = reduced
-	a.splitDone[r] = true
+	a.splitDone.Add(r)
 	a.splits[r] = append(a.splits[r], splitPlan{
 		parent:    r,
 		child:     child,
@@ -246,7 +246,7 @@ func (a *allocator) materializeSplits() {
 			childPhys := a.physOf(sp.child)
 			var init *ir.Instr
 			switch {
-			case !a.spilled[sp.parent]:
+			case !a.spilled.Has(sp.parent):
 				op := ir.OpFMov
 				if a.classOf(sp.parent) == ir.ClassGPR {
 					op = ir.OpIMov

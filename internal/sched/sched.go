@@ -7,7 +7,7 @@
 package sched
 
 import (
-	"sort"
+	"sync"
 
 	"prescount/internal/ir"
 )
@@ -23,43 +23,99 @@ type Stats struct {
 // is invalidated through the function's mutation generation.
 func Run(f *ir.Func) Stats {
 	var st Stats
+	sc := scratchPool.Get().(*blockScratch)
 	for _, b := range f.Blocks {
-		if scheduleBlock(f, b) {
+		if scheduleBlock(f, b, sc) {
 			st.Reordered++
 		}
 	}
+	scratchPool.Put(sc)
 	if st.Reordered > 0 {
 		f.MarkMutated()
 	}
 	return st
 }
 
+// blockScratch holds the per-block working state of scheduleBlock, pooled
+// across blocks and Run invocations so steady-state scheduling does not
+// allocate. Everything here is indexes and counters — nothing retains IR
+// pointers between blocks, so pooling is retention-safe.
+type blockScratch struct {
+	// succs[i] lists dependence successors of instruction i. Lists may hold
+	// duplicate targets (one pair can be related by several hazards); indeg
+	// counts every recorded edge, so increments and release decrements stay
+	// consistent.
+	succs [][]int32
+	indeg []int32
+	// use chains: useHead maps a register to its most recent use node;
+	// useNext/useInstr are parallel arrays forming per-register linked
+	// lists (the slice-of-slices lastUses this replaces allocated a fresh
+	// list per register per block).
+	useHead  map[ir.Reg]int32
+	useNext  []int32
+	useInstr []int32
+	lastDef  map[ir.Reg]int32
+	remUses  map[ir.Reg]int32
+	memOps   []int32
+	ready    []int32
+	order    []int32
+}
+
+var scratchPool = sync.Pool{New: func() any {
+	return &blockScratch{
+		useHead: map[ir.Reg]int32{},
+		lastDef: map[ir.Reg]int32{},
+		remUses: map[ir.Reg]int32{},
+	}
+}}
+
+func (sc *blockScratch) prepare(n int) {
+	if cap(sc.succs) < n {
+		sc.succs = make([][]int32, n)
+	} else {
+		sc.succs = sc.succs[:n]
+	}
+	for i := range sc.succs {
+		sc.succs[i] = sc.succs[i][:0]
+	}
+	if cap(sc.indeg) < n {
+		sc.indeg = make([]int32, n)
+	} else {
+		sc.indeg = sc.indeg[:n]
+		clear(sc.indeg)
+	}
+	sc.useNext = sc.useNext[:0]
+	sc.useInstr = sc.useInstr[:0]
+	sc.memOps = sc.memOps[:0]
+	sc.ready = sc.ready[:0]
+	sc.order = sc.order[:0]
+	clear(sc.useHead)
+	clear(sc.lastDef)
+	clear(sc.remUses)
+}
+
 // scheduleBlock performs a forward list scheduling of one block. It returns
 // whether the order changed.
-func scheduleBlock(f *ir.Func, b *ir.Block) bool {
+func scheduleBlock(f *ir.Func, b *ir.Block, sc *blockScratch) bool {
 	n := len(b.Instrs)
 	if n <= 2 {
 		return false
 	}
 	body := b.Instrs[:n-1] // keep the terminator last
 	term := b.Instrs[n-1]
+	sc.prepare(len(body))
 
-	// Build the dependence DAG.
-	preds := make([]map[int]bool, len(body))
-	succs := make([]map[int]bool, len(body))
-	for i := range body {
-		preds[i] = map[int]bool{}
-		succs[i] = map[int]bool{}
-	}
+	// Build the dependence DAG. Edge lists may hold duplicates (one pair
+	// can be related by several hazards at once); every duplicate counts on
+	// both the indeg and the release side, so readiness is unchanged. Edge
+	// targets equal the construction loop index, so each successor list
+	// comes out sorted — the release order below needs no per-pop sort.
 	addDep := func(from, to int) {
-		if from != to && !succs[from][to] {
-			succs[from][to] = true
-			preds[to][from] = true
+		if from != to {
+			sc.succs[from] = append(sc.succs[from], int32(to))
+			sc.indeg[to]++
 		}
 	}
-	lastDef := map[ir.Reg]int{}
-	lastUses := map[ir.Reg][]int{}
-	var memOps []int
 	lastBarrier := -1
 	for i, in := range body {
 		// Calls are full scheduling barriers: they clobber caller-saved
@@ -73,28 +129,36 @@ func scheduleBlock(f *ir.Func, b *ir.Block) bool {
 			addDep(lastBarrier, i)
 		}
 		for _, u := range in.Uses {
-			if d, ok := lastDef[u]; ok {
-				addDep(d, i) // RAW
+			if d, ok := sc.lastDef[u]; ok {
+				addDep(int(d), i) // RAW
 			}
-			lastUses[u] = append(lastUses[u], i)
+			head, ok := sc.useHead[u]
+			if !ok {
+				head = -1
+			}
+			sc.useNext = append(sc.useNext, head)
+			sc.useInstr = append(sc.useInstr, int32(i))
+			sc.useHead[u] = int32(len(sc.useNext) - 1)
 		}
 		for _, d := range in.Defs {
-			if pd, ok := lastDef[d]; ok {
-				addDep(pd, i) // WAW
+			if pd, ok := sc.lastDef[d]; ok {
+				addDep(int(pd), i) // WAW
 			}
-			for _, u := range lastUses[d] {
-				addDep(u, i) // WAR
+			if head, ok := sc.useHead[d]; ok {
+				for node := head; node >= 0; node = sc.useNext[node] {
+					addDep(int(sc.useInstr[node]), i) // WAR
+				}
+				delete(sc.useHead, d)
 			}
-			lastDef[d] = i
-			lastUses[d] = nil
+			sc.lastDef[d] = int32(i)
 		}
 		if isMem(in.Op) {
-			for _, m := range memOps {
+			for _, m := range sc.memOps {
 				if mayAlias(body[m], in) {
-					addDep(m, i)
+					addDep(int(m), i)
 				}
 			}
-			memOps = append(memOps, i)
+			sc.memOps = append(sc.memOps, int32(i))
 		}
 	}
 
@@ -102,25 +166,20 @@ func scheduleBlock(f *ir.Func, b *ir.Block) bool {
 	// a register; scheduling a def opens one. Greedy choice: among ready
 	// instructions pick the one minimizing net FP live growth, then net
 	// GPR growth, then original order (stability).
-	remainingUses := map[ir.Reg]int{}
 	for _, in := range body {
 		for _, u := range in.Uses {
 			if u.IsVirt() {
-				remainingUses[u]++
+				sc.remUses[u]++
 			}
 		}
 	}
-	indeg := make([]int, len(body))
+	ready := sc.ready
 	for i := range body {
-		indeg[i] = len(preds[i])
-	}
-	var ready []int
-	for i := range body {
-		if indeg[i] == 0 {
-			ready = append(ready, i)
+		if sc.indeg[i] == 0 {
+			ready = append(ready, int32(i))
 		}
 	}
-	score := func(i int) (fpDelta, gprDelta int) {
+	score := func(i int32) (fpDelta, gprDelta int) {
 		in := body[i]
 		for _, d := range in.Defs {
 			if !d.IsVirt() {
@@ -133,15 +192,27 @@ func scheduleBlock(f *ir.Func, b *ir.Block) bool {
 			}
 		}
 		// A register dies here if this instruction holds all its remaining
-		// uses (count occurrences, so x*x kills x correctly).
-		occ := map[ir.Reg]int{}
-		for _, u := range in.Uses {
-			if u.IsVirt() {
-				occ[u]++
+		// uses. Occurrences are counted inline over the (tiny) operand list
+		// — so x*x kills x correctly — processing each distinct register at
+		// its first position only.
+		uses := in.Uses
+		for k, u := range uses {
+			if !u.IsVirt() {
+				continue
 			}
-		}
-		for u, n := range occ {
-			if remainingUses[u] != n {
+			cnt := int32(0)
+			dup := false
+			for k2, u2 := range uses {
+				if u2 != u {
+					continue
+				}
+				if k2 < k {
+					dup = true
+					break
+				}
+				cnt++
+			}
+			if dup || sc.remUses[u] != cnt {
 				continue
 			}
 			if f.RegClass(u) == ir.ClassFP {
@@ -152,7 +223,7 @@ func scheduleBlock(f *ir.Func, b *ir.Block) bool {
 		}
 		return
 	}
-	var order []int
+	order := sc.order
 	for len(ready) > 0 {
 		best, bi := ready[0], 0
 		bf, bg := score(best)
@@ -168,39 +239,40 @@ func scheduleBlock(f *ir.Func, b *ir.Block) bool {
 		order = append(order, best)
 		for _, u := range body[best].Uses {
 			if u.IsVirt() {
-				remainingUses[u]--
+				sc.remUses[u]--
 			}
 		}
-		// Release successors in index order, not map order: the selection
-		// scan above breaks score ties on instruction index, so the result
-		// is already order-independent, but a deterministic ready list keeps
-		// the scan's tie-break path (and any future heuristic) reproducible.
-		released := make([]int, 0, len(succs[best]))
-		for s := range succs[best] {
-			released = append(released, s)
-		}
-		sort.Ints(released)
-		for _, s := range released {
-			indeg[s]--
-			if indeg[s] == 0 {
+		// Successor lists are sorted by construction, and a node reaches
+		// indeg zero at the last duplicate of its last releasing edge —
+		// last duplicates appear in ascending target order, so nodes enter
+		// the ready list exactly as the earlier sorted-unique release did.
+		for _, s := range sc.succs[best] {
+			sc.indeg[s]--
+			if sc.indeg[s] == 0 {
 				ready = append(ready, s)
 			}
 		}
 	}
+	sc.ready, sc.order = ready[:0], order
 	if len(order) != len(body) {
 		// Cycle (cannot happen with a well-formed DAG); keep original.
 		return false
 	}
 	changed := false
-	newBody := make([]*ir.Instr, len(body))
 	for pos, idx := range order {
-		newBody[pos] = body[idx]
-		if idx != pos {
+		if int(idx) != pos {
 			changed = true
+			break
 		}
 	}
 	if !changed {
 		return false
+	}
+	// The rewritten body escapes into b.Instrs: always fresh heap, never
+	// scratch.
+	newBody := make([]*ir.Instr, 0, n)
+	for _, idx := range order {
+		newBody = append(newBody, body[idx])
 	}
 	b.Instrs = append(newBody, term)
 	return true

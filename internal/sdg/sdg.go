@@ -109,17 +109,25 @@ func (g *Graph) Groups() [][]ir.Reg {
 		}
 	}
 	byRoot := map[ir.Reg][]ir.Reg{}
-	var members []ir.Reg
+	members := make([]ir.Reg, 0, len(parent))
 	for r := range parent {
 		members = append(members, r)
 	}
 	sort.Slice(members, func(i, j int) bool { return members[i] < members[j] })
+	// union() parents the larger root under the smaller, so each component's
+	// root is its minimum member; walking members in ascending order therefore
+	// visits every root before the rest of its component, and first-seen order
+	// of roots is already sorted — no sorted-keys temporary needed.
+	var roots []ir.Reg
 	for _, r := range members {
 		root := find(r)
+		if _, ok := byRoot[root]; !ok {
+			roots = append(roots, root)
+		}
 		byRoot[root] = append(byRoot[root], r)
 	}
-	var groups [][]ir.Reg
-	for _, root := range sortedKeys(byRoot) {
+	groups := make([][]ir.Reg, 0, len(roots))
+	for _, root := range roots {
 		groups = append(groups, byRoot[root])
 	}
 	sort.SliceStable(groups, func(i, j int) bool {
@@ -129,15 +137,6 @@ func (g *Graph) Groups() [][]ir.Reg {
 		return groups[i][0] < groups[j][0]
 	})
 	return groups
-}
-
-func sortedKeys(m map[ir.Reg][]ir.Reg) []ir.Reg {
-	keys := make([]ir.Reg, 0, len(m))
-	for k := range m {
-		keys = append(keys, k)
-	}
-	sort.Slice(keys, func(i, j int) bool { return keys[i] < keys[j] })
-	return keys
 }
 
 // GroupOf returns a map from register to its group index per Groups().

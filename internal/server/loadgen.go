@@ -27,6 +27,11 @@ type LoadgenConfig struct {
 	// (default 16). Small corpora under heavy repetition model the
 	// repeated-submission traffic the cache exists for.
 	Kernels int `json:"kernels"`
+	// KernelInstrs, when > 0, replaces the suite-drawn corpus with
+	// uniformly sized random kernels of that many instructions.
+	// Saturation runs use this to make every cold compile long enough to
+	// overlap request arrivals even on a single-CPU runner.
+	KernelInstrs int `json:"kernel_instrs,omitempty"`
 	// Method is the allocation method requested (default bpc).
 	Method string `json:"method"`
 	// Simulate asks the server to execute each allocated kernel too.
@@ -83,24 +88,35 @@ const corpusMaxBytes = 64 << 10
 // CNN-KERNEL suites, topped up with deterministic random kernels) as
 // textual MIR, the replay set of the load generator.
 func Corpus(n int) []string {
+	return CorpusSized(n, 0)
+}
+
+// CorpusSized is Corpus with an explicit instruction count for the random
+// kernels. instrs <= 0 gives the default mix (suite kernels topped up with
+// 120-instruction random ones); instrs > 0 skips the suite kernels so every
+// corpus entry costs a full cold compile of that size.
+func CorpusSized(n, instrs int) []string {
 	if n <= 0 {
 		n = 16
 	}
 	var out []string
-	for _, suite := range []*workload.Suite{workload.DSAOP(), workload.CNN()} {
-		for _, p := range suite.Programs {
-			for _, f := range p.Funcs() {
-				if len(out) >= n {
-					return out
-				}
-				if src := ir.Print(f); len(src) <= corpusMaxBytes {
-					out = append(out, src)
+	if instrs <= 0 {
+		instrs = 120
+		for _, suite := range []*workload.Suite{workload.DSAOP(), workload.CNN()} {
+			for _, p := range suite.Programs {
+				for _, f := range p.Funcs() {
+					if len(out) >= n {
+						return out
+					}
+					if src := ir.Print(f); len(src) <= corpusMaxBytes {
+						out = append(out, src)
+					}
 				}
 			}
 		}
 	}
 	for seed := int64(1); len(out) < n; seed++ {
-		out = append(out, ir.Print(workload.RandomSized(seed, 120)))
+		out = append(out, ir.Print(workload.RandomSized(seed, instrs)))
 	}
 	return out
 }
@@ -125,7 +141,7 @@ func RunLoadgen(cfg LoadgenConfig) (*LoadgenResult, error) {
 	if cfg.ScrapeEvery <= 0 {
 		cfg.ScrapeEvery = 100 * time.Millisecond
 	}
-	corpus := Corpus(cfg.Kernels)
+	corpus := CorpusSized(cfg.Kernels, cfg.KernelInstrs)
 	client := &http.Client{}
 
 	res := &LoadgenResult{Config: cfg}

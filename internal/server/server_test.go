@@ -450,12 +450,24 @@ func TestLoadgenSustained(t *testing.T) {
 // tiny daemon and asserts overload surfaces as 429s (never 5xx) while the
 // cache stays under its byte cap.
 func TestLoadgenSaturation(t *testing.T) {
-	s, ts := newTestServer(t, Config{MaxInFlight: 2, MaxQueue: 2, CacheMaxBytes: 32 << 10})
+	// One compile slot, one queue slot. With the pooled zero-allocation
+	// compile path a cold compile is only milliseconds, so whether real
+	// traffic ever piles three requests onto a tiny daemon is
+	// scheduler-timing dependent (on a single-CPU runner a short compile
+	// never yields the processor to the client goroutines). Make overload
+	// deterministic instead: occupy the sole compile slot while the
+	// fleet's opening wave arrives, so the first request queues and every
+	// further concurrent one must be rejected, then release the slot and
+	// let the remainder of the run drain normally.
+	s, ts := newTestServer(t, Config{MaxInFlight: 1, MaxQueue: 1, CacheMaxBytes: 16 << 10})
+	s.slots <- struct{}{}
+	release := time.AfterFunc(500*time.Millisecond, func() { <-s.slots })
+	defer release.Stop()
 	res, err := RunLoadgen(LoadgenConfig{
 		URL:         ts.URL,
 		Concurrency: 32,
 		Requests:    256,
-		Kernels:     16,
+		Kernels:     32,
 		RetryOn429:  false,
 	})
 	if err != nil {
@@ -464,11 +476,14 @@ func TestLoadgenSaturation(t *testing.T) {
 	if res.Errors5xx != 0 {
 		t.Errorf("5xx = %d, want 0", res.Errors5xx)
 	}
-	if res.Rejected429 == 0 {
-		t.Error("saturation run produced no 429s; admission control never engaged")
-	}
 	if got, cap := s.Cache().Stats().BytesRetained, s.Cache().MaxBytes(); got > cap {
 		t.Errorf("cache bytes retained %d exceeds cap %d", got, cap)
+	}
+	if res.Rejected429 == 0 {
+		t.Error("no 429s despite a held compile slot; admission control never engaged")
+	}
+	if res.OK == 0 {
+		t.Error("no requests succeeded after the slot was released")
 	}
 }
 

@@ -1,6 +1,8 @@
 package verify
 
 import (
+	"math/bits"
+
 	"prescount/internal/analysis"
 	"prescount/internal/cfg"
 	"prescount/internal/ir"
@@ -80,18 +82,24 @@ func segmentsEqual(a, b *liveness.Interval) bool {
 
 // setDiff returns a register present in exactly one of the sets, or NoReg
 // when the sets are equal. The witness is the smallest such register, so
-// the diagnostic is deterministic.
-func setDiff(a, b map[ir.Reg]bool) ir.Reg {
-	best := ir.NoReg
-	for r := range a {
-		if !b[r] && (best == ir.NoReg || r < best) {
-			best = r
+// the diagnostic is deterministic (bitset iteration is index-ordered).
+func setDiff(a, b ir.RegSet) ir.Reg {
+	aw, bw := a.Words(), b.Words()
+	n := len(aw)
+	if len(bw) > n {
+		n = len(bw)
+	}
+	for i := 0; i < n; i++ {
+		var wa, wb uint64
+		if i < len(aw) {
+			wa = aw[i]
+		}
+		if i < len(bw) {
+			wb = bw[i]
+		}
+		if d := wa ^ wb; d != 0 {
+			return ir.VReg(i<<6 + bits.TrailingZeros64(d))
 		}
 	}
-	for r := range b {
-		if !a[r] && (best == ir.NoReg || r < best) {
-			best = r
-		}
-	}
-	return best
+	return ir.NoReg
 }

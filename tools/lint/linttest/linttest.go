@@ -27,6 +27,11 @@ var stubFuncs = []string{
 	"Analyze", "AnalyzeWith", "Build", "Compute",
 }
 
+// stubTypes are exported named types every synthesized package carries
+// (underlying uint32), so fixtures can spell types like ir.Reg and the
+// type-driven analyzers (regset) see a properly named key type.
+var stubTypes = []string{"Reg"}
+
 // stubImporter synthesizes a package for any import path.
 type stubImporter struct {
 	cache map[string]*types.Package
@@ -43,6 +48,11 @@ func (si *stubImporter) Import(p string) (*types.Package, error) {
 			types.NewTuple(types.NewVar(token.NoPos, pkg, "args", anySlice)),
 			nil, true)
 		pkg.Scope().Insert(types.NewFunc(token.NoPos, pkg, name, sig))
+	}
+	for _, name := range stubTypes {
+		tn := types.NewTypeName(token.NoPos, pkg, name, nil)
+		types.NewNamed(tn, types.Typ[types.Uint32], nil)
+		pkg.Scope().Insert(tn)
 	}
 	pkg.MarkComplete()
 	si.cache[p] = pkg
