@@ -15,8 +15,11 @@
 //
 // -parallel N bounds the compile worker pool for the sweeps (0, the
 // default, uses runtime.GOMAXPROCS; 1 forces serial). -cache off disables
-// the content-addressed compile cache (internal/compilecache) the sweeps
-// share per experiment. Results are identical at any -parallel or -cache
+// the content-addressed compile cache (internal/compilecache); when on, a
+// single cache is shared across every experiment of the run, so later
+// stages reuse earlier stages' prefix, allocation and full entries
+// (table7 recompiles exactly table6's configurations; the rv sweeps reuse
+// fig1/table1's). Results are identical at any -parallel or -cache
 // setting — only wall-clock changes. -cpuprofile FILE writes a pprof CPU
 // profile of the whole run. -verify-each runs every experiment compile
 // under the phase-boundary verifier (internal/verify): tables are
@@ -81,11 +84,15 @@ type stageRecord struct {
 	Compiles int64 `json:"compiles,omitempty"`
 	// AllocsPerCompile is Mallocs / Compiles.
 	AllocsPerCompile float64 `json:"allocs_per_compile,omitempty"`
-	// Cache is the stage's compile-cache counter snapshot with the derived
+	// Cache is the stage's compile-cache counter delta with the derived
 	// hit rates (absent when the stage ran uncached or compiles nothing).
+	// On the shared run-wide cache the counters are this stage's own
+	// lookups; the gauges (BytesRetained, entry counts) are the cache's
+	// state at stage end.
 	Cache         *compilecache.Stats `json:"cache,omitempty"`
 	FullHitRate   float64             `json:"full_hit_rate,omitempty"`
 	PrefixHitRate float64             `json:"prefix_hit_rate,omitempty"`
+	AllocHitRate  float64             `json:"alloc_hit_rate,omitempty"`
 }
 
 // perfLog accumulates the -json perf trajectory.
@@ -95,12 +102,20 @@ type perfLog struct {
 	// Sweeps holds the raw per-program counts keyed "bank-method" ->
 	// program, per platform sweep that ran.
 	Sweeps map[string]map[string]map[string]experiments.Counts `json:"sweeps,omitempty"`
+
+	// cache is the run-wide shared compile cache (nil under -cache off);
+	// stage() attributes per-stage hit counters to each stage by delta.
+	cache *compilecache.Cache
 }
 
-// stage runs fn, timing it and recording its heap-allocation and GC
-// activity.
+// stage runs fn, timing it and recording its heap-allocation, GC and
+// compile-cache activity.
 func (p *perfLog) stage(name string, fn func()) {
 	var before, after runtime.MemStats
+	var cacheBefore compilecache.Stats
+	if p.cache != nil {
+		cacheBefore = p.cache.Stats()
+	}
 	runtime.ReadMemStats(&before)
 	start := time.Now()
 	fn()
@@ -116,9 +131,12 @@ func (p *perfLog) stage(name string, fn func()) {
 		GCCycles:      after.NumGC - before.NumGC,
 		GCPauseNS:     after.PauseTotalNs - before.PauseTotalNs,
 	})
+	if p.cache != nil {
+		p.attachCache(p.cache.Stats().Delta(cacheBefore))
+	}
 }
 
-// attachCache annotates the most recent stage with a sweep's cache stats.
+// attachCache annotates the most recent stage with its cache stats delta.
 func (p *perfLog) attachCache(st compilecache.Stats) {
 	if len(p.Stages) == 0 {
 		return
@@ -131,6 +149,7 @@ func (p *perfLog) attachCache(st compilecache.Stats) {
 		rec.Cache = &snap
 		rec.FullHitRate = st.FullHitRate()
 		rec.PrefixHitRate = st.PrefixHitRate()
+		rec.AllocHitRate = st.AllocHitRate()
 	}
 }
 
@@ -172,7 +191,14 @@ func main() {
 	}
 	all := want["all"]
 	run := func(name string) bool { return all || want[name] }
-	perf := &perfLog{Schema: "prescount-bench/2"}
+	perf := &perfLog{Schema: "prescount-bench/3"}
+	if !experiments.DisableCache {
+		// One cache for the whole run: every stage reuses the entries of
+		// the stages before it, and per-stage hit rates are delta-attributed
+		// by perfLog.stage.
+		perf.cache = compilecache.New()
+		experiments.SharedCache = perf.cache
+	}
 
 	start := time.Now()
 	if run("fig1") {
@@ -293,7 +319,6 @@ func runSweepStage(perf *perfLog, name string, sweep func() (*experiments.Sweep,
 		sw, err = sweep()
 		check(err)
 	})
-	perf.attachCache(sw.CacheStats)
 	if line := sw.CacheStatsString(); line != "" {
 		fmt.Printf("[%s] %s\n\n", name, line)
 	}

@@ -16,6 +16,10 @@
 //	-saturate    additionally run a saturation pass against a deliberately
 //	             tiny in-process daemon (inflight=2, queue=4) to demonstrate
 //	             429-instead-of-collapse (self-spawn mode only)
+//	-sweep       additionally run the bank-sweep pair: the corpus walked
+//	             across bank counts {4, 8, 2} against a speculating daemon
+//	             and again with speculation off, recording the warm hits
+//	             speculative precompilation earned (self-spawn mode only)
 //	-json FILE   write the trajectory artifact (default BENCH_serve.json;
 //	             "" disables)
 //
@@ -54,10 +58,11 @@ func main() {
 	method := flag.String("method", "bpc", "allocation method")
 	simulate := flag.Bool("simulate", false, "execute allocated kernels server-side")
 	saturate := flag.Bool("saturate", false, "also run the tiny-daemon saturation pass")
+	sweep := flag.Bool("sweep", false, "also run the bank-sweep speculation-on/off pair")
 	jsonOut := flag.String("json", "BENCH_serve.json", "trajectory artifact path (\"\" disables)")
 	flag.Parse()
 
-	art := artifact{Schema: "prescount-serve/1"}
+	art := artifact{Schema: "prescount-serve/2"}
 
 	target := *url
 	var shutdown func()
@@ -112,6 +117,37 @@ func main() {
 		art.Runs = append(art.Runs, runRecord{Name: "saturation", LoadgenResult: sres})
 	}
 
+	if *sweep {
+		if *url != "" {
+			check(fmt.Errorf("-sweep requires self-spawn mode (omit -url)"))
+		}
+		// The same bank-sweep walk against a speculating daemon and a
+		// non-speculating one. Modest concurrency leaves admission slots
+		// idle between passes — the headroom the speculator is built to
+		// harvest; the comparison is the warm hits it earns with them.
+		for _, pass := range []struct {
+			name        string
+			specWorkers int
+		}{{"sweep-spec", 1}, {"sweep-nospec", 0}} {
+			target, shutdown := spawn(server.Config{
+				CacheMaxBytes: 256 << 20,
+				SpecWorkers:   pass.specWorkers,
+			})
+			swres, err := server.RunLoadgen(server.LoadgenConfig{
+				URL:         target,
+				Concurrency: 4,
+				Kernels:     *kernels,
+				Method:      *method,
+				Sweep:       true,
+				RetryOn429:  true,
+			})
+			shutdown()
+			check(err)
+			report(pass.name, swres)
+			art.Runs = append(art.Runs, runRecord{Name: pass.name, LoadgenResult: swres})
+		}
+	}
+
 	if *jsonOut != "" {
 		data, err := json.MarshalIndent(art, "", "  ")
 		check(err)
@@ -134,10 +170,14 @@ func report(name string, r *server.LoadgenResult) {
 	fmt.Printf("  throughput %.1f req/s; latency p50=%.2fms p90=%.2fms p99=%.2fms max=%.2fms\n",
 		r.ThroughputRPS, r.Latency.P50MS, r.Latency.P90MS, r.Latency.P99MS, r.Latency.MaxMS)
 	if r.Statz != nil {
-		fmt.Printf("  server: cache full=%.3f prefix=%.3f bytes=%d evictions=%d; max inflight seen %d, max queued seen %d\n",
-			r.Statz.Cache.FullHitRate, r.Statz.Cache.PrefixHitRate,
+		fmt.Printf("  server: cache full=%.3f prefix=%.3f alloc=%.3f bytes=%d evictions=%d; max inflight seen %d, max queued seen %d\n",
+			r.Statz.Cache.FullHitRate, r.Statz.Cache.PrefixHitRate, r.Statz.Cache.AllocHitRate,
 			r.Statz.Cache.BytesRetained, r.Statz.Cache.Evictions,
 			r.MaxInFlightSeen, r.MaxQueuedSeen)
+		if sp := r.Statz.Speculation; sp != nil {
+			fmt.Printf("  speculation: %d scheduled, %d compiled, %d warm hits, %d cancelled, %d dropped, %d deduped\n",
+				sp.Scheduled, sp.Compiled, sp.WarmHits, sp.Cancelled, sp.Dropped, sp.Deduped)
+		}
 	}
 }
 

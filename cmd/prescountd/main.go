@@ -16,6 +16,10 @@
 //	-workers N       per-request module compile fan-out (default GOMAXPROCS)
 //	-max-body N      request body cap in bytes (default 8 MiB)
 //	-drain D         graceful shutdown grace period (default 30s)
+//	-module-tokens N module priors retained for incremental recompiles
+//	                 (default 64; 0 disables prior_token/module_token)
+//	-spec-workers N  background workers precompiling adjacent-bank sweep
+//	                 neighbors in idle admission slots (default 1; 0 disables)
 //
 // Endpoints (see docs/API.md): POST /v1/compile, POST /v1/compile/module,
 // GET /healthz, GET /statz, GET /debug/vars (expvar).
@@ -39,6 +43,15 @@ import (
 	"prescount/internal/server"
 )
 
+// moduleTokenCfg maps the flag onto server.Config.ModuleTokens, where 0
+// means "use the default" and negative disables (the flag's 0 disables).
+func moduleTokenCfg(n int) int {
+	if n == 0 {
+		return -1
+	}
+	return n
+}
+
 func main() {
 	addr := flag.String("addr", ":8135", "listen address")
 	inflight := flag.Int("inflight", 0, "max concurrent compiles (0 = GOMAXPROCS)")
@@ -49,6 +62,8 @@ func main() {
 	workers := flag.Int("workers", 0, "module compile fan-out per request (0 = GOMAXPROCS)")
 	maxBody := flag.Int64("max-body", 8<<20, "request body cap in bytes")
 	drain := flag.Duration("drain", 30*time.Second, "graceful shutdown grace period")
+	moduleTokens := flag.Int("module-tokens", 64, "module priors retained for incremental recompiles (0 disables)")
+	specWorkers := flag.Int("spec-workers", 1, "speculative sweep-precompile workers (0 disables)")
 	flag.Parse()
 
 	srv := server.New(server.Config{
@@ -59,6 +74,8 @@ func main() {
 		MaxTimeout:     *maxDeadline,
 		CacheMaxBytes:  *cacheBytes,
 		Workers:        *workers,
+		ModuleTokens:   moduleTokenCfg(*moduleTokens),
+		SpecWorkers:    *specWorkers,
 	})
 	srv.PublishExpvar("prescountd")
 

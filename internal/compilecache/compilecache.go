@@ -11,6 +11,11 @@
 //     the options that reach those phases, so a sweep over methods and bank
 //     counts runs the prefix once per function and clones the post-sched
 //     snapshot for every other point.
+//   - Allocation dedup: for bank-oblivious methods (non, and brc's
+//     allocation phase, which is non's) the register allocation never reads
+//     the bank count, so the expensive allocation is keyed without it
+//     (core.Options.AllocDigest) and shared across every bank point of a
+//     sweep; only the cheap per-bank conflict analysis reruns.
 //
 // The cache stores opaque values (internal/core owns the concrete snapshot
 // and result types; storing them here directly would create an import
@@ -56,6 +61,11 @@ type Stats struct {
 	// coalescing, subgroup splitting and scheduling were skipped for one
 	// compile (the snapshot is cloned instead).
 	PrefixHits, PrefixMisses int64
+	// AllocHits / AllocMisses count bank-oblivious allocation lookups. A
+	// hit means the register allocation was skipped (only the per-bank
+	// conflict analysis ran). Methods whose allocation reads the bank
+	// count (bcr, bpc) never consult this layer.
+	AllocHits, AllocMisses int64
 	// BytesRetained estimates the memory pinned by cached entries, as
 	// reported by the compute callbacks. On a NewLimited cache it never
 	// exceeds the cap once in-flight computes have settled.
@@ -63,8 +73,9 @@ type Stats struct {
 	// Evictions counts entries dropped by the LRU byte cap (0 on an
 	// unlimited cache).
 	Evictions int64
-	// FullEntries / PrefixEntries count live entries per layer.
-	FullEntries, PrefixEntries int
+	// FullEntries / PrefixEntries / AllocEntries count live entries per
+	// layer.
+	FullEntries, PrefixEntries, AllocEntries int
 }
 
 // FullHitRate returns FullHits / (FullHits + FullMisses), 0 when empty.
@@ -72,6 +83,30 @@ func (s Stats) FullHitRate() float64 { return rate(s.FullHits, s.FullMisses) }
 
 // PrefixHitRate returns PrefixHits / (PrefixHits + PrefixMisses).
 func (s Stats) PrefixHitRate() float64 { return rate(s.PrefixHits, s.PrefixMisses) }
+
+// AllocHitRate returns AllocHits / (AllocHits + AllocMisses).
+func (s Stats) AllocHitRate() float64 { return rate(s.AllocHits, s.AllocMisses) }
+
+// Delta returns the counters accumulated since prev was snapshotted from
+// the same cache: monotonic counters are subtracted, while the gauges
+// (BytesRetained and the entry counts) keep their current values. Stage
+// runners over a shared cache use this to attribute hits and misses to the
+// stage that issued them.
+func (s Stats) Delta(prev Stats) Stats {
+	return Stats{
+		FullHits:      s.FullHits - prev.FullHits,
+		FullMisses:    s.FullMisses - prev.FullMisses,
+		PrefixHits:    s.PrefixHits - prev.PrefixHits,
+		PrefixMisses:  s.PrefixMisses - prev.PrefixMisses,
+		AllocHits:     s.AllocHits - prev.AllocHits,
+		AllocMisses:   s.AllocMisses - prev.AllocMisses,
+		Evictions:     s.Evictions - prev.Evictions,
+		BytesRetained: s.BytesRetained,
+		FullEntries:   s.FullEntries,
+		PrefixEntries: s.PrefixEntries,
+		AllocEntries:  s.AllocEntries,
+	}
+}
 
 func rate(hits, misses int64) float64 {
 	if hits+misses == 0 {
@@ -100,9 +135,10 @@ type Cache struct {
 	mu     sync.Mutex
 	full   map[Key]*entry
 	prefix map[Key]*entry
+	alloc  map[Key]*entry
 
-	hits      [2]int64 // [layerFull], [layerPrefix]
-	misses    [2]int64
+	hits      [3]int64 // [layerFull], [layerPrefix], [layerAlloc]
+	misses    [3]int64
 	bytes     int64
 	evictions int64
 
@@ -117,12 +153,13 @@ type layer int
 const (
 	layerFull layer = iota
 	layerPrefix
+	layerAlloc
 )
 
 // New returns an empty cache with no byte cap: entries are retained for the
 // cache's lifetime, preserving byte-identity of repeated sweeps.
 func New() *Cache {
-	return &Cache{full: map[Key]*entry{}, prefix: map[Key]*entry{}}
+	return &Cache{full: map[Key]*entry{}, prefix: map[Key]*entry{}, alloc: map[Key]*entry{}}
 }
 
 // NewLimited returns an empty cache that evicts least-recently-used entries
@@ -158,11 +195,37 @@ func (c *Cache) Prefix(k Key, compute func() (any, int64, error)) (any, bool, er
 	return c.do(layerPrefix, k, compute)
 }
 
-func (c *Cache) do(l layer, k Key, compute func() (any, int64, error)) (any, bool, error) {
-	m := c.full
-	if l == layerPrefix {
-		m = c.prefix
+// Alloc looks up (or computes) a bank-oblivious allocation for k, with the
+// same contract as Full. k.Digest must exclude every option the allocation
+// does not read (core.Options.AllocDigest), so one entry serves every bank
+// point of a sweep.
+func (c *Cache) Alloc(k Key, compute func() (any, int64, error)) (any, bool, error) {
+	return c.do(layerAlloc, k, compute)
+}
+
+// PeekFull reports whether the full layer already holds (or is computing)
+// an entry for k, without counting a lookup or touching LRU recency. The
+// daemon's speculator uses it to skip neighbors that are already warm.
+func (c *Cache) PeekFull(k Key) bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	_, ok := c.full[k]
+	return ok
+}
+
+func (c *Cache) layerMap(l layer) map[Key]*entry {
+	switch l {
+	case layerPrefix:
+		return c.prefix
+	case layerAlloc:
+		return c.alloc
+	default:
+		return c.full
 	}
+}
+
+func (c *Cache) do(l layer, k Key, compute func() (any, int64, error)) (any, bool, error) {
+	m := c.layerMap(l)
 	for {
 		c.mu.Lock()
 		if e, ok := m[k]; ok {
@@ -222,10 +285,7 @@ func (c *Cache) evict() {
 	for c.bytes > c.maxBytes && c.lruTail != nil {
 		e := c.lruTail
 		c.unlink(e)
-		m := c.full
-		if e.layer == layerPrefix {
-			m = c.prefix
-		}
+		m := c.layerMap(e.layer)
 		if m[e.key] == e {
 			delete(m, e.key)
 		}
@@ -283,9 +343,12 @@ func (c *Cache) Stats() Stats {
 		FullMisses:    c.misses[layerFull],
 		PrefixHits:    c.hits[layerPrefix],
 		PrefixMisses:  c.misses[layerPrefix],
+		AllocHits:     c.hits[layerAlloc],
+		AllocMisses:   c.misses[layerAlloc],
 		BytesRetained: c.bytes,
 		Evictions:     c.evictions,
 		FullEntries:   len(c.full),
 		PrefixEntries: len(c.prefix),
+		AllocEntries:  len(c.alloc),
 	}
 }

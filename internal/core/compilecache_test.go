@@ -173,7 +173,7 @@ func TestDigestSplit(t *testing.T) {
 		{File: bankfile.RV2(2), Method: MethodNon, DisableCoalesce: true},
 		{File: bankfile.RV2(2), Method: MethodNon, DisableSched: true},
 		{File: bankfile.RV2(2), Method: MethodNon, Subgroups: true},
-		{File: bankfile.RV2(2), Method: MethodNon, SDGMaxGroup: 3},
+		{File: bankfile.RV2(2), Method: MethodNon, Subgroups: true, SDGMaxGroup: 3},
 	}
 	for i, o := range diffPrefix {
 		if o.PrefixDigest() == base.PrefixDigest() {
@@ -182,6 +182,47 @@ func TestDigestSplit(t *testing.T) {
 		if o.FullDigest() == base.FullDigest() {
 			t.Errorf("case %d: prefix-phase option change did not alter FullDigest", i)
 		}
+	}
+	// Options that no phase reads under the rest of the configuration must
+	// not split cache entries: SDGMaxGroup is dead without Subgroups, and
+	// THRES/DisablePressure/DisableFreeHints reach only the bpc assigner.
+	inert := []Options{
+		{File: bankfile.RV2(2), Method: MethodNon, SDGMaxGroup: 3},
+		{File: bankfile.RV2(2), Method: MethodNon, THRES: 0.5},
+		{File: bankfile.RV2(2), Method: MethodNon, DisablePressure: true, DisableFreeHints: true},
+	}
+	for i, o := range inert {
+		if o.PrefixDigest() != base.PrefixDigest() || o.FullDigest() != base.FullDigest() {
+			t.Errorf("case %d: dead option split a digest", i)
+		}
+	}
+	// But the same options must key under the configuration that reads them.
+	bpc := Options{File: bankfile.RV2(2), Method: MethodBPC}
+	bpcThres := bpc
+	bpcThres.THRES = 0.5
+	if bpcThres.FullDigest() == bpc.FullDigest() {
+		t.Error("THRES did not key a bpc compile")
+	}
+	// AllocDigest excludes the bank count and the method (non and brc share
+	// one bank-oblivious allocation) but keys on the register count and the
+	// allocator selector.
+	non2 := Options{File: bankfile.RV2(2), Method: MethodNon}
+	non4 := Options{File: bankfile.RV2(4), Method: MethodNon}
+	brc2 := Options{File: bankfile.RV2(2), Method: MethodBRC}
+	if non2.AllocDigest() != non4.AllocDigest() {
+		t.Error("bank count leaked into AllocDigest")
+	}
+	if non2.AllocDigest() != brc2.AllocDigest() {
+		t.Error("non and brc do not share an AllocDigest")
+	}
+	rv1 := Options{File: bankfile.RV1(2), Method: MethodNon}
+	if non2.AllocDigest() == rv1.AllocDigest() {
+		t.Error("register count missing from AllocDigest")
+	}
+	ls := non2
+	ls.LinearScan = true
+	if non2.AllocDigest() == ls.AllocDigest() {
+		t.Error("allocator selector missing from AllocDigest")
 	}
 	// Cache machinery and verification knobs must never shift a digest.
 	neutral := base

@@ -99,6 +99,27 @@ type Options struct {
 	// Ignored when VerifySemantics is set (verification must actually run).
 	// Cache, Workers and the Verify* fields never enter the cache key.
 	Cache *compilecache.Cache
+	// Prior, when non-nil, enables function-level incremental recompiles in
+	// CompileModule: any function whose ir.Fingerprint appears in the prior
+	// and whose options digest matches Prior.Digest reuses the prior Result
+	// without compiling (results are immutable and shared, with the same
+	// name-rematerialization rule as a cache hit). A digest mismatch
+	// disables the prior entirely. Like Cache it is ignored under
+	// VerifySemantics/VerifyEach and never enters a cache key.
+	Prior *ModulePrior
+}
+
+// ModulePrior is the reusable outcome of a prior CompileModule run: the
+// options digest the results were compiled under plus the per-function
+// results keyed by input fingerprint. A later CompileModule with a matching
+// digest reuses every entry whose fingerprint still appears in the module —
+// the incremental-recompile contract prescountd's module token exposes over
+// HTTP. The contained Results are shared and must not be mutated.
+type ModulePrior struct {
+	// Digest is Options.FullDigest() of the producing run.
+	Digest uint64
+	// PerFunc maps input-function fingerprints to their compiled results.
+	PerFunc map[ir.Fingerprint]*Result
 }
 
 // Result is the outcome of compiling one function.
@@ -284,6 +305,19 @@ func runPrefix(ctx context.Context, work *ir.Func, ac *analysis.Cache, opts Opti
 // register allocation, post-allocation renumbering (brc) and the conflict
 // analysis. It fills the remaining fields of res.
 func runSuffix(ctx context.Context, work *ir.Func, ac *analysis.Cache, opts Options, res *Result) error {
+	if err := runAlloc(ctx, work, ac, opts, res); err != nil {
+		return err
+	}
+	return runPost(ctx, work, ac, opts, res)
+}
+
+// runAlloc executes the allocation half of the suffix — RCG-based bank
+// assignment (bpc only) and enhanced register allocation — in place on
+// work, filling res.Alloc and res.BankAssignForced. For the bank-oblivious
+// methods (non, and brc whose allocation phase is mapped to non below) the
+// result depends only on the options covered by AllocDigest, which is what
+// lets the cache's alloc layer share it across bank counts.
+func runAlloc(ctx context.Context, work *ir.Func, ac *analysis.Cache, opts Options, res *Result) error {
 	// Phase 4 (bpc only): RCG-based bank assignment. It reuses the live
 	// range information and does not modify the IR, so the liveness pulled
 	// here stays valid for Phase 5's allocator.
@@ -348,7 +382,15 @@ func runSuffix(ctx context.Context, work *ir.Func, ac *analysis.Cache, opts Opti
 			return err
 		}
 	}
+	return nil
+}
 
+// runPost executes the post-allocation tail — renumbering (brc only) and
+// the per-bank conflict analysis — on the allocated function, filling
+// res.Renumber, res.Func and res.Report. Unlike the allocation it always
+// reads the full File (bank count, read ports), so it reruns per sweep
+// point even when the allocation itself was an alloc-layer hit.
+func runPost(ctx context.Context, work *ir.Func, ac *analysis.Cache, opts Options, res *Result) error {
 	// Post-allocation phase (brc only): global register renumbering over
 	// the physical-register conflict graph. The CFG retained through the
 	// allocator's rewrite is reused here and again by the conflict
@@ -427,18 +469,26 @@ func compileCached(ctx context.Context, f *ir.Func, opts Options) (*Result, erro
 		return nil, err
 	}
 	res := v.(*Result)
-	if hit && res.Func.Name != f.Name {
-		// The cached result was produced for a structurally identical
-		// function under another symbol name (fingerprints elide names).
-		// Rematerialize the function under the caller's name; everything
-		// else (reports, stats) is name-independent and stays shared.
-		cp := *res
-		fn := res.Func.Clone()
-		fn.Name = f.Name
-		cp.Func = fn
-		res = &cp
+	if hit {
+		res = renamedResult(res, f.Name)
 	}
 	return res, nil
+}
+
+// renamedResult rematerializes a shared immutable Result under the caller's
+// symbol name. A shared result may have been produced for a structurally
+// identical function under another name (fingerprints elide names);
+// everything but the function itself (reports, stats) is name-independent
+// and stays shared. Same-name results are returned as-is.
+func renamedResult(res *Result, name string) *Result {
+	if res.Func.Name == name {
+		return res
+	}
+	cp := *res
+	fn := res.Func.Clone()
+	fn.Name = name
+	cp.Func = fn
+	return &cp
 }
 
 // compileViaPrefix compiles f reusing (or populating) the prefix layer of
@@ -463,6 +513,9 @@ func compileViaPrefix(ctx context.Context, f *ir.Func, fp ir.Fingerprint, opts O
 		return nil, err
 	}
 	snap := v.(*prefixSnapshot)
+	if allocCacheable(opts) {
+		return compileViaAlloc(ctx, f, fp, opts, snap)
+	}
 	work := snap.fn.Clone()
 	// The snapshot may carry another symbol name; the clone is private to
 	// this compile, so renaming is safe and keeps diagnostics and the
@@ -472,6 +525,66 @@ func compileViaPrefix(ctx context.Context, f *ir.Func, fp ir.Fingerprint, opts O
 	ar := scratch.Get()
 	defer scratch.Put(ar)
 	if err := runSuffix(ctx, work, analysis.NewWithArena(work, ar), opts, res); err != nil {
+		return nil, err
+	}
+	return res, nil
+}
+
+// allocCacheable reports whether opts selects a bank-oblivious allocation:
+// methods non and brc never consult the bank count before the
+// post-allocation phases (brc's allocation phase is mapped to non in
+// runAlloc), so their allocation can be keyed by AllocDigest and shared
+// across bank sweeps. The subgroup path feeds displacement hints into the
+// allocator, which do read bank geometry, so it stays on the plain path.
+func allocCacheable(opts Options) bool {
+	return (opts.Method == MethodNon || opts.Method == MethodBRC) && !opts.Subgroups
+}
+
+// allocSnapshot is the immutable post-allocation state stored in the
+// cache's alloc layer: the allocated (pre-renumbering) function plus the
+// allocator's statistics. Like the prefix snapshot it is never mutated —
+// brc consumers clone it before renumbering, and non consumers share it
+// (conflict analysis is read-only).
+type allocSnapshot struct {
+	fn     *ir.Func
+	alloc  *regalloc.Result
+	forced int
+}
+
+// compileViaAlloc compiles f reusing (or populating) the alloc layer with
+// the bank-oblivious allocation, then runs the cheap bank-aware tail
+// (renumbering for brc, conflict analysis) for this sweep point.
+func compileViaAlloc(ctx context.Context, f *ir.Func, fp ir.Fingerprint, opts Options, psnap *prefixSnapshot) (*Result, error) {
+	allocKey := compilecache.Key{Fingerprint: fp, Digest: opts.AllocDigest()}
+	v, _, err := opts.Cache.Alloc(allocKey, func() (any, int64, error) {
+		work := psnap.fn.Clone()
+		ar := scratch.Get()
+		defer scratch.Put(ar)
+		var ares Result
+		if err := runAlloc(ctx, work, analysis.NewWithArena(work, ar), opts, &ares); err != nil {
+			return nil, 0, err
+		}
+		return &allocSnapshot{fn: work, alloc: ares.Alloc, forced: ares.BankAssignForced},
+			funcBytes(work), nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	asnap := v.(*allocSnapshot)
+	res := &Result{
+		Coalesce: psnap.coalesce, SDG: psnap.sdg, Sched: psnap.sched,
+		Alloc: asnap.alloc, BankAssignForced: asnap.forced,
+	}
+	work := asnap.fn
+	if opts.Method == MethodBRC || work.Name != f.Name {
+		// brc renumbers in place, and a shared snapshot may carry another
+		// symbol name — either way this compile needs a private clone.
+		work = work.Clone()
+		work.Name = f.Name
+	}
+	ar := scratch.Get()
+	defer scratch.Put(ar)
+	if err := runPost(ctx, work, analysis.NewWithArena(work, ar), opts, res); err != nil {
 		return nil, err
 	}
 	return res, nil
@@ -503,6 +616,14 @@ type ModuleResult struct {
 	PerFunc map[string]*Result
 	// Totals sums the conflict reports.
 	Totals conflict.Report
+	// ReusedFuncs counts functions satisfied by Options.Prior without
+	// compiling; CompiledFuncs counts the rest (cache hits included).
+	ReusedFuncs, CompiledFuncs int
+	// Prior is the reuse token for the next recompile of this module under
+	// the same options: pass it as Options.Prior and unchanged functions
+	// skip compilation. Nil when the run could not produce one
+	// (VerifySemantics/VerifyEach runs must re-verify everything).
+	Prior *ModulePrior
 }
 
 // CompileModule compiles every function of m, fanning out over a worker
@@ -524,7 +645,22 @@ func CompileModule(m *ir.Module, opts Options) (*ModuleResult, error) {
 func CompileModuleContext(ctx context.Context, m *ir.Module, opts Options) (*ModuleResult, error) {
 	funcs := m.SortedFuncs()
 	results := make([]*Result, len(funcs))
+	// The prior is consulted only when its digest matches this run's
+	// options exactly; verification runs must actually recompile.
+	verifying := opts.VerifySemantics || opts.VerifyEach
+	prior := opts.Prior
+	if prior != nil && (verifying || prior.Digest != opts.FullDigest()) {
+		prior = nil
+	}
+	reused := make([]bool, len(funcs))
 	err := pool.Run(ctx, len(funcs), opts.Workers, func(ctx context.Context, i int) error {
+		if prior != nil {
+			if r, ok := prior.PerFunc[funcs[i].Fingerprint()]; ok {
+				results[i] = renamedResult(r, funcs[i].Name)
+				reused[i] = true
+				return nil
+			}
+		}
 		r, err := CompileContext(ctx, funcs[i], opts)
 		if err != nil {
 			return err
@@ -539,6 +675,18 @@ func CompileModuleContext(ctx context.Context, m *ir.Module, opts Options) (*Mod
 	for i, f := range funcs {
 		out.PerFunc[f.Name] = results[i]
 		addReport(&out.Totals, results[i].Report)
+		if reused[i] {
+			out.ReusedFuncs++
+		} else {
+			out.CompiledFuncs++
+		}
+	}
+	if !verifying {
+		next := &ModulePrior{Digest: opts.FullDigest(), PerFunc: make(map[ir.Fingerprint]*Result, len(funcs))}
+		for i, f := range funcs {
+			next.PerFunc[f.Fingerprint()] = results[i]
+		}
+		out.Prior = next
 	}
 	return out, nil
 }

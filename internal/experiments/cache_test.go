@@ -101,6 +101,15 @@ func TestSweepCacheRepeatedKernels(t *testing.T) {
 	if st.PrefixMisses != 1 {
 		t.Errorf("PrefixMisses = %d, want a single prefix for the kernel", st.PrefixMisses)
 	}
+	// The bank-oblivious methods (non, brc) share one allocation across
+	// every bank point: 2 banks × 2 methods = 4 alloc lookups for the
+	// single kernel body, one real.
+	if st.AllocMisses != 1 {
+		t.Errorf("AllocMisses = %d, want a single bank-oblivious allocation", st.AllocMisses)
+	}
+	if st.AllocHits != 3 {
+		t.Errorf("AllocHits = %d, want 3 (non@4, brc@2, brc@4)", st.AllocHits)
+	}
 	// All programs of a cell are content-identical, so their counts agree.
 	cell := sw.Get(2, Methods[0])
 	first := cell[suite.Programs[0].Name]
@@ -108,6 +117,50 @@ func TestSweepCacheRepeatedKernels(t *testing.T) {
 		if cell[p.Name] != first {
 			t.Errorf("program %s diverged from its identical twin: %+v vs %+v", p.Name, cell[p.Name], first)
 		}
+	}
+}
+
+// TestSweepAllocLayerSharing pins the fix for the historic ~7% full-layer
+// hit rate on the rv sweeps: with all-distinct kernels the full layer
+// cannot dedup anything across (bank, method) cells, but the allocation
+// under the bank-oblivious methods must still be shared — one real
+// allocation per function serves non and brc at every bank count.
+func TestSweepAllocLayerSharing(t *testing.T) {
+	s := &workload.Suite{Name: "DISTINCT"}
+	const nFuncs = 3
+	for i := 0; i < nFuncs; i++ {
+		f := workload.RandomSized(int64(40+i), 150)
+		f.Name = fmt.Sprintf("kernel_%02d", i)
+		m := ir.NewModule(fmt.Sprintf("m%02d", i))
+		m.Add(f)
+		s.Programs = append(s.Programs, &workload.Program{
+			Name:     fmt.Sprintf("prog%02d", i),
+			Category: "distinct",
+			Modules:  []*ir.Module{m},
+		})
+	}
+	old := DisableCache
+	DisableCache = false
+	defer func() { DisableCache = old }()
+	banks := []int{2, 4, 8}
+	sw, err := RunSweep([]*workload.Suite{s}, 32, banks, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := sw.CacheStats
+	// 3 banks × {non, brc} = 6 alloc lookups per function, exactly 1 real.
+	if st.AllocMisses != nFuncs {
+		t.Errorf("AllocMisses = %d, want %d (one allocation per function)", st.AllocMisses, nFuncs)
+	}
+	if want := int64(nFuncs * (len(banks)*2 - 1)); st.AllocHits != want {
+		t.Errorf("AllocHits = %d, want %d (shared across banks and non/brc)", st.AllocHits, want)
+	}
+	if rate := st.AllocHitRate(); rate < 0.8 {
+		t.Errorf("alloc hit rate %.3f below the 5/6 sweep shape", rate)
+	}
+	// Distinct kernels: the full layer sees every (function, cell) once.
+	if st.FullHits != 0 {
+		t.Errorf("FullHits = %d on an all-distinct suite, want 0", st.FullHits)
 	}
 }
 

@@ -55,13 +55,27 @@ var VerifyEach bool
 // ("non, bcr, brc and bpc").
 var Methods = []core.Method{core.MethodNon, core.MethodBCR, core.MethodBRC, core.MethodBPC}
 
-// newCache returns a fresh compile cache for one experiment run, or nil
-// (uncached compiles) when DisableCache is set. Each experiment owns its
-// cache: entries pin post-scheduling snapshots and full results, so scoping
-// the cache to one run bounds retention to that run's working set.
+// SharedCache, when non-nil, replaces the per-run compile cache of every
+// experiment: fig1/table1, the rv sweeps and the DSA tables all draw from
+// (and feed) the same cache, so a full pipeline run reuses entries across
+// stages — table7 recompiles exactly table6's configurations, the rv sweeps
+// reuse fig1/table1's full entries, and the 32- and 1024-register platforms
+// share every prefix snapshot. cmd/benchtab sets it for the whole run and
+// attributes per-stage hits via compilecache.Stats.Delta. Tests leave it
+// nil: a per-run cache keeps their stats assertions self-contained.
+// DisableCache wins over SharedCache.
+var SharedCache *compilecache.Cache
+
+// newCache returns the compile cache for one experiment run: nil (uncached
+// compiles) when DisableCache is set, SharedCache when installed, else a
+// fresh cache. A per-run cache bounds retention to that run's working set;
+// the shared mode trades that bound for cross-stage reuse.
 func newCache() *compilecache.Cache {
 	if DisableCache {
 		return nil
+	}
+	if SharedCache != nil {
+		return SharedCache
 	}
 	return compilecache.New()
 }
@@ -184,6 +198,12 @@ func RunSweep(suites []*workload.Suite, numRegs int, banks []int, simulate bool)
 		NumRegs: numRegs,
 	}
 	cache := newCache()
+	// Snapshot so CacheStats reports this sweep's own lookups even on a
+	// shared cache (Delta of a fresh cache is the stats themselves).
+	var before compilecache.Stats
+	if cache != nil {
+		before = cache.Stats()
+	}
 	type job struct {
 		key  cellKey
 		prog *workload.Program
@@ -218,7 +238,7 @@ func RunSweep(suites []*workload.Suite, numRegs int, banks []int, simulate bool)
 		sw.Cells[j.key][j.prog.Name] = results[i]
 	}
 	if cache != nil {
-		sw.CacheStats = cache.Stats()
+		sw.CacheStats = cache.Stats().Delta(before)
 	}
 	return sw, nil
 }
@@ -236,10 +256,14 @@ func (sw *Sweep) CacheStatsString() string {
 	if s.FullHits+s.FullMisses == 0 {
 		return ""
 	}
-	return fmt.Sprintf("compile cache: full %d/%d hits (%.1f%%), prefix %d/%d reuses (%.1f%%), ~%d KiB retained",
+	line := fmt.Sprintf("compile cache: full %d/%d hits (%.1f%%), prefix %d/%d reuses (%.1f%%)",
 		s.FullHits, s.FullHits+s.FullMisses, 100*s.FullHitRate(),
-		s.PrefixHits, s.PrefixHits+s.PrefixMisses, 100*s.PrefixHitRate(),
-		s.BytesRetained/1024)
+		s.PrefixHits, s.PrefixHits+s.PrefixMisses, 100*s.PrefixHitRate())
+	if s.AllocHits+s.AllocMisses > 0 {
+		line += fmt.Sprintf(", alloc %d/%d shares (%.1f%%)",
+			s.AllocHits, s.AllocHits+s.AllocMisses, 100*s.AllocHitRate())
+	}
+	return line + fmt.Sprintf(", ~%d KiB retained", s.BytesRetained/1024)
 }
 
 // Total sums a metric over every program of a cell.

@@ -44,7 +44,7 @@ func RunLinearScan(f *ir.Func, opts Options) (*Result, error) {
 		f:    f,
 		opts: opts,
 		res: &Result{
-			AssignedBank: map[ir.Reg]int{},
+			AssignedPhys: map[ir.Reg]int{},
 			GroupDispl:   map[int]int{},
 		},
 		assignment: map[ir.Reg]int{},
@@ -200,7 +200,7 @@ func (ls *linearScan) scan(c ir.Class) {
 			victim := active[victimIdx]
 			ls.spillReg(victim.r)
 			delete(ls.assignment, victim.r)
-			delete(ls.res.AssignedBank, victim.r)
+			delete(ls.res.AssignedPhys, victim.r)
 			active[victimIdx] = lsActive{e.r, victim.phys, e.iv.End()}
 			ls.place(e.r, c, victim.phys)
 			ls.res.Evictions++
@@ -258,7 +258,7 @@ func (ls *linearScan) order(r ir.Reg, c ir.Class, numRegs int) []int {
 func (ls *linearScan) place(r ir.Reg, c ir.Class, p int) {
 	ls.assignment[r] = p
 	if c == ir.ClassFP {
-		ls.res.AssignedBank[r] = ls.opts.Cfg.Bank(p)
+		ls.res.AssignedPhys[r] = p
 		if ls.opts.Method == MethodBPC {
 			if want, ok := ls.opts.BankOf[r]; ok && want != ls.opts.Cfg.Bank(p) {
 				ls.res.BankBreaks++

@@ -123,8 +123,13 @@ type Result struct {
 	// BankBreaks counts FP intervals that could not be placed in their
 	// PresCount-assigned bank.
 	BankBreaks int
-	// AssignedBank maps original FP vregs to the bank they landed in.
-	AssignedBank map[ir.Reg]int
+	// AssignedPhys maps original FP vregs to the physical FP register they
+	// landed in (the bank is Cfg.Bank of that index). Storing the physical
+	// index rather than the bank keeps the Result bank-oblivious for
+	// methods whose allocation never reads the bank count (non, and brc's
+	// allocation phase), which is what lets the compile cache share one
+	// allocation across every bank point of a sweep.
+	AssignedPhys map[ir.Reg]int
 	// GroupDispl maps SDG group id to its chosen subgroup displacement.
 	GroupDispl map[int]int
 
@@ -269,7 +274,7 @@ func (a *allocator) init(f *ir.Func, opts Options) {
 	a.res = &Result{
 		// Presized: nearly every FP vreg lands here, and the entries go in
 		// one at a time on the hot place() path.
-		AssignedBank: make(map[ir.Reg]int, len(f.VRegs)),
+		AssignedPhys: make(map[ir.Reg]int, len(f.VRegs)),
 		GroupDispl:   map[int]int{},
 	}
 	if a.assignment == nil {
@@ -593,7 +598,7 @@ func (a *allocator) place(r ir.Reg, c ir.Class, p int) {
 	a.assignment[r] = p
 	a.unions(c)[p].Insert(r, a.intervalOf(r))
 	if c == ir.ClassFP {
-		a.res.AssignedBank[r] = a.opts.Cfg.Bank(p)
+		a.res.AssignedPhys[r] = p
 		if a.opts.Method == MethodBPC {
 			if want, ok := a.opts.BankOf[r]; ok && want != a.opts.Cfg.Bank(p) {
 				a.res.BankBreaks++
@@ -605,7 +610,7 @@ func (a *allocator) place(r ir.Reg, c ir.Class, p int) {
 func (a *allocator) evict(r ir.Reg, c ir.Class, p int) {
 	a.unions(c)[p].Remove(r)
 	delete(a.assignment, r)
-	delete(a.res.AssignedBank, r)
+	delete(a.res.AssignedPhys, r)
 	a.res.Evictions++
 	a.queue.push(r, a.priorityOf(r))
 }

@@ -1,0 +1,107 @@
+package server
+
+import (
+	"container/list"
+	"crypto/sha256"
+	"encoding/binary"
+	"fmt"
+	"sort"
+	"sync"
+
+	"prescount/internal/core"
+)
+
+// moduleToken derives the deterministic reuse token of a ModulePrior: a
+// hash over the producing options digest and the sorted set of function
+// fingerprints. Determinism matters — the same module compiled twice under
+// the same options yields the same token, so clients can cache tokens
+// across their own restarts and a resubmitted token always refers to the
+// results it was minted for.
+func moduleToken(p *core.ModulePrior) string {
+	fps := make([][sha256.Size]byte, 0, len(p.PerFunc))
+	for fp := range p.PerFunc {
+		fps = append(fps, fp)
+	}
+	sort.Slice(fps, func(i, j int) bool {
+		for b := 0; b < sha256.Size; b++ {
+			if fps[i][b] != fps[j][b] {
+				return fps[i][b] < fps[j][b]
+			}
+		}
+		return false
+	})
+	h := sha256.New()
+	var dig [8]byte
+	binary.LittleEndian.PutUint64(dig[:], p.Digest)
+	h.Write(dig[:])
+	for _, fp := range fps {
+		h.Write(fp[:])
+	}
+	return fmt.Sprintf("m1-%x", h.Sum(nil)[:16])
+}
+
+// tokenStore is a count-capped LRU of module priors keyed by token. Counts,
+// not bytes, bound it: the *Result values inside a prior are shared with
+// the compile cache (and with in-flight responses), so charging their bytes
+// twice would double-count; capping the number of distinct module states
+// bounds the extra retention to the per-function pointers.
+type tokenStore struct {
+	mu  sync.Mutex
+	max int
+	m   map[string]*list.Element
+	lru *list.List // front = most recent; values are *tokenEntry
+}
+
+type tokenEntry struct {
+	token string
+	prior *core.ModulePrior
+}
+
+func newTokenStore(max int) *tokenStore {
+	return &tokenStore{max: max, m: map[string]*list.Element{}, lru: list.New()}
+}
+
+// Put stores the prior under its deterministic token and returns the token.
+func (ts *tokenStore) Put(p *core.ModulePrior) string {
+	tok := moduleToken(p)
+	ts.mu.Lock()
+	defer ts.mu.Unlock()
+	if el, ok := ts.m[tok]; ok {
+		ts.lru.MoveToFront(el)
+		// Refresh the value: a re-derived prior for the same token is
+		// semantically identical, but the new one may share more entries
+		// with the current cache generation.
+		el.Value.(*tokenEntry).prior = p
+		return tok
+	}
+	ts.m[tok] = ts.lru.PushFront(&tokenEntry{token: tok, prior: p})
+	for ts.max > 0 && ts.lru.Len() > ts.max {
+		tail := ts.lru.Back()
+		ts.lru.Remove(tail)
+		delete(ts.m, tail.Value.(*tokenEntry).token)
+	}
+	return tok
+}
+
+// Get returns the prior for tok, or nil when unknown (expired from the LRU
+// or never minted here — the caller compiles from scratch either way).
+func (ts *tokenStore) Get(tok string) *core.ModulePrior {
+	if tok == "" {
+		return nil
+	}
+	ts.mu.Lock()
+	defer ts.mu.Unlock()
+	el, ok := ts.m[tok]
+	if !ok {
+		return nil
+	}
+	ts.lru.MoveToFront(el)
+	return el.Value.(*tokenEntry).prior
+}
+
+// Len reports the number of retained module states.
+func (ts *tokenStore) Len() int {
+	ts.mu.Lock()
+	defer ts.mu.Unlock()
+	return ts.lru.Len()
+}

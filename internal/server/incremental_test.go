@@ -1,0 +1,269 @@
+package server
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"strings"
+	"testing"
+
+	"prescount/internal/core"
+	"prescount/internal/ir"
+	"prescount/internal/workload"
+)
+
+// editedModuleMIR is moduleMIR with beta's body changed (alpha unchanged).
+const editedModuleMIR = `module pair
+func @alpha {
+ entry:
+  x1 = iconst 0
+  %0:fp = fload x1, 0
+  %1:fp = fadd %0, %0
+  fstore %1, x1, 1
+  ret
+}
+func @beta {
+ entry:
+  x1 = iconst 0
+  %0:fp = fload x1, 2
+  %1:fp = fadd %0, %0
+  %2:fp = fmul %1, %0
+  fstore %2, x1, 3
+  ret
+}
+`
+
+func postModule(t *testing.T, url string, req CompileRequest) (*http.Response, ModuleResponse) {
+	t.Helper()
+	resp, body := postJSON(t, url+"/v1/compile/module", req)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d, body %s", resp.StatusCode, body)
+	}
+	var mr ModuleResponse
+	if err := json.Unmarshal(body, &mr); err != nil {
+		t.Fatal(err)
+	}
+	return resp, mr
+}
+
+// TestModuleTokenRoundTrip: a module compile mints a token; recompiling the
+// unchanged module under that token reuses every function and produces the
+// same output.
+func TestModuleTokenRoundTrip(t *testing.T) {
+	s, ts := newTestServer(t, Config{})
+	_, first := postModule(t, ts.URL, CompileRequest{MIR: moduleMIR, EmitMIR: true})
+	if first.ModuleToken == "" {
+		t.Fatal("module compile minted no token")
+	}
+	if first.ReusedFuncs != 0 || first.CompiledFuncs != 2 {
+		t.Fatalf("first compile: reused=%d compiled=%d, want 0/2", first.ReusedFuncs, first.CompiledFuncs)
+	}
+
+	_, second := postModule(t, ts.URL, CompileRequest{MIR: moduleMIR, EmitMIR: true, PriorToken: first.ModuleToken})
+	if second.ReusedFuncs != 2 || second.CompiledFuncs != 0 {
+		t.Errorf("token recompile: reused=%d compiled=%d, want 2/0", second.ReusedFuncs, second.CompiledFuncs)
+	}
+	if second.ModuleToken != first.ModuleToken {
+		t.Errorf("token changed across identical compiles: %q vs %q", second.ModuleToken, first.ModuleToken)
+	}
+	for i := range first.Funcs {
+		if first.Funcs[i] != second.Funcs[i] {
+			t.Errorf("func %s differs under token reuse:\n%+v\nvs\n%+v",
+				first.Funcs[i].Func, first.Funcs[i], second.Funcs[i])
+		}
+	}
+	if first.Totals != second.Totals {
+		t.Errorf("totals differ: %+v vs %+v", first.Totals, second.Totals)
+	}
+
+	st := s.Statz()
+	if st.Incremental == nil {
+		t.Fatal("no incremental statz section")
+	}
+	if st.Incremental.TokenHits != 1 || st.Incremental.TokenMisses != 0 {
+		t.Errorf("token hits/misses = %d/%d, want 1/0", st.Incremental.TokenHits, st.Incremental.TokenMisses)
+	}
+	if st.Incremental.ReusedFuncs != 2 {
+		t.Errorf("reused funcs = %d, want 2", st.Incremental.ReusedFuncs)
+	}
+	if st.Incremental.TokensRetained != 1 {
+		t.Errorf("tokens retained = %d, want 1", st.Incremental.TokensRetained)
+	}
+}
+
+// TestModuleTokenPartialEdit: editing one function recompiles exactly it;
+// the output must match a from-scratch compile of the edited module.
+func TestModuleTokenPartialEdit(t *testing.T) {
+	_, ts := newTestServer(t, Config{})
+	_, first := postModule(t, ts.URL, CompileRequest{MIR: moduleMIR})
+	_, inc := postModule(t, ts.URL, CompileRequest{MIR: editedModuleMIR, EmitMIR: true, PriorToken: first.ModuleToken})
+	if inc.ReusedFuncs != 1 || inc.CompiledFuncs != 1 {
+		t.Errorf("edited recompile: reused=%d compiled=%d, want 1/1", inc.ReusedFuncs, inc.CompiledFuncs)
+	}
+
+	// Fresh server, no prior: the incremental result must be byte-identical.
+	_, ts2 := newTestServer(t, Config{})
+	_, fresh := postModule(t, ts2.URL, CompileRequest{MIR: editedModuleMIR, EmitMIR: true})
+	for i := range fresh.Funcs {
+		if fresh.Funcs[i] != inc.Funcs[i] {
+			t.Errorf("func %s differs from a fresh compile:\n%+v\nvs\n%+v",
+				fresh.Funcs[i].Func, fresh.Funcs[i], inc.Funcs[i])
+		}
+	}
+	if fresh.Totals != inc.Totals {
+		t.Errorf("totals differ from fresh compile: %+v vs %+v", fresh.Totals, inc.Totals)
+	}
+}
+
+// TestModuleTokenUnknown: an unknown/expired token compiles from scratch,
+// never errors.
+func TestModuleTokenUnknown(t *testing.T) {
+	s, ts := newTestServer(t, Config{})
+	_, mr := postModule(t, ts.URL, CompileRequest{MIR: moduleMIR, PriorToken: "m1-feedfacedeadbeef"})
+	if mr.ReusedFuncs != 0 || mr.CompiledFuncs != 2 {
+		t.Errorf("unknown token: reused=%d compiled=%d, want 0/2", mr.ReusedFuncs, mr.CompiledFuncs)
+	}
+	if st := s.Statz(); st.Incremental.TokenMisses != 1 {
+		t.Errorf("token misses = %d, want 1", st.Incremental.TokenMisses)
+	}
+}
+
+// TestModuleTokenOptionsMismatch: a token is only honored under the options
+// it was minted for — the same module at a different bank count recompiles
+// everything (core rejects the prior by digest).
+func TestModuleTokenOptionsMismatch(t *testing.T) {
+	_, ts := newTestServer(t, Config{})
+	_, first := postModule(t, ts.URL, CompileRequest{MIR: moduleMIR, Banks: 2})
+	_, second := postModule(t, ts.URL, CompileRequest{MIR: moduleMIR, Banks: 4, PriorToken: first.ModuleToken})
+	if second.ReusedFuncs != 0 || second.CompiledFuncs != 2 {
+		t.Errorf("cross-options token: reused=%d compiled=%d, want 0/2", second.ReusedFuncs, second.CompiledFuncs)
+	}
+}
+
+// TestModuleTokenVerifyMintsNone: verified compiles bypass the prior AND
+// mint no token (a reused result would skip the verification).
+func TestModuleTokenVerifyMintsNone(t *testing.T) {
+	_, ts := newTestServer(t, Config{})
+	_, first := postModule(t, ts.URL, CompileRequest{MIR: moduleMIR})
+	_, verified := postModule(t, ts.URL, CompileRequest{MIR: moduleMIR, Verify: true, PriorToken: first.ModuleToken})
+	if verified.ModuleToken != "" {
+		t.Errorf("verified compile minted token %q, want none", verified.ModuleToken)
+	}
+	if verified.ReusedFuncs != 0 {
+		t.Errorf("verified compile reused %d funcs, want 0", verified.ReusedFuncs)
+	}
+}
+
+// TestModuleTokensDisabled: ModuleTokens < 0 turns the feature off — no
+// token minted, prior_token ignored.
+func TestModuleTokensDisabled(t *testing.T) {
+	s, ts := newTestServer(t, Config{ModuleTokens: -1})
+	_, mr := postModule(t, ts.URL, CompileRequest{MIR: moduleMIR, PriorToken: "m1-ffff"})
+	if mr.ModuleToken != "" {
+		t.Errorf("disabled token store minted %q", mr.ModuleToken)
+	}
+	if st := s.Statz(); st.Incremental != nil {
+		t.Error("statz has an incremental section with tokens disabled")
+	}
+}
+
+// TestModuleTokenQueryParam covers the raw-MIR envelope's prior_token.
+func TestModuleTokenQueryParam(t *testing.T) {
+	_, ts := newTestServer(t, Config{})
+	_, first := postModule(t, ts.URL, CompileRequest{MIR: moduleMIR})
+	resp, err := http.Post(ts.URL+"/v1/compile/module?prior_token="+first.ModuleToken,
+		"text/plain", strings.NewReader(moduleMIR))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var mr ModuleResponse
+	if err := json.NewDecoder(resp.Body).Decode(&mr); err != nil {
+		t.Fatal(err)
+	}
+	if mr.ReusedFuncs != 2 {
+		t.Errorf("query-param token reused %d funcs, want 2", mr.ReusedFuncs)
+	}
+}
+
+// TestTokenStoreLRU pins the count cap: the store holds at most max module
+// states, evicting the least recently used.
+func TestTokenStoreLRU(t *testing.T) {
+	ts := newTokenStore(2)
+	toks := make([]string, 3)
+	for i := range toks {
+		f := workload.RandomSized(int64(300+i), 40)
+		prior := &core.ModulePrior{
+			Digest:  uint64(i),
+			PerFunc: map[ir.Fingerprint]*core.Result{f.Fingerprint(): {}},
+		}
+		toks[i] = ts.Put(prior)
+	}
+	if ts.Len() != 2 {
+		t.Fatalf("store holds %d entries, want 2", ts.Len())
+	}
+	if ts.Get(toks[0]) != nil {
+		t.Error("oldest token survived past the cap")
+	}
+	if ts.Get(toks[1]) == nil || ts.Get(toks[2]) == nil {
+		t.Error("recent tokens evicted")
+	}
+	// Touching an entry protects it from the next eviction.
+	ts.Get(toks[1])
+	f := workload.RandomSized(999, 40)
+	ts.Put(&core.ModulePrior{Digest: 99, PerFunc: map[ir.Fingerprint]*core.Result{f.Fingerprint(): {}}})
+	if ts.Get(toks[1]) == nil {
+		t.Error("recently used token evicted before the LRU one")
+	}
+	if ts.Get(toks[2]) != nil {
+		t.Error("LRU token survived eviction")
+	}
+}
+
+// TestModuleTokenDeterministic: the token is a pure function of content and
+// options — two servers mint the same token for the same request.
+func TestModuleTokenDeterministic(t *testing.T) {
+	_, ts1 := newTestServer(t, Config{})
+	_, ts2 := newTestServer(t, Config{})
+	_, a := postModule(t, ts1.URL, CompileRequest{MIR: moduleMIR})
+	_, b := postModule(t, ts2.URL, CompileRequest{MIR: moduleMIR})
+	if a.ModuleToken != b.ModuleToken {
+		t.Errorf("tokens differ across servers: %q vs %q", a.ModuleToken, b.ModuleToken)
+	}
+	if !strings.HasPrefix(a.ModuleToken, "m1-") {
+		t.Errorf("token %q lacks the m1- version prefix", a.ModuleToken)
+	}
+}
+
+// TestModuleTokenRenameOnlyEdit: renaming every function (content
+// unchanged) still reuses everything — fingerprints elide names.
+func TestModuleTokenRenameOnlyEdit(t *testing.T) {
+	_, ts := newTestServer(t, Config{})
+	_, first := postModule(t, ts.URL, CompileRequest{MIR: moduleMIR})
+	renamed := strings.ReplaceAll(strings.ReplaceAll(moduleMIR, "@alpha", "@gamma"), "@beta", "@delta")
+	_, second := postModule(t, ts.URL, CompileRequest{MIR: renamed, EmitMIR: true, PriorToken: first.ModuleToken})
+	if second.ReusedFuncs != 2 {
+		t.Errorf("rename-only edit reused %d funcs, want 2", second.ReusedFuncs)
+	}
+	for i, want := range []string{"delta", "gamma"} {
+		if second.Funcs[i].Func != want {
+			t.Errorf("funcs[%d] = %q, want %q", i, second.Funcs[i].Func, want)
+		}
+		if !strings.Contains(second.Funcs[i].MIR, "@"+want) {
+			t.Errorf("reused MIR for %s carries a stale name:\n%s", want, second.Funcs[i].MIR)
+		}
+	}
+}
+
+// bigModuleMIR renders n random kernels of size instrs as one module — a
+// compile long enough to observe and preempt.
+func bigModuleMIR(n, instrs int) string {
+	var sb strings.Builder
+	sb.WriteString("module big\n")
+	for i := 0; i < n; i++ {
+		src := ir.Print(workload.RandomSized(int64(7000+i), instrs))
+		sb.WriteString(strings.Replace(src, "func @", fmt.Sprintf("func @k%02d_", i), 1))
+		sb.WriteByte('\n')
+	}
+	return sb.String()
+}

@@ -33,6 +33,7 @@ import (
 	"runtime"
 	"strconv"
 	"strings"
+	"sync"
 	"sync/atomic"
 	"time"
 
@@ -67,6 +68,12 @@ type Config struct {
 	// Workers bounds the per-request module fan-out (core.Options.Workers;
 	// default 0 = GOMAXPROCS).
 	Workers int
+	// ModuleTokens caps the count of module priors retained for incremental
+	// recompiles (default 64; < 0 disables token minting).
+	ModuleTokens int
+	// SpecWorkers is the number of background workers precompiling likely
+	// sweep neighbors in idle admission slots (0 disables speculation).
+	SpecWorkers int
 }
 
 // Normalize returns cfg with defaults filled in.
@@ -86,6 +93,9 @@ func (cfg Config) Normalize() Config {
 	if cfg.MaxTimeout <= 0 {
 		cfg.MaxTimeout = 60 * time.Second
 	}
+	if cfg.ModuleTokens == 0 {
+		cfg.ModuleTokens = 64
+	}
 	return cfg
 }
 
@@ -95,6 +105,12 @@ type Server struct {
 	cfg     Config
 	cache   *compilecache.Cache
 	metrics *metrics
+	// tokens retains module priors for incremental recompiles, keyed by the
+	// deterministic module token handed back in ModuleResponse.
+	tokens *tokenStore
+	// spec precompiles sweep neighbors in idle slots; nil when disabled.
+	spec     *speculator
+	specStop sync.Once
 
 	// slots is the in-flight semaphore: a request holds one token for the
 	// duration of its compile.
@@ -109,12 +125,19 @@ type Server struct {
 // compile cache (byte-capped when cfg.CacheMaxBytes > 0).
 func New(cfg Config) *Server {
 	cfg = cfg.Normalize()
-	return &Server{
+	s := &Server{
 		cfg:     cfg,
 		cache:   compilecache.NewLimited(cfg.CacheMaxBytes),
 		metrics: newMetrics(),
 		slots:   make(chan struct{}, cfg.MaxInFlight),
 	}
+	if cfg.ModuleTokens > 0 {
+		s.tokens = newTokenStore(cfg.ModuleTokens)
+	}
+	if cfg.SpecWorkers > 0 {
+		s.spec = newSpeculator(s, cfg.SpecWorkers)
+	}
+	return s
 }
 
 // Config returns the normalized configuration.
@@ -125,7 +148,14 @@ func (s *Server) Cache() *compilecache.Cache { return s.cache }
 
 // SetDraining marks the server as draining: healthz answers 503 so load
 // balancers stop routing, while in-flight requests finish normally.
-func (s *Server) SetDraining(v bool) { s.draining.Store(v) }
+// Draining also cancels and permanently stops the speculator — background
+// work must never delay shutdown.
+func (s *Server) SetDraining(v bool) {
+	s.draining.Store(v)
+	if v && s.spec != nil {
+		s.specStop.Do(s.spec.stop)
+	}
+}
 
 // Handler returns the daemon's HTTP routes.
 func (s *Server) Handler() http.Handler {
@@ -188,6 +218,11 @@ type CompileRequest struct {
 	// TimeoutMS shortens the request deadline below the server default
 	// (capped at the server maximum).
 	TimeoutMS int64 `json:"timeout_ms,omitempty"`
+	// PriorToken references an earlier /v1/compile/module result (its
+	// module_token): functions unchanged since that compile are reused
+	// without recompiling. An unknown or expired token compiles from
+	// scratch — never an error.
+	PriorToken string `json:"prior_token,omitempty"`
 }
 
 // ReportJSON mirrors conflict.Report with stable JSON names.
@@ -271,6 +306,14 @@ type ModuleResponse struct {
 	Funcs  []FuncResponse `json:"funcs"`
 	Totals ReportJSON     `json:"totals"`
 	WallNS int64          `json:"wall_ns"`
+	// ModuleToken names this result for incremental recompiles: pass it as
+	// prior_token on the next compile of an edited version of this module
+	// and unchanged functions are reused. Absent on verified compiles.
+	ModuleToken string `json:"module_token,omitempty"`
+	// ReusedFuncs/CompiledFuncs attribute the work: functions satisfied by
+	// the prior without compiling versus compiled (cache hits included).
+	ReusedFuncs   int `json:"reused_funcs"`
+	CompiledFuncs int `json:"compiled_funcs"`
 }
 
 func (s *Server) serveHealthz(w http.ResponseWriter, r *http.Request) {
@@ -349,6 +392,26 @@ func (s *Server) serveCompile(w http.ResponseWriter, r *http.Request, module boo
 		return
 	}
 
+	// Incremental recompile: resolve the client's prior token. Unknown or
+	// expired tokens simply compile from scratch.
+	if module && s.tokens != nil && req.PriorToken != "" {
+		if prior := s.tokens.Get(req.PriorToken); prior != nil {
+			s.metrics.tokenHits.Add(1)
+			opts.Prior = prior
+		} else {
+			s.metrics.tokenMisses.Add(1)
+		}
+	}
+
+	// Attribute speculative precompiles: any function of this request whose
+	// full-layer entry was filled by the speculator is a warm hit.
+	if s.spec != nil {
+		digest := opts.FullDigest()
+		for _, f := range mod.SortedFuncs() {
+			s.spec.claimWarm(compilecache.Key{Fingerprint: f.Fingerprint(), Digest: digest})
+		}
+	}
+
 	// Compile phase.
 	compileStart := time.Now()
 	mres, err := core.CompileModuleContext(ctx, mod, opts)
@@ -396,16 +459,31 @@ func (s *Server) serveCompile(w http.ResponseWriter, r *http.Request, module boo
 		funcs = append(funcs, fr)
 	}
 
+	// Speculatively precompile the sweep neighbors (adjacent bank counts)
+	// of this now-warm request in idle slots. Verified compiles bypass the
+	// cache, so speculating on them would be wasted work.
+	if s.spec != nil && !req.Verify && !s.draining.Load() {
+		s.spec.enqueue(mod, opts)
+	}
+
 	s.metrics.ok.Add(1)
 	wall := time.Since(total)
 	s.metrics.phase("total").observe(wall)
 	if module {
-		s.respond(w, http.StatusOK, ModuleResponse{
-			Module: mod.Name,
-			Funcs:  funcs,
-			Totals: reportJSON(&mres.Totals),
-			WallNS: wall.Nanoseconds(),
-		})
+		resp := ModuleResponse{
+			Module:        mod.Name,
+			Funcs:         funcs,
+			Totals:        reportJSON(&mres.Totals),
+			WallNS:        wall.Nanoseconds(),
+			ReusedFuncs:   mres.ReusedFuncs,
+			CompiledFuncs: mres.CompiledFuncs,
+		}
+		s.metrics.reusedFuncs.Add(int64(mres.ReusedFuncs))
+		s.metrics.compiledFuncs.Add(int64(mres.CompiledFuncs))
+		if s.tokens != nil && mres.Prior != nil {
+			resp.ModuleToken = s.tokens.Put(mres.Prior)
+		}
+		s.respond(w, http.StatusOK, resp)
 		return
 	}
 	s.respond(w, http.StatusOK, CompileResponse{FuncResponse: funcs[0], WallNS: wall.Nanoseconds()})
@@ -419,6 +497,12 @@ func (s *Server) admit(w http.ResponseWriter, ctx context.Context) bool {
 	case s.slots <- struct{}{}:
 		return true
 	default:
+	}
+	// Every slot is busy. If any of them is a speculative compile, cancel
+	// it — admitted work always preempts speculation, and the cancelled
+	// compile releases its slot at the next phase boundary.
+	if s.spec != nil {
+		s.spec.preempt()
 	}
 	if q := s.queued.Add(1); q > int64(s.cfg.MaxQueue) {
 		s.queued.Add(-1)
@@ -506,6 +590,9 @@ func optionsFromQuery(req *CompileRequest, r *http.Request) error {
 	}
 	if v := q.Get("method"); v != "" {
 		req.Method = v
+	}
+	if v := q.Get("prior_token"); v != "" {
+		req.PriorToken = v
 	}
 	if v := q.Get("thres"); v != "" {
 		t, err := strconv.ParseFloat(v, 64)

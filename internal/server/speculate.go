@@ -1,0 +1,233 @@
+// Speculative sweep precompilation. Clients exploring a bank-count sweep
+// walk adjacent powers of two (compile at 4 banks, then 2 and 8); the
+// speculator uses admission slots that would otherwise sit idle to
+// precompile those neighbors into the shared compile cache, so the
+// follow-up request is a full-layer hit. Three rules keep speculation
+// strictly subordinate to admitted work:
+//
+//   - A speculative compile only starts when an in-flight slot is free RIGHT
+//     NOW and no request is queued; it never waits for a slot.
+//   - The moment a real request has to queue, every running speculative
+//     compile is cancelled (the slot frees at the next phase boundary) and
+//     the cache forgets the partial entry — context-error entries are
+//     never retained.
+//   - Speculative results enter the same byte-capped LRU as demand
+//     compiles; a speculation storm can only evict cold entries, and
+//     admitted requests holding entry pointers are unaffected by eviction.
+package server
+
+import (
+	"context"
+	"sync"
+	"sync/atomic"
+
+	"prescount/internal/compilecache"
+	"prescount/internal/core"
+	"prescount/internal/ir"
+)
+
+// specQueueCap bounds pending speculation jobs; beyond it new neighbors are
+// dropped (counted), never queued unboundedly.
+const specQueueCap = 64
+
+// specWarmCap bounds the speculated-key set used for warm-hit attribution.
+const specWarmCap = 8192
+
+// specJob is one neighbor to precompile: the parsed module of the request
+// that seeded it (immutable after the response is written) and the options
+// with the neighboring bank count swapped in.
+type specJob struct {
+	mod  *ir.Module
+	opts core.Options
+}
+
+// speculator owns the background precompile workers.
+type speculator struct {
+	srv    *Server
+	jobs   chan specJob
+	ctx    context.Context
+	cancel context.CancelFunc
+	wg     sync.WaitGroup
+
+	// mu guards the cancel funcs of currently running speculative compiles
+	// (preempt aborts them all) and the speculated-key set.
+	mu         sync.Mutex
+	running    map[int]context.CancelFunc
+	nextRun    int
+	speculated map[compilecache.Key]struct{}
+
+	scheduled, compiled, cancelled atomic.Int64
+	dropped, deduped, warmHits     atomic.Int64
+}
+
+func newSpeculator(s *Server, workers int) *speculator {
+	ctx, cancel := context.WithCancel(context.Background())
+	sp := &speculator{
+		srv:        s,
+		jobs:       make(chan specJob, specQueueCap),
+		ctx:        ctx,
+		cancel:     cancel,
+		running:    map[int]context.CancelFunc{},
+		speculated: map[compilecache.Key]struct{}{},
+	}
+	sp.wg.Add(workers)
+	for i := 0; i < workers; i++ {
+		go sp.run()
+	}
+	return sp
+}
+
+// stop cancels every running speculative compile, stops the workers and
+// waits for them to exit. Called on drain — speculation must never delay
+// shutdown.
+func (sp *speculator) stop() {
+	sp.cancel()
+	sp.preempt()
+	sp.wg.Wait()
+}
+
+// enqueue schedules the sweep neighbors of a successfully compiled request:
+// the same module at half and double the bank count. Jobs beyond the queue
+// cap are dropped, never waited on.
+func (sp *speculator) enqueue(mod *ir.Module, opts core.Options) {
+	for _, nb := range []int{opts.File.NumBanks * 2, opts.File.NumBanks / 2} {
+		if nb < 1 || nb == opts.File.NumBanks {
+			continue
+		}
+		nopts := opts
+		nopts.File.NumBanks = nb
+		nopts.Prior = nil
+		if err := nopts.File.Normalize().Validate(); err != nil {
+			continue
+		}
+		select {
+		case sp.jobs <- specJob{mod: mod, opts: nopts}:
+			sp.scheduled.Add(1)
+		default:
+			sp.dropped.Add(1)
+		}
+	}
+}
+
+// preempt cancels every running speculative compile. admit calls it the
+// moment a real request has to queue for a slot.
+func (sp *speculator) preempt() {
+	sp.mu.Lock()
+	defer sp.mu.Unlock()
+	for _, cancel := range sp.running {
+		cancel()
+	}
+}
+
+// claimWarm reports whether k was filled by speculation and not yet claimed
+// by a real request; each speculative fill is claimed at most once.
+func (sp *speculator) claimWarm(k compilecache.Key) bool {
+	sp.mu.Lock()
+	defer sp.mu.Unlock()
+	if _, ok := sp.speculated[k]; !ok {
+		return false
+	}
+	delete(sp.speculated, k)
+	sp.warmHits.Add(1)
+	return true
+}
+
+func (sp *speculator) run() {
+	defer sp.wg.Done()
+	for {
+		select {
+		case <-sp.ctx.Done():
+			return
+		case job := <-sp.jobs:
+			sp.execute(job)
+		}
+	}
+}
+
+func (sp *speculator) execute(job specJob) {
+	digest := job.opts.FullDigest()
+	keys := make([]compilecache.Key, 0, len(job.mod.Funcs))
+	cold := false
+	for _, f := range job.mod.SortedFuncs() {
+		k := compilecache.Key{Fingerprint: f.Fingerprint(), Digest: digest}
+		keys = append(keys, k)
+		if !sp.srv.cache.PeekFull(k) {
+			cold = true
+		}
+	}
+	if !cold {
+		sp.deduped.Add(1)
+		return
+	}
+
+	// Strictly lower priority than admitted work: take a slot only when one
+	// is free right now and nothing is waiting; otherwise drop the job.
+	if sp.srv.queued.Load() > 0 {
+		sp.dropped.Add(1)
+		return
+	}
+	select {
+	case sp.srv.slots <- struct{}{}:
+	default:
+		sp.dropped.Add(1)
+		return
+	}
+	defer func() { <-sp.srv.slots }()
+
+	ctx, cancel := context.WithCancel(sp.ctx)
+	defer cancel()
+	sp.mu.Lock()
+	id := sp.nextRun
+	sp.nextRun++
+	sp.running[id] = cancel
+	sp.mu.Unlock()
+	defer func() {
+		sp.mu.Lock()
+		delete(sp.running, id)
+		sp.mu.Unlock()
+	}()
+
+	_, err := core.CompileModuleContext(ctx, job.mod, job.opts)
+	if err != nil {
+		if isDeadline(err) {
+			// Preempted or draining. The cache has already forgotten the
+			// partial entries (context-error entries are never retained).
+			sp.cancelled.Add(1)
+		}
+		// Deterministic compile errors are retained by the cache like any
+		// demand compile's; the real request will surface them.
+		return
+	}
+	sp.compiled.Add(1)
+	sp.mu.Lock()
+	for _, k := range keys {
+		if len(sp.speculated) >= specWarmCap {
+			break
+		}
+		sp.speculated[k] = struct{}{}
+	}
+	sp.mu.Unlock()
+}
+
+// SpecStatz is the /statz speculation section.
+type SpecStatz struct {
+	Workers   int   `json:"workers"`
+	Scheduled int64 `json:"scheduled"`
+	Compiled  int64 `json:"compiled"`
+	WarmHits  int64 `json:"warm_hits"`
+	Cancelled int64 `json:"cancelled"`
+	Dropped   int64 `json:"dropped"`
+	Deduped   int64 `json:"deduped"`
+}
+
+func (sp *speculator) statz(workers int) SpecStatz {
+	return SpecStatz{
+		Workers:   workers,
+		Scheduled: sp.scheduled.Load(),
+		Compiled:  sp.compiled.Load(),
+		WarmHits:  sp.warmHits.Load(),
+		Cancelled: sp.cancelled.Load(),
+		Dropped:   sp.dropped.Load(),
+		Deduped:   sp.deduped.Load(),
+	}
+}

@@ -1,0 +1,269 @@
+package server
+
+import (
+	"encoding/json"
+	"net/http"
+	"testing"
+	"time"
+
+	"prescount/internal/compilecache"
+	"prescount/internal/ir"
+)
+
+// specSettled reports whether every scheduled speculation job has been
+// accounted for (compiled, cancelled, dropped or deduped).
+func specSettled(sp *speculator) bool {
+	done := sp.compiled.Load() + sp.cancelled.Load() + sp.dropped.Load() + sp.deduped.Load()
+	return done == sp.scheduled.Load() && len(sp.jobs) == 0
+}
+
+// TestSpeculationWarmsNeighbors: compiling at 4 banks precompiles the same
+// kernel at 2 and 8 banks; the follow-up requests are full-layer warm hits
+// and byte-identical to an on-demand compile.
+func TestSpeculationWarmsNeighbors(t *testing.T) {
+	s, ts := newTestServer(t, Config{MaxInFlight: 4, SpecWorkers: 2})
+	resp, body := postJSON(t, ts.URL+"/v1/compile", CompileRequest{MIR: kernelMIR, Banks: 4})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d, body %s", resp.StatusCode, body)
+	}
+	if got := s.spec.scheduled.Load(); got != 2 {
+		t.Fatalf("scheduled %d speculation jobs, want 2 (banks 8 and 2)", got)
+	}
+	waitFor(t, func() bool { return specSettled(s.spec) })
+	if s.spec.compiled.Load() != 2 {
+		t.Fatalf("speculation outcome: %+v", s.spec.statz(2))
+	}
+
+	// Both neighbors must now be present in the full layer.
+	f, err := ir.Parse(kernelMIR)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, banks := range []int{2, 8} {
+		opts, err := s.compileOptions(&CompileRequest{Banks: banks})
+		if err != nil {
+			t.Fatal(err)
+		}
+		k := compilecache.Key{Fingerprint: f.Fingerprint(), Digest: opts.FullDigest()}
+		if !s.cache.PeekFull(k) {
+			t.Errorf("neighbor banks=%d not precompiled", banks)
+		}
+	}
+
+	// The follow-up request at a neighbor is attributed as a warm hit...
+	before := s.cache.Stats()
+	resp, body = postJSON(t, ts.URL+"/v1/compile", CompileRequest{MIR: kernelMIR, Banks: 8, EmitMIR: true})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d, body %s", resp.StatusCode, body)
+	}
+	if got := s.spec.warmHits.Load(); got != 1 {
+		t.Errorf("warm hits = %d, want 1", got)
+	}
+	// The request itself is a full-layer hit. (Its own speculation — banks
+	// 16 — may add concurrent misses to the delta, so only hits are pinned.)
+	if d := s.cache.Stats().Delta(before); d.FullHits != 1 {
+		t.Errorf("neighbor request was not a full-layer hit: %+v", d)
+	}
+
+	// ...and byte-identical to an on-demand compile on a daemon that never
+	// speculated.
+	_, ts2 := newTestServer(t, Config{})
+	_, plain := postJSON(t, ts2.URL+"/v1/compile", CompileRequest{MIR: kernelMIR, Banks: 8, EmitMIR: true})
+	var a, b CompileResponse
+	if err := json.Unmarshal(body, &a); err != nil {
+		t.Fatal(err)
+	}
+	if err := json.Unmarshal(plain, &b); err != nil {
+		t.Fatal(err)
+	}
+	if a.MIR != b.MIR || a.Report != b.Report || a.Alloc != b.Alloc {
+		t.Errorf("speculative result differs from on-demand compile:\n%s\nvs\n%s", body, plain)
+	}
+}
+
+// TestSpeculationDedup: re-requesting the seed does not re-speculate warm
+// neighbors into real work.
+func TestSpeculationDedup(t *testing.T) {
+	s, ts := newTestServer(t, Config{MaxInFlight: 4, SpecWorkers: 1})
+	postJSON(t, ts.URL+"/v1/compile", CompileRequest{MIR: kernelMIR, Banks: 4})
+	waitFor(t, func() bool { return specSettled(s.spec) })
+	compiledOnce := s.spec.compiled.Load()
+	postJSON(t, ts.URL+"/v1/compile", CompileRequest{MIR: kernelMIR, Banks: 4})
+	waitFor(t, func() bool { return specSettled(s.spec) })
+	if got := s.spec.compiled.Load(); got != compiledOnce {
+		t.Errorf("recompiled warm neighbors: %d → %d speculative compiles", compiledOnce, got)
+	}
+	if s.spec.deduped.Load() == 0 {
+		t.Error("dedup counter never moved")
+	}
+}
+
+// TestSpeculationCancelledNotRetained: a speculative compile whose context
+// is already dead (drain) counts as cancelled and leaves nothing in the
+// cache — context-error entries are never retained.
+func TestSpeculationCancelledNotRetained(t *testing.T) {
+	s := New(Config{MaxInFlight: 2, SpecWorkers: 0, ModuleTokens: -1})
+	sp := newSpeculator(s, 0) // no workers; execute driven by the test
+	mod, err := ir.ParseModule(bigModuleMIR(4, 200))
+	if err != nil {
+		t.Fatal(err)
+	}
+	opts, err := s.compileOptions(&CompileRequest{Banks: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sp.cancel() // drain before the job runs
+	sp.execute(specJob{mod: mod, opts: opts})
+	if got := sp.cancelled.Load(); got != 1 {
+		t.Fatalf("cancelled = %d, want 1", got)
+	}
+	digest := opts.FullDigest()
+	for _, f := range mod.SortedFuncs() {
+		k := compilecache.Key{Fingerprint: f.Fingerprint(), Digest: digest}
+		if s.cache.PeekFull(k) {
+			t.Errorf("cancelled speculation retained an entry for %s", f.Name)
+		}
+	}
+	if len(s.slots) != 0 {
+		t.Errorf("cancelled speculation leaked %d slots", len(s.slots))
+	}
+}
+
+// TestSpeculationPreemptedByAdmission: a running speculative compile is
+// cancelled the moment a real request has to queue, and its slot frees.
+func TestSpeculationPreemptedByAdmission(t *testing.T) {
+	s := New(Config{MaxInFlight: 1, SpecWorkers: 0, ModuleTokens: -1, Workers: 1})
+	sp := newSpeculator(s, 0)
+	mod, err := ir.ParseModule(bigModuleMIR(64, 300))
+	if err != nil {
+		t.Fatal(err)
+	}
+	opts, err := s.compileOptions(&CompileRequest{Banks: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		sp.execute(specJob{mod: mod, opts: opts})
+	}()
+	// Wait until the speculative compile holds the only slot and registered
+	// its cancel func.
+	waitFor(t, func() bool {
+		sp.mu.Lock()
+		defer sp.mu.Unlock()
+		return len(sp.running) == 1
+	})
+	sp.preempt()
+	select {
+	case <-done:
+	case <-time.After(10 * time.Second):
+		t.Fatal("preempted speculation did not stop")
+	}
+	if got := sp.cancelled.Load(); got != 1 {
+		t.Errorf("cancelled = %d, want 1", got)
+	}
+	if len(s.slots) != 0 {
+		t.Errorf("preempted speculation held %d slots", len(s.slots))
+	}
+}
+
+// TestSpeculationDrainStops: SetDraining stops the workers; in-queue jobs
+// are abandoned and new compiles no longer speculate.
+func TestSpeculationDrainStops(t *testing.T) {
+	s, ts := newTestServer(t, Config{MaxInFlight: 4, SpecWorkers: 2})
+	postJSON(t, ts.URL+"/v1/compile", CompileRequest{MIR: kernelMIR, Banks: 4})
+	waitFor(t, func() bool { return specSettled(s.spec) })
+	s.SetDraining(true) // blocks until the workers exited
+	scheduled := s.spec.scheduled.Load()
+	// Draining servers still answer compiles but must not re-speculate.
+	resp, body := postJSON(t, ts.URL+"/v1/compile", CompileRequest{MIR: kernelMIR, Banks: 2})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("draining compile: status %d, body %s", resp.StatusCode, body)
+	}
+	if got := s.spec.scheduled.Load(); got != scheduled {
+		t.Errorf("draining server scheduled %d new speculation jobs", got-scheduled)
+	}
+}
+
+// TestSpeculationUnderEvictionPressure: a byte-capped cache under a
+// speculation storm keeps admitted requests correct — eviction can only
+// cost recomputes, never corrupt results. Runs under -race in CI, which
+// also exercises the speculator/admission interleavings.
+func TestSpeculationUnderEvictionPressure(t *testing.T) {
+	// Reference outputs from a quiet, unlimited daemon.
+	_, ref := newTestServer(t, Config{})
+	corpus := Corpus(6)
+	want := map[string]string{}
+	for _, mir := range corpus {
+		_, body := postJSON(t, ref.URL+"/v1/compile", CompileRequest{MIR: mir, Banks: 4, EmitMIR: true})
+		var cr CompileResponse
+		if err := json.Unmarshal(body, &cr); err != nil {
+			t.Fatal(err)
+		}
+		want[mir] = cr.MIR
+	}
+
+	// Tiny cache + speculation: every request storms two neighbors into a
+	// cache that cannot hold them.
+	s, ts := newTestServer(t, Config{MaxInFlight: 4, SpecWorkers: 2, CacheMaxBytes: 32 << 10})
+	for round := 0; round < 3; round++ {
+		for _, mir := range corpus {
+			resp, body := postJSON(t, ts.URL+"/v1/compile", CompileRequest{MIR: mir, Banks: 4, EmitMIR: true})
+			if resp.StatusCode != http.StatusOK {
+				t.Fatalf("status %d, body %s", resp.StatusCode, body)
+			}
+			var cr CompileResponse
+			if err := json.Unmarshal(body, &cr); err != nil {
+				t.Fatal(err)
+			}
+			if cr.MIR != want[mir] {
+				t.Fatalf("round %d: result diverged under eviction pressure", round)
+			}
+		}
+	}
+	waitFor(t, func() bool { return specSettled(s.spec) })
+	if got, cap := s.Cache().Stats().BytesRetained, s.Cache().MaxBytes(); got > cap {
+		t.Errorf("cache bytes retained %d exceeds cap %d", got, cap)
+	}
+}
+
+// TestLoadgenSweep: the bank-sweep request stream against a speculating
+// daemon earns warm hits; the same stream with speculation off earns none.
+func TestLoadgenSweep(t *testing.T) {
+	run := func(specWorkers int) *LoadgenResult {
+		_, ts := newTestServer(t, Config{MaxInFlight: 4, SpecWorkers: specWorkers})
+		res, err := RunLoadgen(LoadgenConfig{
+			URL:         ts.URL,
+			Concurrency: 2,
+			Kernels:     6,
+			Sweep:       true,
+			RetryOn429:  true,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	spec := run(1)
+	nospec := run(0)
+	if spec.Errors5xx != 0 || nospec.Errors5xx != 0 {
+		t.Fatalf("5xx: spec=%d nospec=%d, want 0", spec.Errors5xx, nospec.Errors5xx)
+	}
+	if want := int64(18); spec.OK != want || nospec.OK != want {
+		t.Fatalf("ok: spec=%d nospec=%d, want %d (6 kernels × 3 banks)", spec.OK, nospec.OK, want)
+	}
+	if nospec.Statz.Speculation != nil {
+		t.Error("speculation-off daemon reported a speculation section")
+	}
+	sp := spec.Statz.Speculation
+	if sp == nil {
+		t.Fatal("speculating daemon reported no speculation section")
+	}
+	if sp.Scheduled == 0 || sp.Compiled == 0 {
+		t.Errorf("speculation never ran: %+v", sp)
+	}
+	if sp.WarmHits == 0 {
+		t.Errorf("sweep stream earned no warm hits: %+v", sp)
+	}
+}

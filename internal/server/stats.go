@@ -108,6 +108,11 @@ type metrics struct {
 	parseErrors, compileErrors atomic.Int64
 	rejected, deadlines        atomic.Int64
 
+	// Incremental-recompile accounting: prior-token lookups and the
+	// per-function reuse they produced.
+	tokenHits, tokenMisses     atomic.Int64
+	reusedFuncs, compiledFuncs atomic.Int64
+
 	phases map[string]*hist
 }
 
@@ -140,11 +145,30 @@ type CacheStatz struct {
 	PrefixHits    int64   `json:"prefix_hits"`
 	PrefixMisses  int64   `json:"prefix_misses"`
 	PrefixHitRate float64 `json:"prefix_hit_rate"`
+	AllocHits     int64   `json:"alloc_hits"`
+	AllocMisses   int64   `json:"alloc_misses"`
+	AllocHitRate  float64 `json:"alloc_hit_rate"`
 	BytesRetained int64   `json:"bytes_retained"`
 	MaxBytes      int64   `json:"max_bytes"`
 	Evictions     int64   `json:"evictions"`
 	FullEntries   int     `json:"full_entries"`
 	PrefixEntries int     `json:"prefix_entries"`
+	AllocEntries  int     `json:"alloc_entries"`
+}
+
+// IncrementalStatz is the /statz incremental-recompile section.
+type IncrementalStatz struct {
+	// TokensRetained is the current module-prior LRU population;
+	// MaxTokens its cap.
+	TokensRetained int `json:"tokens_retained"`
+	MaxTokens      int `json:"max_tokens"`
+	// TokenHits/TokenMisses count prior_token resolutions.
+	TokenHits   int64 `json:"token_hits"`
+	TokenMisses int64 `json:"token_misses"`
+	// ReusedFuncs/CompiledFuncs sum the per-request attribution over all
+	// module compiles.
+	ReusedFuncs   int64 `json:"reused_funcs"`
+	CompiledFuncs int64 `json:"compiled_funcs"`
 }
 
 // Statz is the full /statz document. The same value is published through
@@ -158,6 +182,8 @@ type Statz struct {
 	MaxQueue    int                 `json:"max_queue"`
 	Requests    RequestCounts       `json:"requests"`
 	Cache       CacheStatz          `json:"cache"`
+	Incremental *IncrementalStatz   `json:"incremental,omitempty"`
+	Speculation *SpecStatz          `json:"speculation,omitempty"`
 	Phases      map[string]HistJSON `json:"phases"`
 }
 
@@ -186,13 +212,31 @@ func (s *Server) Statz() Statz {
 			PrefixHits:    cs.PrefixHits,
 			PrefixMisses:  cs.PrefixMisses,
 			PrefixHitRate: cs.PrefixHitRate(),
+			AllocHits:     cs.AllocHits,
+			AllocMisses:   cs.AllocMisses,
+			AllocHitRate:  cs.AllocHitRate(),
 			BytesRetained: cs.BytesRetained,
 			MaxBytes:      s.cache.MaxBytes(),
 			Evictions:     cs.Evictions,
 			FullEntries:   cs.FullEntries,
 			PrefixEntries: cs.PrefixEntries,
+			AllocEntries:  cs.AllocEntries,
 		},
 		Phases: map[string]HistJSON{},
+	}
+	if s.tokens != nil {
+		out.Incremental = &IncrementalStatz{
+			TokensRetained: s.tokens.Len(),
+			MaxTokens:      s.cfg.ModuleTokens,
+			TokenHits:      s.metrics.tokenHits.Load(),
+			TokenMisses:    s.metrics.tokenMisses.Load(),
+			ReusedFuncs:    s.metrics.reusedFuncs.Load(),
+			CompiledFuncs:  s.metrics.compiledFuncs.Load(),
+		}
+	}
+	if s.spec != nil {
+		st := s.spec.statz(s.cfg.SpecWorkers)
+		out.Speculation = &st
 	}
 	for _, n := range phaseNames {
 		out.Phases[n] = s.metrics.phases[n].snapshot()
