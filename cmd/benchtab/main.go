@@ -20,7 +20,11 @@
 // stages reuse earlier stages' prefix, allocation and full entries
 // (table7 recompiles exactly table6's configurations; the rv sweeps reuse
 // fig1/table1's). Results are identical at any -parallel or -cache
-// setting — only wall-clock changes. -cpuprofile FILE writes a pprof CPU
+// setting — only wall-clock changes. -disk-cache DIR layers the persistent
+// on-disk result store (internal/diskcache) under the run-wide cache, so a
+// rerun of the same experiments starts from the previous run's full-compile
+// results (requires -cache on; -disk-cache-bytes caps the store).
+// -cpuprofile FILE writes a pprof CPU
 // profile of the whole run. -verify-each runs every experiment compile
 // under the phase-boundary verifier (internal/verify): tables are
 // unchanged — the verifier only observes — but wall-clock grows by the
@@ -53,6 +57,7 @@ import (
 	"prescount/internal/cfg"
 	"prescount/internal/compilecache"
 	"prescount/internal/core"
+	"prescount/internal/diskcache"
 	"prescount/internal/experiments"
 	"prescount/internal/liveness"
 	"prescount/internal/workload"
@@ -158,6 +163,8 @@ func main() {
 	jsonOut := flag.String("json", "", "write the machine-readable perf trajectory (BENCH_pipeline.json) to this file")
 	parallel := flag.Int("parallel", 0, "compile workers for the sweeps: 0 = GOMAXPROCS, 1 = serial")
 	cacheMode := flag.String("cache", "on", "compile cache: on | off (off recompiles every (bank, method) point from scratch)")
+	diskDir := flag.String("disk-cache", "", "directory for the persistent compile-result store layered under the run-wide cache (empty disables; requires -cache on)")
+	diskBytes := flag.Int64("disk-cache-bytes", 1<<30, "on-disk store byte cap, mtime-LRU swept (0 = unlimited)")
 	cpuprofile := flag.String("cpuprofile", "", "write a pprof CPU profile to this file")
 	sizes := flag.String("sizes", "", "comma-separated workload sizes: compile random functions of each size under bpc and report timings (skips the paper experiments)")
 	verifyEach := flag.Bool("verify-each", false, "run every experiment compile under the phase-boundary verifier (tables are unchanged; wall-clock grows by the verifier overhead)")
@@ -198,6 +205,17 @@ func main() {
 		// by perfLog.stage.
 		perf.cache = compilecache.New()
 		experiments.SharedCache = perf.cache
+	}
+	if *diskDir != "" {
+		if perf.cache == nil {
+			check(fmt.Errorf("-disk-cache requires -cache on"))
+		}
+		store, err := diskcache.Open(*diskDir, *diskBytes)
+		check(err)
+		// Close flushes the write-behind queue so this run's results are on
+		// disk for the next one.
+		defer store.Close()
+		perf.cache.SetFullBacking(core.NewDiskBacking(store))
 	}
 
 	start := time.Now()

@@ -6,8 +6,12 @@
 //
 //	loadgen [flags]
 //
-//	-url U       target daemon base URL; empty spawns an in-process
-//	             prescountd on a loopback port (self-contained benchmark)
+//	-url U       target base URL — a daemon or a prescountrouter fronting a
+//	             fleet; empty spawns an in-process prescountd on a loopback
+//	             port (self-contained benchmark)
+//	-backends L  comma-separated backend daemon URLs behind the -url router;
+//	             each is scraped for its final per-node statistics (cache and
+//	             disk activity the router's statz cannot see)
 //	-c N         concurrent clients (default 64)
 //	-n N         total requests (default 2048)
 //	-kernels N   distinct kernels in the replay corpus (default 16)
@@ -20,6 +24,13 @@
 //	             across bank counts {4, 8, 2} against a speculating daemon
 //	             and again with speculation off, recording the warm hits
 //	             speculative precompilation earned (self-spawn mode only)
+//	-fleet N     additionally run the distributed pair: N in-process daemons,
+//	             each with its own disk cache, behind an in-process
+//	             consistent-hash router. The cold pass populates the disk
+//	             caches; then every daemon and the router are torn down and
+//	             respawned on the same directories, and the warm pass replays
+//	             the identical corpus — its compiles must be served from disk
+//	             (self-spawn mode only; N < 2 disables)
 //	-json FILE   write the trajectory artifact (default BENCH_serve.json;
 //	             "" disables)
 //
@@ -32,9 +43,14 @@ import (
 	"encoding/json"
 	"flag"
 	"fmt"
+	"net"
 	"net/http/httptest"
 	"os"
+	"path/filepath"
+	"runtime"
+	"strings"
 
+	"prescount/internal/router"
 	"prescount/internal/server"
 )
 
@@ -51,7 +67,8 @@ type artifact struct {
 }
 
 func main() {
-	url := flag.String("url", "", "daemon base URL (empty = spawn in-process)")
+	url := flag.String("url", "", "target base URL, daemon or router (empty = spawn in-process)")
+	backends := flag.String("backends", "", "comma-separated backend daemon URLs behind the -url router, scraped for per-node statz")
 	c := flag.Int("c", 64, "concurrent clients")
 	n := flag.Int("n", 2048, "total requests")
 	kernels := flag.Int("kernels", 16, "distinct kernels in the corpus")
@@ -59,12 +76,22 @@ func main() {
 	simulate := flag.Bool("simulate", false, "execute allocated kernels server-side")
 	saturate := flag.Bool("saturate", false, "also run the tiny-daemon saturation pass")
 	sweep := flag.Bool("sweep", false, "also run the bank-sweep speculation-on/off pair")
+	fleet := flag.Int("fleet", 0, "also run the fleet cold/warm-restart pair with this many routed daemons (0 disables)")
 	jsonOut := flag.String("json", "BENCH_serve.json", "trajectory artifact path (\"\" disables)")
 	flag.Parse()
 
-	art := artifact{Schema: "prescount-serve/2"}
+	art := artifact{Schema: "prescount-serve/3"}
 
 	target := *url
+	var backendURLs []string
+	for _, u := range strings.Split(*backends, ",") {
+		if u = strings.TrimSpace(u); u != "" {
+			backendURLs = append(backendURLs, u)
+		}
+	}
+	if len(backendURLs) > 0 && target == "" {
+		check(fmt.Errorf("-backends requires -url (the router the backends sit behind)"))
+	}
 	var shutdown func()
 	if target == "" {
 		target, shutdown = spawn(server.Config{CacheMaxBytes: 256 << 20})
@@ -72,6 +99,7 @@ func main() {
 	}
 	res, err := server.RunLoadgen(server.LoadgenConfig{
 		URL:         target,
+		URLs:        backendURLs,
 		Concurrency: *c,
 		Requests:    *n,
 		Kernels:     *kernels,
@@ -148,6 +176,42 @@ func main() {
 		}
 	}
 
+	if *fleet > 1 {
+		if *url != "" {
+			check(fmt.Errorf("-fleet requires self-spawn mode (omit -url)"))
+		}
+		if runtime.NumCPU() < *fleet {
+			fmt.Fprintf(os.Stderr, "loadgen: warning: %d daemons on %d CPUs — fleet throughput scaling will not show; disk warm-restart numbers remain valid\n",
+				*fleet, runtime.NumCPU())
+		}
+		dir, err := os.MkdirTemp("", "loadgen-fleet-")
+		check(err)
+		defer os.RemoveAll(dir)
+		// Cold pass populates each node's disk cache; the warm pass respawns
+		// the whole fleet on the same directories and replays the identical
+		// corpus — every compile should come off disk, not the allocator.
+		// Ports are pinned across the respawn: the ring hashes backend URLs,
+		// so stable addresses (a given in production) are what keep each
+		// kernel routed to the node whose disk already holds it.
+		var ports []int
+		for _, name := range []string{"fleet-cold", "fleet-warm"} {
+			target, urls, shutdown := spawnFleet(*fleet, dir, &ports)
+			fres, err := server.RunLoadgen(server.LoadgenConfig{
+				URL:         target,
+				URLs:        urls,
+				Concurrency: *c,
+				Requests:    *n,
+				Kernels:     *kernels,
+				Method:      *method,
+				RetryOn429:  true,
+			})
+			shutdown() // flushes each node's write-behind queue
+			check(err)
+			report(name, fres)
+			art.Runs = append(art.Runs, runRecord{Name: name, LoadgenResult: fres})
+		}
+	}
+
 	if *jsonOut != "" {
 		data, err := json.MarshalIndent(art, "", "  ")
 		check(err)
@@ -156,12 +220,59 @@ func main() {
 	}
 }
 
+// spawnFleet starts n in-process daemons — node i's disk cache under
+// dir/node<i>, stable across respawns — and a consistent-hash router over
+// them. *ports pins the listen ports: empty on the first call (ephemeral
+// ports are recorded into it), replayed on respawn so backend URLs — the
+// ring's hash inputs — survive the restart. It returns the router URL (the
+// load target), the backend URLs (the statz scrape set) and a shutdown that
+// closes everything, flushing each node's disk write-behind queue.
+func spawnFleet(n int, dir string, ports *[]int) (target string, urls []string, shutdown func()) {
+	var downs []func()
+	for i := 0; i < n; i++ {
+		srv, err := server.New(server.Config{
+			CacheMaxBytes: 256 << 20,
+			DiskCacheDir:  filepath.Join(dir, fmt.Sprintf("node%d", i)),
+		})
+		check(err)
+		addr := "127.0.0.1:0"
+		if i < len(*ports) {
+			addr = fmt.Sprintf("127.0.0.1:%d", (*ports)[i])
+		}
+		l, err := net.Listen("tcp", addr)
+		check(err)
+		if i >= len(*ports) {
+			*ports = append(*ports, l.Addr().(*net.TCPAddr).Port)
+		}
+		ts := httptest.NewUnstartedServer(srv.Handler())
+		ts.Listener.Close()
+		ts.Listener = l
+		ts.Start()
+		urls = append(urls, ts.URL)
+		downs = append(downs, func() { ts.Close(); srv.Close() })
+	}
+	r, err := router.New(router.Config{Backends: urls})
+	check(err)
+	rts := httptest.NewServer(r.Handler())
+	return rts.URL, urls, func() {
+		rts.Close()
+		r.Stop()
+		for _, down := range downs {
+			down()
+		}
+	}
+}
+
 // spawn starts an in-process daemon on a loopback listener and returns its
 // base URL plus a shutdown function.
 func spawn(cfg server.Config) (string, func()) {
-	srv := server.New(cfg)
+	srv, err := server.New(cfg)
+	check(err)
 	ts := httptest.NewServer(srv.Handler())
-	return ts.URL, ts.Close
+	return ts.URL, func() {
+		ts.Close()
+		srv.Close()
+	}
 }
 
 func report(name string, r *server.LoadgenResult) {
@@ -178,6 +289,10 @@ func report(name string, r *server.LoadgenResult) {
 			fmt.Printf("  speculation: %d scheduled, %d compiled, %d warm hits, %d cancelled, %d dropped, %d deduped\n",
 				sp.Scheduled, sp.Compiled, sp.WarmHits, sp.Cancelled, sp.Dropped, sp.Deduped)
 		}
+	}
+	if len(r.Backends) > 0 {
+		hits, misses := r.FleetDiskHits()
+		fmt.Printf("  fleet disk: %d hits, %d misses across %d nodes\n", hits, misses, len(r.Backends))
 	}
 }
 

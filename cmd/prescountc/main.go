@@ -15,6 +15,11 @@
 //	-cache M       on | off: share a compile cache across the input
 //	               functions, so repeated kernel bodies (common in
 //	               machine-generated MIR) compile once (default on)
+//	-disk-cache DIR  persistent compile-result store layered under the
+//	               in-memory cache: results survive process restarts, so
+//	               recompiling the same kernels across invocations is a
+//	               disk read instead of a compile (requires -cache on)
+//	-disk-cache-bytes N  on-disk store byte cap (default 1 GiB)
 //	-verify-each   run the phase-boundary verifier between pipeline stages;
 //	               a rule violation aborts the compile with a diagnostic
 //	               naming the rule, function, block and instruction (note:
@@ -33,6 +38,8 @@ import (
 
 	"prescount"
 	"prescount/internal/compilecache"
+	"prescount/internal/core"
+	"prescount/internal/diskcache"
 )
 
 func main() {
@@ -62,6 +69,8 @@ func run(args []string, stdin io.Reader, stdout io.Writer) error {
 	vliw := fs.Bool("vliw", false, "VLIW dual-issue cycle model")
 	outPath := fs.String("o", "", "write the allocated MIR of all inputs to this file")
 	cacheMode := fs.String("cache", "on", "compile cache across input functions: on | off")
+	diskDir := fs.String("disk-cache", "", "directory for the persistent compile-result store (empty disables)")
+	diskBytes := fs.Int64("disk-cache-bytes", 1<<30, "on-disk store byte cap, mtime-LRU swept (0 = unlimited)")
 	verifyEach := fs.Bool("verify-each", false, "run the phase-boundary verifier between pipeline stages")
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -95,6 +104,19 @@ func run(args []string, stdin io.Reader, stdout io.Writer) error {
 	case "off":
 	default:
 		return fmt.Errorf("-cache: want on or off, got %q", *cacheMode)
+	}
+	if *diskDir != "" {
+		if opts.Cache == nil {
+			return fmt.Errorf("-disk-cache requires -cache on")
+		}
+		store, err := diskcache.Open(*diskDir, *diskBytes)
+		if err != nil {
+			return fmt.Errorf("disk cache: %w", err)
+		}
+		// Close flushes the write-behind queue so this invocation's results
+		// are on disk for the next one.
+		defer store.Close()
+		opts.Cache.SetFullBacking(core.NewDiskBacking(store))
 	}
 
 	// Inputs keep their argv order: per-file report order and the -o

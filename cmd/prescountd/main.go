@@ -20,9 +20,13 @@
 //	                 (default 64; 0 disables prior_token/module_token)
 //	-spec-workers N  background workers precompiling adjacent-bank sweep
 //	                 neighbors in idle admission slots (default 1; 0 disables)
+//	-disk-cache DIR  persistent compile-result store layered under the
+//	                 in-memory cache; survives restarts (empty disables)
+//	-disk-cache-bytes N  on-disk store cap, mtime-LRU swept
+//	                 (default 1 GiB; 0 = unlimited)
 //
 // Endpoints (see docs/API.md): POST /v1/compile, POST /v1/compile/module,
-// GET /healthz, GET /statz, GET /debug/vars (expvar).
+// POST /v1/compile/batch, GET /healthz, GET /statz, GET /debug/vars (expvar).
 //
 // On SIGINT/SIGTERM the daemon stops accepting connections, flips /healthz
 // to 503, drains in-flight requests for up to -drain, then exits 0.
@@ -64,9 +68,11 @@ func main() {
 	drain := flag.Duration("drain", 30*time.Second, "graceful shutdown grace period")
 	moduleTokens := flag.Int("module-tokens", 64, "module priors retained for incremental recompiles (0 disables)")
 	specWorkers := flag.Int("spec-workers", 1, "speculative sweep-precompile workers (0 disables)")
+	diskCache := flag.String("disk-cache", "", "directory for the persistent compile-result store (empty disables)")
+	diskCacheBytes := flag.Int64("disk-cache-bytes", 1<<30, "on-disk store byte cap, mtime-LRU swept (0 = unlimited)")
 	flag.Parse()
 
-	srv := server.New(server.Config{
+	srv, err := server.New(server.Config{
 		MaxInFlight:    *inflight,
 		MaxQueue:       *queue,
 		MaxBody:        *maxBody,
@@ -76,7 +82,13 @@ func main() {
 		Workers:        *workers,
 		ModuleTokens:   moduleTokenCfg(*moduleTokens),
 		SpecWorkers:    *specWorkers,
+		DiskCacheDir:   *diskCache,
+		DiskCacheBytes: *diskCacheBytes,
 	})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "prescountd:", err)
+		os.Exit(1)
+	}
 	srv.PublishExpvar("prescountd")
 
 	mux := http.NewServeMux()
@@ -112,6 +124,9 @@ func main() {
 		fmt.Fprintln(os.Stderr, "prescountd: shutdown:", err)
 		os.Exit(1)
 	}
+	// Flush the write-behind queue so the next start of this node serves
+	// this run's results as disk hits.
+	srv.Close()
 	st := srv.Statz()
 	fmt.Fprintf(os.Stderr, "prescountd: drained clean (%d requests, %d ok, cache full=%.3f prefix=%.3f)\n",
 		st.Requests.Total, st.Requests.OK, st.Cache.FullHitRate, st.Cache.PrefixHitRate)

@@ -1,0 +1,198 @@
+package compilecache
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"testing"
+)
+
+// fakeBacking is an in-memory stand-in for the disk store.
+type fakeBacking struct {
+	mu     sync.Mutex
+	m      map[Key]any
+	loads  int
+	stores int
+}
+
+func newFakeBacking() *fakeBacking { return &fakeBacking{m: map[Key]any{}} }
+
+func (b *fakeBacking) Load(k Key) (any, int64, bool) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.loads++
+	v, ok := b.m[k]
+	return v, 10, ok
+}
+
+func (b *fakeBacking) Store(k Key, v any) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.stores++
+	b.m[k] = v
+}
+
+func computeVal(v string) func() (any, int64, error) {
+	return func() (any, int64, error) { return v, 10, nil }
+}
+
+// TestBackingAttribution pins the three-way stat split: memory hit =
+// FullHits only; disk hit = FullMisses + DiskHits; cold = FullMisses +
+// DiskMisses.
+func TestBackingAttribution(t *testing.T) {
+	b := newFakeBacking()
+	c := New()
+	c.SetFullBacking(b)
+	k := Key{Digest: 1}
+
+	// Cold: memory miss, disk miss, compute runs, result stored behind.
+	v, hit, err := c.Full(k, computeVal("cold"))
+	if err != nil || hit || v != "cold" {
+		t.Fatalf("cold lookup = %v, %v, %v", v, hit, err)
+	}
+	st := c.Stats()
+	if st.FullHits != 0 || st.FullMisses != 1 || st.DiskHits != 0 || st.DiskMisses != 1 {
+		t.Fatalf("after cold: %+v", st)
+	}
+	if b.stores != 1 {
+		t.Fatalf("stores = %d, want 1", b.stores)
+	}
+
+	// Memory hit: the backing must not even be consulted.
+	loadsBefore := b.loads
+	if _, hit, _ := c.Full(k, computeVal("unused")); !hit {
+		t.Fatal("expected memory hit")
+	}
+	st = c.Stats()
+	if st.FullHits != 1 || st.FullMisses != 1 || st.DiskHits != 0 || st.DiskMisses != 1 {
+		t.Fatalf("after memory hit: %+v", st)
+	}
+	if b.loads != loadsBefore {
+		t.Fatal("backing consulted on a memory hit")
+	}
+
+	// Disk hit: a fresh cache over the same backing skips the compute.
+	c2 := New()
+	c2.SetFullBacking(b)
+	v, hit, err = c2.Full(k, func() (any, int64, error) {
+		t.Fatal("compute ran despite backed entry")
+		return nil, 0, nil
+	})
+	if err != nil || hit || v != "cold" {
+		t.Fatalf("disk-served lookup = %v, %v, %v", v, hit, err)
+	}
+	st = c2.Stats()
+	if st.FullHits != 0 || st.FullMisses != 1 || st.DiskHits != 1 || st.DiskMisses != 0 {
+		t.Fatalf("after disk hit: %+v", st)
+	}
+
+	// And the disk-served value now serves memory hits on c2.
+	if _, hit, _ := c2.Full(k, computeVal("unused")); !hit {
+		t.Fatal("disk-served entry not retained in memory")
+	}
+}
+
+// TestBackingOnlyFullLayer pins that prefix and alloc lookups bypass the
+// backing entirely.
+func TestBackingOnlyFullLayer(t *testing.T) {
+	b := newFakeBacking()
+	c := New()
+	c.SetFullBacking(b)
+	k := Key{Digest: 2}
+	if _, _, err := c.Prefix(k, computeVal("p")); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := c.Alloc(k, computeVal("a")); err != nil {
+		t.Fatal(err)
+	}
+	if b.loads != 0 || b.stores != 0 {
+		t.Fatalf("backing touched by prefix/alloc: loads=%d stores=%d", b.loads, b.stores)
+	}
+	st := c.Stats()
+	if st.DiskHits != 0 || st.DiskMisses != 0 {
+		t.Fatalf("disk counters moved: %+v", st)
+	}
+}
+
+// TestBackingErrorsNotStored pins that failed computes are never written
+// behind (a retained error entry must not poison the persistent level).
+func TestBackingErrorsNotStored(t *testing.T) {
+	b := newFakeBacking()
+	c := New()
+	c.SetFullBacking(b)
+	k := Key{Digest: 3}
+	wantErr := errors.New("deterministic failure")
+	if _, _, err := c.Full(k, func() (any, int64, error) { return nil, 0, wantErr }); !errors.Is(err, wantErr) {
+		t.Fatalf("err = %v", err)
+	}
+	if b.stores != 0 {
+		t.Fatal("failed compute written to backing")
+	}
+	// Context errors likewise.
+	k2 := Key{Digest: 4}
+	_, _, err := c.Full(k2, func() (any, int64, error) { return nil, 0, context.Canceled })
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v", err)
+	}
+	if b.stores != 0 {
+		t.Fatal("cancelled compute written to backing")
+	}
+}
+
+// TestBackingSingleflight pins that concurrent misses consult the backing
+// once: the singleflight slot spans both levels.
+func TestBackingSingleflight(t *testing.T) {
+	b := newFakeBacking()
+	b.m[Key{Digest: 5}] = "backed"
+	c := New()
+	c.SetFullBacking(b)
+
+	const n = 16
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			v, _, err := c.Full(Key{Digest: 5}, func() (any, int64, error) {
+				t.Error("compute ran despite backed entry")
+				return nil, 0, nil
+			})
+			if err != nil || v != "backed" {
+				t.Errorf("lookup = %v, %v", v, err)
+			}
+		}()
+	}
+	wg.Wait()
+	if b.loads != 1 {
+		t.Fatalf("backing loaded %d times, want 1", b.loads)
+	}
+	st := c.Stats()
+	if st.DiskHits != 1 {
+		t.Fatalf("DiskHits = %d, want 1", st.DiskHits)
+	}
+}
+
+// TestBackingDelta pins that Delta subtracts the disk counters.
+func TestBackingDelta(t *testing.T) {
+	b := newFakeBacking()
+	c := New()
+	c.SetFullBacking(b)
+	if _, _, err := c.Full(Key{Digest: 6}, computeVal("x")); err != nil {
+		t.Fatal(err)
+	}
+	prev := c.Stats()
+	c2 := New()
+	c2.SetFullBacking(b)
+	if _, _, err := c2.Full(Key{Digest: 6}, computeVal("x")); err != nil {
+		t.Fatal(err)
+	}
+	// Re-run a disk-hitting lookup on c via a new key already in b.
+	b.m[Key{Digest: 7}] = "y"
+	if _, _, err := c.Full(Key{Digest: 7}, computeVal("unused")); err != nil {
+		t.Fatal(err)
+	}
+	d := c.Stats().Delta(prev)
+	if d.DiskHits != 1 || d.DiskMisses != 0 {
+		t.Fatalf("delta %+v", d)
+	}
+}

@@ -66,6 +66,12 @@ type Stats struct {
 	// conflict analysis ran). Methods whose allocation reads the bank
 	// count (bcr, bpc) never consult this layer.
 	AllocHits, AllocMisses int64
+	// DiskHits / DiskMisses count second-level (Backing) lookups. The
+	// backing is consulted only on a full-layer memory miss, so a disk hit
+	// is always paired with a FullMiss: memory hits are FullHits, disk
+	// hits are FullMisses+DiskHits, cold compiles are FullMisses+
+	// DiskMisses. Zero on a cache without a backing.
+	DiskHits, DiskMisses int64
 	// BytesRetained estimates the memory pinned by cached entries, as
 	// reported by the compute callbacks. On a NewLimited cache it never
 	// exceeds the cap once in-flight computes have settled.
@@ -87,6 +93,10 @@ func (s Stats) PrefixHitRate() float64 { return rate(s.PrefixHits, s.PrefixMisse
 // AllocHitRate returns AllocHits / (AllocHits + AllocMisses).
 func (s Stats) AllocHitRate() float64 { return rate(s.AllocHits, s.AllocMisses) }
 
+// DiskHitRate returns DiskHits / (DiskHits + DiskMisses) — the fraction of
+// memory misses the second level absorbed.
+func (s Stats) DiskHitRate() float64 { return rate(s.DiskHits, s.DiskMisses) }
+
 // Delta returns the counters accumulated since prev was snapshotted from
 // the same cache: monotonic counters are subtracted, while the gauges
 // (BytesRetained and the entry counts) keep their current values. Stage
@@ -100,6 +110,8 @@ func (s Stats) Delta(prev Stats) Stats {
 		PrefixMisses:  s.PrefixMisses - prev.PrefixMisses,
 		AllocHits:     s.AllocHits - prev.AllocHits,
 		AllocMisses:   s.AllocMisses - prev.AllocMisses,
+		DiskHits:      s.DiskHits - prev.DiskHits,
+		DiskMisses:    s.DiskMisses - prev.DiskMisses,
 		Evictions:     s.Evictions - prev.Evictions,
 		BytesRetained: s.BytesRetained,
 		FullEntries:   s.FullEntries,
@@ -146,6 +158,35 @@ type Cache struct {
 	maxBytes int64
 	// lruHead/lruTail delimit the recency list, most recent at head.
 	lruHead, lruTail *entry
+
+	// backing is the optional second level behind the full layer; nil
+	// means memory-only. diskHits/diskMisses count its lookups.
+	backing              Backing
+	diskHits, diskMisses int64
+}
+
+// Backing is a second cache level consulted on full-layer memory misses —
+// in production a persistent on-disk store (internal/core wires the disk
+// store through its Result codec; compilecache stays codec-agnostic).
+//
+// Load returns the cached value for k plus its retained-bytes estimate (the
+// LRU charge once the value enters the memory layer). Store persists a
+// freshly computed value; it must not block (the disk store's write-behind
+// queue drops under pressure). Both are called inside the singleflight slot
+// for k, so a Backing never sees concurrent calls for the same key from one
+// cache, but must tolerate concurrent calls for different keys.
+type Backing interface {
+	Load(k Key) (val any, bytes int64, ok bool)
+	Store(k Key, val any)
+}
+
+// SetFullBacking installs b as the second level behind the full layer.
+// Call it before the cache starts serving lookups; b == nil disables the
+// second level.
+func (c *Cache) SetFullBacking(b Backing) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.backing = b
 }
 
 type layer int
@@ -246,11 +287,38 @@ func (c *Cache) do(l layer, k Key, compute func() (any, int64, error)) (any, boo
 		c.misses[l]++
 		c.mu.Unlock()
 
-		e.val, e.bytes, e.err = compute()
+		e.val, e.bytes, e.err = c.computeThrough(l, k, compute)
 		c.settle(m, e)
 		close(e.ready)
 		return e.val, false, e.err
 	}
+}
+
+// computeThrough runs compute behind the second level: on a full-layer miss
+// with a backing installed, a backed value short-circuits the compute, and
+// a freshly computed value is written behind. Runs inside the singleflight
+// slot, so the backing is consulted at most once per in-flight key.
+func (c *Cache) computeThrough(l layer, k Key, compute func() (any, int64, error)) (any, int64, error) {
+	c.mu.Lock()
+	b := c.backing
+	c.mu.Unlock()
+	if l != layerFull || b == nil {
+		return compute()
+	}
+	if val, bytes, ok := b.Load(k); ok {
+		c.mu.Lock()
+		c.diskHits++
+		c.mu.Unlock()
+		return val, bytes, nil
+	}
+	c.mu.Lock()
+	c.diskMisses++
+	c.mu.Unlock()
+	val, bytes, err := compute()
+	if err == nil {
+		b.Store(k, val)
+	}
+	return val, bytes, err
 }
 
 // settle finalizes a computed entry: context-cancellation errors are
@@ -345,6 +413,8 @@ func (c *Cache) Stats() Stats {
 		PrefixMisses:  c.misses[layerPrefix],
 		AllocHits:     c.hits[layerAlloc],
 		AllocMisses:   c.misses[layerAlloc],
+		DiskHits:      c.diskHits,
+		DiskMisses:    c.diskMisses,
 		BytesRetained: c.bytes,
 		Evictions:     c.evictions,
 		FullEntries:   len(c.full),

@@ -458,7 +458,7 @@ func funcBytes(f *ir.Func) int64 {
 func compileCached(ctx context.Context, f *ir.Func, opts Options) (*Result, error) {
 	fp := f.Fingerprint()
 	fullKey := compilecache.Key{Fingerprint: fp, Digest: opts.FullDigest()}
-	v, hit, err := opts.Cache.Full(fullKey, func() (any, int64, error) {
+	v, _, err := opts.Cache.Full(fullKey, func() (any, int64, error) {
 		res, err := compileViaPrefix(ctx, f, fp, opts)
 		if err != nil {
 			return nil, 0, err
@@ -468,11 +468,11 @@ func compileCached(ctx context.Context, f *ir.Func, opts Options) (*Result, erro
 	if err != nil {
 		return nil, err
 	}
-	res := v.(*Result)
-	if hit {
-		res = renamedResult(res, f.Name)
-	}
-	return res, nil
+	// Rename unconditionally, not only on memory hits: a disk-backed cache
+	// returns hit=false for entries served from the second level, and those
+	// were encoded under whichever name first produced the fingerprint.
+	// renamedResult is a no-op when the names already agree.
+	return renamedResult(v.(*Result), f.Name), nil
 }
 
 // renamedResult rematerializes a shared immutable Result under the caller's

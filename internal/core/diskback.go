@@ -1,0 +1,55 @@
+package core
+
+import (
+	"prescount/internal/compilecache"
+	"prescount/internal/diskcache"
+)
+
+// DiskBacking bridges the compile cache's second level to a persistent
+// diskcache.Store through the Result codec: Load decodes a stored entry
+// back into the immutable *Result the full layer holds, Store encodes a
+// freshly computed one. compilecache stays codec-agnostic and diskcache
+// stays payload-agnostic; this file is the only place the two meet.
+type DiskBacking struct {
+	store *diskcache.Store
+}
+
+// NewDiskBacking wraps store as a compilecache.Backing. Install it with
+// Cache.SetFullBacking before the cache starts serving.
+func NewDiskBacking(store *diskcache.Store) *DiskBacking {
+	return &DiskBacking{store: store}
+}
+
+var _ compilecache.Backing = (*DiskBacking)(nil)
+
+// Load fetches and decodes the entry for k. A decode failure on an intact
+// file means codec skew (the entry was written by a build with a different
+// Result layout, not bit rot — the store's checksum already screens that),
+// so the stale entry is deleted and the lookup proceeds as a miss.
+func (b *DiskBacking) Load(k compilecache.Key) (any, int64, bool) {
+	data, ok := b.store.Get(k.Fingerprint, k.Digest)
+	if !ok {
+		return nil, 0, false
+	}
+	res, err := DecodeResult(data)
+	if err != nil {
+		b.store.Delete(k.Fingerprint, k.Digest)
+		return nil, 0, false
+	}
+	return res, funcBytes(res.Func), true
+}
+
+// Store encodes val behind the write-behind queue. Values the codec rejects
+// (record-mode results, incomplete results) are simply not persisted — the
+// memory layer still serves them.
+func (b *DiskBacking) Store(k compilecache.Key, val any) {
+	res, ok := val.(*Result)
+	if !ok {
+		return
+	}
+	data, err := EncodeResult(res)
+	if err != nil {
+		return
+	}
+	b.store.Put(k.Fingerprint, k.Digest, data)
+}

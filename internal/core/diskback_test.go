@@ -1,0 +1,206 @@
+package core
+
+import (
+	"bytes"
+	"testing"
+
+	"prescount/internal/bankfile"
+	"prescount/internal/compilecache"
+	"prescount/internal/diskcache"
+	"prescount/internal/ir"
+	"prescount/internal/workload"
+)
+
+// TestDiskServedByteIdentity is the end-to-end contract of the persistent
+// level: a result decoded off disk by a cold cache must be byte-identical
+// to a fresh compile of the same input — same canonical text, same stats,
+// same re-encoding.
+func TestDiskServedByteIdentity(t *testing.T) {
+	store, err := diskcache.Open(t.TempDir(), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer store.Close()
+
+	funcs := codecFuncs(t)
+	cases := codecCases()
+
+	// Warm pass: a disk-backed cache computes everything and writes behind.
+	warm := compilecache.New()
+	warm.SetFullBacking(NewDiskBacking(store))
+	for _, f := range funcs {
+		for i := range cases {
+			opts := cases[i]
+			opts.Cache = warm
+			if _, err := Compile(f, opts); err != nil {
+				t.Fatalf("%s: warm compile: %v", f.Name, err)
+			}
+		}
+	}
+	store.Flush()
+	ws := warm.Stats()
+	if ws.DiskMisses == 0 || ws.DiskHits != 0 {
+		t.Fatalf("warm pass disk stats: %+v", ws)
+	}
+
+	// Cold pass: a fresh memory cache over the same store must serve every
+	// compile from disk without running the pipeline.
+	cold := compilecache.New()
+	cold.SetFullBacking(NewDiskBacking(store))
+	for _, f := range funcs {
+		for i := range cases {
+			fresh, err := Compile(f, cases[i])
+			if err != nil {
+				t.Fatalf("%s: fresh compile: %v", f.Name, err)
+			}
+			opts := cases[i]
+			opts.Cache = cold
+			served, err := Compile(f, opts)
+			if err != nil {
+				t.Fatalf("%s: disk-served compile: %v", f.Name, err)
+			}
+			assertResultsEqual(t, fresh, served, f.Name+" (disk-served)")
+			fe, err := EncodeResult(fresh)
+			if err != nil {
+				t.Fatal(err)
+			}
+			se, err := EncodeResult(served)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !bytes.Equal(fe, se) {
+				t.Fatalf("%s: disk-served encoding differs from fresh", f.Name)
+			}
+		}
+	}
+	cs := cold.Stats()
+	if cs.DiskHits == 0 {
+		t.Fatalf("cold pass never hit disk: %+v", cs)
+	}
+	if cs.DiskMisses != 0 {
+		t.Fatalf("cold pass missed disk %d times: %+v", cs.DiskMisses, cs)
+	}
+}
+
+// TestDiskServedRename pins name rematerialization on the disk path: an
+// entry persisted under one symbol name must serve a structurally
+// identical function under another name without leaking the original.
+func TestDiskServedRename(t *testing.T) {
+	store, err := diskcache.Open(t.TempDir(), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer store.Close()
+
+	f1 := workload.RandomSized(21, 150)
+	f2 := f1.Clone()
+	f2.Name = f1.Name + "_alias"
+	if f1.Fingerprint() != f2.Fingerprint() {
+		t.Fatal("rename changed the fingerprint")
+	}
+
+	base := Options{File: bankfile.Config{NumRegs: 32, NumBanks: 4}, Method: MethodBPC}
+
+	warm := compilecache.New()
+	warm.SetFullBacking(NewDiskBacking(store))
+	optsWarm := base
+	optsWarm.Cache = warm
+	if _, err := Compile(f1, optsWarm); err != nil {
+		t.Fatal(err)
+	}
+	store.Flush()
+
+	cold := compilecache.New()
+	cold.SetFullBacking(NewDiskBacking(store))
+	optsCold := base
+	optsCold.Cache = cold
+	served, err := Compile(f2, optsCold)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cold.Stats().DiskHits != 1 {
+		t.Fatalf("expected a disk hit, stats %+v", cold.Stats())
+	}
+	if served.Func.Name != f2.Name {
+		t.Fatalf("disk-served result kept name %q, want %q", served.Func.Name, f2.Name)
+	}
+	fresh, err := Compile(f2, base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	assertResultsEqual(t, fresh, served, "renamed disk-served")
+}
+
+// TestDiskSkewTreatedAsMiss pins the codec-skew path: an undecodable (but
+// checksum-intact) entry is deleted and the compile recomputes.
+func TestDiskSkewTreatedAsMiss(t *testing.T) {
+	store, err := diskcache.Open(t.TempDir(), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer store.Close()
+
+	f := workload.RandomSized(23, 100)
+	opts := Options{File: bankfile.Config{NumRegs: 32, NumBanks: 2}, Method: MethodNon}
+	fp := f.Fingerprint()
+	digest := opts.FullDigest()
+
+	// Plant a well-framed but undecodable payload at the key.
+	store.Put(fp, digest, []byte("not a PCR encoding"))
+	store.Flush()
+
+	c := compilecache.New()
+	c.SetFullBacking(NewDiskBacking(store))
+	opts.Cache = c
+	res, err := Compile(f, opts)
+	if err != nil {
+		t.Fatalf("skewed entry surfaced as error: %v", err)
+	}
+	fresh, err := Compile(f, Options{File: bankfile.Config{NumRegs: 32, NumBanks: 2}, Method: MethodNon})
+	if err != nil {
+		t.Fatal(err)
+	}
+	assertResultsEqual(t, fresh, res, "recomputed after skew")
+	if st := c.Stats(); st.DiskHits != 0 || st.DiskMisses != 1 {
+		t.Fatalf("skew stats %+v", st)
+	}
+	// The stale entry must be gone — after the write-behind settles, the
+	// key holds the freshly encoded result instead.
+	store.Flush()
+	if data, ok := store.Get(fp, digest); !ok {
+		t.Fatal("recomputed result not persisted")
+	} else if _, err := DecodeResult(data); err != nil {
+		t.Fatalf("persisted entry still undecodable: %v", err)
+	}
+}
+
+// TestDiskRoundTripPrint sanity-checks that what reaches disk decodes to
+// printable IR (guards against persisting a Func the codec mangles).
+func TestDiskRoundTripPrint(t *testing.T) {
+	store, err := diskcache.Open(t.TempDir(), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer store.Close()
+	f := workload.RandomSized(25, 80)
+	opts := Options{File: bankfile.Config{NumRegs: 32, NumBanks: 4}, Method: MethodBCR}
+	c := compilecache.New()
+	c.SetFullBacking(NewDiskBacking(store))
+	opts.Cache = c
+	res, err := Compile(f, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	store.Flush()
+	data, ok := store.Get(f.Fingerprint(), opts.FullDigest())
+	if !ok {
+		t.Fatal("compiled result not on disk")
+	}
+	dec, err := DecodeResult(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ir.Print(dec.Func) != ir.Print(res.Func) {
+		t.Fatal("on-disk function text diverged from served result")
+	}
+}

@@ -1,0 +1,411 @@
+// Package diskcache is a persistent, content-addressed byte store — the
+// ccache-style second level under the in-memory compile cache. Entries are
+// keyed by (fingerprint, digest), the same pair that keys the in-memory
+// full-result layer, and live one per file at
+//
+//	<dir>/<shard>/<fingerprint-hex>-<digest-hex>.pcr
+//
+// where <shard> is the first byte of the fingerprint in hex (256 shards
+// keep directory listings short at any plausible population). Each file is
+// a small header — magic/version, payload length, CRC32-C — followed by the
+// payload (a serialized core.Result; this package never interprets it).
+//
+// The store is built for the daemon's failure model:
+//
+//   - Crash safety: writes go to a tempfile in the entry's shard directory
+//     and are renamed into place, so a reader sees an old entry, a new
+//     entry, or no entry — never a torn one. A crash can at worst leave a
+//     stray tempfile, which Open sweeps.
+//   - Corruption is a miss, never an error: a bad magic, short body or
+//     checksum mismatch quarantines the file (moved aside for forensics,
+//     bounded count) and reports a miss, so a flipped bit on disk costs
+//     one recompile, not a 5xx.
+//   - Write-behind: Put enqueues and returns; a single writer goroutine
+//     persists entries and enforces the byte cap, so the compile path
+//     never blocks on the filesystem. When the queue is full the write is
+//     dropped (counted) — the entry simply stays memory-only.
+//   - Byte cap: after each write, if the store exceeds MaxBytes the writer
+//     sweeps oldest-first (by mtime; hits re-touch their file, making the
+//     sweep approximately LRU) until back under the cap.
+package diskcache
+
+import (
+	"encoding/binary"
+	"encoding/hex"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"io/fs"
+	"os"
+	"path/filepath"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// magic tags every entry file; the last byte is the on-disk format version.
+var magic = [4]byte{'P', 'C', 'D', 1}
+
+// headerSize is magic (4) + payload length (8) + CRC32-C (4).
+const headerSize = 16
+
+// maxQuarantine bounds the corrupted files kept for forensics.
+const maxQuarantine = 16
+
+// Stats is a snapshot of the store's counters.
+type Stats struct {
+	// Hits / Misses count Get outcomes (a corrupt entry is a miss).
+	Hits, Misses int64
+	// Puts counts entries written; DroppedPuts counts writes discarded
+	// because the write-behind queue was full.
+	Puts, DroppedPuts int64
+	// Corrupt counts entries quarantined on checksum or header mismatch.
+	Corrupt int64
+	// Evictions counts entries removed by the byte-cap sweep.
+	Evictions int64
+	// BytesStored estimates the bytes currently on disk (entry files
+	// only); Entries counts them.
+	BytesStored, Entries int64
+}
+
+// Store is a persistent byte cache. Create with Open; all methods are safe
+// for concurrent use.
+type Store struct {
+	dir      string
+	maxBytes int64
+
+	hits, misses, puts, dropped atomic.Int64
+	corrupt, evictions          atomic.Int64
+	bytes, entries              atomic.Int64
+
+	// puts flow through a single writer goroutine (write-behind).
+	putCh  chan putReq
+	wg     sync.WaitGroup
+	closed atomic.Bool
+
+	// quarMu serializes quarantine renames (Get is concurrent).
+	quarMu sync.Mutex
+}
+
+type putReq struct {
+	name    string // entry file name (no directory)
+	payload []byte
+	flush   chan struct{} // non-nil: barrier marker, no write
+}
+
+// Open creates (or reopens) a store rooted at dir. maxBytes <= 0 means
+// uncapped. Reopening scans the existing population to restore the byte
+// gauge — the whole point is surviving restarts — and removes tempfiles a
+// crashed writer may have left.
+func Open(dir string, maxBytes int64) (*Store, error) {
+	if dir == "" {
+		return nil, errors.New("diskcache: empty directory")
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("diskcache: %w", err)
+	}
+	s := &Store{dir: dir, maxBytes: maxBytes, putCh: make(chan putReq, 256)}
+	if err := s.scan(); err != nil {
+		return nil, err
+	}
+	s.wg.Add(1)
+	go s.writer()
+	return s, nil
+}
+
+// Dir returns the store's root directory.
+func (s *Store) Dir() string { return s.dir }
+
+// MaxBytes returns the configured byte cap (<= 0 = uncapped).
+func (s *Store) MaxBytes() int64 { return s.maxBytes }
+
+// scan walks the shard directories, summing entry sizes into the gauges and
+// deleting stray tempfiles.
+func (s *Store) scan() error {
+	var bytes, entries int64
+	err := filepath.WalkDir(s.dir, func(path string, d fs.DirEntry, err error) error {
+		if err != nil || d.IsDir() {
+			return err
+		}
+		switch filepath.Ext(path) {
+		case ".pcr":
+			if info, err := d.Info(); err == nil {
+				bytes += info.Size()
+				entries++
+			}
+		case ".tmp":
+			os.Remove(path)
+		}
+		return nil
+	})
+	if err != nil {
+		return fmt.Errorf("diskcache: scanning %s: %w", s.dir, err)
+	}
+	s.bytes.Store(bytes)
+	s.entries.Store(entries)
+	return nil
+}
+
+// entryPath returns the file path of a key, creating nothing.
+func (s *Store) entryPath(fp [32]byte, digest uint64) string {
+	hexfp := hex.EncodeToString(fp[:])
+	return filepath.Join(s.dir, hexfp[:2], fmt.Sprintf("%s-%016x.pcr", hexfp, digest))
+}
+
+// Get returns the payload stored for the key. A missing file is a miss; a
+// malformed or checksum-failing file is quarantined and reported as a miss.
+// Hits re-touch the file's mtime so the eviction sweep approximates LRU.
+func (s *Store) Get(fp [32]byte, digest uint64) ([]byte, bool) {
+	path := s.entryPath(fp, digest)
+	data, err := os.ReadFile(path)
+	if err != nil {
+		s.misses.Add(1)
+		return nil, false
+	}
+	payload, ok := decodeEntry(data)
+	if !ok {
+		s.quarantine(path, int64(len(data)))
+		s.misses.Add(1)
+		return nil, false
+	}
+	now := time.Now()
+	os.Chtimes(path, now, now) // best-effort LRU hint
+	s.hits.Add(1)
+	return payload, true
+}
+
+// decodeEntry validates an entry file and returns its payload.
+func decodeEntry(data []byte) ([]byte, bool) {
+	if len(data) < headerSize || string(data[:4]) != string(magic[:]) {
+		return nil, false
+	}
+	n := binary.LittleEndian.Uint64(data[4:12])
+	sum := binary.LittleEndian.Uint32(data[12:16])
+	if n != uint64(len(data)-headerSize) {
+		return nil, false
+	}
+	payload := data[headerSize:]
+	if crc32.Checksum(payload, crcTable) != sum {
+		return nil, false
+	}
+	return payload, true
+}
+
+var crcTable = crc32.MakeTable(crc32.Castagnoli)
+
+// encodeEntry frames a payload with the header.
+func encodeEntry(payload []byte) []byte {
+	buf := make([]byte, headerSize+len(payload))
+	copy(buf, magic[:])
+	binary.LittleEndian.PutUint64(buf[4:12], uint64(len(payload)))
+	binary.LittleEndian.PutUint32(buf[12:16], crc32.Checksum(payload, crcTable))
+	copy(buf[headerSize:], payload)
+	return buf
+}
+
+// quarantine moves a corrupt entry aside (keeping at most maxQuarantine
+// forensic copies) so the next Get of the key is a plain miss.
+func (s *Store) quarantine(path string, size int64) {
+	s.quarMu.Lock()
+	defer s.quarMu.Unlock()
+	qdir := filepath.Join(s.dir, "quarantine")
+	if err := os.MkdirAll(qdir, 0o755); err != nil {
+		os.Remove(path)
+	} else {
+		dst := filepath.Join(qdir, fmt.Sprintf("%d-%s.bad", time.Now().UnixNano(), filepath.Base(path)))
+		if os.Rename(path, dst) != nil {
+			os.Remove(path)
+		}
+		s.pruneQuarantine(qdir)
+	}
+	s.corrupt.Add(1)
+	s.bytes.Add(-size)
+	s.entries.Add(-1)
+}
+
+func (s *Store) pruneQuarantine(qdir string) {
+	ents, err := os.ReadDir(qdir)
+	if err != nil || len(ents) <= maxQuarantine {
+		return
+	}
+	names := make([]string, 0, len(ents))
+	for _, e := range ents {
+		names = append(names, e.Name())
+	}
+	// Names start with the nanosecond timestamp, so lexical order is age
+	// order for any plausible clock.
+	sort.Strings(names)
+	for _, n := range names[:len(names)-maxQuarantine] {
+		os.Remove(filepath.Join(qdir, n))
+	}
+}
+
+// Put schedules the payload for persistence under the key and returns
+// immediately. When the write-behind queue is full the write is dropped and
+// counted — the store never applies backpressure to the compile path. Calls
+// after Close are dropped.
+func (s *Store) Put(fp [32]byte, digest uint64, payload []byte) {
+	if s.closed.Load() {
+		s.dropped.Add(1)
+		return
+	}
+	select {
+	case s.putCh <- putReq{name: s.entryPath(fp, digest), payload: payload}:
+	default:
+		s.dropped.Add(1)
+	}
+}
+
+// Delete removes the entry for the key, if present. The core bridge uses it
+// for entries whose checksum passes but whose payload no longer decodes
+// (format version skew).
+func (s *Store) Delete(fp [32]byte, digest uint64) {
+	path := s.entryPath(fp, digest)
+	if info, err := os.Stat(path); err == nil {
+		if os.Remove(path) == nil {
+			s.bytes.Add(-info.Size())
+			s.entries.Add(-1)
+		}
+	}
+}
+
+// Flush blocks until every Put accepted before the call has been written
+// and any resulting eviction sweep has run.
+func (s *Store) Flush() {
+	if s.closed.Load() {
+		return
+	}
+	done := make(chan struct{})
+	select {
+	case s.putCh <- putReq{flush: done}:
+		<-done
+	default:
+		// Queue full of real writes; wait briefly and retry once, then
+		// give up — Flush is advisory for tests and shutdown.
+		select {
+		case s.putCh <- putReq{flush: done}:
+			<-done
+		case <-time.After(2 * time.Second):
+		}
+	}
+}
+
+// Close flushes pending writes and stops the writer. The store must not be
+// used afterwards (Puts are dropped, Gets still work read-only).
+func (s *Store) Close() {
+	if s.closed.Swap(true) {
+		return
+	}
+	close(s.putCh)
+	s.wg.Wait()
+}
+
+// writer is the single write-behind goroutine: it persists queued entries
+// and enforces the byte cap.
+func (s *Store) writer() {
+	defer s.wg.Done()
+	for req := range s.putCh {
+		if req.flush != nil {
+			close(req.flush)
+			continue
+		}
+		s.write(req.name, req.payload)
+	}
+}
+
+// write persists one entry atomically (tempfile + rename) and sweeps if the
+// cap is exceeded.
+func (s *Store) write(path string, payload []byte) {
+	dir := filepath.Dir(path)
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return
+	}
+	var prev int64
+	if info, err := os.Stat(path); err == nil {
+		prev = info.Size() // overwrite: byte-identical in practice, but stay exact
+	}
+	tmp, err := os.CreateTemp(dir, "put-*.tmp")
+	if err != nil {
+		return
+	}
+	framed := encodeEntry(payload)
+	_, werr := tmp.Write(framed)
+	cerr := tmp.Close()
+	if werr != nil || cerr != nil {
+		os.Remove(tmp.Name())
+		return
+	}
+	if err := os.Rename(tmp.Name(), path); err != nil {
+		os.Remove(tmp.Name())
+		return
+	}
+	if prev > 0 {
+		s.bytes.Add(int64(len(framed)) - prev)
+	} else {
+		s.bytes.Add(int64(len(framed)))
+		s.entries.Add(1)
+	}
+	s.puts.Add(1)
+	if s.maxBytes > 0 && s.bytes.Load() > s.maxBytes {
+		s.sweep()
+	}
+}
+
+// sweep deletes entries oldest-mtime-first until the store fits the cap.
+// It runs on the writer goroutine, so at most one sweep is in flight.
+func (s *Store) sweep() {
+	type ent struct {
+		path  string
+		size  int64
+		mtime time.Time
+	}
+	var ents []ent
+	filepath.WalkDir(s.dir, func(path string, d fs.DirEntry, err error) error {
+		if err != nil || d.IsDir() || filepath.Ext(path) != ".pcr" {
+			return nil
+		}
+		if info, err := d.Info(); err == nil {
+			ents = append(ents, ent{path: path, size: info.Size(), mtime: info.ModTime()})
+		}
+		return nil
+	})
+	sort.Slice(ents, func(i, j int) bool {
+		if !ents[i].mtime.Equal(ents[j].mtime) {
+			return ents[i].mtime.Before(ents[j].mtime)
+		}
+		return ents[i].path < ents[j].path
+	})
+	// Resync the gauge to the walked population (it can drift if files are
+	// removed behind the store's back), then evict to the cap.
+	var total int64
+	for _, e := range ents {
+		total += e.size
+	}
+	s.bytes.Store(total)
+	s.entries.Store(int64(len(ents)))
+	for _, e := range ents {
+		if s.bytes.Load() <= s.maxBytes {
+			break
+		}
+		if os.Remove(e.path) == nil {
+			s.bytes.Add(-e.size)
+			s.entries.Add(-1)
+			s.evictions.Add(1)
+		}
+	}
+}
+
+// Stats returns a snapshot of the counters.
+func (s *Store) Stats() Stats {
+	return Stats{
+		Hits:        s.hits.Load(),
+		Misses:      s.misses.Load(),
+		Puts:        s.puts.Load(),
+		DroppedPuts: s.dropped.Load(),
+		Corrupt:     s.corrupt.Load(),
+		Evictions:   s.evictions.Load(),
+		BytesStored: s.bytes.Load(),
+		Entries:     s.entries.Load(),
+	}
+}

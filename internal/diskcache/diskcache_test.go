@@ -1,0 +1,244 @@
+package diskcache
+
+import (
+	"bytes"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sync"
+	"testing"
+	"time"
+)
+
+func key(i int) ([32]byte, uint64) {
+	var fp [32]byte
+	fp[0] = byte(i)
+	fp[1] = byte(i >> 8)
+	return fp, uint64(i) * 0x9e3779b97f4a7c15
+}
+
+func put(t *testing.T, s *Store, i int, payload []byte) {
+	t.Helper()
+	fp, dig := key(i)
+	s.Put(fp, dig, payload)
+	s.Flush()
+}
+
+func TestPutGetRoundTrip(t *testing.T) {
+	s, err := Open(t.TempDir(), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+
+	fp, dig := key(1)
+	if _, ok := s.Get(fp, dig); ok {
+		t.Fatal("hit on empty store")
+	}
+	want := []byte("payload bytes")
+	put(t, s, 1, want)
+	got, ok := s.Get(fp, dig)
+	if !ok || !bytes.Equal(got, want) {
+		t.Fatalf("Get = %q, %v; want %q, true", got, ok, want)
+	}
+	st := s.Stats()
+	if st.Hits != 1 || st.Misses != 1 || st.Puts != 1 || st.Entries != 1 {
+		t.Fatalf("stats %+v", st)
+	}
+	if st.BytesStored != int64(headerSize+len(want)) {
+		t.Fatalf("BytesStored = %d, want %d", st.BytesStored, headerSize+len(want))
+	}
+}
+
+// TestSurvivesReopen is the point of the package: a second store over the
+// same directory serves the first store's entries and restores the gauges.
+func TestSurvivesReopen(t *testing.T) {
+	dir := t.TempDir()
+	s, err := Open(dir, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 10; i++ {
+		put(t, s, i, []byte(fmt.Sprintf("entry-%d", i)))
+	}
+	before := s.Stats()
+	s.Close()
+
+	re, err := Open(dir, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer re.Close()
+	st := re.Stats()
+	if st.Entries != before.Entries || st.BytesStored != before.BytesStored {
+		t.Fatalf("reopen gauges %+v, want entries=%d bytes=%d", st, before.Entries, before.BytesStored)
+	}
+	for i := 0; i < 10; i++ {
+		fp, dig := key(i)
+		got, ok := re.Get(fp, dig)
+		if !ok || !bytes.Equal(got, []byte(fmt.Sprintf("entry-%d", i))) {
+			t.Fatalf("entry %d lost across reopen (got %q, %v)", i, got, ok)
+		}
+	}
+}
+
+// TestCorruptionQuarantined flips bytes in stored files: every corruption
+// must read as a miss (never an error or panic), the file must leave the
+// cache population, and a later Put must restore the key.
+func TestCorruptionQuarantined(t *testing.T) {
+	dir := t.TempDir()
+	s, err := Open(dir, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+
+	fp, dig := key(42)
+	put(t, s, 42, []byte("to be corrupted"))
+	path := s.entryPath(fp, dig)
+
+	for name, mutate := range map[string]func([]byte) []byte{
+		"flipped-payload": func(b []byte) []byte { b[len(b)-1] ^= 0xff; return b },
+		"flipped-magic":   func(b []byte) []byte { b[0] ^= 0xff; return b },
+		"truncated":       func(b []byte) []byte { return b[:len(b)/2] },
+		"empty":           func(b []byte) []byte { return nil },
+	} {
+		put(t, s, 42, []byte("to be corrupted"))
+		data, err := os.ReadFile(path)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if err := os.WriteFile(path, mutate(data), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		if _, ok := s.Get(fp, dig); ok {
+			t.Fatalf("%s: corrupt entry served", name)
+		}
+		if _, err := os.Stat(path); !os.IsNotExist(err) {
+			t.Fatalf("%s: corrupt entry still in place", name)
+		}
+	}
+	if c := s.Stats().Corrupt; c != 4 {
+		t.Fatalf("Corrupt = %d, want 4", c)
+	}
+	// Quarantined copies are bounded and live outside the entry population.
+	if ents, _ := os.ReadDir(filepath.Join(dir, "quarantine")); len(ents) == 0 || len(ents) > maxQuarantine {
+		t.Fatalf("quarantine holds %d files", len(ents))
+	}
+}
+
+// TestEvictionSweep fills past the cap and asserts the sweep brings the
+// store back under it, oldest entries first.
+func TestEvictionSweep(t *testing.T) {
+	payload := bytes.Repeat([]byte("x"), 1024)
+	entrySize := int64(headerSize + len(payload))
+	cap := 5 * entrySize
+	s, err := Open(t.TempDir(), cap)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+
+	for i := 0; i < 12; i++ {
+		fp, dig := key(i)
+		s.Put(fp, dig, payload)
+		s.Flush()
+		// Age the files distinctly: mtime granularity on some filesystems
+		// is coarse, so spread them explicitly.
+		if err := timeOffset(t, s.entryPath(fp, dig), i); err != nil && !os.IsNotExist(err) {
+			t.Fatal(err)
+		}
+	}
+	st := s.Stats()
+	if st.BytesStored > cap {
+		t.Fatalf("BytesStored %d over cap %d after sweep", st.BytesStored, cap)
+	}
+	if st.Evictions == 0 {
+		t.Fatal("no evictions recorded")
+	}
+	// The newest entry must have survived; the oldest must be gone.
+	fpNew, digNew := key(11)
+	if _, ok := s.Get(fpNew, digNew); !ok {
+		t.Fatal("newest entry evicted")
+	}
+	fpOld, digOld := key(0)
+	if _, ok := s.Get(fpOld, digOld); ok {
+		t.Fatal("oldest entry survived the sweep")
+	}
+}
+
+// timeOffset backdates earlier entries so the sweep has unambiguous ages.
+func timeOffset(t *testing.T, path string, i int) error {
+	t.Helper()
+	info, err := os.Stat(path)
+	if err != nil {
+		return err
+	}
+	mt := info.ModTime().Add(-time.Duration(100-i) * time.Second)
+	return os.Chtimes(path, mt, mt)
+}
+
+// TestConcurrentAccess hammers the store from many goroutines under -race.
+func TestConcurrentAccess(t *testing.T) {
+	s, err := Open(t.TempDir(), 64<<10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 50; i++ {
+				fp, dig := key(i % 20)
+				if w%2 == 0 {
+					s.Put(fp, dig, []byte(fmt.Sprintf("entry-%d", i%20)))
+				} else if got, ok := s.Get(fp, dig); ok {
+					if want := fmt.Sprintf("entry-%d", i%20); string(got) != want {
+						t.Errorf("Get = %q, want %q", got, want)
+					}
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	s.Flush()
+}
+
+// TestDroppedPutsNeverBlock saturates the queue after Close: Put must
+// return immediately and count drops.
+func TestDroppedPutsNeverBlock(t *testing.T) {
+	s, err := Open(t.TempDir(), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.Close()
+	fp, dig := key(7)
+	s.Put(fp, dig, []byte("after close"))
+	if d := s.Stats().DroppedPuts; d != 1 {
+		t.Fatalf("DroppedPuts = %d, want 1", d)
+	}
+}
+
+// TestOpenSweepsTempfiles simulates a crash mid-write.
+func TestOpenSweepsTempfiles(t *testing.T) {
+	dir := t.TempDir()
+	shard := filepath.Join(dir, "ab")
+	if err := os.MkdirAll(shard, 0o755); err != nil {
+		t.Fatal(err)
+	}
+	stray := filepath.Join(shard, "put-123.tmp")
+	if err := os.WriteFile(stray, []byte("torn"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	s, err := Open(dir, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	if _, err := os.Stat(stray); !os.IsNotExist(err) {
+		t.Fatal("stray tempfile survived Open")
+	}
+}

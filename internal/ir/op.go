@@ -92,6 +92,11 @@ const (
 	opCount
 )
 
+// Valid reports whether o is a defined opcode. Decoders of externally
+// sourced IR (the on-disk Result codec) use it to reject corrupted input
+// before an out-of-range opcode can reach the name and signature tables.
+func (o Op) Valid() bool { return o < opCount }
+
 var opNames = [opCount]string{
 	OpNop:     "nop",
 	OpIConst:  "iconst",

@@ -1,0 +1,91 @@
+package router
+
+import (
+	"fmt"
+	"testing"
+)
+
+func ringURLs(n int) []string {
+	urls := make([]string, n)
+	for i := range urls {
+		urls[i] = fmt.Sprintf("http://node-%d:8135", i)
+	}
+	return urls
+}
+
+// TestRingDeterministic pins that two rings over the same backend list
+// route every key identically — the property that lets many routers front
+// one fleet without coordination.
+func TestRingDeterministic(t *testing.T) {
+	a := newRing(ringURLs(5), 128)
+	b := newRing(ringURLs(5), 128)
+	for key := uint64(0); key < 10000; key += 97 {
+		if a.primary(key) != b.primary(key) {
+			t.Fatalf("key %d routed differently by identical rings", key)
+		}
+	}
+}
+
+// TestRingBalance checks no backend owns a wildly outsized key share.
+func TestRingBalance(t *testing.T) {
+	const n, keys = 4, 40000
+	r := newRing(ringURLs(n), 128)
+	counts := make([]int, n)
+	for i := 0; i < keys; i++ {
+		counts[r.primary(uint64(i)*0x9e3779b97f4a7c15)]++
+	}
+	for b, c := range counts {
+		share := float64(c) / keys
+		if share < 0.10 || share > 0.45 {
+			t.Fatalf("backend %d owns %.1f%% of keys (counts %v)", b, share*100, counts)
+		}
+	}
+}
+
+// TestRingStabilityOnGrowth is the consistent-hashing contract: adding one
+// node to n remaps roughly 1/(n+1) of the key space, and every remapped
+// key moves TO the new node (never between survivors) — survivors' disk
+// caches stay warm through the membership change.
+func TestRingStabilityOnGrowth(t *testing.T) {
+	const n, keys = 3, 40000
+	before := newRing(ringURLs(n), 128)
+	after := newRing(ringURLs(n+1), 128) // same first n URLs + one more
+	moved := 0
+	for i := 0; i < keys; i++ {
+		key := uint64(i) * 0x9e3779b97f4a7c15
+		b, a := before.primary(key), after.primary(key)
+		if b != a {
+			moved++
+			if a != n {
+				t.Fatalf("key %d moved between surviving nodes %d -> %d", i, b, a)
+			}
+		}
+	}
+	frac := float64(moved) / keys
+	// Ideal is 1/(n+1) = 25%; allow generous variance for 128 vnodes.
+	if frac < 0.10 || frac > 0.40 {
+		t.Fatalf("growth remapped %.1f%% of keys, want ~25%%", frac*100)
+	}
+}
+
+// TestRingSuccessorsDistinct pins that the retry walk visits every backend
+// exactly once, primary first.
+func TestRingSuccessorsDistinct(t *testing.T) {
+	r := newRing(ringURLs(4), 64)
+	for key := uint64(0); key < 1000; key += 13 {
+		succ := r.successors(key)
+		if len(succ) != 4 {
+			t.Fatalf("key %d: %d successors, want 4", key, len(succ))
+		}
+		if succ[0] != r.primary(key) {
+			t.Fatalf("key %d: successors[0]=%d != primary %d", key, succ[0], r.primary(key))
+		}
+		seen := map[int]bool{}
+		for _, b := range succ {
+			if seen[b] {
+				t.Fatalf("key %d: backend %d repeated", key, b)
+			}
+			seen[b] = true
+		}
+	}
+}

@@ -17,8 +17,15 @@ import (
 
 // LoadgenConfig drives one load-generation run against a live daemon.
 type LoadgenConfig struct {
-	// URL is the daemon base URL (e.g. http://127.0.0.1:8080).
+	// URL is the target base URL requests are sent to (e.g.
+	// http://127.0.0.1:8080) — a daemon, or a prescountrouter fronting a
+	// fleet.
 	URL string `json:"url"`
+	// URLs lists the individual backend daemons when URL is a router:
+	// RunLoadgen scrapes each for its final statistics (LoadgenResult.
+	// Backends), so fleet runs record per-node cache and disk activity the
+	// router's own statz cannot see.
+	URLs []string `json:"urls,omitempty"`
 	// Concurrency is the number of parallel clients (default 64).
 	Concurrency int `json:"concurrency"`
 	// Requests is the total request count across clients (default 2048).
@@ -84,7 +91,25 @@ type LoadgenResult struct {
 	MaxInFlightSeen int64 `json:"max_inflight_seen"`
 	MaxQueuedSeen   int64 `json:"max_queued_seen"`
 	// Statz is the daemon's final snapshot (cache hit rates, histograms).
+	// When URL is a router this decode only fills the fields the router
+	// shares with the daemon schema; the per-node truth is in Backends.
 	Statz *Statz `json:"statz,omitempty"`
+	// Backends holds the final snapshot of each cfg.URLs daemon, in cfg
+	// order (fleet runs only).
+	Backends []*Statz `json:"backends,omitempty"`
+}
+
+// FleetDiskHits sums the disk-cache hits and misses across the per-backend
+// snapshots — the warm-restart gate: after a fleet restart on the same disk
+// directories, hits must be nonzero.
+func (r *LoadgenResult) FleetDiskHits() (hits, misses int64) {
+	for _, st := range r.Backends {
+		if st != nil && st.Disk != nil {
+			hits += st.Disk.Hits
+			misses += st.Disk.Misses
+		}
+	}
+	return hits, misses
 }
 
 // corpusMaxBytes bounds the rendered size of a corpus kernel. The suites
@@ -244,6 +269,13 @@ func RunLoadgen(cfg LoadgenConfig) (*LoadgenResult, error) {
 	}
 	if st, err := scrapeStatz(client, cfg.URL); err == nil {
 		res.Statz = st
+	}
+	for _, u := range cfg.URLs {
+		st, err := scrapeStatz(client, u)
+		if err != nil {
+			st = nil // a dead backend records as a hole, not a run failure
+		}
+		res.Backends = append(res.Backends, st)
 	}
 	return res, nil
 }

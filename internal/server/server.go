@@ -41,6 +41,7 @@ import (
 	"prescount/internal/compilecache"
 	"prescount/internal/conflict"
 	"prescount/internal/core"
+	"prescount/internal/diskcache"
 	"prescount/internal/ir"
 	"prescount/internal/regalloc"
 	"prescount/internal/sim"
@@ -74,6 +75,15 @@ type Config struct {
 	// SpecWorkers is the number of background workers precompiling likely
 	// sweep neighbors in idle admission slots (0 disables speculation).
 	SpecWorkers int
+	// DiskCacheDir, when non-empty, layers a persistent on-disk result
+	// store under the in-memory compile cache: full-layer misses consult
+	// the directory before compiling, and fresh results are written behind.
+	// The directory survives restarts — a warm fleet node restarted with
+	// the same dir serves its old working set from disk.
+	DiskCacheDir string
+	// DiskCacheBytes caps the on-disk store with mtime-LRU eviction
+	// sweeps; <= 0 means unlimited.
+	DiskCacheBytes int64
 }
 
 // Normalize returns cfg with defaults filled in.
@@ -112,6 +122,9 @@ type Server struct {
 	spec     *speculator
 	specStop sync.Once
 
+	// disk is the persistent second cache level; nil when not configured.
+	disk *diskcache.Store
+
 	// slots is the in-flight semaphore: a request holds one token for the
 	// duration of its compile.
 	slots chan struct{}
@@ -122,8 +135,10 @@ type Server struct {
 }
 
 // New returns a Server with the given configuration and a fresh shared
-// compile cache (byte-capped when cfg.CacheMaxBytes > 0).
-func New(cfg Config) *Server {
+// compile cache (byte-capped when cfg.CacheMaxBytes > 0). When
+// cfg.DiskCacheDir is set the directory is opened (or created) as the
+// persistent second cache level; an unusable directory is the only error.
+func New(cfg Config) (*Server, error) {
 	cfg = cfg.Normalize()
 	s := &Server{
 		cfg:     cfg,
@@ -131,13 +146,21 @@ func New(cfg Config) *Server {
 		metrics: newMetrics(),
 		slots:   make(chan struct{}, cfg.MaxInFlight),
 	}
+	if cfg.DiskCacheDir != "" {
+		store, err := diskcache.Open(cfg.DiskCacheDir, cfg.DiskCacheBytes)
+		if err != nil {
+			return nil, fmt.Errorf("disk cache: %w", err)
+		}
+		s.disk = store
+		s.cache.SetFullBacking(core.NewDiskBacking(store))
+	}
 	if cfg.ModuleTokens > 0 {
 		s.tokens = newTokenStore(cfg.ModuleTokens)
 	}
 	if cfg.SpecWorkers > 0 {
 		s.spec = newSpeculator(s, cfg.SpecWorkers)
 	}
-	return s
+	return s, nil
 }
 
 // Config returns the normalized configuration.
@@ -145,6 +168,18 @@ func (s *Server) Config() Config { return s.cfg }
 
 // Cache exposes the shared compile cache (for stats and tests).
 func (s *Server) Cache() *compilecache.Cache { return s.cache }
+
+// Disk exposes the persistent store (nil when not configured).
+func (s *Server) Disk() *diskcache.Store { return s.disk }
+
+// Close flushes and closes the persistent store (if any). Call it after the
+// HTTP listener has drained: queued write-behind entries land on disk so
+// the next start of this node serves them as hits.
+func (s *Server) Close() {
+	if s.disk != nil {
+		s.disk.Close()
+	}
+}
 
 // SetDraining marks the server as draining: healthz answers 503 so load
 // balancers stop routing, while in-flight requests finish normally.
@@ -166,6 +201,7 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("/v1/compile/module", func(w http.ResponseWriter, r *http.Request) {
 		s.serveCompile(w, r, true)
 	})
+	mux.HandleFunc("/v1/compile/batch", s.serveBatch)
 	mux.HandleFunc("/healthz", s.serveHealthz)
 	mux.HandleFunc("/statz", s.serveStatz)
 	return mux

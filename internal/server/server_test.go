@@ -44,7 +44,10 @@ func @beta {
 
 func newTestServer(t *testing.T, cfg Config) (*Server, *httptest.Server) {
 	t.Helper()
-	s := New(cfg)
+	s, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
 	ts := httptest.NewServer(s.Handler())
 	t.Cleanup(ts.Close)
 	return s, ts
@@ -514,7 +517,10 @@ func TestConfigNormalize(t *testing.T) {
 // TestContextPlumbing sanity-checks that a cancelled client context reaches
 // the compile pipeline (the server must not compile on a dead request).
 func TestContextPlumbing(t *testing.T) {
-	s := New(Config{MaxInFlight: 1})
+	s, err := New(Config{MaxInFlight: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
 	ctx, cancel := context.WithCancel(context.Background())
 	cancel()
 	req := httptest.NewRequest(http.MethodPost, "/v1/compile", strings.NewReader(kernelMIR)).WithContext(ctx)

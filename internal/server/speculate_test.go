@@ -102,7 +102,10 @@ func TestSpeculationDedup(t *testing.T) {
 // is already dead (drain) counts as cancelled and leaves nothing in the
 // cache — context-error entries are never retained.
 func TestSpeculationCancelledNotRetained(t *testing.T) {
-	s := New(Config{MaxInFlight: 2, SpecWorkers: 0, ModuleTokens: -1})
+	s, err := New(Config{MaxInFlight: 2, SpecWorkers: 0, ModuleTokens: -1})
+	if err != nil {
+		t.Fatal(err)
+	}
 	sp := newSpeculator(s, 0) // no workers; execute driven by the test
 	mod, err := ir.ParseModule(bigModuleMIR(4, 200))
 	if err != nil {
@@ -132,7 +135,10 @@ func TestSpeculationCancelledNotRetained(t *testing.T) {
 // TestSpeculationPreemptedByAdmission: a running speculative compile is
 // cancelled the moment a real request has to queue, and its slot frees.
 func TestSpeculationPreemptedByAdmission(t *testing.T) {
-	s := New(Config{MaxInFlight: 1, SpecWorkers: 0, ModuleTokens: -1, Workers: 1})
+	s, err := New(Config{MaxInFlight: 1, SpecWorkers: 0, ModuleTokens: -1, Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
 	sp := newSpeculator(s, 0)
 	mod, err := ir.ParseModule(bigModuleMIR(64, 300))
 	if err != nil {

@@ -113,6 +113,10 @@ type metrics struct {
 	tokenHits, tokenMisses     atomic.Int64
 	reusedFuncs, compiledFuncs atomic.Int64
 
+	// Batch accounting: requests to /v1/compile/batch, entries across
+	// them, and entries collapsed onto an identical sibling.
+	batchRequests, batchEntries, batchDeduped atomic.Int64
+
 	phases map[string]*hist
 }
 
@@ -136,12 +140,19 @@ type RequestCounts struct {
 	Deadlines     int64 `json:"deadline_504"`
 }
 
-// CacheStatz is the /statz cache section (compilecache.Stats plus derived
-// rates and the configured cap).
+// CacheStatz is the /statz in-memory cache section (compilecache.Stats
+// plus derived rates and the configured cap). The full_* counters are the
+// memory level only: a lookup served off disk still counts as a full-layer
+// miss here, with the disk attribution in disk_hits/disk_misses and the
+// store-side view in the top-level disk section. Cold compiles are
+// full_misses with a matching disk_miss; memory hits never touch disk.
 type CacheStatz struct {
 	FullHits      int64   `json:"full_hits"`
 	FullMisses    int64   `json:"full_misses"`
 	FullHitRate   float64 `json:"full_hit_rate"`
+	DiskHits      int64   `json:"disk_hits"`
+	DiskMisses    int64   `json:"disk_misses"`
+	DiskHitRate   float64 `json:"disk_hit_rate"`
 	PrefixHits    int64   `json:"prefix_hits"`
 	PrefixMisses  int64   `json:"prefix_misses"`
 	PrefixHitRate float64 `json:"prefix_hit_rate"`
@@ -154,6 +165,34 @@ type CacheStatz struct {
 	FullEntries   int     `json:"full_entries"`
 	PrefixEntries int     `json:"prefix_entries"`
 	AllocEntries  int     `json:"alloc_entries"`
+}
+
+// DiskStatz is the /statz persistent-store section: the store's own view
+// of the second cache level (absent when no disk cache is configured).
+type DiskStatz struct {
+	Dir string `json:"dir"`
+	// Hits/Misses count store lookups (one per full-layer memory miss).
+	Hits   int64 `json:"hits"`
+	Misses int64 `json:"misses"`
+	// Puts/DroppedPuts count write-behind enqueues; drops happen only when
+	// the writer queue is saturated (the entry just isn't persisted).
+	Puts        int64 `json:"puts"`
+	DroppedPuts int64 `json:"dropped_puts"`
+	// Corrupt counts entries that failed checksum or framing validation
+	// and were quarantined (each read as a miss, never an error).
+	Corrupt int64 `json:"corrupt"`
+	// Evictions counts files removed by the byte-cap sweep.
+	Evictions   int64 `json:"evictions"`
+	BytesStored int64 `json:"bytes_stored"`
+	MaxBytes    int64 `json:"max_bytes"`
+	Entries     int64 `json:"entries"`
+}
+
+// BatchStatz is the /statz batch-endpoint section.
+type BatchStatz struct {
+	Requests int64 `json:"requests"`
+	Entries  int64 `json:"entries"`
+	Deduped  int64 `json:"deduped"`
 }
 
 // IncrementalStatz is the /statz incremental-recompile section.
@@ -182,6 +221,8 @@ type Statz struct {
 	MaxQueue    int                 `json:"max_queue"`
 	Requests    RequestCounts       `json:"requests"`
 	Cache       CacheStatz          `json:"cache"`
+	Disk        *DiskStatz          `json:"disk,omitempty"`
+	Batch       BatchStatz          `json:"batch"`
 	Incremental *IncrementalStatz   `json:"incremental,omitempty"`
 	Speculation *SpecStatz          `json:"speculation,omitempty"`
 	Phases      map[string]HistJSON `json:"phases"`
@@ -209,6 +250,9 @@ func (s *Server) Statz() Statz {
 			FullHits:      cs.FullHits,
 			FullMisses:    cs.FullMisses,
 			FullHitRate:   cs.FullHitRate(),
+			DiskHits:      cs.DiskHits,
+			DiskMisses:    cs.DiskMisses,
+			DiskHitRate:   cs.DiskHitRate(),
 			PrefixHits:    cs.PrefixHits,
 			PrefixMisses:  cs.PrefixMisses,
 			PrefixHitRate: cs.PrefixHitRate(),
@@ -222,7 +266,27 @@ func (s *Server) Statz() Statz {
 			PrefixEntries: cs.PrefixEntries,
 			AllocEntries:  cs.AllocEntries,
 		},
+		Batch: BatchStatz{
+			Requests: s.metrics.batchRequests.Load(),
+			Entries:  s.metrics.batchEntries.Load(),
+			Deduped:  s.metrics.batchDeduped.Load(),
+		},
 		Phases: map[string]HistJSON{},
+	}
+	if s.disk != nil {
+		ds := s.disk.Stats()
+		out.Disk = &DiskStatz{
+			Dir:         s.disk.Dir(),
+			Hits:        ds.Hits,
+			Misses:      ds.Misses,
+			Puts:        ds.Puts,
+			DroppedPuts: ds.DroppedPuts,
+			Corrupt:     ds.Corrupt,
+			Evictions:   ds.Evictions,
+			BytesStored: ds.BytesStored,
+			MaxBytes:    s.disk.MaxBytes(),
+			Entries:     ds.Entries,
+		}
 	}
 	if s.tokens != nil {
 		out.Incremental = &IncrementalStatz{
