@@ -9,9 +9,13 @@
 //	benchtab -exp all -json BENCH_pipeline.json
 //
 // Experiments: fig1, table1, fig10, table2, table3, fig11, table4, table5,
-// table6, table7, all. Output is plain text, one section per experiment,
-// in the paper's layout so measured numbers can sit next to published ones
-// (see EXPERIMENTS.md).
+// table6, table7, methods, all. Output is plain text, one section per
+// experiment, in the paper's layout so measured numbers can sit next to
+// published ones (see EXPERIMENTS.md). The "methods" experiment is the
+// allocator-portfolio comparison: every suite under every method plus the
+// portfolio and auto modes, with per-cell static metrics, simulated cycles,
+// cost scores, racer win attribution and the selector table trained from
+// the race winners — all emitted under "methods" in the -json output.
 //
 // -parallel N bounds the compile worker pool for the sweeps (0, the
 // default, uses runtime.GOMAXPROCS; 1 forces serial). -cache off disables
@@ -107,6 +111,10 @@ type perfLog struct {
 	// Sweeps holds the raw per-program counts keyed "bank-method" ->
 	// program, per platform sweep that ran.
 	Sweeps map[string]map[string]map[string]experiments.Counts `json:"sweeps,omitempty"`
+	// Methods is the allocator-method comparison (the "methods" experiment):
+	// per (suite, method) static metrics, cycles, cost scores, racer win
+	// attribution and the trained selector table.
+	Methods *experiments.MethodComparison `json:"methods,omitempty"`
 
 	// cache is the run-wide shared compile cache (nil under -cache off);
 	// stage() attributes per-stage hit counters to each stage by delta.
@@ -159,7 +167,7 @@ func (p *perfLog) attachCache(st compilecache.Stats) {
 }
 
 func main() {
-	exp := flag.String("exp", "all", "comma-separated experiments: fig1,table1,fig10,table2,table3,fig11,table4,table5,table6,table7,all")
+	exp := flag.String("exp", "all", "comma-separated experiments: fig1,table1,fig10,table2,table3,fig11,table4,table5,table6,table7,methods,all")
 	jsonOut := flag.String("json", "", "write the machine-readable perf trajectory (BENCH_pipeline.json) to this file")
 	parallel := flag.Int("parallel", 0, "compile workers for the sweeps: 0 = GOMAXPROCS, 1 = serial")
 	cacheMode := flag.String("cache", "on", "compile cache: on | off (off recompiles every (bank, method) point from scratch)")
@@ -198,7 +206,7 @@ func main() {
 	}
 	all := want["all"]
 	run := func(name string) bool { return all || want[name] }
-	perf := &perfLog{Schema: "prescount-bench/3"}
+	perf := &perfLog{Schema: "prescount-bench/4"}
 	if !experiments.DisableCache {
 		// One cache for the whole run: every stage reuses the entries of
 		// the stages before it, and per-stage hit rates are delta-attributed
@@ -293,6 +301,18 @@ func main() {
 			rows, err := experiments.Table7()
 			check(err)
 			fmt.Println(experiments.Table7String(rows))
+		})
+	}
+
+	if run("methods") {
+		section("Allocator portfolio — per-method comparison (RV#2, 2 banks)")
+		perf.stage("methods", func() {
+			mc, err := experiments.CompareMethods(
+				[]*workload.Suite{workload.SPECfp(), workload.CNN(), workload.DSAOP()},
+				bankfile.RV2(2))
+			check(err)
+			perf.Methods = mc
+			fmt.Println(experiments.MethodCompareString(mc))
 		})
 	}
 

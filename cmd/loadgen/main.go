@@ -15,7 +15,7 @@
 //	-c N         concurrent clients (default 64)
 //	-n N         total requests (default 2048)
 //	-kernels N   distinct kernels in the replay corpus (default 16)
-//	-method M    allocation method (default bpc)
+//	-method M    allocation method, incl. portfolio | auto (default bpc)
 //	-simulate    also execute each allocated kernel server-side
 //	-saturate    additionally run a saturation pass against a deliberately
 //	             tiny in-process daemon (inflight=2, queue=4) to demonstrate
@@ -72,7 +72,7 @@ func main() {
 	c := flag.Int("c", 64, "concurrent clients")
 	n := flag.Int("n", 2048, "total requests")
 	kernels := flag.Int("kernels", 16, "distinct kernels in the corpus")
-	method := flag.String("method", "bpc", "allocation method")
+	method := flag.String("method", "bpc", "allocation method: non | bcr | brc | bpc | binpack | coloring | portfolio | auto")
 	simulate := flag.Bool("simulate", false, "execute allocated kernels server-side")
 	saturate := flag.Bool("saturate", false, "also run the tiny-daemon saturation pass")
 	sweep := flag.Bool("sweep", false, "also run the bank-sweep speculation-on/off pair")

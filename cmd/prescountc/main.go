@@ -8,7 +8,12 @@
 //	-regs N        FP register file size (default 32)
 //	-banks N       bank count (default 2)
 //	-subgroups N   subgroups per bank (default 1; >1 enables the DSA path)
-//	-method M      non | bcr | bpc (default bpc)
+//	-method M      non | bcr | brc | bpc | binpack | coloring (default bpc),
+//	               or "portfolio" (race every method per function, keep the
+//	               cheapest result) or "auto" (feature-based selector with a
+//	               race fallback)
+//	-coloring-timeout D  deterministic work budget of the coloring
+//	               allocator before it bails to linear scan (default 250ms)
 //	-dump          print the allocated MIR
 //	-run           simulate the allocated code and report dynamic metrics
 //	-vliw          use the dual-issue VLIW cycle model when simulating
@@ -31,6 +36,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"io"
@@ -40,6 +46,7 @@ import (
 	"prescount/internal/compilecache"
 	"prescount/internal/core"
 	"prescount/internal/diskcache"
+	"prescount/internal/portfolio"
 )
 
 func main() {
@@ -62,7 +69,8 @@ func run(args []string, stdin io.Reader, stdout io.Writer) error {
 	regs := fs.Int("regs", 32, "FP register file size")
 	banks := fs.Int("banks", 2, "number of register banks")
 	subgroups := fs.Int("subgroups", 1, "subgroups per bank (>1 enables the DSA pipeline)")
-	method := fs.String("method", "bpc", "allocation method: non | bcr | brc | bpc")
+	method := fs.String("method", "bpc", "allocation method: non | bcr | brc | bpc | binpack | coloring | portfolio | auto")
+	coloringTimeout := fs.Duration("coloring-timeout", 0, "coloring allocator work budget before bailing to linear scan (0 = default)")
 	dump := fs.Bool("dump", false, "print the allocated MIR")
 	dot := fs.String("dot", "", "emit a Graphviz document of the pre-allocation analyses: rig | rcg | sdg")
 	runSim := fs.Bool("run", false, "simulate the allocated code")
@@ -76,18 +84,15 @@ func run(args []string, stdin io.Reader, stdout io.Writer) error {
 		return err
 	}
 
-	var m prescount.Method
-	switch *method {
-	case "non":
-		m = prescount.MethodNon
-	case "bcr":
-		m = prescount.MethodBCR
-	case "bpc":
-		m = prescount.MethodBPC
-	case "brc":
-		m = prescount.MethodBRC
-	default:
-		return fmt.Errorf("unknown method %q", *method)
+	m := prescount.MethodBPC
+	pmode := ""
+	if portfolio.IsMode(*method) {
+		pmode = *method
+	} else {
+		var ok bool
+		if m, ok = prescount.ParseMethod(*method); !ok {
+			return fmt.Errorf("unknown method %q (want non, bcr, brc, bpc, binpack, coloring, portfolio or auto)", *method)
+		}
 	}
 	file := prescount.RegisterFile{
 		NumRegs:      *regs,
@@ -95,7 +100,10 @@ func run(args []string, stdin io.Reader, stdout io.Writer) error {
 		NumSubgroups: *subgroups,
 		ReadPorts:    1,
 	}
-	opts := prescount.Options{File: file, Method: m, Subgroups: *subgroups > 1, VerifyEach: *verifyEach}
+	opts := prescount.Options{
+		File: file, Method: m, Subgroups: *subgroups > 1,
+		ColoringTimeout: *coloringTimeout, VerifyEach: *verifyEach,
+	}
 	switch *cacheMode {
 	case "on":
 		// One cache across every input function: content-identical bodies
@@ -160,12 +168,28 @@ func run(args []string, stdin io.Reader, stdout io.Writer) error {
 				fmt.Fprint(stdout, doc)
 				continue
 			}
-			res, err := prescount.Compile(f, opts)
-			if err != nil {
-				return err
+			var res *prescount.Result
+			methodLine := m.String()
+			if pmode != "" {
+				rr, err := portfolio.CompileFunc(context.Background(), f, opts,
+					portfolio.Config{Auto: pmode == portfolio.ModeAuto})
+				if err != nil {
+					return err
+				}
+				res = rr.Result
+				methodLine = fmt.Sprintf("%s winner=%v", pmode, rr.Winner)
+				if rr.Selected {
+					methodLine += " selected"
+				}
+			} else {
+				var err error
+				res, err = prescount.Compile(f, opts)
+				if err != nil {
+					return err
+				}
 			}
 			r := res.Report
-			fmt.Fprintf(stdout, "%s/%s: file=%v method=%v\n", in.name, f.Name, file, m)
+			fmt.Fprintf(stdout, "%s/%s: file=%v method=%s\n", in.name, f.Name, file, methodLine)
 			fmt.Fprintf(stdout, "  instrs=%d conflict-relevant=%d static-conflicts=%d weighted=%.0f\n",
 				r.Instrs, r.ConflictRelevant, r.StaticConflicts, r.WeightedConflicts)
 			fmt.Fprintf(stdout, "  spills=%d+%d copies=%d subgroup-violations=%d\n",

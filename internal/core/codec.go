@@ -40,7 +40,7 @@ import (
 // Any mismatch decodes as an error (the disk cache treats it as a miss and
 // drops the entry), so the version byte is the only migration story the
 // format needs.
-var codecMagic = [4]byte{'P', 'C', 'R', 1}
+var codecMagic = [4]byte{'P', 'C', 'R', 2}
 
 // EncodeResult serializes res. The encoding is deterministic: identical
 // results produce identical bytes. Results carrying the allocator's
@@ -111,7 +111,12 @@ func appendReport(buf []byte, r *conflict.Report) []byte {
 func appendAlloc(buf []byte, a *regalloc.Result) []byte {
 	buf = appendInts(buf,
 		a.LoopSplits, a.SpilledVRegs, a.SpillStores, a.SpillReloads,
-		a.Evictions, a.Remats, a.BankBreaks)
+		a.Evictions, a.Remats, a.BankBreaks, a.Rescues)
+	bailed := 0
+	if a.ColoringBailed {
+		bailed = 1
+	}
+	buf = appendInts(buf, bailed)
 	buf = appendRegIntMap(buf, a.AssignedPhys)
 	buf = appendIntIntMap(buf, a.GroupDispl)
 	return buf
@@ -410,7 +415,9 @@ func (d *decoder) decodeAlloc() *regalloc.Result {
 		Evictions:    d.int(),
 		Remats:       d.int(),
 		BankBreaks:   d.int(),
+		Rescues:      d.int(),
 	}
+	a.ColoringBailed = d.int() != 0
 	if n := d.count("assigned-phys"); d.err == nil && n > 0 {
 		a.AssignedPhys = make(map[ir.Reg]int, n)
 		for i := 0; i < n; i++ {

@@ -14,6 +14,7 @@ package core
 import (
 	"context"
 	"fmt"
+	"time"
 
 	"prescount/internal/analysis"
 	"prescount/internal/assign"
@@ -37,11 +38,26 @@ type Method = regalloc.Method
 
 // Re-exported method constants.
 const (
-	MethodNon = regalloc.MethodNon
-	MethodBCR = regalloc.MethodBCR
-	MethodBPC = regalloc.MethodBPC
-	MethodBRC = regalloc.MethodBRC
+	MethodNon      = regalloc.MethodNon
+	MethodBCR      = regalloc.MethodBCR
+	MethodBPC      = regalloc.MethodBPC
+	MethodBRC      = regalloc.MethodBRC
+	MethodBinpack  = regalloc.MethodBinpack
+	MethodColoring = regalloc.MethodColoring
 )
+
+// ParseMethod maps a method name ("non", "bcr", "bpc", "brc", "binpack",
+// "coloring") to its Method constant. The portfolio modes ("portfolio",
+// "auto") are not single methods — internal/portfolio handles them above
+// this layer — so they are rejected here.
+func ParseMethod(s string) (Method, bool) {
+	for _, m := range []Method{MethodNon, MethodBCR, MethodBPC, MethodBRC, MethodBinpack, MethodColoring} {
+		if m.String() == s {
+			return m, true
+		}
+	}
+	return 0, false
+}
 
 // Options configures a pipeline run.
 type Options struct {
@@ -68,8 +84,17 @@ type Options struct {
 	DisableCoalesce bool
 	// LinearScan swaps the greedy allocator for the linear-scan allocator
 	// (the paper's future-work integration of PresCount with other RA
-	// methods). Incompatible with Subgroups and MethodBCR.
+	// methods). Incompatible with Subgroups, MethodBCR and the allocator
+	// methods (binpack, coloring), which select their own allocator.
 	LinearScan bool
+	// ColoringTimeout is the coloring allocator's deterministic work budget
+	// (MethodColoring only; 0 selects the default). Exhausting it bails to
+	// linear scan; only the request context's deadline aborts the compile.
+	ColoringTimeout time.Duration
+	// BinpackMaxRescues bounds the second chances one virtual register may
+	// receive from the binpacking allocator (MethodBinpack only; 0 selects
+	// the default).
+	BinpackMaxRescues int
 	// VerifySemantics simulates the function before and after compilation
 	// and fails on divergent memory images (slow; meant for tests).
 	VerifySemantics bool
@@ -177,6 +202,14 @@ func CompileContext(ctx context.Context, f *ir.Func, opts Options) (*Result, err
 	}
 	if opts.LinearScan && opts.Subgroups {
 		return nil, fmt.Errorf("core: linear scan does not implement subgroup displacement hints")
+	}
+	if opts.Method == MethodBinpack || opts.Method == MethodColoring {
+		if opts.Subgroups {
+			return nil, fmt.Errorf("core: method %v does not implement subgroup displacement hints", opts.Method)
+		}
+		if opts.LinearScan {
+			return nil, fmt.Errorf("core: method %v selects its own allocator, incompatible with LinearScan", opts.Method)
+		}
 	}
 	if opts.Cache != nil && !opts.VerifySemantics && !opts.VerifyEach {
 		return compileCached(ctx, f, opts)
@@ -321,7 +354,10 @@ func runAlloc(ctx context.Context, work *ir.Func, ac *analysis.Cache, opts Optio
 	// Phase 4 (bpc only): RCG-based bank assignment. It reuses the live
 	// range information and does not modify the IR, so the liveness pulled
 	// here stays valid for Phase 5's allocator.
-	raOpts := regalloc.Options{Cfg: opts.File, Method: opts.Method, Analyses: ac}
+	raOpts := regalloc.Options{
+		Cfg: opts.File, Method: opts.Method, Analyses: ac,
+		ColoringTimeout: opts.ColoringTimeout, BinpackMaxRescues: opts.BinpackMaxRescues,
+	}
 	if opts.Method == MethodBPC {
 		if err := phaseCheck(ctx, work, "bank-assign"); err != nil {
 			return err
@@ -366,7 +402,14 @@ func runAlloc(ctx context.Context, work *ir.Func, ac *analysis.Cache, opts Optio
 		preEntry = verify.EntryLive(work)
 	}
 	run := regalloc.Run
-	if opts.LinearScan {
+	switch {
+	case opts.Method == MethodBinpack:
+		run = regalloc.RunBinpack
+	case opts.Method == MethodColoring:
+		run = func(f *ir.Func, o regalloc.Options) (*regalloc.Result, error) {
+			return regalloc.RunColoring(ctx, f, o)
+		}
+	case opts.LinearScan:
 		run = regalloc.RunLinearScan
 	}
 	alloc, err := run(work, raOpts)

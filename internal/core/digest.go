@@ -66,6 +66,15 @@ func (o Options) FullDigest() uint64 {
 		writeBool(h, o.DisablePressure)
 		writeBool(h, o.DisableFreeHints)
 	}
+	// The allocator-method knobs follow the same gating: each reaches only
+	// its own allocator, so hashing it under any other method would split
+	// identical compiles into distinct cache entries.
+	if o.Method == MethodColoring {
+		writeU64(h, uint64(int64(o.ColoringTimeout)))
+	}
+	if o.Method == MethodBinpack {
+		writeU64(h, uint64(int64(o.BinpackMaxRescues)))
+	}
 	writeBool(h, o.LinearScan)
 	return h.Sum64()
 }

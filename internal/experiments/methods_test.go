@@ -1,0 +1,53 @@
+package experiments
+
+import (
+	"testing"
+
+	"prescount/internal/bankfile"
+	"prescount/internal/workload"
+)
+
+// TestCompareMethodsPortfolioBound pins the portfolio acceptance invariant
+// on one suite: the portfolio cell's score is never worse than any of its
+// candidate methods (it picks the per-function minimum), and the cells are
+// deterministic across runs.
+func TestCompareMethodsPortfolioBound(t *testing.T) {
+	suites := []*workload.Suite{workload.DSAOP()}
+	mc, err := CompareMethods(suites, bankfile.RV2(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	scores := map[string]float64{}
+	for _, c := range mc.Cells {
+		scores[c.Method] = c.Score
+	}
+	for _, m := range []string{"bpc", "brc", "binpack", "coloring"} {
+		if scores["portfolio"] > scores[m] {
+			t.Errorf("portfolio score %.0f worse than candidate %s %.0f", scores["portfolio"], m, scores[m])
+		}
+	}
+	wins := 0
+	for _, c := range mc.Cells {
+		if c.Method == "portfolio" {
+			for _, n := range c.Wins {
+				wins += n
+			}
+		}
+	}
+	if wins == 0 {
+		t.Error("portfolio cell recorded no race wins")
+	}
+
+	again, err := CompareMethods(suites, bankfile.RV2(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range mc.Cells {
+		a, b := mc.Cells[i], again.Cells[i]
+		a.WallNS, b.WallNS = 0, 0
+		if a.Static != b.Static || a.Spills != b.Spills || a.Copies != b.Copies ||
+			a.Cycles != b.Cycles || a.Score != b.Score {
+			t.Errorf("cell %s/%s differs across runs: %+v vs %+v", a.Suite, a.Method, a, b)
+		}
+	}
+}

@@ -1,0 +1,147 @@
+package portfolio
+
+import (
+	"context"
+	"fmt"
+	"sort"
+
+	"prescount/internal/conflict"
+	"prescount/internal/core"
+	"prescount/internal/ir"
+	"prescount/internal/pool"
+)
+
+// Mode names accepted alongside the single-method names wherever a method
+// string is parsed (prescountc -method, the daemon's method field).
+const (
+	ModePortfolio = "portfolio" // race every configured method
+	ModeAuto      = "auto"      // selector first, race on no-confidence
+)
+
+// IsMode reports whether s names a portfolio mode rather than a single
+// method.
+func IsMode(s string) bool { return s == ModePortfolio || s == ModeAuto }
+
+// Config configures portfolio compilation.
+type Config struct {
+	// Auto enables the feature-based selector in front of the racer.
+	Auto bool
+	// Methods is the racer's candidate set in rank order
+	// (DefaultMethods() when empty).
+	Methods []core.Method
+	// Cost is the scoring model (DefaultStaticCost() when nil).
+	Cost Cost
+	// Selector is the auto-mode decision table (DefaultSelector() when
+	// nil and Auto is set).
+	Selector *Selector
+	// Workers bounds each race's concurrency (one per method when 0).
+	Workers int
+}
+
+func (c Config) withDefaults() Config {
+	if len(c.Methods) == 0 {
+		c.Methods = DefaultMethods()
+	}
+	if c.Cost == nil {
+		c.Cost = DefaultStaticCost()
+	}
+	if c.Auto && c.Selector == nil {
+		c.Selector = DefaultSelector()
+	}
+	return c
+}
+
+// CompileFunc compiles one function under the portfolio: in auto mode the
+// selector predicts the method from the function's features and only
+// unconfident predictions race; otherwise every configured method races.
+// opts.Method is ignored — the portfolio decides it.
+func CompileFunc(ctx context.Context, f *ir.Func, opts core.Options, cfg Config) (*RaceResult, error) {
+	cfg = cfg.withDefaults()
+	if cfg.Auto {
+		if m, ok := cfg.Selector.Pick(Extract(f, opts.File)); ok {
+			mopts := opts
+			mopts.Method = m
+			res, err := core.CompileContext(ctx, f, mopts)
+			if err != nil {
+				return nil, err
+			}
+			score, err := cfg.Cost.Score(res)
+			if err != nil {
+				return nil, err
+			}
+			return &RaceResult{
+				Result: res, Winner: m, Selected: true,
+				Candidates: []Candidate{{Method: m, Score: score}},
+			}, nil
+		}
+	}
+	return Race(ctx, f, opts, cfg.Methods, cfg.Cost, cfg.Workers)
+}
+
+// ModuleResult aggregates a portfolio compile of a whole module.
+type ModuleResult struct {
+	// PerFunc maps function name to its race outcome.
+	PerFunc map[string]*RaceResult
+	// Totals sums the winners' conflict reports (same aggregation as
+	// core.ModuleResult).
+	Totals conflict.Report
+	// Wins counts race victories per method name; Selected counts
+	// functions decided by the selector without racing.
+	Wins     map[string]int
+	Selected int
+}
+
+// CompileModule runs the portfolio over every function of m. Functions fan
+// out over a worker pool bounded by opts.Workers while each function's race
+// is bounded by cfg.Workers; results aggregate in sorted name order, so the
+// ModuleResult is identical to a serial run regardless of either pool's
+// size.
+func CompileModule(ctx context.Context, m *ir.Module, opts core.Options, cfg Config) (*ModuleResult, error) {
+	cfg = cfg.withDefaults()
+	funcs := m.SortedFuncs()
+	results := make([]*RaceResult, len(funcs))
+	err := pool.Run(ctx, len(funcs), opts.Workers, func(ctx context.Context, i int) error {
+		r, err := CompileFunc(ctx, funcs[i], opts, cfg)
+		if err != nil {
+			return fmt.Errorf("portfolio: %s: %w", funcs[i].Name, err)
+		}
+		results[i] = r
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	out := &ModuleResult{
+		PerFunc: make(map[string]*RaceResult, len(funcs)),
+		Wins:    map[string]int{},
+	}
+	names := make([]string, len(funcs))
+	for i, f := range funcs {
+		names[i] = f.Name
+	}
+	sort.Strings(names)
+	for i, f := range funcs {
+		out.PerFunc[f.Name] = results[i]
+	}
+	for _, name := range names {
+		r := out.PerFunc[name]
+		addReport(&out.Totals, r.Result.Report)
+		out.Wins[r.Winner.String()]++
+		if r.Selected {
+			out.Selected++
+		}
+	}
+	return out, nil
+}
+
+func addReport(dst *conflict.Report, src *conflict.Report) {
+	dst.ConflictRelevant += src.ConflictRelevant
+	dst.StaticConflicts += src.StaticConflicts
+	dst.ConflictInstrs += src.ConflictInstrs
+	dst.WeightedConflicts += src.WeightedConflicts
+	dst.SubgroupViolations += src.SubgroupViolations
+	dst.Copies += src.Copies
+	dst.SpillStores += src.SpillStores
+	dst.SpillReloads += src.SpillReloads
+	dst.Instrs += src.Instrs
+}

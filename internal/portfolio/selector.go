@@ -1,0 +1,247 @@
+package portfolio
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"prescount/internal/analysis"
+	"prescount/internal/bankfile"
+	"prescount/internal/core"
+	"prescount/internal/ir"
+)
+
+// Features is the per-function signature the selector predicts from. All
+// features come from the pre-allocation analyses the pipeline computes
+// anyway, so extraction is effectively free next to a compile.
+type Features struct {
+	// Instrs is the function size in instructions.
+	Instrs int
+	// LoopDepth is the maximum loop nesting depth (0 for straight-line).
+	LoopDepth int
+	// PressureRatio is the peak FP register pressure divided by the FP
+	// file size: above 1.0 the function cannot avoid spilling.
+	PressureRatio float64
+	// RCGDensity is the register conflict graph's edge-to-node ratio; it
+	// measures how much same-instruction operand pairing there is for a
+	// bank assigner to exploit.
+	RCGDensity float64
+}
+
+// Extract computes the feature vector of f for a given register file.
+func Extract(f *ir.Func, file bankfile.Config) Features {
+	file = file.Normalize()
+	ac := analysis.New(f)
+	cf := ac.CFG()
+	lv := ac.Liveness()
+	g := ac.RCG()
+	ft := Features{}
+	for _, b := range f.Blocks {
+		ft.Instrs += len(b.Instrs)
+		if d := cf.LoopDepth(b); d > ft.LoopDepth {
+			ft.LoopDepth = d
+		}
+	}
+	if file.NumRegs > 0 {
+		ft.PressureRatio = float64(lv.MaxPressure(ir.ClassFP)) / float64(file.NumRegs)
+	}
+	nodes := 0
+	for idx, info := range f.VRegs {
+		if info.Class == ir.ClassFP && g.Degree(ir.VReg(idx)) > 0 {
+			nodes++
+		}
+	}
+	if nodes > 0 {
+		ft.RCGDensity = float64(g.NumEdges()) / float64(nodes)
+	}
+	return ft
+}
+
+// value returns a named feature's value; the names are the rule vocabulary.
+func (ft Features) value(name string) (float64, bool) {
+	switch name {
+	case "instrs":
+		return float64(ft.Instrs), true
+	case "loopdepth":
+		return float64(ft.LoopDepth), true
+	case "pressure":
+		return ft.PressureRatio, true
+	case "density":
+		return ft.RCGDensity, true
+	}
+	return 0, false
+}
+
+// FeatureNames lists the rule vocabulary in a fixed order.
+func FeatureNames() []string { return []string{"instrs", "loopdepth", "pressure", "density"} }
+
+// Rule is one row of the decision table: if the named feature's value lies
+// in [Min, Max], pick Method. The table is deliberately transparent — it
+// prints as a readable if/else chain, and benchtab emits it into the bench
+// JSON so a selector is auditable after the fact.
+type Rule struct {
+	Feature  string
+	Min, Max float64
+	Method   core.Method
+}
+
+func (r Rule) String() string {
+	return fmt.Sprintf("%s in [%g, %g] -> %v", r.Feature, r.Min, r.Max, r.Method)
+}
+
+// Selector is a first-match decision table. A function whose features match
+// no rule is out of the table's confident region: auto mode falls back to
+// racing it.
+type Selector struct {
+	Rules []Rule
+}
+
+// Pick returns the method of the first matching rule.
+func (s *Selector) Pick(ft Features) (core.Method, bool) {
+	if s == nil {
+		return 0, false
+	}
+	for _, r := range s.Rules {
+		v, ok := ft.value(r.Feature)
+		if ok && v >= r.Min && v <= r.Max {
+			return r.Method, true
+		}
+	}
+	return 0, false
+}
+
+func (s *Selector) String() string {
+	if s == nil || len(s.Rules) == 0 {
+		return "(empty: always race)"
+	}
+	parts := make([]string, len(s.Rules))
+	for i, r := range s.Rules {
+		parts[i] = r.String()
+	}
+	return strings.Join(parts, "; ")
+}
+
+// DefaultSelector is the shipped table, derived from the benchtab -methods
+// sweeps over the built-in suites: functions whose peak FP pressure fits
+// the file comfortably are won by the paper's bank assigner (spilling never
+// enters; conflicts decide), so confidently predict bpc there. Everything
+// above that — where spill placement starts to dominate and the methods
+// genuinely trade places — is left to the racer.
+func DefaultSelector() *Selector {
+	return &Selector{Rules: []Rule{
+		{Feature: "pressure", Min: 0, Max: 0.75, Method: core.MethodBPC},
+	}}
+}
+
+// Sample is one training observation: a function's features and the method
+// that won its race.
+type Sample struct {
+	F    Features
+	Best core.Method
+}
+
+// Train fits a one-rule (1R) decision table: for every feature it tries
+// each threshold between adjacent observed values, labels the two sides
+// with their majority winner, and keeps the split with the fewest
+// misclassifications. A side whose majority purity is below minPurity is
+// left out of the table — auto mode races those functions instead of
+// guessing. The result is deliberately small and printable, not a maximally
+// accurate model.
+func Train(samples []Sample) *Selector {
+	const minPurity = 0.65
+	if len(samples) == 0 {
+		return &Selector{}
+	}
+
+	majority := func(ss []Sample) (core.Method, float64) {
+		counts := map[core.Method]int{}
+		for _, s := range ss {
+			counts[s.Best]++
+		}
+		best, bestN := core.Method(0), -1
+		for m, n := range counts {
+			if n > bestN || (n == bestN && m < best) {
+				best, bestN = m, n
+			}
+		}
+		return best, float64(bestN) / float64(len(ss))
+	}
+
+	type split struct {
+		feature   string
+		threshold float64
+		errors    int
+	}
+	var bestSplit *split
+	for _, name := range FeatureNames() {
+		vals := make([]float64, len(samples))
+		for i, s := range samples {
+			vals[i], _ = s.F.value(name)
+		}
+		sorted := append([]float64(nil), vals...)
+		sort.Float64s(sorted)
+		for i := 0; i+1 < len(sorted); i++ {
+			if sorted[i] == sorted[i+1] {
+				continue
+			}
+			t := (sorted[i] + sorted[i+1]) / 2
+			var lo, hi []Sample
+			for j, s := range samples {
+				if vals[j] <= t {
+					lo = append(lo, s)
+				} else {
+					hi = append(hi, s)
+				}
+			}
+			errs := 0
+			for _, side := range [][]Sample{lo, hi} {
+				if len(side) == 0 {
+					continue
+				}
+				m, _ := majority(side)
+				for _, s := range side {
+					if s.Best != m {
+						errs++
+					}
+				}
+			}
+			if bestSplit == nil || errs < bestSplit.errors {
+				bestSplit = &split{feature: name, threshold: t, errors: errs}
+			}
+		}
+	}
+	if bestSplit == nil {
+		// Every feature is constant: one rule covering everything, if pure
+		// enough.
+		m, purity := majority(samples)
+		if purity < minPurity {
+			return &Selector{}
+		}
+		return &Selector{Rules: []Rule{{Feature: "instrs", Min: 0, Max: maxFeature, Method: m}}}
+	}
+
+	var lo, hi []Sample
+	for _, s := range samples {
+		v, _ := s.F.value(bestSplit.feature)
+		if v <= bestSplit.threshold {
+			lo = append(lo, s)
+		} else {
+			hi = append(hi, s)
+		}
+	}
+	sel := &Selector{}
+	if len(lo) > 0 {
+		if m, purity := majority(lo); purity >= minPurity {
+			sel.Rules = append(sel.Rules, Rule{Feature: bestSplit.feature, Min: 0, Max: bestSplit.threshold, Method: m})
+		}
+	}
+	if len(hi) > 0 {
+		if m, purity := majority(hi); purity >= minPurity {
+			sel.Rules = append(sel.Rules, Rule{Feature: bestSplit.feature, Min: bestSplit.threshold, Max: maxFeature, Method: m})
+		}
+	}
+	return sel
+}
+
+// maxFeature is the open upper bound used in trained rules.
+const maxFeature = 1e18

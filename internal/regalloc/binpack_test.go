@@ -1,0 +1,159 @@
+package regalloc
+
+import (
+	"testing"
+
+	"prescount/internal/bankfile"
+	"prescount/internal/ir"
+	"prescount/internal/sim"
+)
+
+func runBinpack(t *testing.T, f *ir.Func, cfgFile bankfile.Config) (*Result, *ir.Func) {
+	t.Helper()
+	r, err := RunBinpack(f, Options{Cfg: cfgFile, Method: MethodBinpack})
+	if err != nil {
+		t.Fatalf("RunBinpack: %v", err)
+	}
+	if err := f.Verify(); err != nil {
+		t.Fatalf("Verify: %v", err)
+	}
+	allPhysical(t, f)
+	return r, f
+}
+
+func TestBinpackAllocates(t *testing.T) {
+	res, _ := runBinpack(t, widePressure(8), bankfile.RV2(2))
+	if res.SpilledVRegs != 0 {
+		t.Errorf("unexpected spills %d", res.SpilledVRegs)
+	}
+}
+
+func TestBinpackPreservesSemantics(t *testing.T) {
+	for _, n := range []int{8, 30, 40, 64, 100} {
+		orig := widePressure(n)
+		ref, err := sim.Run(orig, sim.Options{MemSize: 64})
+		if err != nil {
+			t.Fatal(err)
+		}
+		work := orig.Clone()
+		_, af := runBinpack(t, work, bankfile.RV2(2))
+		got, err := sim.Run(af, sim.Options{MemSize: 64, File: bankfile.RV2(2)})
+		if err != nil {
+			t.Fatalf("n=%d: %v", n, err)
+		}
+		if got.MemChecksum != ref.MemChecksum {
+			t.Errorf("n=%d: binpacking changed semantics", n)
+		}
+	}
+}
+
+func TestBinpackSecondChanceUnderPressure(t *testing.T) {
+	// 64 long-lived values in a 32-register file: the packer must evict
+	// and the evicted remainders must either be rescued or go piecewise.
+	res, f := runBinpack(t, widePressure(64), bankfile.RV2(2))
+	if res.SpilledVRegs == 0 {
+		t.Fatal("expected piecewise registers under 2x overpressure")
+	}
+	if res.SpillStores == 0 || res.SpillReloads == 0 {
+		t.Error("piecewise registers emitted no spill code")
+	}
+	found := false
+	for _, b := range f.Blocks {
+		for _, in := range b.Instrs {
+			if in.Op == ir.OpFReload {
+				found = true
+			}
+		}
+	}
+	if !found {
+		t.Error("no reload instructions emitted")
+	}
+}
+
+func TestBinpackRescueCap(t *testing.T) {
+	// A tiny rescue budget must still produce a correct program.
+	orig := widePressure(64)
+	ref, err := sim.Run(orig, sim.Options{MemSize: 64})
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := orig.Clone()
+	res, err := RunBinpack(f, Options{Cfg: bankfile.RV2(2), Method: MethodBinpack, BinpackMaxRescues: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Verify(); err != nil {
+		t.Fatal(err)
+	}
+	got, err := sim.Run(f, sim.Options{MemSize: 64, File: bankfile.RV2(2)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.MemChecksum != ref.MemChecksum {
+		t.Error("rescue cap changed semantics")
+	}
+	_ = res
+}
+
+func TestBinpackDeterministic(t *testing.T) {
+	f1 := widePressure(64)
+	f2 := widePressure(64)
+	runBinpack(t, f1, bankfile.RV2(2))
+	runBinpack(t, f2, bankfile.RV2(2))
+	if ir.Print(f1) != ir.Print(f2) {
+		t.Error("binpacking not deterministic")
+	}
+}
+
+func TestBinpackControlFlow(t *testing.T) {
+	// Loop-carried values under overpressure: the per-block reload
+	// discipline must keep back edges correct.
+	mk := func(n int) *ir.Func {
+		bd := ir.NewBuilder("loopy")
+		base := bd.IConst(0)
+		for i := 0; i < 16; i++ {
+			c := bd.FConst(float64(i) + 1)
+			bd.FStore(c, base, int64(i))
+		}
+		var vals []ir.Reg
+		for i := 0; i < n; i++ {
+			vals = append(vals, bd.FLoad(base, int64(i%16)))
+		}
+		sum := bd.FConst(0)
+		bd.Loop(6, 1, func(ir.Reg) {
+			for _, v := range vals {
+				s := bd.FAdd(sum, v)
+				bd.Assign(sum, s)
+			}
+		})
+		bd.FStore(sum, base, 20)
+		bd.Ret()
+		return bd.Func()
+	}
+	for _, n := range []int{8, 40, 64} {
+		orig := mk(n)
+		ref, err := sim.Run(orig, sim.Options{MemSize: 64})
+		if err != nil {
+			t.Fatal(err)
+		}
+		work := orig.Clone()
+		_, af := runBinpack(t, work, bankfile.RV2(2))
+		got, err := sim.Run(af, sim.Options{MemSize: 64, File: bankfile.RV2(2)})
+		if err != nil {
+			t.Fatalf("n=%d: %v", n, err)
+		}
+		if got.MemChecksum != ref.MemChecksum {
+			t.Errorf("n=%d: binpacking broke loop-carried values", n)
+		}
+	}
+}
+
+func TestBinpackTooSmallFile(t *testing.T) {
+	// A file this small cannot host the scratch set once anything spills.
+	_, err := RunBinpack(widePressure(40), Options{
+		Cfg: bankfile.Config{NumRegs: 2, NumBanks: 2, NumSubgroups: 1, ReadPorts: 1},
+	})
+	if err == nil {
+		t.Fatal("accepted a file smaller than the scratch set under pressure")
+	}
+}

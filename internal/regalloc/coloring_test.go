@@ -1,0 +1,143 @@
+package regalloc
+
+import (
+	"context"
+	"testing"
+	"time"
+
+	"prescount/internal/bankfile"
+	"prescount/internal/conflict"
+	"prescount/internal/ir"
+	"prescount/internal/sim"
+)
+
+func runColoring(t *testing.T, f *ir.Func, cfgFile bankfile.Config, timeout time.Duration) (*Result, *ir.Func) {
+	t.Helper()
+	r, err := RunColoring(context.Background(), f, Options{
+		Cfg: cfgFile, Method: MethodColoring, ColoringTimeout: timeout,
+	})
+	if err != nil {
+		t.Fatalf("RunColoring: %v", err)
+	}
+	if err := f.Verify(); err != nil {
+		t.Fatalf("Verify: %v", err)
+	}
+	allPhysical(t, f)
+	return r, f
+}
+
+func TestColoringAllocates(t *testing.T) {
+	res, _ := runColoring(t, widePressure(8), bankfile.RV2(2), 0)
+	if res.SpilledVRegs != 0 {
+		t.Errorf("unexpected spills %d", res.SpilledVRegs)
+	}
+	if res.ColoringBailed {
+		t.Error("bailed on a trivial function under the default budget")
+	}
+}
+
+func TestColoringPreservesSemantics(t *testing.T) {
+	for _, n := range []int{8, 30, 40, 64, 100} {
+		orig := widePressure(n)
+		ref, err := sim.Run(orig, sim.Options{MemSize: 64})
+		if err != nil {
+			t.Fatal(err)
+		}
+		work := orig.Clone()
+		_, af := runColoring(t, work, bankfile.RV2(2), 0)
+		got, err := sim.Run(af, sim.Options{MemSize: 64, File: bankfile.RV2(2)})
+		if err != nil {
+			t.Fatalf("n=%d: %v", n, err)
+		}
+		if got.MemChecksum != ref.MemChecksum {
+			t.Errorf("n=%d: coloring changed semantics", n)
+		}
+	}
+}
+
+func TestColoringSpillsUnderPressure(t *testing.T) {
+	res, _ := runColoring(t, widePressure(64), bankfile.RV2(2), 0)
+	if res.SpilledVRegs == 0 {
+		t.Fatal("expected spills under 2x overpressure")
+	}
+	if res.SpillStores == 0 || res.SpillReloads == 0 {
+		t.Error("missing spill code")
+	}
+}
+
+func TestColoringBailsOnTinyBudget(t *testing.T) {
+	// A 1ns budget cannot even build the graph: the allocator must bail to
+	// linear scan, still producing a valid allocation.
+	orig := widePressure(40)
+	ref, err := sim.Run(orig, sim.Options{MemSize: 64})
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := orig.Clone()
+	res, af := runColoring(t, f, bankfile.RV2(2), time.Nanosecond)
+	if !res.ColoringBailed {
+		t.Fatal("1ns budget did not trigger the bail path")
+	}
+	got, err := sim.Run(af, sim.Options{MemSize: 64, File: bankfile.RV2(2)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.MemChecksum != ref.MemChecksum {
+		t.Error("bail path changed semantics")
+	}
+}
+
+func TestColoringBailDeterministic(t *testing.T) {
+	// Whether a function bails is a pure function of IR and options: two
+	// identical runs agree on the flag and on the rewritten program.
+	for _, timeout := range []time.Duration{time.Nanosecond, 50 * time.Microsecond, 0} {
+		f1 := widePressure(64)
+		f2 := widePressure(64)
+		r1, _ := runColoring(t, f1, bankfile.RV2(2), timeout)
+		r2, _ := runColoring(t, f2, bankfile.RV2(2), timeout)
+		if r1.ColoringBailed != r2.ColoringBailed {
+			t.Errorf("timeout=%v: bail flag nondeterministic", timeout)
+		}
+		if ir.Print(f1) != ir.Print(f2) {
+			t.Errorf("timeout=%v: coloring not deterministic", timeout)
+		}
+	}
+}
+
+func TestColoringHonorsContextDeadline(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	_, err := RunColoring(ctx, widePressure(64), Options{Cfg: bankfile.RV2(2), Method: MethodColoring})
+	if err != context.Canceled {
+		t.Fatalf("cancelled context: got %v, want context.Canceled", err)
+	}
+}
+
+func TestColoringBankAware(t *testing.T) {
+	// Two operands of one hot add should land in different banks when the
+	// coloring has slack.
+	bd := ir.NewBuilder("pair")
+	base := bd.IConst(0)
+	x := bd.FLoad(base, 0)
+	y := bd.FLoad(base, 1)
+	s := bd.FAdd(x, y)
+	bd.FStore(s, base, 2)
+	bd.Ret()
+	f := bd.Func()
+	cfgFile := bankfile.RV2(2)
+	_, af := runColoring(t, f, cfgFile, 0)
+	r := conflict.Analyze(af, cfgFile)
+	if r.StaticConflicts != 0 {
+		t.Errorf("bank-aware coloring left %d conflicts on a 2-read pair", r.StaticConflicts)
+	}
+}
+
+func TestColoringDeterministicVsRerun(t *testing.T) {
+	f1 := widePressure(100)
+	f2 := widePressure(100)
+	runColoring(t, f1, bankfile.RV2(2), 0)
+	runColoring(t, f2, bankfile.RV2(2), 0)
+	if ir.Print(f1) != ir.Print(f2) {
+		t.Error("coloring not deterministic")
+	}
+}

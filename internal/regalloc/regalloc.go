@@ -26,6 +26,7 @@ import (
 	"math"
 	"sort"
 	"sync"
+	"time"
 
 	"prescount/internal/analysis"
 	"prescount/internal/bankfile"
@@ -49,6 +50,16 @@ const (
 	// register renumbering pass (internal/renumber) applied by the
 	// pipeline — the Patney/LTRF-style baseline of the paper's figures.
 	MethodBRC
+	// MethodBinpack replaces the greedy allocator with Traub-style
+	// second-chance binpacking (RunBinpack): live ranges are packed into
+	// banked registers in start order, later intervals may evict earlier
+	// ones, and evicted remainders get a second chance in another register.
+	MethodBinpack
+	// MethodColoring replaces the greedy allocator with interference-graph
+	// coloring (RunColoring): Chaitin-Briggs simplify/select with a
+	// bank-aware color cost from the RCG, guarded by a deterministic work
+	// budget that bails to linear scan so it can never hang a request.
+	MethodColoring
 )
 
 // String returns the paper's name for the method.
@@ -60,6 +71,10 @@ func (m Method) String() string {
 		return "bpc"
 	case MethodBRC:
 		return "brc"
+	case MethodBinpack:
+		return "binpack"
+	case MethodColoring:
+		return "coloring"
 	default:
 		return "non"
 	}
@@ -90,6 +105,16 @@ type Options struct {
 	// can audit the allocation against independently recomputed liveness.
 	// Off by default: recording allocates on the hot path.
 	Record bool
+	// BinpackMaxRescues bounds how many second chances one virtual register
+	// may receive from the binpacking allocator (MethodBinpack only; 0
+	// selects the default).
+	BinpackMaxRescues int
+	// ColoringTimeout is the coloring allocator's work budget expressed as
+	// a duration (MethodColoring only; 0 selects the default). The budget
+	// is converted to a deterministic unit count, so whether a given
+	// function bails to linear scan is identical run to run — only the
+	// context deadline, which aborts the compile outright, reads the clock.
+	ColoringTimeout time.Duration
 }
 
 // Assignment records one virtual register's final physical placement,
@@ -132,6 +157,13 @@ type Result struct {
 	AssignedPhys map[ir.Reg]int
 	// GroupDispl maps SDG group id to its chosen subgroup displacement.
 	GroupDispl map[int]int
+	// Rescues counts evicted interval remainders the binpacking allocator
+	// re-placed into another register — the "second chance" of the
+	// Traub/Holloway/Smith scheme (MethodBinpack only).
+	Rescues int
+	// ColoringBailed reports that the coloring allocator exhausted its
+	// work budget and fell back to linear scan (MethodColoring only).
+	ColoringBailed bool
 
 	// Assignments lists every placed virtual register with the interval
 	// the allocator used. Filled only under Options.Record.

@@ -205,10 +205,19 @@ func (s *Server) serveBatch(w http.ResponseWriter, r *http.Request) {
 
 // resolveBatchEntry parses and validates one entry without compiling.
 func (s *Server) resolveBatchEntry(e *CompileRequest) (core.Options, *ir.Func, *errorResponse) {
-	opts, err := s.compileOptions(e)
+	opts, pmode, err := s.compileOptions(e)
 	if err != nil {
 		return core.Options{}, nil, &errorResponse{Error: err.Error(), Code: CodeBadRequest}
 	}
+	if pmode != "" {
+		// Batch dedup keys entries by a single method's digest; racing has
+		// none. Portfolio requests belong on the compile endpoints.
+		return core.Options{}, nil, &errorResponse{
+			Error: fmt.Sprintf("method %q is not valid in batch entries; use /v1/compile", pmode),
+			Code:  CodeBadRequest,
+		}
+	}
+	s.metrics.countMethod(methodLabel(e.Method))
 	mod, err := parseSource(e.MIR)
 	if err != nil {
 		s.metrics.parseErrors.Add(1)

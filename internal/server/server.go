@@ -43,6 +43,7 @@ import (
 	"prescount/internal/core"
 	"prescount/internal/diskcache"
 	"prescount/internal/ir"
+	"prescount/internal/portfolio"
 	"prescount/internal/regalloc"
 	"prescount/internal/sim"
 )
@@ -235,12 +236,23 @@ type CompileRequest struct {
 	Regs      int `json:"regs,omitempty"`
 	Banks     int `json:"banks,omitempty"`
 	Subgroups int `json:"subgroups,omitempty"`
-	// Method is non | bcr | brc | bpc (default bpc).
+	// Method is non | bcr | brc | bpc | binpack | coloring (default bpc),
+	// or a portfolio mode: "portfolio" races every method and keeps the
+	// cheapest result, "auto" predicts the method from function features and
+	// races only when the selector is unconfident. Portfolio modes are
+	// accepted on the compile endpoints, not in batch entries.
 	Method string `json:"method,omitempty"`
 	// THRES overrides Algorithm 1's pressure threshold (0 = default).
 	THRES float64 `json:"thres,omitempty"`
 	// LinearScan swaps in the linear-scan allocator.
 	LinearScan bool `json:"linear_scan,omitempty"`
+	// ColoringTimeoutMS bounds the coloring allocator's work budget (method
+	// coloring, or the coloring candidate of a portfolio race); 0 keeps the
+	// allocator default. The budget is deterministic — the same source bails
+	// at the same point regardless of machine load — while the request
+	// deadline itself still cancels coloring at phase boundaries, so a
+	// coloring request can 504 but never hang.
+	ColoringTimeoutMS int64 `json:"coloring_timeout_ms,omitempty"`
 	// Verify runs the phase-boundary verifier between pipeline stages; a
 	// rule violation fails the compile with a diagnostic naming the rule.
 	// Verified compiles bypass the shared compile cache.
@@ -297,17 +309,24 @@ type AllocJSON struct {
 	Evictions    int `json:"evictions"`
 	Remats       int `json:"remats"`
 	BankBreaks   int `json:"bank_breaks"`
+	// Rescues counts binpacking second-chance re-queues (method binpack).
+	Rescues int `json:"rescues,omitempty"`
+	// ColoringBailed reports that coloring exhausted its work budget and the
+	// function fell back to linear scan (method coloring).
+	ColoringBailed bool `json:"coloring_bailed,omitempty"`
 }
 
 func allocJSON(a *regalloc.Result) AllocJSON {
 	return AllocJSON{
-		SpilledVRegs: a.SpilledVRegs,
-		SpillStores:  a.SpillStores,
-		SpillReloads: a.SpillReloads,
-		LoopSplits:   a.LoopSplits,
-		Evictions:    a.Evictions,
-		Remats:       a.Remats,
-		BankBreaks:   a.BankBreaks,
+		SpilledVRegs:   a.SpilledVRegs,
+		SpillStores:    a.SpillStores,
+		SpillReloads:   a.SpillReloads,
+		LoopSplits:     a.LoopSplits,
+		Evictions:      a.Evictions,
+		Remats:         a.Remats,
+		BankBreaks:     a.BankBreaks,
+		Rescues:        a.Rescues,
+		ColoringBailed: a.ColoringBailed,
 	}
 }
 
@@ -327,6 +346,11 @@ type FuncResponse struct {
 	Report ReportJSON `json:"report"`
 	Alloc  AllocJSON  `json:"alloc"`
 	Sim    *SimJSON   `json:"sim,omitempty"`
+	// Method attributes the winning allocator of a portfolio/auto request.
+	Method string `json:"method,omitempty"`
+	// Selected reports the winner was predicted by the feature selector
+	// without racing (method=auto only).
+	Selected bool `json:"selected,omitempty"`
 }
 
 // CompileResponse is the /v1/compile success body.
@@ -389,11 +413,12 @@ func (s *Server) serveCompile(w http.ResponseWriter, r *http.Request, module boo
 		s.fail(w, status, code, err.Error())
 		return
 	}
-	opts, err := s.compileOptions(req)
+	opts, pmode, err := s.compileOptions(req)
 	if err != nil {
 		s.fail(w, http.StatusBadRequest, CodeBadRequest, err.Error())
 		return
 	}
+	s.metrics.countMethod(methodLabel(req.Method))
 
 	// The request deadline covers queueing AND compiling: a request that
 	// spent its whole budget waiting for a slot answers 504 immediately
@@ -429,8 +454,9 @@ func (s *Server) serveCompile(w http.ResponseWriter, r *http.Request, module boo
 	}
 
 	// Incremental recompile: resolve the client's prior token. Unknown or
-	// expired tokens simply compile from scratch.
-	if module && s.tokens != nil && req.PriorToken != "" {
+	// expired tokens simply compile from scratch. Portfolio requests skip
+	// priors — a prior is bound to one method's digest, not a race.
+	if module && s.tokens != nil && req.PriorToken != "" && pmode == "" {
 		if prior := s.tokens.Get(req.PriorToken); prior != nil {
 			s.metrics.tokenHits.Add(1)
 			opts.Prior = prior
@@ -440,17 +466,29 @@ func (s *Server) serveCompile(w http.ResponseWriter, r *http.Request, module boo
 	}
 
 	// Attribute speculative precompiles: any function of this request whose
-	// full-layer entry was filled by the speculator is a warm hit.
-	if s.spec != nil {
+	// full-layer entry was filled by the speculator is a warm hit. (A
+	// portfolio request has no single digest; attribution is skipped.)
+	if s.spec != nil && pmode == "" {
 		digest := opts.FullDigest()
 		for _, f := range mod.SortedFuncs() {
 			s.spec.claimWarm(compilecache.Key{Fingerprint: f.Fingerprint(), Digest: digest})
 		}
 	}
 
-	// Compile phase.
+	// Compile phase. Portfolio modes route through internal/portfolio (every
+	// candidate shares this server's cache, so the method-independent prefix
+	// compiles once per function); single methods take the core path with its
+	// full-result cache and incremental priors.
 	compileStart := time.Now()
-	mres, err := core.CompileModuleContext(ctx, mod, opts)
+	var mres *core.ModuleResult
+	var pres *portfolio.ModuleResult
+	if pmode != "" {
+		pres, err = portfolio.CompileModule(ctx, mod, opts, portfolio.Config{
+			Auto: pmode == portfolio.ModeAuto,
+		})
+	} else {
+		mres, err = core.CompileModuleContext(ctx, mod, opts)
+	}
 	s.metrics.phase("compile").observe(time.Since(compileStart))
 	if err != nil {
 		if isDeadline(err) {
@@ -462,16 +500,25 @@ func (s *Server) serveCompile(w http.ResponseWriter, r *http.Request, module boo
 		s.fail(w, http.StatusUnprocessableEntity, CodeCompile, err.Error())
 		return
 	}
+	if pres != nil {
+		s.metrics.countRaceOutcome(pres.Wins, pres.Selected)
+	}
 
 	// Optional simulate phase.
-	funcs := make([]FuncResponse, 0, len(mres.PerFunc))
+	funcs := make([]FuncResponse, 0, len(mod.Funcs))
 	for _, f := range mod.SortedFuncs() {
-		res := mres.PerFunc[f.Name]
-		fr := FuncResponse{
-			Func:   f.Name,
-			Report: reportJSON(res.Report),
-			Alloc:  allocJSON(res.Alloc),
+		var res *core.Result
+		fr := FuncResponse{Func: f.Name}
+		if pres != nil {
+			rr := pres.PerFunc[f.Name]
+			res = rr.Result
+			fr.Method = rr.Winner.String()
+			fr.Selected = rr.Selected
+		} else {
+			res = mres.PerFunc[f.Name]
 		}
+		fr.Report = reportJSON(res.Report)
+		fr.Alloc = allocJSON(res.Alloc)
 		if req.EmitMIR {
 			fr.MIR = ir.Print(res.Func)
 		}
@@ -497,8 +544,9 @@ func (s *Server) serveCompile(w http.ResponseWriter, r *http.Request, module boo
 
 	// Speculatively precompile the sweep neighbors (adjacent bank counts)
 	// of this now-warm request in idle slots. Verified compiles bypass the
-	// cache, so speculating on them would be wasted work.
-	if s.spec != nil && !req.Verify && !s.draining.Load() {
+	// cache, so speculating on them would be wasted work; portfolio requests
+	// have no single-method neighborhood to speculate on.
+	if s.spec != nil && !req.Verify && pmode == "" && !s.draining.Load() {
 		s.spec.enqueue(mod, opts)
 	}
 
@@ -507,17 +555,22 @@ func (s *Server) serveCompile(w http.ResponseWriter, r *http.Request, module boo
 	s.metrics.phase("total").observe(wall)
 	if module {
 		resp := ModuleResponse{
-			Module:        mod.Name,
-			Funcs:         funcs,
-			Totals:        reportJSON(&mres.Totals),
-			WallNS:        wall.Nanoseconds(),
-			ReusedFuncs:   mres.ReusedFuncs,
-			CompiledFuncs: mres.CompiledFuncs,
+			Module: mod.Name,
+			Funcs:  funcs,
+			WallNS: wall.Nanoseconds(),
 		}
-		s.metrics.reusedFuncs.Add(int64(mres.ReusedFuncs))
-		s.metrics.compiledFuncs.Add(int64(mres.CompiledFuncs))
-		if s.tokens != nil && mres.Prior != nil {
-			resp.ModuleToken = s.tokens.Put(mres.Prior)
+		if pres != nil {
+			resp.Totals = reportJSON(&pres.Totals)
+			resp.CompiledFuncs = len(funcs)
+		} else {
+			resp.Totals = reportJSON(&mres.Totals)
+			resp.ReusedFuncs = mres.ReusedFuncs
+			resp.CompiledFuncs = mres.CompiledFuncs
+			s.metrics.reusedFuncs.Add(int64(mres.ReusedFuncs))
+			s.metrics.compiledFuncs.Add(int64(mres.CompiledFuncs))
+			if s.tokens != nil && mres.Prior != nil {
+				resp.ModuleToken = s.tokens.Put(mres.Prior)
+			}
 		}
 		s.respond(w, http.StatusOK, resp)
 		return
@@ -644,23 +697,46 @@ func optionsFromQuery(req *CompileRequest, r *http.Request) error {
 		}
 		req.TimeoutMS = t
 	}
+	if v := q.Get("coloring_timeout_ms"); v != "" {
+		t, err := strconv.ParseInt(v, 10, 64)
+		if err != nil {
+			return fmt.Errorf("query coloring_timeout_ms=%q: %w", v, err)
+		}
+		req.ColoringTimeoutMS = t
+	}
 	return nil
 }
 
+// methodLabel normalizes a request's method string for the per-method
+// request counters ("" is the default method).
+func methodLabel(m string) string {
+	if m == "" {
+		return core.MethodBPC.String()
+	}
+	return m
+}
+
 // compileOptions maps the request envelope onto core.Options, wiring in
-// the shared cache and the worker bound.
-func (s *Server) compileOptions(req *CompileRequest) (core.Options, error) {
+// the shared cache and the worker bound. The second return is the portfolio
+// mode ("portfolio"/"auto", empty for single-method requests): portfolio
+// modes are not core methods — serveCompile routes them through
+// internal/portfolio, with the returned options as the per-candidate base.
+func (s *Server) compileOptions(req *CompileRequest) (core.Options, string, error) {
 	method := core.MethodBPC
-	switch req.Method {
-	case "", "bpc":
-	case "non":
-		method = core.MethodNon
-	case "bcr":
-		method = core.MethodBCR
-	case "brc":
-		method = core.MethodBRC
+	pmode := ""
+	switch {
+	case req.Method == "":
+	case portfolio.IsMode(req.Method):
+		pmode = req.Method
 	default:
-		return core.Options{}, fmt.Errorf("unknown method %q (want non, bcr, brc or bpc)", req.Method)
+		m, ok := core.ParseMethod(req.Method)
+		if !ok {
+			return core.Options{}, "", fmt.Errorf("unknown method %q (want non, bcr, brc, bpc, binpack, coloring, portfolio or auto)", req.Method)
+		}
+		method = m
+	}
+	if req.ColoringTimeoutMS < 0 {
+		return core.Options{}, "", fmt.Errorf("negative coloring_timeout_ms %d", req.ColoringTimeoutMS)
 	}
 	regs, banks, subgroups := req.Regs, req.Banks, req.Subgroups
 	if regs == 0 {
@@ -673,22 +749,23 @@ func (s *Server) compileOptions(req *CompileRequest) (core.Options, error) {
 		subgroups = 1
 	}
 	if regs < 0 || banks < 0 || subgroups < 0 {
-		return core.Options{}, fmt.Errorf("negative register file parameter (regs=%d banks=%d subgroups=%d)", regs, banks, subgroups)
+		return core.Options{}, "", fmt.Errorf("negative register file parameter (regs=%d banks=%d subgroups=%d)", regs, banks, subgroups)
 	}
 	file := bankfile.Config{NumRegs: regs, NumBanks: banks, NumSubgroups: subgroups, ReadPorts: 1}
 	if err := file.Normalize().Validate(); err != nil {
-		return core.Options{}, fmt.Errorf("register file: %w", err)
+		return core.Options{}, "", fmt.Errorf("register file: %w", err)
 	}
 	return core.Options{
-		File:       file,
-		Method:     method,
-		Subgroups:  subgroups > 1,
-		THRES:      req.THRES,
-		LinearScan: req.LinearScan,
-		VerifyEach: req.Verify,
-		Workers:    s.cfg.Workers,
-		Cache:      s.cache,
-	}, nil
+		File:            file,
+		Method:          method,
+		Subgroups:       subgroups > 1,
+		THRES:           req.THRES,
+		LinearScan:      req.LinearScan,
+		ColoringTimeout: time.Duration(req.ColoringTimeoutMS) * time.Millisecond,
+		VerifyEach:      req.Verify,
+		Workers:         s.cfg.Workers,
+		Cache:           s.cache,
+	}, pmode, nil
 }
 
 // parseSource reads a module, falling back to a bare function, mirroring

@@ -40,7 +40,7 @@ func TestSpeculationWarmsNeighbors(t *testing.T) {
 		t.Fatal(err)
 	}
 	for _, banks := range []int{2, 8} {
-		opts, err := s.compileOptions(&CompileRequest{Banks: banks})
+		opts, _, err := s.compileOptions(&CompileRequest{Banks: banks})
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -111,7 +111,7 @@ func TestSpeculationCancelledNotRetained(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	opts, err := s.compileOptions(&CompileRequest{Banks: 8})
+	opts, _, err := s.compileOptions(&CompileRequest{Banks: 8})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -144,7 +144,7 @@ func TestSpeculationPreemptedByAdmission(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	opts, err := s.compileOptions(&CompileRequest{Banks: 8})
+	opts, _, err := s.compileOptions(&CompileRequest{Banks: 8})
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -117,11 +117,43 @@ type metrics struct {
 	// them, and entries collapsed onto an identical sibling.
 	batchRequests, batchEntries, batchDeduped atomic.Int64
 
+	// Per-method accounting: requests by their method string (portfolio
+	// modes included), plus racer win attribution and selector picks from
+	// portfolio compiles. Guarded by methodMu — these are request-rate
+	// map updates, far off any hot path.
+	methodMu       sync.Mutex
+	methodRequests map[string]int64
+	racerWins      map[string]int64
+	selectorPicks  int64
+
 	phases map[string]*hist
 }
 
+// countMethod records one well-formed compile request for a method label.
+func (m *metrics) countMethod(name string) {
+	m.methodMu.Lock()
+	m.methodRequests[name]++
+	m.methodMu.Unlock()
+}
+
+// countRaceOutcome folds one portfolio module result into the win and
+// selector-pick counters.
+func (m *metrics) countRaceOutcome(wins map[string]int, selected int) {
+	m.methodMu.Lock()
+	for name, n := range wins {
+		m.racerWins[name] += int64(n)
+	}
+	m.selectorPicks += int64(selected)
+	m.methodMu.Unlock()
+}
+
 func newMetrics() *metrics {
-	m := &metrics{start: time.Now(), phases: map[string]*hist{}}
+	m := &metrics{
+		start:          time.Now(),
+		phases:         map[string]*hist{},
+		methodRequests: map[string]int64{},
+		racerWins:      map[string]int64{},
+	}
 	for _, n := range phaseNames {
 		m.phases[n] = &hist{}
 	}
@@ -195,6 +227,16 @@ type BatchStatz struct {
 	Deduped  int64 `json:"deduped"`
 }
 
+// MethodStatz is the /statz per-method section: request counts by method
+// string (racing modes counted under "portfolio"/"auto"), racer win
+// attribution per winning method, and the count of functions the auto-mode
+// selector decided without racing.
+type MethodStatz struct {
+	Requests      map[string]int64 `json:"requests"`
+	RacerWins     map[string]int64 `json:"racer_wins,omitempty"`
+	SelectorPicks int64            `json:"selector_picks,omitempty"`
+}
+
 // IncrementalStatz is the /statz incremental-recompile section.
 type IncrementalStatz struct {
 	// TokensRetained is the current module-prior LRU population;
@@ -220,6 +262,7 @@ type Statz struct {
 	MaxInFlight int                 `json:"max_inflight"`
 	MaxQueue    int                 `json:"max_queue"`
 	Requests    RequestCounts       `json:"requests"`
+	Methods     *MethodStatz        `json:"methods,omitempty"`
 	Cache       CacheStatz          `json:"cache"`
 	Disk        *DiskStatz          `json:"disk,omitempty"`
 	Batch       BatchStatz          `json:"batch"`
@@ -273,6 +316,24 @@ func (s *Server) Statz() Statz {
 		},
 		Phases: map[string]HistJSON{},
 	}
+	s.metrics.methodMu.Lock()
+	if len(s.metrics.methodRequests) > 0 {
+		ms := &MethodStatz{
+			Requests:      make(map[string]int64, len(s.metrics.methodRequests)),
+			SelectorPicks: s.metrics.selectorPicks,
+		}
+		for k, v := range s.metrics.methodRequests {
+			ms.Requests[k] = v
+		}
+		if len(s.metrics.racerWins) > 0 {
+			ms.RacerWins = make(map[string]int64, len(s.metrics.racerWins))
+			for k, v := range s.metrics.racerWins {
+				ms.RacerWins[k] = v
+			}
+		}
+		out.Methods = ms
+	}
+	s.metrics.methodMu.Unlock()
 	if s.disk != nil {
 		ds := s.disk.Stats()
 		out.Disk = &DiskStatz{

@@ -79,7 +79,8 @@ type RegisterFile = bankfile.Config
 // Method selects the bank-conflict mitigation strategy.
 type Method = core.Method
 
-// The three methods compared throughout the paper.
+// The methods compared throughout the paper, plus the two portfolio
+// allocators.
 const (
 	// MethodNon is default allocation with no bank awareness.
 	MethodNon = core.MethodNon
@@ -89,7 +90,16 @@ const (
 	MethodBPC = core.MethodBPC
 	// MethodBRC is the post-allocation register renumbering baseline.
 	MethodBRC = core.MethodBRC
+	// MethodBinpack is the second-chance binpacking allocator.
+	MethodBinpack = core.MethodBinpack
+	// MethodColoring is the timeout-guarded conflict-graph coloring
+	// allocator (bails to linear scan when its work budget runs out).
+	MethodColoring = core.MethodColoring
 )
+
+// ParseMethod maps a method name ("non", "bcr", "bpc", "brc", "binpack",
+// "coloring") to its Method constant.
+func ParseMethod(s string) (Method, bool) { return core.ParseMethod(s) }
 
 // Options configures a compilation (see core.Options for field docs).
 type Options = core.Options
