@@ -33,11 +33,18 @@
 // under the phase-boundary verifier (internal/verify): tables are
 // unchanged — the verifier only observes — but wall-clock grows by the
 // verifier overhead and verified compiles bypass the compile cache.
+// -validate does the same with the translation validator (internal/tv):
+// every experiment compile is symbolically checked against its
+// pre-allocation MIR, and any divergence aborts the run with a T-rule
+// diagnostic.
 //
 // -json FILE writes the machine-readable perf trajectory
 // (BENCH_pipeline.json): per-stage wall times and allocation counts, the
-// compile-cache hit rates of every sweep-backed stage, and the raw
-// per-program sweep counts of RV#1/RV#2 when those experiments ran.
+// compile-cache hit rates of every sweep-backed stage, the raw
+// per-program sweep counts of RV#1/RV#2 when those experiments ran, and a
+// validate_overhead record — a hot kernel compiled with and without the
+// translation validator, whose wall-clock ratio pins the ≤2× overhead
+// bound the validator is designed to.
 //
 // -sizes N1,N2,... runs the compile-time scaling sweep instead of the
 // paper experiments: for each size it generates random functions with that
@@ -63,6 +70,7 @@ import (
 	"prescount/internal/core"
 	"prescount/internal/diskcache"
 	"prescount/internal/experiments"
+	"prescount/internal/ir"
 	"prescount/internal/liveness"
 	"prescount/internal/workload"
 )
@@ -115,6 +123,10 @@ type perfLog struct {
 	// per (suite, method) static metrics, cycles, cost scores, racer win
 	// attribution and the trained selector table.
 	Methods *experiments.MethodComparison `json:"methods,omitempty"`
+	// ValidateOverhead is the translation validator's relative cost on a
+	// hot kernel (compile wall with Options.Validate over without); the
+	// design bound is ratio ≤ 2.
+	ValidateOverhead *overheadRecord `json:"validate_overhead,omitempty"`
 
 	// cache is the run-wide shared compile cache (nil under -cache off);
 	// stage() attributes per-stage hit counters to each stage by delta.
@@ -176,9 +188,11 @@ func main() {
 	cpuprofile := flag.String("cpuprofile", "", "write a pprof CPU profile to this file")
 	sizes := flag.String("sizes", "", "comma-separated workload sizes: compile random functions of each size under bpc and report timings (skips the paper experiments)")
 	verifyEach := flag.Bool("verify-each", false, "run every experiment compile under the phase-boundary verifier (tables are unchanged; wall-clock grows by the verifier overhead)")
+	validate := flag.Bool("validate", false, "run every experiment compile under the translation validator (tables are unchanged; any symbolic divergence aborts the run)")
 	flag.Parse()
 	experiments.Workers = *parallel
 	experiments.VerifyEach = *verifyEach
+	experiments.Validate = *validate
 	switch *cacheMode {
 	case "on":
 		experiments.DisableCache = false
@@ -331,6 +345,11 @@ func main() {
 	}
 
 	if *jsonOut != "" {
+		perf.ValidateOverhead = measureValidateOverhead()
+		fmt.Printf("[validate] overhead on hot kernel: plain=%v validated=%v ratio=%.2fx\n\n",
+			time.Duration(perf.ValidateOverhead.PlainNS).Round(time.Microsecond),
+			time.Duration(perf.ValidateOverhead.ValidatedNS).Round(time.Microsecond),
+			perf.ValidateOverhead.Ratio)
 		if rv1 != nil || rv2 != nil {
 			perf.Sweeps = map[string]map[string]map[string]experiments.Counts{}
 			if rv1 != nil {
@@ -346,6 +365,50 @@ func main() {
 		fmt.Fprintf(os.Stderr, "benchtab: wrote %s\n", *jsonOut)
 	}
 	fmt.Fprintf(os.Stderr, "benchtab: done in %v\n", time.Since(start))
+}
+
+// overheadRecord is the validate_overhead entry of the -json output: one
+// hot kernel compiled with and without the translation validator.
+type overheadRecord struct {
+	PlainNS     int64   `json:"plain_ns"`
+	ValidatedNS int64   `json:"validated_ns"`
+	Ratio       float64 `json:"ratio"`
+}
+
+// measureValidateOverhead compiles the largest CNN kernel with and without
+// the translation validator and reports the wall ratio. Both compiles run
+// uncached — validated compiles always bypass the compile cache, so a
+// cached plain baseline would overstate the ratio — and each mode takes
+// the minimum of three repetitions to damp scheduler noise.
+func measureValidateOverhead() *overheadRecord {
+	var hot *ir.Func
+	for _, p := range workload.CNN().Programs {
+		for _, f := range p.Funcs() {
+			if hot == nil || f.NumInstrs() > hot.NumInstrs() {
+				hot = f
+			}
+		}
+	}
+	best := func(validate bool) time.Duration {
+		min := time.Hour
+		for i := 0; i < 3; i++ {
+			start := time.Now()
+			_, err := core.Compile(hot.Clone(), core.Options{
+				File: bankfile.RV2(2), Method: core.MethodBPC, Validate: validate,
+			})
+			check(err)
+			if d := time.Since(start); d < min {
+				min = d
+			}
+		}
+		return min
+	}
+	plain, validated := best(false), best(true)
+	return &overheadRecord{
+		PlainNS:     plain.Nanoseconds(),
+		ValidatedNS: validated.Nanoseconds(),
+		Ratio:       float64(validated) / float64(plain),
+	}
 }
 
 // runSweepStage runs one platform sweep as a timed perf stage and prints
@@ -368,21 +431,23 @@ func runSweepStage(perf *perfLog, name string, sweep func() (*experiments.Sweep,
 // interval counts and compile wall-clock. The single-function compile is
 // dominated by the overlap/pressure query engine once sizes reach the
 // thousands, so this sweep is the quickest way to see its scaling. Each
-// function is compiled twice — plain and under the phase-boundary verifier —
-// and the verify-ovh column reports the relative cost of -verify-each; the
-// plain compile is the baseline the zero-cost contract is measured against.
+// function is compiled three times — plain, under the phase-boundary
+// verifier, and under the translation validator — and the verify-ovh and
+// validate-ovh columns report the relative cost of -verify-each and
+// -validate; the plain compile is the baseline the zero-cost contract is
+// measured against.
 func runSizes(spec string) {
 	const seedsPerSize = 3
 	file := bankfile.RV1(2)
 	section("Compile-time scaling sweep (random functions, bpc, 2-bank RV#1)")
-	fmt.Printf("%8s %8s %10s %10s %12s %10s %10s %12s\n", "size", "instrs", "intervals", "conflicts", "compile", "per-intvl", "verify-ovh", "allocs/comp")
+	fmt.Printf("%8s %8s %10s %10s %12s %10s %10s %12s %12s\n", "size", "instrs", "intervals", "conflicts", "compile", "per-intvl", "verify-ovh", "validate-ovh", "allocs/comp")
 	for _, field := range strings.Split(spec, ",") {
 		size, err := strconv.Atoi(strings.TrimSpace(field))
 		if err != nil {
 			check(fmt.Errorf("-sizes: %w", err))
 		}
 		var instrs, intervals, conflicts int
-		var elapsed, verified time.Duration
+		var elapsed, verified, validated time.Duration
 		var mallocs uint64
 		for seed := int64(0); seed < seedsPerSize; seed++ {
 			f := workload.RandomSized(seed, size)
@@ -406,12 +471,17 @@ func runSizes(spec string) {
 			_, err = core.Compile(f, core.Options{File: file, Method: core.MethodBPC, VerifyEach: true})
 			check(err)
 			verified += time.Since(start)
+			start = time.Now()
+			_, err = core.Compile(f, core.Options{File: file, Method: core.MethodBPC, Validate: true})
+			check(err)
+			validated += time.Since(start)
 		}
-		fmt.Printf("%8d %8d %10d %10d %12v %10s %9.1f%% %12d\n",
+		fmt.Printf("%8d %8d %10d %10d %12v %10s %9.1f%% %11.1f%% %12d\n",
 			size, instrs/seedsPerSize, intervals/seedsPerSize, conflicts/seedsPerSize,
 			(elapsed / seedsPerSize).Round(time.Microsecond),
 			fmt.Sprintf("%.1fns", float64(elapsed.Nanoseconds())/float64(maxI(intervals, 1))),
 			100*(float64(verified)/float64(maxI64(elapsed, 1))-1),
+			100*(float64(validated)/float64(maxI64(elapsed, 1))-1),
 			mallocs/seedsPerSize,
 		)
 	}

@@ -29,6 +29,12 @@
 //	               a rule violation aborts the compile with a diagnostic
 //	               naming the rule, function, block and instruction (note:
 //	               verified compiles bypass the compile cache)
+//	-validate      run the translation validator after allocation: the
+//	               allocated output is symbolically executed in lockstep
+//	               with the pre-allocation MIR and any value, store,
+//	               branch or memory divergence aborts the compile with a
+//	               T-rule diagnostic (validated compiles bypass the
+//	               compile cache, like -verify-each)
 //
 // With no file arguments, prescountc reads one function from stdin.
 // Inputs are processed in command-line order, so reports and the -o module
@@ -80,6 +86,7 @@ func run(args []string, stdin io.Reader, stdout io.Writer) error {
 	diskDir := fs.String("disk-cache", "", "directory for the persistent compile-result store (empty disables)")
 	diskBytes := fs.Int64("disk-cache-bytes", 1<<30, "on-disk store byte cap, mtime-LRU swept (0 = unlimited)")
 	verifyEach := fs.Bool("verify-each", false, "run the phase-boundary verifier between pipeline stages")
+	validate := fs.Bool("validate", false, "run the translation validator on the allocated output")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -103,6 +110,7 @@ func run(args []string, stdin io.Reader, stdout io.Writer) error {
 	opts := prescount.Options{
 		File: file, Method: m, Subgroups: *subgroups > 1,
 		ColoringTimeout: *coloringTimeout, VerifyEach: *verifyEach,
+		Validate: *validate,
 	}
 	switch *cacheMode {
 	case "on":

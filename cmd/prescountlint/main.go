@@ -1,5 +1,5 @@
 // Command prescountlint runs this repository's custom static analyzers
-// (mapiter, phaseorder, regset) in two modes:
+// (guarded, mapiter, phaseorder, regset) in two modes:
 //
 //   - vettool mode, driven by the go command:
 //
@@ -35,6 +35,7 @@ import (
 	"strings"
 
 	"prescount/tools/lint/analysis"
+	"prescount/tools/lint/guarded"
 	"prescount/tools/lint/load"
 	"prescount/tools/lint/mapiter"
 	"prescount/tools/lint/phaseorder"
@@ -46,7 +47,7 @@ import (
 const version = "1.0.0"
 
 // analyzers is the check suite this tool runs.
-var analyzers = []*analysis.Analyzer{mapiter.Analyzer, phaseorder.Analyzer, regset.Analyzer}
+var analyzers = []*analysis.Analyzer{guarded.Analyzer, mapiter.Analyzer, phaseorder.Analyzer, regset.Analyzer}
 
 func main() {
 	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))

@@ -144,6 +144,7 @@ type entry struct {
 // Cache holds the two content-addressed layers. The zero value is not
 // usable; call New or NewLimited.
 type Cache struct {
+	// guards: full, prefix, alloc, hits, misses, bytes, evictions, lruHead, lruTail, backing, diskHits, diskMisses
 	mu     sync.Mutex
 	full   map[Key]*entry
 	prefix map[Key]*entry
@@ -154,7 +155,8 @@ type Cache struct {
 	bytes     int64
 	evictions int64
 
-	// maxBytes caps bytes via LRU eviction; 0 means unlimited.
+	// maxBytes caps bytes via LRU eviction; 0 means unlimited. Immutable
+	// after New/NewLimited, so reads need no lock.
 	maxBytes int64
 	// lruHead/lruTail delimit the recency list, most recent at head.
 	lruHead, lruTail *entry
@@ -254,6 +256,8 @@ func (c *Cache) PeekFull(k Key) bool {
 	return ok
 }
 
+// layerMap selects the map of one layer.
+// holds: mu
 func (c *Cache) layerMap(l layer) map[Key]*entry {
 	switch l {
 	case layerPrefix:
@@ -266,9 +270,9 @@ func (c *Cache) layerMap(l layer) map[Key]*entry {
 }
 
 func (c *Cache) do(l layer, k Key, compute func() (any, int64, error)) (any, bool, error) {
-	m := c.layerMap(l)
 	for {
 		c.mu.Lock()
+		m := c.layerMap(l)
 		if e, ok := m[k]; ok {
 			c.hits[l]++
 			c.moveToFront(e)
@@ -346,6 +350,7 @@ func (c *Cache) settle(m map[Key]*entry, e *entry) {
 // evict drops LRU-tail entries until the byte budget fits the cap. Only
 // linked (completed, byte-carrying) entries are ever evicted; in-flight
 // singleflight slots and retained error entries are not in the list.
+// holds: mu
 func (c *Cache) evict() {
 	if c.maxBytes <= 0 {
 		return
@@ -362,6 +367,8 @@ func (c *Cache) evict() {
 	}
 }
 
+// linkFront pushes e to the head of the LRU list.
+// holds: mu
 func (c *Cache) linkFront(e *entry) {
 	e.prev, e.next = nil, c.lruHead
 	if c.lruHead != nil {
@@ -373,6 +380,8 @@ func (c *Cache) linkFront(e *entry) {
 	}
 }
 
+// moveToFront refreshes e's recency.
+// holds: mu
 func (c *Cache) moveToFront(e *entry) {
 	if c.maxBytes <= 0 || c.lruHead == e || (e.prev == nil && e.next == nil && c.lruTail != e) {
 		// Unlimited cache, already at front, or not linked (in-flight or
@@ -383,6 +392,8 @@ func (c *Cache) moveToFront(e *entry) {
 	c.linkFront(e)
 }
 
+// unlink removes e from the LRU list.
+// holds: mu
 func (c *Cache) unlink(e *entry) {
 	if e.prev != nil {
 		e.prev.next = e.next

@@ -30,6 +30,7 @@ import (
 	"prescount/internal/scratch"
 	"prescount/internal/sdg"
 	"prescount/internal/sim"
+	"prescount/internal/tv"
 	"prescount/internal/verify"
 )
 
@@ -111,6 +112,17 @@ type Options struct {
 	// is strictly zero-cost when disabled. Like VerifySemantics it bypasses
 	// opts.Cache (checks must actually run) and never enters a cache key.
 	VerifyEach bool
+	// Validate runs the translation validator (internal/tv) on the
+	// finished compile: the input MIR and the allocated output are
+	// executed symbolically over a shared value-number space, and any
+	// use, store or branch whose resolved value diverges from the
+	// reference fails the compile with a *ir.Diag naming the violated
+	// T-rule. Complementary to VerifyEach (local phase invariants) and
+	// VerifySemantics (one concrete execution): Validate proves value
+	// equivalence over all paths. Off by default and strictly zero-cost
+	// when disabled; like the other Verify* modes it bypasses opts.Cache
+	// (the check must actually run) and never enters a cache key.
+	Validate bool
 	// Workers bounds CompileModule's concurrency: 0 means
 	// runtime.GOMAXPROCS(0), 1 forces the serial path. Compile itself is
 	// always single-threaded; functions are independent pipeline units.
@@ -130,7 +142,7 @@ type Options struct {
 	// without compiling (results are immutable and shared, with the same
 	// name-rematerialization rule as a cache hit). A digest mismatch
 	// disables the prior entirely. Like Cache it is ignored under
-	// VerifySemantics/VerifyEach and never enters a cache key.
+	// VerifySemantics/VerifyEach/Validate and never enters a cache key.
 	Prior *ModulePrior
 }
 
@@ -197,6 +209,9 @@ func CompileContext(ctx context.Context, f *ir.Func, opts Options) (*Result, err
 	if err := f.Verify(); err != nil {
 		return nil, fmt.Errorf("core: input: %w", err)
 	}
+	if err := checkInputBounds(f, opts); err != nil {
+		return nil, err
+	}
 	if opts.Subgroups && !opts.File.Normalize().HasSubgroups() {
 		return nil, fmt.Errorf("core: subgroup mode requires a subgrouped register file, got %v", opts.File)
 	}
@@ -211,7 +226,7 @@ func CompileContext(ctx context.Context, f *ir.Func, opts Options) (*Result, err
 			return nil, fmt.Errorf("core: method %v selects its own allocator, incompatible with LinearScan", opts.Method)
 		}
 	}
-	if opts.Cache != nil && !opts.VerifySemantics && !opts.VerifyEach {
+	if opts.Cache != nil && !opts.VerifySemantics && !opts.VerifyEach && !opts.Validate {
 		return compileCached(ctx, f, opts)
 	}
 
@@ -237,7 +252,40 @@ func CompileContext(ctx context.Context, f *ir.Func, opts Options) (*Result, err
 			return nil, err
 		}
 	}
+	if opts.Validate {
+		if err := tv.Check(f, res.Func, opts.File.Normalize().NumRegs); err != nil {
+			return nil, fmt.Errorf("core: %s: translation validation: %w", f.Name, err)
+		}
+	}
 	return res, nil
+}
+
+/// checkInputBounds rejects inputs whose pre-assigned physical FP
+// registers fall outside opts.File before any phase runs. ir.Func.Verify
+// cannot check this — structural well-formedness is file-independent —
+// and letting such a function through would either trip the verifier's
+// V033 mid-pipeline (misattributing an input problem to the pipeline) or,
+// unverified, silently emit code addressing registers the target does not
+// have. Found by the fuzz harness's translation-validation oracle work.
+func checkInputBounds(f *ir.Func, opts Options) error {
+	limit := opts.File.Normalize().NumRegs
+	for _, b := range f.Blocks {
+		for i, in := range b.Instrs {
+			for _, r := range in.Defs {
+				if r.IsFPR() && r.FPRIndex() >= limit {
+					return fmt.Errorf("core: input: %s/%s#%d: physical FP register %v outside the %d-register file",
+						f.Name, b.Name, i, r, limit)
+				}
+			}
+			for _, r := range in.Uses {
+				if r.IsFPR() && r.FPRIndex() >= limit {
+					return fmt.Errorf("core: input: %s/%s#%d: physical FP register %v outside the %d-register file",
+						f.Name, b.Name, i, r, limit)
+				}
+			}
+		}
+	}
+	return nil
 }
 
 // phaseCheck is the per-phase cancellation point: it returns a wrapped
@@ -690,7 +738,7 @@ func CompileModuleContext(ctx context.Context, m *ir.Module, opts Options) (*Mod
 	results := make([]*Result, len(funcs))
 	// The prior is consulted only when its digest matches this run's
 	// options exactly; verification runs must actually recompile.
-	verifying := opts.VerifySemantics || opts.VerifyEach
+	verifying := opts.VerifySemantics || opts.VerifyEach || opts.Validate
 	prior := opts.Prior
 	if prior != nil && (verifying || prior.Digest != opts.FullDigest()) {
 		prior = nil

@@ -190,3 +190,30 @@ func TestModulePriorVerifyBypass(t *testing.T) {
 		}
 	}
 }
+
+// TestModulePriorValidateBypass: translation-validated runs ignore the
+// prior (the validator must actually see every function compile) and
+// produce no reuse token, exactly like VerifyEach.
+func TestModulePriorValidateBypass(t *testing.T) {
+	m := incModule(t, 2)
+	opts := Options{File: bankfile.RV2(2), Method: MethodBPC}
+	first, err := CompileModule(m, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	opts.Prior = first.Prior
+	opts.Validate = true
+	validated, err := CompileModule(m, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if validated.ReusedFuncs != 0 {
+		t.Errorf("validated run reused %d funcs, want 0", validated.ReusedFuncs)
+	}
+	if validated.Prior != nil {
+		t.Error("validated run handed out a prior")
+	}
+	if validated.Totals != first.Totals {
+		t.Errorf("validated totals differ: %+v vs %+v", validated.Totals, first.Totals)
+	}
+}

@@ -84,7 +84,9 @@ type Store struct {
 	wg     sync.WaitGroup
 	closed atomic.Bool
 
-	// quarMu serializes quarantine renames (Get is concurrent).
+	// quarMu serializes quarantine renames against the filesystem
+	// (Get is concurrent); it protects no in-memory state.
+	// guards: none
 	quarMu sync.Mutex
 }
 

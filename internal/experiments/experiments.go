@@ -51,6 +51,13 @@ var DisableCache bool
 // the verifier overhead, and verified compiles bypass the compile cache.
 var VerifyEach bool
 
+// Validate threads the translation validator (core.Options.Validate) into
+// every experiment compile — cmd/benchtab's -validate flag. Tables are
+// identical either way (the validator only observes); wall-clock grows by
+// the symbolic-execution overhead, and validated compiles bypass the
+// compile cache.
+var Validate bool
+
 // Methods compared throughout, in the order of the paper's figure legends
 // ("non, bcr, brc and bpc").
 var Methods = []core.Method{core.MethodNon, core.MethodBCR, core.MethodBRC, core.MethodBPC}
@@ -121,6 +128,7 @@ func (c *Counts) add(o Counts) {
 // are executed to collect dynamic conflicts and cycles.
 func CompileProgram(p *workload.Program, opts core.Options, simulate, vliw bool) (Counts, error) {
 	opts.VerifyEach = opts.VerifyEach || VerifyEach
+	opts.Validate = opts.Validate || Validate
 	var total Counts
 	for _, f := range p.Funcs() {
 		res, err := core.Compile(f, opts)

@@ -12,10 +12,16 @@ import (
 // splitPlan records one committed live-range split: uses of parent inside
 // [start, end) are served by child, which receives its value from a copy
 // (or reload, if the parent later spills) inserted in the preheader.
+// exits are the loop's exit blocks: subtracting the loop range from the
+// parent's interval lets other values occupy the parent's register inside
+// the loop, so when the parent keeps a register, the value must be copied
+// back from the child at every exit the parent is live into — without it,
+// a post-loop use reads whatever the loop left in the parent's register.
 type splitPlan struct {
 	parent, child ir.Reg
 	start, end    int
 	preheader     *ir.Block
+	exits         []*ir.Block
 }
 
 // trySplitAroundLoop is the allocator's last resort before spilling a
@@ -96,6 +102,7 @@ func (a *allocator) trySplitAroundLoop(r ir.Reg, c ir.Class) bool {
 		start:     ls,
 		end:       le,
 		preheader: a.preheaderOf(best),
+		exits:     a.loopExits(best),
 	})
 	a.res.LoopSplits++
 	if !reduced.Empty() {
@@ -179,7 +186,45 @@ func (a *allocator) splitSuitable(r ir.Reg, iv *liveness.Interval, l *cfg.Loop, 
 			}
 		}
 	}
-	return usesIn > 0
+	if usesIn == 0 {
+		return false
+	}
+	// Every exit the value is live into receives a copy-back from the
+	// child (see materializeSplits); that copy is only correct when the
+	// exit is reached exclusively from inside the loop, so a side entry
+	// into such an exit block rules the split out.
+	for _, eb := range a.loopExits(l) {
+		es, _ := a.lv.BlockRange(eb)
+		if !iv.Covers(es) {
+			continue
+		}
+		for _, p := range eb.Preds {
+			if !l.Blocks[p.ID] {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// loopExits returns the blocks outside loop l that some block of l
+// branches to, in block-ID order.
+func (a *allocator) loopExits(l *cfg.Loop) []*ir.Block {
+	seen := map[int]bool{}
+	var exits []*ir.Block
+	for _, b := range a.f.Blocks {
+		if !l.Blocks[b.ID] {
+			continue
+		}
+		for _, s := range b.Succs {
+			if !l.Blocks[s.ID] && !seen[s.ID] {
+				seen[s.ID] = true
+				exits = append(exits, s)
+			}
+		}
+	}
+	sort.Slice(exits, func(i, j int) bool { return exits[i].ID < exits[j].ID })
+	return exits
 }
 
 // preheaderOf returns the unique out-of-loop predecessor of the loop
@@ -265,6 +310,31 @@ func (a *allocator) materializeSplits() {
 			}
 			term := len(sp.preheader.Instrs) - 1
 			sp.preheader.InsertBefore(term, init)
+
+			// Copy-back: a register-resident parent must recover its value
+			// from the child at every exit it is live into — the loop body
+			// may have hosted other values in the parent's register. A
+			// spilled parent needs nothing: its slot was stored at the
+			// definition and the value never changes inside the loop.
+			if a.spilled.Has(sp.parent) {
+				continue
+			}
+			piv := a.intervalOf(sp.parent)
+			for _, eb := range sp.exits {
+				es, _ := a.lv.BlockRange(eb)
+				if piv == nil || !piv.Covers(es) {
+					continue
+				}
+				op := ir.OpFMov
+				if a.classOf(sp.parent) == ir.ClassGPR {
+					op = ir.OpIMov
+				}
+				eb.InsertBefore(0, &ir.Instr{
+					Op:   op,
+					Defs: []ir.Reg{a.physOf(sp.parent)},
+					Uses: []ir.Reg{childPhys},
+				})
+			}
 		}
 	}
 }

@@ -124,7 +124,7 @@ type Router struct {
 	stopHealth context.CancelFunc
 	healthDone chan struct{}
 
-	jmu sync.Mutex
+	jmu sync.Mutex // guards: jit
 	jit *rand.Rand
 }
 

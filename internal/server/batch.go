@@ -60,6 +60,7 @@ type batchKey struct {
 	vliw     bool
 	emitMIR  bool
 	verify   bool
+	validate bool
 }
 
 // batchUnit is one unique compile and the entry indices it serves.
@@ -140,6 +141,7 @@ func (s *Server) serveBatch(w http.ResponseWriter, r *http.Request) {
 			vliw:     e.VLIW,
 			emitMIR:  e.EmitMIR,
 			verify:   e.Verify,
+			validate: e.Validate,
 		}
 		if u, ok := units[k]; ok {
 			u.indices = append(u.indices, i)

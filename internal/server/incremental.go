@@ -46,8 +46,8 @@ func moduleToken(p *core.ModulePrior) string {
 // twice would double-count; capping the number of distinct module states
 // bounds the extra retention to the per-function pointers.
 type tokenStore struct {
-	mu  sync.Mutex
-	max int
+	mu  sync.Mutex // guards: m, lru
+	max int        // immutable after newTokenStore
 	m   map[string]*list.Element
 	lru *list.List // front = most recent; values are *tokenEntry
 }

@@ -257,6 +257,11 @@ type CompileRequest struct {
 	// rule violation fails the compile with a diagnostic naming the rule.
 	// Verified compiles bypass the shared compile cache.
 	Verify bool `json:"verify,omitempty"`
+	// Validate runs the translation validator on the allocated output: a
+	// symbolic equivalence check of the result against the pre-allocation
+	// MIR, failing the compile with a T-rule diagnostic on divergence.
+	// Like Verify, validated compiles bypass the shared compile cache.
+	Validate bool `json:"validate,omitempty"`
 	// Simulate executes the allocated code and attaches dynamic metrics.
 	Simulate bool `json:"simulate,omitempty"`
 	// VLIW selects the dual-issue cycle model for simulation.
@@ -543,10 +548,11 @@ func (s *Server) serveCompile(w http.ResponseWriter, r *http.Request, module boo
 	}
 
 	// Speculatively precompile the sweep neighbors (adjacent bank counts)
-	// of this now-warm request in idle slots. Verified compiles bypass the
-	// cache, so speculating on them would be wasted work; portfolio requests
-	// have no single-method neighborhood to speculate on.
-	if s.spec != nil && !req.Verify && pmode == "" && !s.draining.Load() {
+	// of this now-warm request in idle slots. Verified and validated
+	// compiles bypass the cache, so speculating on them would be wasted
+	// work; portfolio requests have no single-method neighborhood to
+	// speculate on.
+	if s.spec != nil && !req.Verify && !req.Validate && pmode == "" && !s.draining.Load() {
 		s.spec.enqueue(mod, opts)
 	}
 
@@ -671,7 +677,7 @@ func optionsFromQuery(req *CompileRequest, r *http.Request) error {
 		intq("regs", &req.Regs), intq("banks", &req.Banks), intq("subgroups", &req.Subgroups),
 		boolq("simulate", &req.Simulate), boolq("vliw", &req.VLIW),
 		boolq("emit_mir", &req.EmitMIR), boolq("linear_scan", &req.LinearScan),
-		boolq("verify", &req.Verify),
+		boolq("verify", &req.Verify), boolq("validate", &req.Validate),
 	} {
 		if e != nil {
 			return e
@@ -763,6 +769,7 @@ func (s *Server) compileOptions(req *CompileRequest) (core.Options, string, erro
 		LinearScan:      req.LinearScan,
 		ColoringTimeout: time.Duration(req.ColoringTimeoutMS) * time.Millisecond,
 		VerifyEach:      req.Verify,
+		Validate:        req.Validate,
 		Workers:         s.cfg.Workers,
 		Cache:           s.cache,
 	}, pmode, nil

@@ -571,3 +571,43 @@ func TestCompileVerifyQueryParam(t *testing.T) {
 		t.Fatalf("status %d", resp.StatusCode)
 	}
 }
+
+// TestCompileWithValidate runs a request under the translation
+// validator: the output must match a plain compile byte for byte, and
+// the validated compile must bypass the shared cache, mirroring the
+// verify contract.
+func TestCompileWithValidate(t *testing.T) {
+	s, ts := newTestServer(t, Config{})
+	_, plain := postJSON(t, ts.URL+"/v1/compile", CompileRequest{MIR: kernelMIR, EmitMIR: true})
+	resp, validated := postJSON(t, ts.URL+"/v1/compile", CompileRequest{MIR: kernelMIR, EmitMIR: true, Validate: true})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d, body %s", resp.StatusCode, validated)
+	}
+	var a, b CompileResponse
+	if err := json.Unmarshal(plain, &a); err != nil {
+		t.Fatal(err)
+	}
+	if err := json.Unmarshal(validated, &b); err != nil {
+		t.Fatal(err)
+	}
+	if a.MIR != b.MIR || a.Report != b.Report {
+		t.Fatalf("validated compile differs from plain compile:\n%s\nvs\n%s", validated, plain)
+	}
+	if hits := s.Cache().Stats().FullHits; hits != 0 {
+		t.Errorf("validated compile hit the cache %d times; want bypass", hits)
+	}
+}
+
+// TestCompileValidateQueryParam covers the raw-MIR envelope's validate
+// flag.
+func TestCompileValidateQueryParam(t *testing.T) {
+	_, ts := newTestServer(t, Config{})
+	resp, err := http.Post(ts.URL+"/v1/compile?validate=true", "text/plain", strings.NewReader(kernelMIR))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d", resp.StatusCode)
+	}
+}

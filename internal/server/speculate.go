@@ -49,8 +49,9 @@ type speculator struct {
 	cancel context.CancelFunc
 	wg     sync.WaitGroup
 
-	// mu guards the cancel funcs of currently running speculative compiles
-	// (preempt aborts them all) and the speculated-key set.
+	// mu protects the cancel funcs of currently running speculative
+	// compiles (preempt aborts them all) and the speculated-key set.
+	// guards: running, nextRun, speculated
 	mu         sync.Mutex
 	running    map[int]context.CancelFunc
 	nextRun    int

@@ -119,8 +119,8 @@ type metrics struct {
 
 	// Per-method accounting: requests by their method string (portfolio
 	// modes included), plus racer win attribution and selector picks from
-	// portfolio compiles. Guarded by methodMu — these are request-rate
-	// map updates, far off any hot path.
+	// portfolio compiles — request-rate map updates, far off any hot path.
+	// guards: methodRequests, racerWins, selectorPicks
 	methodMu       sync.Mutex
 	methodRequests map[string]int64
 	racerWins      map[string]int64

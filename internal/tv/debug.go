@@ -1,0 +1,61 @@
+package tv
+
+// debugf, when non-nil, receives trace output from the allocated-side
+// join resolution: every adoption with its candidate list and every
+// phase-B refutation. The hook exists for debugging validator verdicts
+// on concrete functions — install testing.T.Logf, run Check, read the
+// adoption/refutation sequence. Never set on any production path.
+var debugf func(format string, args ...any)
+
+// SetDebug installs a trace sink (typically testing.T.Logf) or removes
+// it (nil). Not safe for concurrent Check calls; tests that use it must
+// not run validated compiles in parallel.
+func SetDebug(f func(format string, args ...any)) { debugf = f }
+
+// describe renders a value number structurally for debug traces: the
+// interning key expanded recursively to the given depth. Linear in the
+// table size per level — debug-only.
+func (t *vnTable) describe(vn uint64, depth int) string {
+	switch vn {
+	case vnUndef:
+		return "undef"
+	case vnClobber:
+		return "clobber"
+	case vnMem0:
+		return "mem0"
+	}
+	var key vnKey
+	found := false
+	for k, v := range t.m {
+		if v == vn {
+			key, found = k, true
+			break
+		}
+	}
+	if !found {
+		return "v" + itoa(int64(vn)) + "?"
+	}
+	sub := func(x uint64) string {
+		if depth <= 0 {
+			return "v" + itoa(int64(x))
+		}
+		return t.describe(x, depth-1)
+	}
+	switch key.kind {
+	case kPhi:
+		return "phi(b" + itoa(key.imm) + ",l" + itoa(int64(key.a)) + ")"
+	case kClash:
+		return "clash(b" + itoa(key.imm) + ",l" + itoa(int64(key.a)) + ")"
+	case kMemExit:
+		return "memexit(b" + itoa(key.imm) + "," + sub(key.a) + ",sum" + itoa(int64(key.b)) + ")"
+	default:
+		s := key.op.String() + "[" + itoa(key.imm) + "](" + sub(key.a)
+		if key.b != 0 || key.c != 0 {
+			s += "," + sub(key.b)
+		}
+		if key.c != 0 {
+			s += "," + sub(key.c)
+		}
+		return s + ")"
+	}
+}

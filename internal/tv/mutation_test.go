@@ -1,0 +1,517 @@
+package tv_test
+
+import (
+	"errors"
+	"testing"
+
+	"prescount/internal/bankfile"
+	"prescount/internal/core"
+	"prescount/internal/ir"
+	"prescount/internal/tv"
+	"prescount/internal/verify"
+)
+
+// The mutation-kill table: each case seeds one miscompilation into a
+// real allocated output (or a handcrafted allocated counterpart) and
+// asserts two things. First, the mutant is invisible to the V-rule
+// checks that apply to a bare allocated function — structural
+// well-formedness (V001, ir.Func.Verify) and physical-register bounds
+// (V033, verify.CheckPhysBounds); the remaining phase-boundary rules
+// audit allocator-reported metadata at phase checkpoints, so a bug in
+// (or after) the final rewrite is exactly the blind spot translation
+// validation exists to cover. Second, tv.Check kills the mutant with
+// the intended T-rule.
+//
+// mutSrc is shaped so its 8-register compile exercises every mutation
+// target: a spill/reload pair (slot mutations), a call with values live
+// across it (clobber mutations), a loop with two carried values (join
+// and loop-carried mutations), may-aliasing stores under distinct bases
+// (store-order mutations), and non-commutative arithmetic (operand-swap
+// mutations).
+const mutSrc = `func @mut {
+ entry:
+  x1 = iconst 0
+  x2 = iconst 6
+  x3 = iconst 100
+  %0:fp = fload x1, 0
+  %1:fp = fload x1, 1
+  %2:fp = fload x1, 2
+  %3:fp = fload x1, 3
+  %4:fp = fsub %0, %1
+  %5:fp = fdiv %2, %3
+  call
+  %6:fp = fadd %4, %5
+  %7:fp = fmul %0, %2
+  br body
+ body: !trip=6
+  %8:fp = fadd %6, %7
+  %7:fp = fadd %7, %5
+  %6:fp = fmul %8, %4
+  fstore %8, x1, 32
+  fstore %6, x3, 33
+  x1 = iaddi x1, 1
+  x4 = icmplt x1, x2
+  condbr x4, body, done
+ done:
+  %9:fp = fsub %6, %7
+  fstore %9, x1, 34
+  ret
+}`
+
+// mutFile is the register file every mutation case compiles against:
+// 8 registers force a spill, and leave f5–f7 callee-saved (3n/8) so
+// values legitimately survive the call in them while f0–f4 are
+// clobbered.
+var mutFile = bankfile.Config{NumRegs: 8, NumBanks: 2, NumSubgroups: 1, ReadPorts: 1}
+
+// compileMut parses mutSrc and compiles it, asserting the clean pair
+// validates clean — every kill below is then attributable to its
+// mutation alone.
+func compileMut(t *testing.T) (ref, out *ir.Func) {
+	t.Helper()
+	ref, err := ir.Parse(mutSrc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := core.Compile(ref, core.Options{File: mutFile, Method: core.MethodBPC})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := tv.Check(ref, res.Func, mutFile.NumRegs); err != nil {
+		t.Fatalf("clean pair does not validate: %v", err)
+	}
+	return ref, res.Func
+}
+
+// instrAt returns the nth (0-based) instruction with opcode op in the
+// named block, failing the test when absent — a mutation whose target
+// vanished must fail loudly, not silently test nothing.
+func instrAt(t *testing.T, f *ir.Func, block string, op ir.Op, nth int) *ir.Instr {
+	t.Helper()
+	b := blockNamed(t, f, block)
+	for _, in := range b.Instrs {
+		if in.Op != op {
+			continue
+		}
+		if nth == 0 {
+			return in
+		}
+		nth--
+	}
+	t.Fatalf("no %s #%d in block %s", op, nth, block)
+	return nil
+}
+
+func blockNamed(t *testing.T, f *ir.Func, name string) *ir.Block {
+	t.Helper()
+	for _, b := range f.Blocks {
+		if b.Name == name {
+			return b
+		}
+	}
+	t.Fatalf("no block %q", name)
+	return nil
+}
+
+// deleteInstr removes the nth instruction with opcode op from the named
+// block.
+func deleteInstr(t *testing.T, f *ir.Func, block string, op ir.Op, nth int) {
+	t.Helper()
+	b := blockNamed(t, f, block)
+	for i, in := range b.Instrs {
+		if in.Op != op {
+			continue
+		}
+		if nth == 0 {
+			b.Instrs = append(b.Instrs[:i], b.Instrs[i+1:]...)
+			f.MarkMutated()
+			return
+		}
+		nth--
+	}
+	t.Fatalf("no %s #%d in block %s", op, nth, block)
+}
+
+// killExpect runs the shared kill protocol: the mutant passes V001 and
+// V033, and tv.Check refutes it with the intended rule.
+func killExpect(t *testing.T, ref, mut *ir.Func, rule string) {
+	t.Helper()
+	if err := mut.Verify(); err != nil {
+		t.Fatalf("mutant is not V001-clean (mutation malformed, not miscompiled): %v", err)
+	}
+	if err := verify.CheckPhysBounds(mut, mutFile); err != nil {
+		t.Fatalf("mutant is not V033-clean: %v", err)
+	}
+	err := tv.Check(ref, mut, mutFile.NumRegs)
+	if err == nil {
+		t.Fatalf("mutant survived: tv.Check found no divergence")
+	}
+	var d *tv.Diag
+	if !errors.As(err, &d) {
+		t.Fatalf("tv.Check returned a non-Diag error: %v", err)
+	}
+	if d.Rule != rule {
+		t.Fatalf("mutant killed by %s, want %s (%v)", d.Rule, rule, err)
+	}
+}
+
+// TestMutationKills is the table over the compiled mutSrc output. Each
+// entry is one seeded miscompilation and the T-rule that must kill it.
+func TestMutationKills(t *testing.T) {
+	cases := []struct {
+		name   string
+		rule   string
+		mutate func(t *testing.T, f *ir.Func)
+	}{
+		{
+			// fsub is not commutative; a backwards copy-insertion or
+			// operand renumbering that swaps its uses computes b-a.
+			name: "swapped-noncommutative-uses",
+			rule: tv.RuleValue,
+			mutate: func(t *testing.T, f *ir.Func) {
+				in := instrAt(t, f, "entry", ir.OpFSub, 0)
+				in.Uses[0], in.Uses[1] = in.Uses[1], in.Uses[0]
+			},
+		},
+		{
+			// A duplicated computation: the anchor multiset counts it
+			// twice where the reference counts once.
+			name: "duplicated-computation",
+			rule: tv.RuleValue,
+			mutate: func(t *testing.T, f *ir.Func) {
+				b := blockNamed(t, f, "entry")
+				for i, in := range b.Instrs {
+					if in.Op == ir.OpFSub {
+						dup := in.Clone()
+						b.Instrs = append(b.Instrs[:i+1], append([]*ir.Instr{dup}, b.Instrs[i+1:]...)...)
+						f.MarkMutated()
+						return
+					}
+				}
+				t.Fatal("no fsub in entry")
+			},
+		},
+		{
+			// A loop-carried def routed to a dead register: the join
+			// silently carries the loop-invariant initial value instead
+			// of the recurrence.
+			name: "loop-carried-dest-misroute",
+			rule: tv.RuleValue,
+			mutate: func(t *testing.T, f *ir.Func) {
+				in := instrAt(t, f, "body", ir.OpFMul, 0)
+				in.Defs[0] = deadFPR(t, f)
+			},
+		},
+		{
+			// A store whose offset drifted: the (base, offset, value)
+			// multiset diverges.
+			name: "store-offset-drift",
+			rule: tv.RuleStore,
+			mutate: func(t *testing.T, f *ir.Func) {
+				instrAt(t, f, "body", ir.OpFStore, 0).Imm = 35
+			},
+		},
+		{
+			// A store fed the wrong register: right address, wrong value.
+			name: "store-wrong-value",
+			rule: tv.RuleStore,
+			mutate: func(t *testing.T, f *ir.Func) {
+				a := instrAt(t, f, "body", ir.OpFStore, 0)
+				b := instrAt(t, f, "body", ir.OpFStore, 1)
+				if a.Uses[0] == b.Uses[0] {
+					t.Fatal("stores share a value register; mutation would be a no-op")
+				}
+				a.Uses[0] = b.Uses[0]
+			},
+		},
+		{
+			// Two stores under distinct base registers may alias; an
+			// illegal scheduler reorder swaps their observable order.
+			name: "may-alias-store-reorder",
+			rule: tv.RuleStore,
+			mutate: func(t *testing.T, f *ir.Func) {
+				b := blockNamed(t, f, "body")
+				var idx []int
+				for i, in := range b.Instrs {
+					if in.Op == ir.OpFStore {
+						idx = append(idx, i)
+					}
+				}
+				if len(idx) < 2 {
+					t.Fatal("need two stores in body")
+				}
+				b.Instrs[idx[0]], b.Instrs[idx[1]] = b.Instrs[idx[1]], b.Instrs[idx[0]]
+				f.MarkMutated()
+			},
+		},
+		{
+			// The branch tests the wrong register: control flow diverges
+			// on some input even though every block stays well-formed.
+			name: "condbr-use-swap",
+			rule: tv.RuleBranch,
+			mutate: func(t *testing.T, f *ir.Func) {
+				in := instrAt(t, f, "body", ir.OpCondBr, 0)
+				in.Uses[0] = ir.XReg(1)
+			},
+		},
+		{
+			// A dropped reload: the consumer reads a register nothing on
+			// this path ever defined.
+			name: "dropped-reload",
+			rule: tv.RuleUndef,
+			mutate: func(t *testing.T, f *ir.Func) {
+				deleteInstr(t, f, "entry", ir.OpFReload, 1)
+			},
+		},
+		{
+			// A live range wrongly extended across the call in a
+			// caller-saved register: the value read was clobbered.
+			name: "clobbered-reg-use-after-call",
+			rule: tv.RuleClobber,
+			mutate: func(t *testing.T, f *ir.Func) {
+				b := blockNamed(t, f, "entry")
+				call := -1
+				for i, in := range b.Instrs {
+					if in.Op == ir.OpCall {
+						call = i
+					}
+				}
+				if call < 0 {
+					t.Fatal("no call in entry")
+				}
+				for _, in := range b.Instrs[call+1:] {
+					if in.Op == ir.OpFAdd {
+						in.Uses[0] = ir.FReg(0) // f0 is caller-saved at 8 regs
+						return
+					}
+				}
+				t.Fatal("no fadd after the call")
+			},
+		},
+		{
+			// A dropped spill store: every reload of the slot reads
+			// memory nothing wrote.
+			name: "dropped-spill-store",
+			rule: tv.RuleSlotUndef,
+			mutate: func(t *testing.T, f *ir.Func) {
+				deleteInstr(t, f, "entry", ir.OpFSpill, 0)
+			},
+		},
+		{
+			// A reload from the wrong slot — here a slot no store ever
+			// touches (the slot count is grown so the frame stays
+			// well-formed).
+			name: "stale-slot-reload",
+			rule: tv.RuleSlotUndef,
+			mutate: func(t *testing.T, f *ir.Func) {
+				in := instrAt(t, f, "entry", ir.OpFReload, 0)
+				in.Imm = int64(f.SpillSlots)
+				f.SpillSlots++
+				f.MarkMutated()
+			},
+		},
+		{
+			// A deleted call: side effects vanish.
+			name: "deleted-call",
+			rule: tv.RuleCall,
+			mutate: func(t *testing.T, f *ir.Func) {
+				deleteInstr(t, f, "entry", ir.OpCall, 0)
+			},
+		},
+		{
+			// A phantom block: the structural frame itself diverges.
+			name: "extra-block",
+			rule: tv.RuleFixpoint,
+			mutate: func(t *testing.T, f *ir.Func) {
+				f.Blocks = append(f.Blocks, &ir.Block{
+					ID:     len(f.Blocks),
+					Name:   "phantom",
+					Instrs: []*ir.Instr{{Op: ir.OpRet}},
+				})
+				f.RecomputePreds()
+			},
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			ref, out := compileMut(t)
+			mut := out.Clone()
+			tc.mutate(t, mut)
+			killExpect(t, ref, mut, tc.rule)
+		})
+	}
+}
+
+// deadFPR returns a physical FP register the function never mentions —
+// the misroute target for the loop-carried case.
+func deadFPR(t *testing.T, f *ir.Func) ir.Reg {
+	t.Helper()
+	used := map[ir.Reg]bool{}
+	for _, b := range f.Blocks {
+		for _, in := range b.Instrs {
+			for _, r := range in.Defs {
+				used[r] = true
+			}
+			for _, r := range in.Uses {
+				used[r] = true
+			}
+		}
+	}
+	for i := 0; i < mutFile.NumRegs; i++ {
+		if !used[ir.FReg(i)] {
+			return ir.FReg(i)
+		}
+	}
+	t.Fatal("no dead FP register in the 8-register file")
+	return ir.NoReg
+}
+
+// TestMutationKillCSE covers T009 on a handcrafted pair: a transform
+// that deduplicates two identical computations (the pipeline performs
+// no CSE, so a missing reference anchor is always a miscompile signal).
+func TestMutationKillCSE(t *testing.T) {
+	ref := parseMIR(t, `func @cse {
+ entry:
+  x1 = iconst 0
+  %0:fp = fload x1, 0
+  %1:fp = fload x1, 1
+  %2:fp = fadd %0, %1
+  %3:fp = fadd %0, %1
+  fstore %2, x1, 32
+  fstore %3, x1, 33
+  ret
+}`)
+	out := parseMIR(t, `func @cse {
+ entry:
+  x1 = iconst 0
+  f0 = fload x1, 0
+  f1 = fload x1, 1
+  f2 = fadd f0, f1
+  f3 = fadd f0, f1
+  fstore f2, x1, 32
+  fstore f3, x1, 33
+  ret
+}`)
+	if err := tv.Check(ref, out, mutFile.NumRegs); err != nil {
+		t.Fatalf("clean handcrafted pair does not validate: %v", err)
+	}
+	mut := out.Clone()
+	in := instrAt(t, mut, "entry", ir.OpFAdd, 1)
+	in.Op = ir.OpFMov
+	in.Uses = []ir.Reg{ir.FReg(2)}
+	mut.MarkMutated()
+	killExpect(t, ref, mut, tv.RuleAnchor)
+}
+
+// TestMutationKillCrossedCopies: the two loop-carried initializers are
+// delivered into swapped registers. Both swapped locations still match
+// a reference phi on the entry edge (each other's), so the kill
+// surfaces as T001 — the loop body's fmul reads the crossed value —
+// rather than a join with no explanation at all (see
+// TestMutationKillJoinMisroute for that shape).
+func TestMutationKillCrossedCopies(t *testing.T) {
+	ref := parseMIR(t, `func @cross {
+ entry:
+  x1 = iconst 0
+  x2 = iconst 4
+  %0:fp = fload x1, 0
+  %1:fp = fload x1, 1
+  br body
+ body: !trip=4
+  %2:fp = fadd %0, %1
+  fstore %2, x1, 32
+  %0:fp = fmul %0, %2
+  %1:fp = fadd %1, %2
+  x1 = iaddi x1, 1
+  x3 = icmplt x1, x2
+  condbr x3, body, done
+ done:
+  fstore %0, x1, 33
+  fstore %1, x1, 34
+  ret
+}`)
+	out := parseMIR(t, `func @cross {
+ entry:
+  x1 = iconst 0
+  x2 = iconst 4
+  f0 = fload x1, 0
+  f1 = fload x1, 1
+  br body
+ body: !trip=4
+  f2 = fadd f0, f1
+  fstore f2, x1, 32
+  f0 = fmul f0, f2
+  f1 = fadd f1, f2
+  x1 = iaddi x1, 1
+  x3 = icmplt x1, x2
+  condbr x3, body, done
+ done:
+  fstore f0, x1, 33
+  fstore f1, x1, 34
+  ret
+}`)
+	if err := tv.Check(ref, out, mutFile.NumRegs); err != nil {
+		t.Fatalf("clean handcrafted pair does not validate: %v", err)
+	}
+	mut := out.Clone()
+	a := instrAt(t, mut, "entry", ir.OpFLoad, 0)
+	b := instrAt(t, mut, "entry", ir.OpFLoad, 1)
+	a.Defs[0], b.Defs[0] = b.Defs[0], a.Defs[0]
+	mut.MarkMutated()
+	killExpect(t, ref, mut, tv.RuleValue)
+}
+
+// TestMutationKillJoinMisroute covers T008 on a handcrafted diamond: a
+// cross-block copy misroute leaves the join location holding a value no
+// reference merge explains on one edge — the clash signature.
+func TestMutationKillJoinMisroute(t *testing.T) {
+	ref := parseMIR(t, `func @diamond {
+ entry:
+  x1 = iconst 0
+  x2 = iconst 1
+  %0:fp = fload x1, 0
+  condbr x2, left, right
+ left:
+  %1:fp = fadd %0, %0
+  br join
+ right:
+  %1:fp = fmul %0, %0
+  br join
+ join:
+  fstore %1, x1, 32
+  ret
+}`)
+	out := parseMIR(t, `func @diamond {
+ entry:
+  x1 = iconst 0
+  x2 = iconst 1
+  f0 = fload x1, 0
+  condbr x2, left, right
+ left:
+  f1 = fadd f0, f0
+  br join
+ right:
+  f1 = fmul f0, f0
+  br join
+ join:
+  fstore f1, x1, 32
+  ret
+}`)
+	if err := tv.Check(ref, out, mutFile.NumRegs); err != nil {
+		t.Fatalf("clean handcrafted pair does not validate: %v", err)
+	}
+	mut := out.Clone()
+	in := instrAt(t, mut, "right", ir.OpFMul, 0)
+	in.Defs[0] = ir.FReg(2) // misrouted: join's f1 arrives undefined on this edge
+	mut.MarkMutated()
+	killExpect(t, ref, mut, tv.RuleJoin)
+}
+
+func parseMIR(t *testing.T, src string) *ir.Func {
+	t.Helper()
+	f, err := ir.Parse(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return f
+}

@@ -1,0 +1,188 @@
+package tv
+
+import (
+	"math"
+
+	"prescount/internal/ir"
+)
+
+// Value numbers. Equal numbers mean "provably the same runtime value";
+// distinct numbers mean "not proved equal". Numbers are interned in a
+// table shared between the reference and the allocated execution, so the
+// same computation over the same operands receives the same number in
+// both programs — equivalence checking reduces to integer comparison.
+//
+// Three sentinels sit below the interning range:
+//
+//   - vnUndef: the value of any location read before a write. Shared by
+//     both executions, so a program that legitimately reads an
+//     uninitialized register (a function input in this parameterless IR)
+//     compares equal to its allocation.
+//   - vnClobber: the value of a caller-saved register after an OpCall.
+//     Also shared: post-call garbage equals post-call garbage. This
+//     deliberately unifies the clobber state of different call sites —
+//     a conservatism that can hide an exotic bug but never flags a
+//     correct program.
+//   - vnMem0: the memory state at function entry.
+const (
+	vnUndef   uint64 = 1
+	vnClobber uint64 = 2
+	vnMem0    uint64 = 3
+)
+
+// vnKey kinds.
+const (
+	kInstr   uint8 = iota // a computed value: (op, imm, operand VNs)
+	kPhi                  // a reference join value: (block, location)
+	kClash                // an allocated join with no reference match
+	kMemExit              // a block's outgoing memory state
+)
+
+// vnKey identifies a value for interning. For kInstr, op/imm/a/b/c hold
+// the opcode, immediate (integer, or float bits for fconst) and operand
+// numbers; for kPhi and kClash, imm is the block index and a the
+// location id; for kMemExit, imm is the block index, a the incoming
+// memory number and b the store multiset hash.
+type vnKey struct {
+	kind    uint8
+	op      ir.Op
+	imm     int64
+	a, b, c uint64
+}
+
+// vnTable interns value numbers. It is append-only, which is what lets
+// the allocated-side retry loop rerun against the same table.
+type vnTable struct {
+	next uint64
+	m    map[vnKey]uint64
+}
+
+func newVNTable() *vnTable {
+	return &vnTable{next: 16, m: make(map[vnKey]uint64, 256)}
+}
+
+func (t *vnTable) intern(k vnKey) uint64 {
+	if v, ok := t.m[k]; ok {
+		return v
+	}
+	v := t.next
+	t.next++
+	t.m[k] = v
+	return v
+}
+
+// instrVN numbers a computed value. Commutative opcodes sort their two
+// operand numbers so fadd f1, f2 and fadd f2, f1 compare equal.
+func (t *vnTable) instrVN(op ir.Op, imm int64, a, b, c uint64) uint64 {
+	if op.IsCommutative() && a > b {
+		a, b = b, a
+	}
+	return t.intern(vnKey{kind: kInstr, op: op, imm: imm, a: a, b: b, c: c})
+}
+
+func (t *vnTable) constVN(op ir.Op, imm int64, fimm float64) uint64 {
+	if op.HasFImm() {
+		return t.intern(vnKey{kind: kInstr, op: op, a: math.Float64bits(fimm)})
+	}
+	return t.intern(vnKey{kind: kInstr, op: op, imm: imm})
+}
+
+// splitmix is the 64-bit finalizer of splitmix64, used only where a set
+// of value numbers must fold into one key field (store multisets, load
+// store-chains). A collision there can hide a divergence, never invent
+// one.
+func splitmix(x uint64) uint64 {
+	x += 0x9e3779b97f4a7c15
+	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+	return x ^ (x >> 31)
+}
+
+// storeHash folds one store's (base, offset, value) into a single word
+// for order-insensitive multiset sums.
+func storeHash(base uint64, imm int64, val uint64) uint64 {
+	return splitmix(splitmix(base) ^ splitmix(uint64(imm)+0x5bd1e995) ^ val)
+}
+
+// Location kinds of the abstract state. Registers (virtual on the
+// reference side, physical on the allocated side), spill slots (a
+// private address space keyed by slot index, disjoint from program
+// memory) and the single program-memory cell.
+const (
+	locReg uint8 = iota
+	locSlot
+	locMem
+)
+
+// loc is one addressable cell of the abstract machine state.
+type loc struct {
+	kind uint8
+	reg  ir.Reg
+	slot int64
+}
+
+func regLoc(r ir.Reg) loc  { return loc{kind: locReg, reg: r} }
+func slotLoc(s int64) loc  { return loc{kind: locSlot, slot: s} }
+func memLoc() loc          { return loc{kind: locMem} }
+func (l loc) isMem() bool  { return l.kind == locMem }
+func (l loc) isSlot() bool { return l.kind == locSlot }
+
+// id folds a location into one word for phi/clash interning keys.
+func (l loc) id() uint64 {
+	switch l.kind {
+	case locReg:
+		return uint64(l.reg)
+	case locSlot:
+		return 1<<40 ^ uint64(l.slot)
+	default:
+		return 1 << 41
+	}
+}
+
+// String renders the location for diagnostics.
+func (l loc) String() string {
+	switch l.kind {
+	case locReg:
+		return l.reg.String()
+	case locSlot:
+		return "slot" + itoa(l.slot)
+	default:
+		return "mem"
+	}
+}
+
+func itoa(v int64) string {
+	if v == 0 {
+		return "0"
+	}
+	neg := v < 0
+	if neg {
+		v = -v
+	}
+	var buf [24]byte
+	i := len(buf)
+	for v > 0 {
+		i--
+		buf[i] = byte('0' + v%10)
+		v /= 10
+	}
+	if neg {
+		i--
+		buf[i] = '-'
+	}
+	return string(buf[i:])
+}
+
+// mayAliasVN mirrors sched.mayAlias over value numbers instead of base
+// registers: two accesses with the same base value and the same offset
+// alias; the same base value at different offsets are provably disjoint
+// (the scheduler is free to reorder them, so the checker must not be
+// order-sensitive across them); different or unknown base values may
+// alias (the scheduler preserves their order, so order-sensitivity is
+// safe and required).
+func mayAliasVN(base1 uint64, imm1 int64, base2 uint64, imm2 int64) bool {
+	if base1 == base2 {
+		return imm1 == imm2
+	}
+	return true
+}

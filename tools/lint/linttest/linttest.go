@@ -41,6 +41,11 @@ func (si *stubImporter) Import(p string) (*types.Package, error) {
 	if pkg, ok := si.cache[p]; ok {
 		return pkg, nil
 	}
+	if p == "sync" {
+		pkg := syncStub()
+		si.cache[p] = pkg
+		return pkg, nil
+	}
 	pkg := types.NewPackage(p, path.Base(p))
 	anySlice := types.NewSlice(types.Universe.Lookup("any").Type())
 	for _, name := range stubFuncs {
@@ -57,6 +62,31 @@ func (si *stubImporter) Import(p string) (*types.Package, error) {
 	pkg.MarkComplete()
 	si.cache[p] = pkg
 	return pkg, nil
+}
+
+// syncStub synthesizes a sync package with just enough shape for the
+// guarded fixtures: Mutex and RWMutex as named empty structs carrying the
+// pointer-receiver lock methods go/types needs to resolve mu.Lock() calls.
+func syncStub() *types.Package {
+	pkg := types.NewPackage("sync", "sync")
+	for _, spec := range []struct {
+		name    string
+		methods []string
+	}{
+		{"Mutex", []string{"Lock", "Unlock"}},
+		{"RWMutex", []string{"Lock", "Unlock", "RLock", "RUnlock"}},
+	} {
+		tn := types.NewTypeName(token.NoPos, pkg, spec.name, nil)
+		named := types.NewNamed(tn, types.NewStruct(nil, nil), nil)
+		for _, m := range spec.methods {
+			recv := types.NewVar(token.NoPos, pkg, "m", types.NewPointer(named))
+			sig := types.NewSignatureType(recv, nil, nil, nil, nil, false)
+			named.AddMethod(types.NewFunc(token.NoPos, pkg, m, sig))
+		}
+		pkg.Scope().Insert(tn)
+	}
+	pkg.MarkComplete()
+	return pkg
 }
 
 // Check typechecks src as a single-file package with import path pkgPath and
